@@ -1,0 +1,147 @@
+(* Benchmark harness regenerating the paper's evaluation (one Bechamel
+   test group per figure, plus the parameter sweeps that print the
+   series of Figs. 5, 6 and 7 for both dataset families).
+
+   Usage: dune exec bench/main.exe [-- FLAGS]
+     --quick       tiny sweep sizes (CI smoke run)
+     --paper       additionally run the NJ series at paper-scale sizes
+     --no-bechamel skip the Bechamel micro-benchmarks
+     --no-sweep    skip the sweeps *)
+
+open Bechamel
+open Toolkit
+module E = Tpdb_experiments.Experiments
+module Nj = Tpdb.Nj
+module Ta = Tpdb.Ta
+module Relation = Tpdb.Relation
+
+let seq_length seq = Seq.fold_left (fun n _ -> n + 1) 0 seq
+
+(* --- Bechamel micro-benchmarks: one test per figure series, at a fixed
+   size per dataset so that a single run fits the quota. --- *)
+
+let bechamel_size = function E.Webkit -> 2_000 | E.Meteo -> 1_000
+
+let figure_tests dataset =
+  let size = bechamel_size dataset in
+  let theta = E.theta dataset in
+  let r, s = E.pair dataset ~size in
+  let name fmt = Printf.sprintf fmt (E.dataset_name dataset) in
+  [
+    Test.make
+      ~name:(name "fig5/%s/NJ")
+      (Staged.stage (fun () -> seq_length (Nj.windows_wuo ~theta r s)));
+    Test.make
+      ~name:(name "fig5/%s/TA")
+      (Staged.stage (fun () ->
+           List.length (Ta.windows_wuo ~algorithm:`Hash ~theta r s)));
+    Test.make
+      ~name:(name "fig6/%s/NJ-WUON")
+      (Staged.stage (fun () -> seq_length (Nj.windows_wuon ~theta r s)));
+    Test.make
+      ~name:(name "fig6/%s/TA")
+      (Staged.stage (fun () ->
+           List.length (Ta.windows_wuon ~algorithm:`Hash ~theta r s)));
+    Test.make
+      ~name:(name "fig7/%s/NJ")
+      (Staged.stage (fun () -> Relation.cardinality (Nj.left_outer ~theta r s)));
+    Test.make
+      ~name:(name "fig7/%s/TA")
+      (Staged.stage (fun () ->
+           Relation.cardinality
+             (Ta.left_outer ~algorithm:`Nested_loop ~theta r s)));
+  ]
+
+let run_bechamel () =
+  let tests =
+    Test.make_grouped ~name:"figures"
+      (figure_tests E.Webkit @ figure_tests E.Meteo)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (estimate :: _) -> estimate
+          | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Printf.printf "\n== Bechamel micro-benchmarks (fixed sizes: webkit %d, meteo %d) ==\n"
+    (bechamel_size E.Webkit) (bechamel_size E.Meteo);
+  Printf.printf "%-28s %14s\n" "benchmark" "time/run [ms]";
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-28s %14.2f\n" name (ns /. 1e6))
+    rows;
+  flush stdout
+
+(* --- Sweeps: the figure series. --- *)
+
+let run_sweeps scale =
+  List.iter
+    (fun dataset ->
+      let d = E.dataset_name dataset in
+      E.print_points
+        ~header:(Printf.sprintf "Fig 5 (%s): WUO - overlapping + unmatched windows" d)
+        (E.fig5 ~scale dataset);
+      E.print_points
+        ~header:(Printf.sprintf "Fig 6 (%s): negating windows" d)
+        (E.fig6 ~scale dataset);
+      E.print_points
+        ~header:(Printf.sprintf "Fig 7 (%s): TP left outer join" d)
+        (E.fig7 ~scale dataset);
+      E.print_points
+        ~header:(Printf.sprintf "Ablation (%s): overlap join algorithm (NJ WUO)" d)
+        (E.ablation_join_algorithm ~scale dataset);
+      E.print_points
+        ~header:(Printf.sprintf "Ablation (%s): LAWAN schedule (heap vs rescan)" d)
+        (E.ablation_lawan_schedule ~scale dataset);
+      E.print_points
+        ~header:(Printf.sprintf "Ablation (%s): pipelined vs materialized stages" d)
+        (E.ablation_pipelining ~scale dataset);
+      let size = List.nth (E.sizes dataset scale) 1 in
+      Printf.printf "\n== Ablation (%s): tuple replication ==\n%s\n" d
+        (E.replication_report dataset ~size))
+    [ E.Webkit; E.Meteo ]
+
+let run_extra_sweeps () =
+  E.print_points
+    ~header:"Extra: selectivity sweep (distinct keys; size column = keys)"
+    (E.selectivity_sweep ());
+  E.print_points
+    ~header:"Extra: skew sweep (Zipf exponent in tenths; 256 keys)"
+    (E.skew_sweep ())
+
+let run_paper_scale () =
+  List.iter
+    (fun dataset ->
+      E.print_points
+        ~header:
+          (Printf.sprintf "Paper scale (%s): NJ left outer join"
+             (E.dataset_name dataset))
+        (E.nj_paper_scale dataset))
+    [ E.Webkit; E.Meteo ]
+
+let () =
+  let flags = Array.to_list Sys.argv in
+  let has f = List.mem f flags in
+  let scale = if has "--quick" then E.Quick else E.Default in
+  if not (has "--no-bechamel") then run_bechamel ();
+  if not (has "--no-sweep") then begin
+    run_sweeps scale;
+    if scale <> E.Quick then run_extra_sweeps ()
+  end;
+  if has "--paper" then run_paper_scale ();
+  Printf.printf "\nbench: done\n"

@@ -1,0 +1,276 @@
+(* tpdb_cli - command-line access to the library:
+
+     tpdb_cli generate --dataset webkit --size 10000 --prefix /tmp/wk
+     tpdb_cli query /tmp/wk_r.csv /tmp/wk_s.csv \
+       "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File"
+     tpdb_cli experiment --figure fig5 --dataset webkit --scale quick *)
+
+open Cmdliner
+module E = Tpdb_experiments.Experiments
+
+let dataset_conv =
+  let parse = function
+    | "webkit" -> Ok E.Webkit
+    | "meteo" -> Ok E.Meteo
+    | other -> Error (`Msg (Printf.sprintf "unknown dataset %S" other))
+  in
+  Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (E.dataset_name d))
+
+let scale_conv =
+  let parse = function
+    | "quick" -> Ok E.Quick
+    | "default" -> Ok E.Default
+    | "paper" -> Ok E.Paper
+    | other -> Error (`Msg (Printf.sprintf "unknown scale %S" other))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with E.Quick -> "quick" | E.Default -> "default" | E.Paper -> "paper")
+  in
+  Arg.conv (parse, print)
+
+(* --- generate --- *)
+
+let generate dataset size seed prefix db_dir =
+  let r, s =
+    match dataset with
+    | E.Webkit -> Tpdb.Datasets.Webkit.pair ~seed size
+    | E.Meteo -> Tpdb.Datasets.Meteo.pair ~seed size
+  in
+  match db_dir with
+  | Some dir ->
+      let db = Tpdb.Db.open_ dir in
+      Tpdb.Db.save db r;
+      Tpdb.Db.save db s;
+      Printf.printf "stored r (%d tuples) and s (%d tuples) in %s\n"
+        (Tpdb.Relation.cardinality r)
+        (Tpdb.Relation.cardinality s)
+        dir
+  | None ->
+      let path side = Printf.sprintf "%s_%s.csv" prefix side in
+      Tpdb.Csv.save (path "r") r;
+      Tpdb.Csv.save (path "s") s;
+      Printf.printf "wrote %s (%d tuples) and %s (%d tuples)\n" (path "r")
+        (Tpdb.Relation.cardinality r)
+        (path "s")
+        (Tpdb.Relation.cardinality s)
+
+let generate_cmd =
+  let dataset =
+    Arg.(value & opt dataset_conv E.Webkit & info [ "dataset" ] ~docv:"NAME"
+           ~doc:"Dataset family: webkit or meteo.")
+  and size =
+    Arg.(value & opt int 10_000 & info [ "size" ] ~docv:"N"
+           ~doc:"Tuples per relation.")
+  and seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  and prefix =
+    Arg.(value & opt string "tpdb" & info [ "prefix" ] ~docv:"PREFIX"
+           ~doc:"Output path prefix; writes PREFIX_r.csv and PREFIX_s.csv.")
+  and db_dir =
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
+           ~doc:"Store into a binary database directory instead of CSV.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a synthetic TP dataset pair (CSV or database directory).")
+    Term.(const generate $ dataset $ size $ seed $ prefix $ db_dir)
+
+(* --- query --- *)
+
+let base_name path = Filename.remove_extension (Filename.basename path)
+
+let query tables db_dir explain_only analyze sql =
+  let catalog = Tpdb.Catalog.create () in
+  (match db_dir with
+  | None -> ()
+  | Some dir ->
+      let db = Tpdb.Db.open_ dir in
+      List.iter
+        (fun name -> Tpdb.Catalog.register catalog (Tpdb.Db.load db name))
+        (Tpdb.Db.list db));
+  List.iter
+    (fun path ->
+      Tpdb.Catalog.register catalog (Tpdb.Csv.load ~name:(base_name path) path))
+    tables;
+  match Tpdb.Planner.plan catalog (Tpdb.Parser.parse sql) with
+  | plan ->
+      if analyze then begin
+        let result, report = Tpdb.Planner.run_analyze plan in
+        print_endline report;
+        print_endline "";
+        Tpdb.Relation.print result
+      end
+      else begin
+        print_endline (Tpdb.Planner.explain plan);
+        if not explain_only then begin
+          print_endline "";
+          Tpdb.Relation.print (Tpdb.Planner.run plan)
+        end
+      end
+  | exception Tpdb.Planner.Plan_error msg ->
+      prerr_endline ("plan error: " ^ msg);
+      exit 1
+  | exception Tpdb.Parser.Parse_error msg ->
+      prerr_endline ("parse error: " ^ msg);
+      exit 1
+
+let query_cmd =
+  let tables =
+    Arg.(value & opt_all file [] & info [ "table"; "t" ] ~docv:"CSV"
+           ~doc:"TP relation to register (repeatable); its name is the file \
+                 basename.")
+  and db_dir =
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
+           ~doc:"Register every relation of a database directory.")
+  and explain_only =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan, do not run.")
+  and analyze =
+    Arg.(value & flag & info [ "analyze" ]
+           ~doc:"Run and annotate the plan with per-node rows and timings.")
+  and sql =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"TP-SQL query text.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run a TP-SQL query over CSV files and/or a database directory.")
+    Term.(const query $ tables $ db_dir $ explain_only $ analyze $ sql)
+
+(* --- experiment --- *)
+
+let experiment figure dataset scale =
+  let points =
+    match figure with
+    | "fig5" -> E.fig5 ~scale dataset
+    | "fig6" -> E.fig6 ~scale dataset
+    | "fig7" -> E.fig7 ~scale dataset
+    | "nj-paper" -> E.nj_paper_scale dataset
+    | "ablation-join" -> E.ablation_join_algorithm ~scale dataset
+    | "ablation-lawan" -> E.ablation_lawan_schedule ~scale dataset
+    | "ablation-pipeline" -> E.ablation_pipelining ~scale dataset
+    | "selectivity" -> E.selectivity_sweep ()
+    | "skew" -> E.skew_sweep ()
+    | other ->
+        prerr_endline ("unknown figure: " ^ other);
+        exit 1
+  in
+  E.print_points
+    ~header:(Printf.sprintf "%s (%s)" figure (E.dataset_name dataset))
+    points
+
+let experiment_cmd =
+  let figure =
+    Arg.(value & opt string "fig7" & info [ "figure" ] ~docv:"FIG"
+           ~doc:"fig5 | fig6 | fig7 | nj-paper | ablation-join | \
+                 ablation-lawan | ablation-pipeline | selectivity | skew.")
+  and dataset =
+    Arg.(value & opt dataset_conv E.Webkit & info [ "dataset" ] ~docv:"NAME"
+           ~doc:"webkit or meteo.")
+  and scale =
+    Arg.(value & opt scale_conv E.Default & info [ "scale" ] ~docv:"SCALE"
+           ~doc:"quick, default or paper.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Re-run one of the paper's experiments.")
+    Term.(const experiment $ figure $ dataset $ scale)
+
+(* --- render: draw the Fig.-2-style join picture --- *)
+
+let render tables db_dir left right on width =
+  let catalog = Tpdb.Catalog.create () in
+  (match db_dir with
+  | None -> ()
+  | Some dir ->
+      let db = Tpdb.Db.open_ dir in
+      List.iter
+        (fun name -> Tpdb.Catalog.register catalog (Tpdb.Db.load db name))
+        (Tpdb.Db.list db));
+  List.iter
+    (fun path ->
+      Tpdb.Catalog.register catalog (Tpdb.Csv.load ~name:(base_name path) path))
+    tables;
+  let get name =
+    match Tpdb.Catalog.find catalog name with
+    | Some r -> r
+    | None ->
+        prerr_endline ("unknown relation " ^ name);
+        exit 1
+  in
+  let r = get left and s = get right in
+  let column rel name =
+    match Tpdb.Schema.column_index (Tpdb.Relation.schema rel) name with
+    | Some i -> i
+    | None ->
+        prerr_endline
+          (Printf.sprintf "unknown column %s in %s" name (Tpdb.Relation.name rel));
+        exit 1
+  in
+  let theta =
+    match String.split_on_char '=' on with
+    | [ lcol; rcol ] ->
+        Tpdb.Theta.eq (column r (String.trim lcol)) (column s (String.trim rcol))
+    | _ ->
+        prerr_endline "condition must be of the form LEFTCOL=RIGHTCOL";
+        exit 1
+  in
+  print_string (Tpdb.Render.join_picture ~max_width:width ~theta r s)
+
+let render_cmd =
+  let tables =
+    Arg.(value & opt_all file [] & info [ "table"; "t" ] ~docv:"CSV"
+           ~doc:"TP relation to register (repeatable).")
+  and db_dir =
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
+           ~doc:"Register every relation of a database directory.")
+  and left =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEFT"
+           ~doc:"Left relation name.")
+  and right =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"RIGHT"
+           ~doc:"Right relation name.")
+  and on =
+    Arg.(required & opt (some string) None & info [ "on" ] ~docv:"L=R"
+           ~doc:"Equality condition, e.g. Loc=Loc.")
+  and width =
+    Arg.(value & opt int 60 & info [ "width" ] ~docv:"N"
+           ~doc:"Maximum timeline width in characters.")
+  in
+  Cmd.v
+    (Cmd.info "render"
+       ~doc:"Draw the generalized windows of LEFT w.r.t. RIGHT as an ASCII \
+             timeline (cf. the paper's Fig. 2).")
+    Term.(const render $ tables $ db_dir $ left $ right $ on $ width)
+
+(* --- store: CSV -> database directory --- *)
+
+let store db_dir csvs =
+  let db = Tpdb.Db.open_ db_dir in
+  List.iter
+    (fun path ->
+      let relation = Tpdb.Csv.load ~name:(base_name path) path in
+      Tpdb.Db.save db relation;
+      Printf.printf "stored %s (%d tuples)\n" (base_name path)
+        (Tpdb.Relation.cardinality relation))
+    csvs
+
+let store_cmd =
+  let db_dir =
+    Arg.(required & opt (some string) None & info [ "db" ] ~docv:"DIR"
+           ~doc:"Database directory (created if missing).")
+  and csvs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"CSV"
+           ~doc:"CSV files to import; each becomes a relation named after \
+                 its basename.")
+  in
+  Cmd.v
+    (Cmd.info "store" ~doc:"Import CSV relations into a database directory.")
+    Term.(const store $ db_dir $ csvs)
+
+let () =
+  let info =
+    Cmd.info "tpdb_cli" ~version:"1.0.0"
+      ~doc:"Temporal-probabilistic outer and anti joins (ICDE 2019 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ generate_cmd; query_cmd; store_cmd; render_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/booking.ml: Interval List Nj Printf Relation Render Seq Spec Theta Tpdb Window

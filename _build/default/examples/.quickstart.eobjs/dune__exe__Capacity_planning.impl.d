@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Catalog Interval Parser Planner Printf Relation Tpdb

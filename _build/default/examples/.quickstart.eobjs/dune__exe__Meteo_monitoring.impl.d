@@ -1,0 +1,1 @@
+examples/meteo_monitoring.ml: Array Datasets Fact List Nj Printf Relation Set_ops String Sys Tpdb Tpdb_experiments Tuple Unix Value

@@ -1,0 +1,1 @@
+examples/meteo_monitoring.mli:

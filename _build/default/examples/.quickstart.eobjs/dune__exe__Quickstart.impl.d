@@ -1,0 +1,1 @@
+examples/quickstart.ml: Catalog Formula Interval Nj Parser Planner Printf Prob Relation Theta Tpdb

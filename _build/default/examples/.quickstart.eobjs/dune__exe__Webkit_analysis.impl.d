@@ -1,0 +1,1 @@
+examples/webkit_analysis.ml: Array Fact Float List Nj Printf Relation Sys Ta Tpdb Tpdb_experiments Tuple Unix Value

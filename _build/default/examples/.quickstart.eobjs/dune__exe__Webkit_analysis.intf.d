@@ -1,0 +1,1 @@
+examples/webkit_analysis.mli:

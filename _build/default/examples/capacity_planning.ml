@@ -1,0 +1,50 @@
+(* Capacity planning with TP-SQL: the full dialect on the paper's booking
+   scenario - outer/anti joins, DISTINCT projection, timeslices and
+   sequenced expected-value aggregation.
+
+     dune exec examples/capacity_planning.exe *)
+
+open Tpdb
+
+let catalog = Catalog.create ()
+
+let () =
+  Catalog.register catalog
+    (Relation.of_rows ~name:"a" ~columns:[ "Name"; "Loc" ]
+       [
+         ([ "Ann"; "ZAK" ], Interval.make 2 8, 0.7);
+         ([ "Jim"; "WEN" ], Interval.make 7 10, 0.8);
+         ([ "Lea"; "ZAK" ], Interval.make 5 9, 0.9);
+       ]);
+  Catalog.register catalog
+    (Relation.of_rows ~name:"b" ~columns:[ "Hotel"; "Loc" ]
+       [
+         ([ "hotel3"; "SOR" ], Interval.make 1 4, 0.9);
+         ([ "hotel2"; "ZAK" ], Interval.make 5 8, 0.6);
+         ([ "hotel1"; "ZAK" ], Interval.make 4 6, 0.7);
+       ])
+
+let show sql =
+  Printf.printf "\n> %s\n" sql;
+  let plan = Planner.plan catalog (Parser.parse sql) in
+  print_endline (Planner.explain plan);
+  Relation.print (Planner.run plan)
+
+let () =
+  (* Where is demand at all, per time point? DISTINCT folds the two ZAK
+     clients into one tuple per maximal segment, disjoining lineages. *)
+  show "SELECT DISTINCT Loc FROM a";
+
+  (* Expected demand per location: E[#clients] per segment. *)
+  show "SELECT COUNT(*) FROM a GROUP BY Loc";
+
+  (* Expected supply per location, mid-week only. *)
+  show "SELECT COUNT(*) FROM b GROUP BY Loc DURING [4,7)";
+
+  (* Who finds no room on day 5? *)
+  show "SELECT Name FROM a ANTIJOIN b ON a.Loc = b.Loc AT 5";
+
+  (* The planning view: demand joined to supply over the booking window. *)
+  show
+    "SELECT Name, Hotel FROM a LEFT TPJOIN b ON a.Loc = b.Loc \
+     WHERE Name <> 'Jim' DURING [4,8)"

@@ -1,0 +1,63 @@
+(* Quickstart: build two TP relations, run TP joins with negation, and
+   inspect lineages and probabilities.
+
+     dune exec examples/quickstart.exe *)
+
+open Tpdb
+
+let () =
+  (* A TP base relation: rows are (fact values, interval, probability).
+     Tuple i receives the lineage variable <name>i, as in the paper. *)
+  let projects =
+    Relation.of_rows ~name:"projects" ~columns:[ "Dev"; "Skill" ]
+      [
+        ([ "ada"; "ocaml" ], Interval.make 1 10, 0.9);
+        ([ "ben"; "sql" ], Interval.make 3 7, 0.6);
+      ]
+  in
+  let oncall =
+    Relation.of_rows ~name:"oncall" ~columns:[ "Person"; "Skill" ]
+      [
+        ([ "carl"; "ocaml" ], Interval.make 4 6, 0.8);
+        ([ "dana"; "ocaml" ], Interval.make 5 8, 0.5);
+      ]
+  in
+  print_endline "Input relations:";
+  Relation.print projects;
+  Relation.print oncall;
+
+  (* θ: projects.Skill = oncall.Skill (column 1 on both sides). *)
+  let theta = Theta.eq 1 1 in
+
+  (* TP left outer join: at every time point, who could take over — and
+     with what probability nobody can. *)
+  let q = Nj.left_outer ~theta projects oncall in
+  print_endline "\nprojects LEFT TPJOIN oncall ON Skill = Skill:";
+  Relation.print q;
+
+  (* TP anti join: the probability that no θ-matching on-call person
+     exists, per time point. *)
+  let lonely = Nj.anti ~theta projects oncall in
+  print_endline "\nprojects ANTIJOIN oncall ON Skill = Skill:";
+  Relation.print lonely;
+
+  (* Lineages are first-class: evaluate and re-weigh them directly. *)
+  let env = Relation.prob_env [ projects; oncall ] in
+  let formula = Formula.of_string "projects1 & !(oncall1 | oncall2)" in
+  Printf.printf "\nP(%s) = %.4f\n"
+    (Formula.to_string formula)
+    (Prob.compute env formula);
+
+  (* The same query through the TP-SQL front end. *)
+  let catalog = Catalog.create () in
+  Catalog.register catalog projects;
+  Catalog.register catalog oncall;
+  let plan =
+    Planner.plan catalog
+      (Parser.parse
+         "SELECT * FROM projects LEFT TPJOIN oncall ON projects.Skill = oncall.Skill")
+  in
+  print_endline "\nTP-SQL plan:";
+  print_endline (Planner.explain plan);
+  print_endline "";
+  Relation.print (Planner.run plan)

@@ -1,0 +1,58 @@
+(* Webkit-style analysis: two archives of file-stability predictions
+   (e.g. two mirrors of the same repository) are joined on the file name
+   to ask, per time point:
+
+   - which prediction pairs agree an interval is stable in both archives
+     (inner part of the outer join), and
+   - with what probability a file predicted stable in archive r has no
+     valid prediction in archive s at all (anti join / negation part).
+
+     dune exec examples/webkit_analysis.exe [SIZE] *)
+
+open Tpdb
+module E = Tpdb_experiments.Experiments
+
+let () =
+  let size = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4_000 in
+  let r, s = E.pair E.Webkit ~size in
+  let theta = E.theta E.Webkit in
+  Printf.printf "webkit-like archives: |r| = %d, |s| = %d tuples\n"
+    (Relation.cardinality r) (Relation.cardinality s);
+
+  let t0 = Unix.gettimeofday () in
+  let joined = Nj.left_outer ~theta r s in
+  let nj_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+
+  let tuples = Relation.tuples joined in
+  let matched, unmatched_or_negated =
+    List.partition
+      (fun tp -> not (Value.is_null (Fact.get (Tuple.fact tp) 2)))
+      tuples
+  in
+  Printf.printf
+    "NJ left outer join: %d result tuples in %.1f ms\n\
+    \  %d agreeing prediction pairs\n\
+    \  %d intervals where archive s has no (true) matching prediction\n"
+    (List.length tuples) nj_ms (List.length matched)
+    (List.length unmatched_or_negated);
+
+  (* The headline question: the 5 file intervals most likely to be stable
+     in r while completely unconfirmed by s. *)
+  let anti = Nj.anti ~theta r s in
+  let top =
+    Relation.tuples anti
+    |> List.sort (fun a b -> Float.compare (Tuple.p b) (Tuple.p a))
+    |> List.filteri (fun i _ -> i < 5)
+  in
+  print_endline "top-5 unconfirmed stability predictions (by probability):";
+  List.iter (fun tp -> print_endline ("  " ^ Tuple.to_string tp)) top;
+
+  (* Same join through the TA baseline: identical answer, very different
+     cost (the replication + double-join redundancy of §IV). *)
+  let t0 = Unix.gettimeofday () in
+  let ta = Ta.left_outer ~algorithm:`Nested_loop ~theta r s in
+  let ta_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+  Printf.printf
+    "TA (nested loop, as PostgreSQL plans it): %d tuples in %.1f ms -> NJ is %.0fx faster\n"
+    (Relation.cardinality ta) ta_ms (ta_ms /. nj_ms);
+  assert (Relation.equal_as_sets joined ta)

@@ -1,0 +1,1 @@
+lib/alignment/align.ml: List Tpdb_interval Tpdb_relation Tpdb_windows

@@ -1,0 +1,1 @@
+lib/alignment/align.mli: Tpdb_interval Tpdb_relation Tpdb_windows

@@ -1,0 +1,1 @@
+lib/alignment/ta.ml: Align List Tpdb_interval Tpdb_joins Tpdb_lineage Tpdb_relation Tpdb_windows

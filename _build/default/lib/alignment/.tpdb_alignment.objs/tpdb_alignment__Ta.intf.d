@@ -1,0 +1,1 @@
+lib/alignment/ta.mli: Tpdb_lineage Tpdb_relation Tpdb_windows

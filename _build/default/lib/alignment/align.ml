@@ -1,0 +1,29 @@
+module Interval = Tpdb_interval.Interval
+module Timeline = Tpdb_interval.Timeline
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Theta = Tpdb_windows.Theta
+module Overlap = Tpdb_windows.Overlap
+
+let split_tuple ~matches tuple =
+  let within = Tuple.iv tuple in
+  let clipped =
+    List.filter_map
+      (fun m -> Interval.intersect within (Tuple.iv m))
+      matches
+  in
+  Timeline.segments ~within clipped
+
+let replicate ?algorithm ~theta r s =
+  let probe = Overlap.prober ?algorithm ~theta s in
+  List.map
+    (fun r_tuple ->
+      let matches = probe r_tuple in
+      (r_tuple, matches, split_tuple ~matches r_tuple))
+    (Relation.tuples r)
+
+let replica_count ?algorithm ~theta r s =
+  List.fold_left
+    (fun acc (_, _, segments) -> acc + List.length segments)
+    0
+    (replicate ?algorithm ~theta r s)

@@ -1,0 +1,35 @@
+(** Temporal alignment: the tuple-replication primitive of the TA
+    baseline (Dignös et al., TODS 2016, adapted to TP joins with negation
+    as in the paper's §IV).
+
+    Aligning [r] with respect to [s] splits every [r] tuple at the start
+    and end points of its θ-matching [s] tuples, producing one replica per
+    sub-interval. Downstream operators then join or aggregate replicas by
+    exact interval equality. The replication is what NJ's windows
+    avoid. *)
+
+module Interval = Tpdb_interval.Interval
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Theta = Tpdb_windows.Theta
+module Overlap = Tpdb_windows.Overlap
+
+val split_tuple : matches:Tuple.t list -> Tuple.t -> Interval.t list
+(** The aligned segmentation of one tuple's interval: cut at every
+    matching tuple's start/end point that falls inside it. Gapless
+    partition, in temporal order. *)
+
+val replicate :
+  ?algorithm:Overlap.algorithm ->
+  theta:Theta.t ->
+  Relation.t ->
+  Relation.t ->
+  (Tuple.t * Tuple.t list * Interval.t list) list
+(** For every [r] tuple: its θ-matching [s] tuples (one execution of the
+    conventional join) and its aligned segmentation. The total number of
+    produced segments is the replication factor TA pays. *)
+
+val replica_count :
+  ?algorithm:Overlap.algorithm -> theta:Theta.t -> Relation.t -> Relation.t -> int
+(** Total replicas produced by [replicate] — reported by the ablation
+    bench. *)

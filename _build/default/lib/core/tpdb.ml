@@ -1,0 +1,73 @@
+(** Umbrella module: the full public API of the library.
+
+    {1 Data model}
+    - {!Interval}, {!Timeline}: half-open intervals over a discrete
+      timeline and event-point computations.
+    - {!Var}, {!Formula}: lineage variables and formulas.
+    - {!Bdd}, {!Prob}: exact probability computation (weighted model
+      counting) and the read-once fast path.
+    - {!Value}, {!Fact}, {!Schema}, {!Tuple}, {!Relation}, {!Csv}: TP
+      relations and persistence.
+
+    {1 The paper's contribution}
+    - {!Theta}: join conditions.
+    - {!Window}: generalized lineage-aware temporal windows.
+    - {!Overlap}, {!Lawau}, {!Lawan}: the pipelined window algorithms.
+    - {!Spec}: the Table I definitions, executable (test oracle).
+    - {!Nj}: TP inner/outer/anti joins over windows.
+    - {!Reference}: timepoint-at-a-time oracle.
+
+    {1 Baseline and extensions}
+    - {!Align}, {!Ta}: the Temporal Alignment baseline.
+    - {!Set_ops}: TP set operations (prior work, same windows).
+
+    {1 Infrastructure}
+    - {!Operator}, {!Grouping}, {!Hash_partition}, {!Heap}: the pipelined
+      executor pieces.
+    - {!Rng}, {!Datasets}: reproducible workload generation.
+    - {!Ast}, {!Parser}, {!Catalog}, {!Planner}: the TP-SQL front end. *)
+
+module Interval = Tpdb_interval.Interval
+module Timeline = Tpdb_interval.Timeline
+module Var = Tpdb_lineage.Var
+module Formula = Tpdb_lineage.Formula
+module Bdd = Tpdb_lineage.Bdd
+module Prob = Tpdb_lineage.Prob
+module Value = Tpdb_relation.Value
+module Fact = Tpdb_relation.Fact
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Relation = Tpdb_relation.Relation
+module Csv = Tpdb_relation.Csv
+module Operator = Tpdb_engine.Operator
+module Grouping = Tpdb_engine.Grouping
+module Hash_partition = Tpdb_engine.Hash_partition
+module Heap = Tpdb_engine.Heap
+module Sweep = Tpdb_engine.Sweep
+module Theta = Tpdb_windows.Theta
+module Window = Tpdb_windows.Window
+module Overlap = Tpdb_windows.Overlap
+module Lawau = Tpdb_windows.Lawau
+module Lawan = Tpdb_windows.Lawan
+module Spec = Tpdb_windows.Spec
+module Render = Tpdb_windows.Render
+module Concat = Tpdb_joins.Concat
+module Nj = Tpdb_joins.Nj
+module Reference = Tpdb_joins.Reference
+module Align = Tpdb_alignment.Align
+module Ta = Tpdb_alignment.Ta
+module Set_ops = Tpdb_setops.Set_ops
+module Projection = Tpdb_setops.Projection
+module Aggregate = Tpdb_setops.Aggregate
+module Codec = Tpdb_storage.Codec
+module Heap_file = Tpdb_storage.Heap_file
+module Buffer_pool = Tpdb_storage.Buffer_pool
+module Db = Tpdb_storage.Db
+module Rng = Tpdb_workload.Rng
+module Datasets = Tpdb_workload.Datasets
+module Ast = Tpdb_query.Ast
+module Lexer = Tpdb_query.Lexer
+module Parser = Tpdb_query.Parser
+module Catalog = Tpdb_query.Catalog
+module Physical = Tpdb_query.Physical
+module Planner = Tpdb_query.Planner

@@ -1,0 +1,1 @@
+lib/engine/hash_partition.mli:

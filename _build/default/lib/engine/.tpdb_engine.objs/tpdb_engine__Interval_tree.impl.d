@@ -1,0 +1,1 @@
+lib/engine/interval_tree.ml: Array List Tpdb_interval

@@ -1,0 +1,1 @@
+lib/engine/interval_tree.mli: Tpdb_interval

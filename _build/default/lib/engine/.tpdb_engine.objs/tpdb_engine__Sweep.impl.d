@@ -1,0 +1,1 @@
+lib/engine/sweep.ml: Array Heap Int List Tpdb_interval

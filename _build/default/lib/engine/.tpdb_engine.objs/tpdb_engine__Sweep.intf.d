@@ -1,0 +1,1 @@
+lib/engine/sweep.mli: Tpdb_interval

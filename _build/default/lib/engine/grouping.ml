@@ -1,0 +1,16 @@
+let runs ~same seq =
+  let rec start seq () =
+    match seq () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) -> collect x [ x ] rest ()
+  and collect anchor acc seq () =
+    match seq () with
+    | Seq.Nil -> Seq.Cons (List.rev acc, Seq.empty)
+    | Seq.Cons (x, rest) ->
+        if same anchor x then collect anchor (x :: acc) rest ()
+        else Seq.Cons (List.rev acc, start (fun () -> Seq.Cons (x, rest)))
+  in
+  start seq
+
+let map_runs ~same f seq =
+  Seq.concat_map (fun run -> List.to_seq (f run)) (runs ~same seq)

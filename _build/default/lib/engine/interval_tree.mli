@@ -1,0 +1,26 @@
+(** Static interval tree: overlap and stabbing queries in
+    O(log n + answers).
+
+    Built once per join from the build side (the paper's evaluation runs
+    index-free, but a DBMS substrate ships one; the [`Index] overlap-join
+    algorithm and its ablation use this). Implemented as an implicit
+    balanced tree over the items sorted by interval start, augmented with
+    the maximum end point per subtree. *)
+
+module Interval = Tpdb_interval.Interval
+
+type 'a t
+
+val build : ('a -> Interval.t) -> 'a list -> 'a t
+
+val size : 'a t -> int
+
+val overlapping : 'a t -> Interval.t -> 'a list
+(** All items whose interval overlaps the query (shares a time point),
+    in ascending start order. *)
+
+val stabbing : 'a t -> Interval.time -> 'a list
+(** All items valid at the time point, in ascending start order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Over all items, in ascending start order. *)

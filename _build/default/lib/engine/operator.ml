@@ -1,0 +1,79 @@
+type 'a t = {
+  mutable state : 'a Seq.t;
+  reset : unit -> 'a Seq.t;
+  on_close : unit -> unit;
+}
+
+let open_ op = op.state <- op.reset ()
+
+let next op =
+  match op.state () with
+  | Seq.Nil -> None
+  | Seq.Cons (x, rest) ->
+      op.state <- rest;
+      Some x
+
+let close op = op.on_close ()
+
+let of_seq thunk = { state = Seq.empty; reset = thunk; on_close = ignore }
+
+let of_list xs = of_seq (fun () -> List.to_seq xs)
+
+let to_seq op =
+  open_ op;
+  let rec loop () =
+    match next op with
+    | Some x -> Seq.Cons (x, loop)
+    | None ->
+        close op;
+        Seq.Nil
+  in
+  loop
+
+let to_list op = List.of_seq (to_seq op)
+
+let lift f child =
+  {
+    state = Seq.empty;
+    reset =
+      (fun () ->
+        open_ child;
+        f (fun () ->
+            let rec drain () =
+              match child.state () with
+              | Seq.Nil -> Seq.Nil
+              | Seq.Cons (x, rest) ->
+                  child.state <- rest;
+                  Seq.Cons (x, drain)
+            in
+            drain));
+    on_close = (fun () -> close child);
+  }
+
+let map f child = lift (fun pull -> Seq.map f (pull ())) child
+
+let filter keep child = lift (fun pull -> Seq.filter keep (pull ())) child
+
+let concat_map f child =
+  lift (fun pull -> Seq.concat_map (fun x -> List.to_seq (f x)) (pull ())) child
+
+let sort cmp child =
+  lift
+    (fun pull ->
+      let materialized = List.of_seq (pull ()) in
+      List.to_seq (List.stable_sort cmp materialized))
+    child
+
+let counted child =
+  let count = ref 0 in
+  let op =
+    lift
+      (fun pull ->
+        Seq.map
+          (fun x ->
+            incr count;
+            x)
+          (pull ()))
+      child
+  in
+  (op, fun () -> !count)

@@ -1,0 +1,41 @@
+(** Volcano-style (open/next/close) operators.
+
+    This is the executor abstraction the paper's PostgreSQL integration
+    relies on: every stage pulls tuples from its child one at a time, so a
+    plan runs in pipelined fashion without materializing intermediate
+    results (except inside explicitly blocking operators such as
+    {!sort}). The window algorithms are written against [Seq.t]; this
+    module provides the operator view plus instrumentation used by the
+    ablation benchmarks. *)
+
+type 'a t
+
+val open_ : 'a t -> unit
+(** Resets the operator to the start of its stream. Must be called before
+    {!next}; may be called again to rescan (used by nested-loop joins). *)
+
+val next : 'a t -> 'a option
+val close : 'a t -> unit
+
+val of_seq : (unit -> 'a Seq.t) -> 'a t
+(** The thunk is forced on every {!open_}, so rescans re-run the
+    pipeline. *)
+
+val of_list : 'a list -> 'a t
+val to_seq : 'a t -> 'a Seq.t
+(** Opens the operator and streams it to exhaustion. Single-shot. *)
+
+val to_list : 'a t -> 'a list
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+val concat_map : ('a -> 'b list) -> 'a t -> 'b t
+
+val sort : ('a -> 'a -> int) -> 'a t -> 'a t
+(** Blocking: drains the child on [open_], then streams the sorted run.
+    The analogue of PostgreSQL's Sort node feeding merge joins and the
+    grouping required by LAWAU/LAWAN. *)
+
+val counted : 'a t -> 'a t * (unit -> int)
+(** Instrumentation: the returned function reports how many tuples have
+    flowed through so far. *)

@@ -1,0 +1,62 @@
+module Interval = Tpdb_interval.Interval
+
+let constant_segments ?(schedule = `Heap) items =
+  match items with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let start_of k = Interval.ts (fst arr.(k)) in
+      let heap = Heap.create ~cmp:Int.compare () in
+      (* reverse arrival order of (ending point, payload) *)
+      let active = ref [] in
+      let segments = ref [] in
+      let i = ref 0 in
+      let pos = ref 0 in
+      let admit t =
+        while !i < n && start_of !i = t do
+          let iv, payload = arr.(!i) in
+          active := (Interval.te iv, payload) :: !active;
+          (match schedule with `Heap -> Heap.push heap (Interval.te iv) | `Scan -> ());
+          incr i
+        done
+      in
+      let retire t =
+        active := List.filter (fun (te, _) -> te > t) !active;
+        match schedule with
+        | `Scan -> ()
+        | `Heap ->
+            let rec pops () =
+              match Heap.peek heap with
+              | Some te when te <= t ->
+                  ignore (Heap.pop heap);
+                  pops ()
+              | Some _ | None -> ()
+            in
+            pops ()
+      in
+      let min_end () =
+        match schedule with
+        | `Heap -> (
+            match Heap.peek heap with Some te -> te | None -> max_int)
+        | `Scan ->
+            List.fold_left (fun acc (te, _) -> min acc te) max_int !active
+      in
+      while !i < n || !active <> [] do
+        if !active = [] then begin
+          let t = start_of !i in
+          pos := t;
+          admit t
+        end
+        else begin
+          let next_start = if !i < n then start_of !i else max_int in
+          let t = min (min_end ()) next_start in
+          if t > !pos then
+            segments :=
+              (Interval.make !pos t, List.rev_map snd !active) :: !segments;
+          retire t;
+          admit t;
+          pos := t
+        end
+      done;
+      List.rev !segments

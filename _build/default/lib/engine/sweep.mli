@@ -1,0 +1,22 @@
+(** The generic interval sweep underlying LAWAN and the TP projection
+    operator.
+
+    Given items carrying an interval and a payload, the sweep visits the
+    start and end points in temporal order and emits one segment per
+    maximal run of time points whose set of covering items is constant and
+    non-empty. Payloads are listed in arrival (start) order — the order
+    the paper's examples use for lineage disjunctions like [b3 ∨ b2].
+
+    [`Heap] schedules upcoming ending points with a priority queue (the
+    paper's choice); [`Scan] finds the minimum by rescanning the active
+    list (ablation baseline). Both produce identical output. *)
+
+module Interval = Tpdb_interval.Interval
+
+val constant_segments :
+  ?schedule:[ `Heap | `Scan ] ->
+  (Interval.t * 'a) list ->
+  (Interval.t * 'a list) list
+(** Input must be sorted by interval start. Output segments are disjoint,
+    in temporal order, and their union is exactly the union of the input
+    intervals. *)

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Hashtbl List Printf Seq Tpdb_alignment Tpdb_joins Tpdb_relation Tpdb_windows Tpdb_workload Unix

@@ -1,0 +1,1 @@
+lib/experiments/experiments.mli: Tpdb_relation Tpdb_windows

@@ -1,0 +1,254 @@
+module Relation = Tpdb_relation.Relation
+module Theta = Tpdb_windows.Theta
+module Window = Tpdb_windows.Window
+module Lawan = Tpdb_windows.Lawan
+module Nj = Tpdb_joins.Nj
+module Ta = Tpdb_alignment.Ta
+module Align = Tpdb_alignment.Align
+module Datasets = Tpdb_workload.Datasets
+
+type dataset = Webkit | Meteo
+
+let dataset_name = function Webkit -> "webkit" | Meteo -> "meteo"
+
+let theta = function Webkit -> Theta.eq 0 0 | Meteo -> Theta.eq 1 1
+
+type scale = Quick | Default | Paper
+
+(* The paper samples 50–200K-tuple subsets out of a ~257K-tuple dataset,
+   i.e. 20–100% of the universe; the sweeps keep those proportions at
+   every scale. Meteo universes are smaller throughout: its unselective θ
+   makes outputs (and the paper's own runtimes, up to 10^6 ms) grow
+   quadratically with input size. *)
+let universe_size dataset scale =
+  match (dataset, scale) with
+  | _, Quick -> 1_000
+  | Webkit, Default -> 16_000
+  | Meteo, Default -> 8_000
+  | Webkit, Paper -> 200_000
+  | Meteo, Paper -> 20_000
+
+let sizes dataset scale =
+  let quarter = universe_size dataset scale / 4 in
+  [ quarter; 2 * quarter; 3 * quarter; 4 * quarter ]
+
+let base_pair_cache : (dataset * int, Relation.t * Relation.t) Hashtbl.t =
+  Hashtbl.create 4
+
+let base_pair dataset scale =
+  let size = universe_size dataset scale in
+  match Hashtbl.find_opt base_pair_cache (dataset, size) with
+  | Some pair -> pair
+  | None ->
+      let pair =
+        match dataset with
+        | Webkit -> Datasets.Webkit.pair ~seed:42 size
+        | Meteo -> Datasets.Meteo.pair ~seed:7 size
+      in
+      Hashtbl.add base_pair_cache (dataset, size) pair;
+      pair
+
+let pair ?(scale = Default) dataset ~size =
+  let r, s = base_pair dataset scale in
+  if size > Relation.cardinality r then
+    invalid_arg
+      (Printf.sprintf "Experiments.pair: size %d exceeds %s universe %d" size
+         (dataset_name dataset) (Relation.cardinality r));
+  ( Datasets.subset ~seed:(size + 1) ~k:size r,
+    Datasets.subset ~seed:(size + 2) ~k:size s )
+
+type point = { series : string; size : int; ms : float; output : int }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let output = f () in
+  let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  (ms, output)
+
+let point series size f =
+  let ms, output = timed f in
+  { series; size; ms; output }
+
+let sweep ?(scale = Default) dataset runners =
+  let theta = theta dataset in
+  List.concat_map
+    (fun size ->
+      let r, s = pair ~scale dataset ~size in
+      List.map (fun (series, run) -> point series size (fun () -> run ~theta r s)) runners)
+    (sizes dataset scale)
+
+let seq_length seq = Seq.fold_left (fun n _ -> n + 1) 0 seq
+
+let fig5 ?scale dataset =
+  sweep ?scale dataset
+    [
+      ("NJ", fun ~theta r s -> seq_length (Nj.windows_wuo ~theta r s));
+      ( "TA",
+        fun ~theta r s ->
+          List.length (Ta.windows_wuo ~algorithm:`Hash ~theta r s) );
+    ]
+
+let fig6 ?(scale = Default) dataset =
+  let nj_wn ~theta r s =
+    (* LAWAN alone: the WUO stream is materialized outside the clock. *)
+    let wuo = List.of_seq (Nj.windows_wuo ~theta r s) in
+    let ms, output =
+      timed (fun () -> seq_length (Lawan.extend (List.to_seq wuo)))
+    in
+    (ms, output)
+  in
+  let theta = theta dataset in
+  List.concat_map
+    (fun size ->
+      let r, s = pair ~scale dataset ~size in
+      let wn_ms, wn_out = nj_wn ~theta r s in
+      [
+        { series = "NJ-WN"; size; ms = wn_ms; output = wn_out };
+        point "NJ-WUON" size (fun () -> seq_length (Nj.windows_wuon ~theta r s));
+        point "TA" size (fun () ->
+            List.length (Ta.windows_wuon ~algorithm:`Hash ~theta r s));
+      ])
+    (sizes dataset scale)
+
+let fig7 ?scale dataset =
+  sweep ?scale dataset
+    [
+      ("NJ", fun ~theta r s -> Relation.cardinality (Nj.left_outer ~theta r s));
+      ( "TA",
+        fun ~theta r s ->
+          Relation.cardinality (Ta.left_outer ~algorithm:`Nested_loop ~theta r s) );
+    ]
+
+let nj_paper_scale dataset =
+  let theta = theta dataset in
+  List.map
+    (fun size ->
+      let r, s = pair ~scale:Paper dataset ~size in
+      point "NJ" size (fun () -> Relation.cardinality (Nj.left_outer ~theta r s)))
+    (sizes dataset Paper)
+
+let ablation_join_algorithm ?scale dataset =
+  sweep ?scale dataset
+    [
+      ( "hash",
+        fun ~theta r s ->
+          seq_length
+            (Nj.windows_wuo ~options:{ Nj.default_options with algorithm = `Hash }
+               ~theta r s) );
+      ( "merge",
+        fun ~theta r s ->
+          seq_length
+            (Nj.windows_wuo
+               ~options:{ Nj.default_options with algorithm = `Merge }
+               ~theta r s) );
+      ( "index",
+        fun ~theta r s ->
+          seq_length
+            (Nj.windows_wuo
+               ~options:{ Nj.default_options with algorithm = `Index }
+               ~theta r s) );
+      ( "nested-loop",
+        fun ~theta r s ->
+          seq_length
+            (Nj.windows_wuo
+               ~options:{ Nj.default_options with algorithm = `Nested_loop }
+               ~theta r s) );
+    ]
+
+let ablation_lawan_schedule ?(scale = Default) dataset =
+  let theta = theta dataset in
+  List.concat_map
+    (fun size ->
+      let r, s = pair ~scale dataset ~size in
+      let wuo = List.of_seq (Nj.windows_wuo ~theta r s) in
+      List.map
+        (fun (series, schedule) ->
+          point series size (fun () ->
+              seq_length (Lawan.extend ~schedule (List.to_seq wuo))))
+        [ ("heap", `Heap); ("scan", `Scan) ])
+    (sizes dataset scale)
+
+let ablation_pipelining ?scale dataset =
+  let module Overlap = Tpdb_windows.Overlap in
+  let module Lawau = Tpdb_windows.Lawau in
+  sweep ?scale dataset
+    [
+      ( "pipelined",
+        fun ~theta r s -> seq_length (Nj.windows_wuon ~theta r s) );
+      ( "materialized",
+        fun ~theta r s ->
+          (* Force every stage boundary, as a non-pipelined executor
+             (or TA's sub-result union) would. *)
+          let overlap = List.of_seq (Overlap.left ~theta r s) in
+          let wuo = List.of_seq (Lawau.extend (List.to_seq overlap)) in
+          List.length (List.of_seq (Lawan.extend (List.to_seq wuo))) );
+    ]
+
+(* Selectivity sweep: fixed input size, varying distinct-key count. Few
+   keys = the Meteo regime (huge outputs), many keys = the Webkit regime
+   (selective θ). *)
+let selectivity_sweep ?(size = 4_000) () =
+  let theta = Theta.eq 0 0 in
+  List.concat_map
+    (fun keys ->
+      let make name seed =
+        Datasets.Uniform.relation ~name ~seed:(seed + keys) ~keys
+          ~horizon:2_000 ~mean_duration:40 size
+      in
+      let r = make "r" 100 and s = make "s" 200 in
+      [
+        { (point "NJ" keys (fun () ->
+               Relation.cardinality (Nj.left_outer ~theta r s)))
+          with size = keys };
+        { (point "TA" keys (fun () ->
+               Relation.cardinality (Ta.left_outer ~algorithm:`Hash ~theta r s)))
+          with size = keys };
+      ])
+    [ 2; 8; 64; 512; 4096 ]
+
+(* Skew sweep: fixed size and key count, varying Zipf exponent. *)
+let skew_sweep ?(size = 4_000) () =
+  let theta = Theta.eq 0 0 in
+  List.concat_map
+    (fun tenths ->
+      let skew = float_of_int tenths /. 10.0 in
+      let make name seed =
+        Datasets.Uniform.relation ~skew ~name ~seed:(seed + tenths) ~keys:256
+          ~horizon:2_000 ~mean_duration:40 size
+      in
+      let r = make "r" 300 and s = make "s" 400 in
+      [
+        { (point "NJ" tenths (fun () ->
+               Relation.cardinality (Nj.left_outer ~theta r s)))
+          with size = tenths };
+        { (point "TA" tenths (fun () ->
+               Relation.cardinality (Ta.left_outer ~algorithm:`Hash ~theta r s)))
+          with size = tenths };
+      ])
+    [ 0; 5; 10; 15; 20 ]
+
+let ablation_replication dataset ~size =
+  let theta = theta dataset in
+  let r, s = pair dataset ~size in
+  let replicas = Align.replica_count ~algorithm:`Hash ~theta r s in
+  let windows = seq_length (Nj.windows_wuon ~theta r s) in
+  (replicas, windows)
+
+let replication_report dataset ~size =
+  let replicas, windows = ablation_replication dataset ~size in
+  Printf.sprintf
+    "input |r| = %d; TA materializes %d aligned replicas (%.1fx of r) as \
+     intermediates before its second join; NJ streams %d windows with no \
+     intermediate materialization"
+    size replicas
+    (float_of_int replicas /. float_of_int size)
+    windows
+
+let print_points ~header points =
+  Printf.printf "\n== %s ==\n" header;
+  Printf.printf "%-10s %10s %12s %12s\n" "series" "size" "runtime[ms]" "output";
+  List.iter
+    (fun p ->
+      Printf.printf "%-10s %10d %12.1f %12d\n" p.series p.size p.ms p.output)
+    points;
+  flush stdout

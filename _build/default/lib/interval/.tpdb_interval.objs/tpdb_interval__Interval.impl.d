@@ -1,0 +1,1 @@
+lib/interval/interval.ml: Format Fun Int List Printf Scanf Seq

@@ -1,0 +1,1 @@
+lib/interval/timeline.ml: Int Interval List

@@ -1,0 +1,1 @@
+lib/interval/timeline.mli: Interval

@@ -1,0 +1,92 @@
+type time = int
+
+type t = { ts : time; te : time }
+
+exception Empty_interval of time * time
+
+let make ts te = if ts < te then { ts; te } else raise (Empty_interval (ts, te))
+
+let make_opt ts te = if ts < te then Some { ts; te } else None
+
+let ts i = i.ts
+let te i = i.te
+
+let duration i = i.te - i.ts
+
+let equal a b = a.ts = b.ts && a.te = b.te
+
+let compare a b =
+  let c = Int.compare a.ts b.ts in
+  if c <> 0 then c else Int.compare a.te b.te
+
+let compare_start a b = Int.compare a.ts b.ts
+let compare_end a b = Int.compare a.te b.te
+
+let contains i t = i.ts <= t && t < i.te
+
+let covers outer inner = outer.ts <= inner.ts && inner.te <= outer.te
+
+let overlaps a b = a.ts < b.te && b.ts < a.te
+
+let intersect a b = make_opt (max a.ts b.ts) (min a.te b.te)
+
+let hull a b = { ts = min a.ts b.ts; te = max a.te b.te }
+
+let adjacent a b = a.te = b.ts || b.te = a.ts
+
+let union_if_joinable a b =
+  if overlaps a b || adjacent a b then Some (hull a b) else None
+
+let minus a b =
+  if not (overlaps a b) then [ a ]
+  else
+    let left = make_opt a.ts (min a.te b.ts)
+    and right = make_opt (max a.ts b.te) a.te in
+    List.filter_map Fun.id [ left; right ]
+
+let before a b = a.te <= b.ts
+
+let shift d i = { ts = i.ts + d; te = i.te + d }
+
+let clamp ~within i = intersect within i
+
+type allen =
+  | Before
+  | Meets
+  | Overlaps
+  | Starts
+  | During
+  | Finishes
+  | Equals
+  | Finished_by
+  | Contains
+  | Started_by
+  | Overlapped_by
+  | Met_by
+  | After
+
+let allen a b =
+  if a.te < b.ts then Before
+  else if a.te = b.ts then Meets
+  else if b.te < a.ts then After
+  else if b.te = a.ts then Met_by
+  else if a.ts = b.ts && a.te = b.te then Equals
+  else if a.ts = b.ts then if a.te < b.te then Starts else Started_by
+  else if a.te = b.te then if a.ts > b.ts then Finishes else Finished_by
+  else if b.ts < a.ts && a.te < b.te then During
+  else if a.ts < b.ts && b.te < a.te then Contains
+  else if a.ts < b.ts then Overlaps
+  else Overlapped_by
+
+let points i =
+  let rec loop t () = if t >= i.te then Seq.Nil else Seq.Cons (t, loop (t + 1)) in
+  loop i.ts
+
+let to_string i = Printf.sprintf "[%d,%d)" i.ts i.te
+
+let pp ppf i = Format.fprintf ppf "[%d,%d)" i.ts i.te
+
+let of_string s =
+  match Scanf.sscanf_opt s "[%d,%d)" (fun ts te -> (ts, te)) with
+  | Some (ts, te) -> make ts te
+  | None -> invalid_arg (Printf.sprintf "Interval.of_string: %S" s)

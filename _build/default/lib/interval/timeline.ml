@@ -1,0 +1,49 @@
+type time = Interval.time
+
+let endpoints is =
+  List.concat_map (fun i -> [ Interval.ts i; Interval.te i ]) is
+  |> List.sort_uniq Int.compare
+
+let segments ~within is =
+  let ts = Interval.ts within and te = Interval.te within in
+  let cuts = endpoints is |> List.filter (fun t -> ts < t && t < te) in
+  let rec build lo = function
+    | [] -> [ Interval.make lo te ]
+    | c :: rest -> Interval.make lo c :: build c rest
+  in
+  build ts cuts
+
+let coalesce is =
+  let sorted = List.sort Interval.compare is in
+  let rec merge = function
+    | [] -> []
+    | [ i ] -> [ i ]
+    | a :: b :: rest -> (
+        match Interval.union_if_joinable a b with
+        | Some u -> merge (u :: rest)
+        | None -> a :: merge (b :: rest))
+  in
+  merge sorted
+
+let gaps ~within is =
+  let covered =
+    coalesce is |> List.filter_map (fun i -> Interval.clamp ~within i)
+  in
+  let rec walk lo = function
+    | [] ->
+        (match Interval.make_opt lo (Interval.te within) with
+        | Some g -> [ g ]
+        | None -> [])
+    | c :: rest -> (
+        match Interval.make_opt lo (Interval.ts c) with
+        | Some g -> g :: walk (Interval.te c) rest
+        | None -> walk (Interval.te c) rest)
+  in
+  walk (Interval.ts within) covered
+
+let covered_duration is =
+  coalesce is |> List.fold_left (fun acc i -> acc + Interval.duration i) 0
+
+let span = function
+  | [] -> None
+  | i :: rest -> Some (List.fold_left Interval.hull i rest)

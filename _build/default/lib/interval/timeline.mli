@@ -1,0 +1,31 @@
+(** Event-point computations over sets of intervals.
+
+    LAWAN's negating windows are exactly the segments induced by the start
+    and end points of the matching tuples; the reference oracle and the
+    alignment baseline also segment at event points. This module holds the
+    shared, order-n-log-n primitives. *)
+
+type time = Interval.time
+
+val endpoints : Interval.t list -> time list
+(** Sorted, de-duplicated start and end points of all intervals. *)
+
+val segments : within:Interval.t -> Interval.t list -> Interval.t list
+(** [segments ~within is] partitions [within] at every endpoint of [is]
+    falling strictly inside it. The result is a gapless, ordered partition
+    of [within]; within each segment the set of intervals of [is] covering
+    it is constant. [is] may be empty (result: [[within]]). *)
+
+val coalesce : Interval.t list -> Interval.t list
+(** Minimal sorted list of disjoint, non-adjacent intervals with the same
+    union as the input (input in any order). *)
+
+val gaps : within:Interval.t -> Interval.t list -> Interval.t list
+(** Maximal sub-intervals of [within] covered by none of the given
+    intervals, in temporal order. *)
+
+val covered_duration : Interval.t list -> int
+(** Total number of time points in the union of the intervals. *)
+
+val span : Interval.t list -> Interval.t option
+(** Hull of all intervals; [None] on the empty list. *)

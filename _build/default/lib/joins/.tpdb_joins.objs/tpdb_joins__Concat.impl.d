@@ -1,0 +1,1 @@
+lib/joins/concat.ml: Tpdb_lineage Tpdb_relation Tpdb_windows

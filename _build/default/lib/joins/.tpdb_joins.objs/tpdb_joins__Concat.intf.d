@@ -1,0 +1,1 @@
+lib/joins/concat.mli: Tpdb_lineage Tpdb_relation Tpdb_windows

@@ -1,0 +1,1 @@
+lib/joins/nj.mli: Seq Tpdb_lineage Tpdb_relation Tpdb_windows

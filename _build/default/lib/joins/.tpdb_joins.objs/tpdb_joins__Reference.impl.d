@@ -1,0 +1,1 @@
+lib/joins/reference.ml: List Map Option Seq Tpdb_interval Tpdb_lineage Tpdb_relation Tpdb_windows

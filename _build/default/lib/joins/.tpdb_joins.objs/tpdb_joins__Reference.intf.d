@@ -1,0 +1,1 @@
+lib/joins/reference.mli: Tpdb_lineage Tpdb_relation Tpdb_windows

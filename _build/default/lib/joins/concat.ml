@@ -1,0 +1,43 @@
+module Formula = Tpdb_lineage.Formula
+module Prob = Tpdb_lineage.Prob
+module Fact = Tpdb_relation.Fact
+module Tuple = Tpdb_relation.Tuple
+module Window = Tpdb_windows.Window
+
+let output_lineage w =
+  match (Window.kind w, Window.ls w) with
+  | Window.Overlapping, Some ls -> Formula.( &&& ) (Window.lr w) ls
+  | Window.Unmatched, None -> Window.lr w
+  | Window.Negating, Some ls -> Formula.and_not (Window.lr w) ls
+  | (Window.Overlapping | Window.Unmatched | Window.Negating), _ ->
+      invalid_arg "Concat.output_lineage: malformed window"
+
+type side = Left | Right
+
+let output_fact ~side ~pad w =
+  match (Window.kind w, side) with
+  | Window.Overlapping, Left -> (
+      match Window.fs w with
+      | Some fs -> Fact.concat (Window.fr w) fs
+      | None -> invalid_arg "Concat: overlapping window without fs")
+  | Window.Overlapping, Right ->
+      invalid_arg "Concat: overlapping window on the right pass"
+  | (Window.Unmatched | Window.Negating), Left ->
+      Fact.concat (Window.fr w) (Fact.nulls pad)
+  | (Window.Unmatched | Window.Negating), Right ->
+      Fact.concat (Fact.nulls pad) (Window.fr w)
+
+let tuple_of_window ~env ~side ~pad w =
+  let lineage = output_lineage w in
+  Tuple.make
+    ~fact:(output_fact ~side ~pad w)
+    ~lineage ~iv:(Window.iv w) ~p:(Prob.compute env lineage)
+
+let tuple_of_window_no_fs ~env w =
+  match Window.kind w with
+  | Window.Overlapping ->
+      invalid_arg "Concat.tuple_of_window_no_fs: overlapping window"
+  | Window.Unmatched | Window.Negating ->
+      let lineage = output_lineage w in
+      Tuple.make ~fact:(Window.fr w) ~lineage ~iv:(Window.iv w)
+        ~p:(Prob.compute env lineage)

@@ -1,0 +1,29 @@
+(** Output-tuple formation: windows → TP tuples (paper §II, Example 2).
+
+    Each window class has a fixed lineage-concatenation function:
+    overlapping windows use [and], negating windows use [andNot], and
+    unmatched windows pass [λr] through. Facts are concatenated, with the
+    missing side null-padded for unmatched and negating windows. *)
+
+module Formula = Tpdb_lineage.Formula
+module Prob = Tpdb_lineage.Prob
+module Tuple = Tpdb_relation.Tuple
+module Window = Tpdb_windows.Window
+
+val output_lineage : Window.t -> Formula.t
+(** [λr ∧ λs] / [λr] / [λr ∧ ¬λs] by window kind. *)
+
+type side = Left | Right
+(** Which input relation the window stream is grouped by. [Right] streams
+    (used for the right half of right/full outer joins) have the roles of
+    the window swapped, so the null padding goes in front. *)
+
+val tuple_of_window :
+  env:Prob.env -> side:side -> pad:int -> Window.t -> Tuple.t
+(** [pad] is the arity of the null-padded side. Overlapping windows on the
+    [Right] side are rejected with [Invalid_argument] (they are emitted by
+    the left pass already). *)
+
+val tuple_of_window_no_fs : env:Prob.env -> Window.t -> Tuple.t
+(** Output formation for the anti join: no [s] columns at all. Raises
+    [Invalid_argument] on overlapping windows. *)

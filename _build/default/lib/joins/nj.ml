@@ -1,0 +1,130 @@
+module Relation = Tpdb_relation.Relation
+module Schema = Tpdb_relation.Schema
+module Prob = Tpdb_lineage.Prob
+module Theta = Tpdb_windows.Theta
+module Window = Tpdb_windows.Window
+module Overlap = Tpdb_windows.Overlap
+module Lawau = Tpdb_windows.Lawau
+module Lawan = Tpdb_windows.Lawan
+
+type options = {
+  algorithm : Overlap.algorithm;
+  schedule : [ `Heap | `Scan ];
+}
+
+let default_options = { algorithm = `Hash; schedule = `Heap }
+
+let windows_wuo ?(options = default_options) ~theta r s =
+  Lawau.extend (Overlap.left ~algorithm:options.algorithm ~theta r s)
+
+let windows_wuon ?(options = default_options) ~theta r s =
+  Lawan.extend ~schedule:options.schedule (windows_wuo ~options ~theta r s)
+
+let env_default env r s =
+  match env with Some e -> e | None -> Relation.prob_env [ r; s ]
+
+let inner ?(options = default_options) ?env ~theta r s =
+  let env = env_default env r s in
+  let pad = Schema.arity (Relation.schema s) in
+  let tuples =
+    Overlap.left ~algorithm:options.algorithm ~theta r s
+    |> Seq.filter (fun w -> Window.kind w = Window.Overlapping)
+    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad)
+    |> List.of_seq
+  in
+  Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
+
+let anti ?options ?env ~theta r s =
+  let env = env_default env r s in
+  let tuples =
+    windows_wuon ?options ~theta r s
+    |> Seq.filter (fun w -> Window.kind w <> Window.Overlapping)
+    |> Seq.map (Concat.tuple_of_window_no_fs ~env)
+    |> List.of_seq
+  in
+  let schema =
+    Schema.rename
+      (Relation.name r ^ "_anti_" ^ Relation.name s)
+      (Relation.schema r)
+  in
+  Relation.of_tuples schema tuples
+
+let left_outer ?options ?env ~theta r s =
+  let env = env_default env r s in
+  let pad = Schema.arity (Relation.schema s) in
+  let tuples =
+    windows_wuon ?options ~theta r s
+    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad)
+    |> List.of_seq
+  in
+  Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
+
+(* The right-hand sweep of right/full outer joins: windows grouped by the s
+   tuple. Overlapping windows arrive mirrored, so [Left]-side formation
+   applies after a second mirror; unmatched and negating windows pad on the
+   left. *)
+let right_side_tuples ?(options = default_options) ~env ~pad_left windows =
+  windows
+  |> Seq.filter (fun w -> Window.kind w = Window.Overlapping)
+  |> Seq.map Window.mirror
+  |> List.of_seq
+  |> List.sort Window.compare_group_start
+  |> List.to_seq |> Lawau.extend
+  |> Lawan.extend ~schedule:options.schedule
+  |> Seq.filter_map (fun w ->
+         match Window.kind w with
+         | Window.Overlapping -> None
+         | Window.Unmatched | Window.Negating ->
+             Some (Concat.tuple_of_window ~env ~side:Concat.Right ~pad:pad_left w))
+
+let right_outer ?(options = default_options) ?env ~theta r s =
+  let env = env_default env r s in
+  let pad_r = Schema.arity (Relation.schema r) in
+  let pad_s = Schema.arity (Relation.schema s) in
+  (* One pass of the conventional join, tracking never-matched s tuples. *)
+  let stream, tracker = Overlap.left_tracking ~algorithm:options.algorithm ~theta r s in
+  let wo = List.of_seq (Seq.filter (fun w -> Window.kind w = Window.Overlapping) stream) in
+  let pairs =
+    List.to_seq wo
+    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad:pad_s)
+  in
+  let gap_windows = right_side_tuples ~options ~env ~pad_left:pad_r (List.to_seq wo) in
+  let spanning =
+    Overlap.unmatched_right tracker
+    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Right ~pad:pad_r)
+  in
+  let tuples = List.of_seq (Seq.append pairs (Seq.append gap_windows spanning)) in
+  Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
+
+let full_outer ?(options = default_options) ?env ~theta r s =
+  let env = env_default env r s in
+  let pad_r = Schema.arity (Relation.schema r) in
+  let pad_s = Schema.arity (Relation.schema s) in
+  let stream, tracker = Overlap.left_tracking ~algorithm:options.algorithm ~theta r s in
+  (* Materialize the conventional join once; both sweeps share it. *)
+  let wuo = List.of_seq stream in
+  let left_side =
+    List.to_seq wuo |> Lawau.extend
+    |> Lawan.extend ~schedule:options.schedule
+    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad:pad_s)
+  in
+  let right_gaps = right_side_tuples ~options ~env ~pad_left:pad_r (List.to_seq wuo) in
+  let spanning =
+    Overlap.unmatched_right tracker
+    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Right ~pad:pad_r)
+  in
+  let tuples = List.of_seq (Seq.append left_side (Seq.append right_gaps spanning)) in
+  Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
+
+type join_kind = Inner | Anti | Left | Right | Full
+
+let run ?options ?env ~kind ~theta r s =
+  let op =
+    match kind with
+    | Inner -> inner
+    | Anti -> anti
+    | Left -> left_outer
+    | Right -> right_outer
+    | Full -> full_outer
+  in
+  op ?options ?env ~theta r s

@@ -1,0 +1,69 @@
+(** NJ — the paper's operators for TP joins with negation, assembled from
+    generalized lineage-aware temporal windows (paper Table II):
+
+    - anti join [r ▷ s]: WU(r;s,θ) ∪ WN(r;s,θ)
+    - left outer [r ⟕ s]: WO ∪ WU(r;s,θ) ∪ WN(r;s,θ)
+    - right outer [r ⟖ s]: WO ∪ WU(s;r,θ) ∪ WN(s;r,θ)
+    - full outer [r ⟗ s]: all five sets, with WO computed once
+    - inner join [r ⋈ s]: WO only (for completeness)
+
+    The pipeline is {!Tpdb_windows.Overlap.left} → {!Tpdb_windows.Lawau} →
+    {!Tpdb_windows.Lawan} → output formation ({!Concat}); the full outer
+    join additionally mirrors the overlapping windows to sweep the [s]
+    side without executing the join a second time.
+
+    Inputs are assumed duplicate-free ({!Tpdb_relation.Relation.is_duplicate_free}),
+    as the paper assumes of TP relations. [env] supplies the marginal
+    probability of every base variable; it defaults to the variables of
+    the two inputs and must be passed explicitly when joining derived
+    relations. *)
+
+module Relation = Tpdb_relation.Relation
+module Prob = Tpdb_lineage.Prob
+module Theta = Tpdb_windows.Theta
+module Window = Tpdb_windows.Window
+module Overlap = Tpdb_windows.Overlap
+
+type options = {
+  algorithm : Overlap.algorithm;  (** join algorithm for the WUO stage *)
+  schedule : [ `Heap | `Scan ];  (** LAWAN end-point scheduling *)
+}
+
+val default_options : options
+(** [{ algorithm = `Hash; schedule = `Heap }]. *)
+
+val windows_wuo :
+  ?options:options -> theta:Theta.t -> Relation.t -> Relation.t -> Window.t Seq.t
+(** Overlapping + unmatched windows of [r] w.r.t. [s] (the paper's WUO):
+    {!Overlap.left} extended by LAWAU. Benched as Fig. 5. *)
+
+val windows_wuon :
+  ?options:options -> theta:Theta.t -> Relation.t -> Relation.t -> Window.t Seq.t
+(** WUO extended with negating windows by LAWAN. Benched as Fig. 6. *)
+
+val inner :
+  ?options:options -> ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
+
+val anti :
+  ?options:options -> ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
+
+val left_outer :
+  ?options:options -> ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
+
+val right_outer :
+  ?options:options -> ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
+
+val full_outer :
+  ?options:options -> ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
+
+type join_kind = Inner | Anti | Left | Right | Full
+
+val run :
+  ?options:options ->
+  ?env:Prob.env ->
+  kind:join_kind ->
+  theta:Theta.t ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t
+(** Dispatch by operator kind; used by the query planner. *)

@@ -1,0 +1,170 @@
+module Interval = Tpdb_interval.Interval
+module Timeline = Tpdb_interval.Timeline
+module Formula = Tpdb_lineage.Formula
+module Prob = Tpdb_lineage.Prob
+module Relation = Tpdb_relation.Relation
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Theta = Tpdb_windows.Theta
+
+module Row_key = struct
+  type t = Fact.t * Formula.t
+
+  let compare (fa, la) (fb, lb) =
+    let c = Fact.compare fa fb in
+    if c <> 0 then c else Formula.compare la lb
+end
+
+module Row_map = Map.Make (Row_key)
+
+(* [rows_at] computes the snapshot rows of the operator at one time point;
+   the driver below glues equal rows over maximal runs of time points. *)
+let materialize ~env ~schema rows_at domain =
+  let add_point acc t =
+    List.fold_left
+      (fun acc (fact, lineage) ->
+        let key = (fact, Formula.normalize lineage) in
+        let points = Option.value (Row_map.find_opt key acc) ~default:[] in
+        Row_map.add key (t :: points) acc)
+      acc (rows_at t)
+  in
+  let by_row =
+    match domain with
+    | None -> Row_map.empty
+    | Some span -> Seq.fold_left add_point Row_map.empty (Interval.points span)
+  in
+  let tuples =
+    Row_map.fold
+      (fun (fact, lineage) points acc ->
+        let intervals =
+          Timeline.coalesce
+            (List.map (fun t -> Interval.make t (t + 1)) points)
+        in
+        let p = Prob.compute env lineage in
+        List.fold_left
+          (fun acc iv -> Tuple.make ~fact ~lineage ~iv ~p :: acc)
+          acc intervals)
+      by_row []
+  in
+  Relation.of_tuples schema (List.rev tuples)
+
+let snapshot r t =
+  List.filter (fun tp -> Tuple.valid_at tp t) (Relation.tuples r)
+
+let matches_of theta r_tuple s_valid =
+  List.filter
+    (fun s_tuple -> Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple))
+    s_valid
+
+let negation_lineage r_tuple matches =
+  Formula.and_not (Tuple.lineage r_tuple)
+    (Formula.disj (List.map Tuple.lineage matches))
+
+let domain_of relations =
+  Timeline.span
+    (List.concat_map (fun r -> List.map Tuple.iv (Relation.tuples r)) relations)
+
+let left_rows ~theta ~pad r s t =
+  let s_valid = snapshot s t in
+  List.concat_map
+    (fun r_tuple ->
+      let fr = Tuple.fact r_tuple in
+      match matches_of theta r_tuple s_valid with
+      | [] -> [ (Fact.concat fr (Fact.nulls pad), Tuple.lineage r_tuple) ]
+      | matches ->
+          let pairs =
+            List.map
+              (fun s_tuple ->
+                ( Fact.concat fr (Tuple.fact s_tuple),
+                  Formula.( &&& ) (Tuple.lineage r_tuple) (Tuple.lineage s_tuple) ))
+              matches
+          in
+          (Fact.concat fr (Fact.nulls pad), negation_lineage r_tuple matches)
+          :: pairs)
+    (snapshot r t)
+
+(* The non-matching half of the right side: pair rows are already produced
+   by [left_rows], so only null-padded s rows are added here. *)
+let right_gap_rows ~theta ~pad r s t =
+  let r_valid = snapshot r t in
+  let swapped = Theta.swap theta in
+  List.filter_map
+    (fun s_tuple ->
+      let fs = Tuple.fact s_tuple in
+      match matches_of swapped s_tuple r_valid with
+      | [] -> Some (Fact.concat (Fact.nulls pad) fs, Tuple.lineage s_tuple)
+      | matches ->
+          Some
+            ( Fact.concat (Fact.nulls pad) fs,
+              negation_lineage s_tuple matches ))
+    (snapshot s t)
+
+let env_default env r s =
+  match env with Some e -> e | None -> Relation.prob_env [ r; s ]
+
+let join_schema r s = Schema.join (Relation.schema r) (Relation.schema s)
+
+let inner ?env ~theta r s =
+  let env = env_default env r s in
+  let rows_at t =
+    let s_valid = snapshot s t in
+    List.concat_map
+      (fun r_tuple ->
+        List.map
+          (fun s_tuple ->
+            ( Fact.concat (Tuple.fact r_tuple) (Tuple.fact s_tuple),
+              Formula.( &&& ) (Tuple.lineage r_tuple) (Tuple.lineage s_tuple) ))
+          (matches_of theta r_tuple s_valid))
+      (snapshot r t)
+  in
+  materialize ~env ~schema:(join_schema r s) rows_at (domain_of [ r; s ])
+
+let anti ?env ~theta r s =
+  let env = env_default env r s in
+  let rows_at t =
+    let s_valid = snapshot s t in
+    List.map
+      (fun r_tuple ->
+        match matches_of theta r_tuple s_valid with
+        | [] -> (Tuple.fact r_tuple, Tuple.lineage r_tuple)
+        | matches -> (Tuple.fact r_tuple, negation_lineage r_tuple matches))
+      (snapshot r t)
+  in
+  let schema =
+    Schema.rename (Relation.name r ^ "_anti_" ^ Relation.name s) (Relation.schema r)
+  in
+  materialize ~env ~schema rows_at (domain_of [ r ])
+
+let left_outer ?env ~theta r s =
+  let env = env_default env r s in
+  let pad = Schema.arity (Relation.schema s) in
+  materialize ~env ~schema:(join_schema r s)
+    (left_rows ~theta ~pad r s)
+    (domain_of [ r; s ])
+
+let right_outer ?env ~theta r s =
+  let env = env_default env r s in
+  let pad_r = Schema.arity (Relation.schema r) in
+  let rows_at t =
+    let s_valid = snapshot s t in
+    let pairs =
+      List.concat_map
+        (fun r_tuple ->
+          List.map
+            (fun s_tuple ->
+              ( Fact.concat (Tuple.fact r_tuple) (Tuple.fact s_tuple),
+                Formula.( &&& ) (Tuple.lineage r_tuple) (Tuple.lineage s_tuple) ))
+            (matches_of theta r_tuple s_valid))
+        (snapshot r t)
+    in
+    pairs @ right_gap_rows ~theta ~pad:pad_r r s t
+  in
+  materialize ~env ~schema:(join_schema r s) rows_at (domain_of [ r; s ])
+
+let full_outer ?env ~theta r s =
+  let env = env_default env r s in
+  let pad_s = Schema.arity (Relation.schema s) in
+  let pad_r = Schema.arity (Relation.schema r) in
+  let rows_at t = left_rows ~theta ~pad:pad_s r s t @ right_gap_rows ~theta ~pad:pad_r r s t in
+  materialize ~env ~schema:(join_schema r s) rows_at (domain_of [ r; s ])

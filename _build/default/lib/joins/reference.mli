@@ -1,0 +1,28 @@
+(** Timepoint-at-a-time reference implementation of TP joins with
+    negation.
+
+    Independent of the window machinery: for every time point it computes
+    the snapshot join under the TP semantics of §I (match rows with
+    [λr ∧ λs], negation rows with [λr ∧ ¬(∨ λs)], unmatched rows with
+    [λr]), then glues maximal runs of identical (fact, normalized lineage)
+    into output tuples. Quadratic in the size of the active domain — a
+    test oracle, not an operator. *)
+
+module Relation = Tpdb_relation.Relation
+module Prob = Tpdb_lineage.Prob
+module Theta = Tpdb_windows.Theta
+
+val inner :
+  ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
+
+val anti :
+  ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
+
+val left_outer :
+  ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
+
+val right_outer :
+  ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
+
+val full_outer :
+  ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t

@@ -1,0 +1,1 @@
+lib/lineage/bdd.ml: Array Float Formula Hashtbl List Var

@@ -1,0 +1,1 @@
+lib/lineage/bdd.mli: Formula Var

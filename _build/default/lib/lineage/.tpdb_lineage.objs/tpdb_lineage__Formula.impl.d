@@ -1,0 +1,1 @@
+lib/lineage/formula.ml: Buffer Format List Printf Set String Var

@@ -1,0 +1,1 @@
+lib/lineage/prob.ml: Array Bdd Formula Hashtbl Int64 List Var

@@ -1,0 +1,1 @@
+lib/lineage/prob.mli: Formula Var

@@ -1,0 +1,1 @@
+lib/lineage/var.ml: Format Hashtbl Int Printf String

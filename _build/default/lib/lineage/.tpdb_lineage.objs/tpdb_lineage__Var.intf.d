@@ -1,0 +1,1 @@
+lib/lineage/var.mli: Format

@@ -1,0 +1,47 @@
+(** Reduced ordered binary decision diagrams, hash-consed.
+
+    Used for exact probability computation of lineage formulas (weighted
+    model counting over independent base-tuple variables) and for deciding
+    logical equivalence of lineages. A {!manager} owns the unique-node
+    table, the apply cache and the variable order; diagrams from different
+    managers must not be mixed. *)
+
+type manager
+type t
+
+val manager : ?order:Var.t list -> unit -> manager
+(** A fresh manager. [order] pre-declares the variable order (first =
+    topmost); variables first seen later are appended in encounter
+    order. *)
+
+val zero : manager -> t
+val one : manager -> t
+
+val var : manager -> Var.t -> t
+
+val neg : manager -> t -> t
+val conj : manager -> t -> t -> t
+val disj : manager -> t -> t -> t
+
+val of_formula : manager -> Formula.t -> t
+
+val equal : t -> t -> bool
+(** Constant-time: hash-consing makes equivalent diagrams physically
+    equal (within one manager). *)
+
+val is_tautology : t -> bool
+val is_contradiction : t -> bool
+
+val equivalent : Formula.t -> Formula.t -> bool
+(** Logical equivalence of two formulas, via a private manager. *)
+
+val probability : manager -> (Var.t -> float) -> t -> float
+(** Weighted model count: every variable is an independent Bernoulli with
+    the given marginal. Linear in the number of BDD nodes. *)
+
+val node_count : t -> int
+(** Number of distinct internal nodes reachable from the root. *)
+
+val sat_count : manager -> t -> float
+(** Number of satisfying assignments over the manager's declared
+    variables (as a float: can exceed [max_int]). *)

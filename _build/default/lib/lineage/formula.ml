@@ -1,0 +1,223 @@
+type t =
+  | True
+  | False
+  | Var of Var.t
+  | Not of t
+  | And of t list
+  | Or of t list
+
+let true_ = True
+let false_ = False
+
+let var v = Var v
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+(* Flattening constructor shared by [conj] and [disj]: [unit] is the
+   identity element, [zero] the annihilator, [wrap] rebuilds the
+   connective and [unwrap] recognizes it for flattening. *)
+let connective ~unit ~zero ~wrap ~unwrap juncts =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | f :: rest ->
+        if f = zero then None
+        else if f = unit then gather acc rest
+        else
+          (match unwrap f with
+          | Some inner -> gather (List.rev_append inner acc) rest
+          | None -> gather (f :: acc) rest)
+  in
+  match gather [] juncts with
+  | None -> zero
+  | Some [] -> unit
+  | Some [ f ] -> f
+  | Some fs -> wrap fs
+
+let conj fs =
+  connective ~unit:True ~zero:False
+    ~wrap:(fun fs -> And fs)
+    ~unwrap:(function And fs -> Some fs | _ -> None)
+    fs
+
+let disj fs =
+  connective ~unit:False ~zero:True
+    ~wrap:(fun fs -> Or fs)
+    ~unwrap:(function Or fs -> Some fs | _ -> None)
+    fs
+
+let ( &&& ) a b = conj [ a; b ]
+let ( ||| ) a b = disj [ a; b ]
+
+let and_not a b = a &&& neg b
+
+let rec compare a b =
+  match (a, b) with
+  | True, True | False, False -> 0
+  | True, _ -> -1
+  | _, True -> 1
+  | False, _ -> -1
+  | _, False -> 1
+  | Var x, Var y -> Var.compare x y
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Not x, Not y -> compare x y
+  | Not _, _ -> -1
+  | _, Not _ -> 1
+  | And xs, And ys -> compare_lists xs ys
+  | And _, _ -> -1
+  | _, And _ -> 1
+  | Or xs, Or ys -> compare_lists xs ys
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+
+let rec normalize f =
+  match f with
+  | True | False | Var _ -> f
+  | Not g -> neg (normalize g)
+  | And fs -> conj (sorted_juncts fs)
+  | Or fs -> disj (sorted_juncts fs)
+
+and sorted_juncts fs =
+  let normalized = List.map normalize fs in
+  let sorted = List.sort_uniq compare normalized in
+  sorted
+
+let vars f =
+  let module S = Set.Make (Var) in
+  let rec collect acc = function
+    | True | False -> acc
+    | Var v -> S.add v acc
+    | Not g -> collect acc g
+    | And fs | Or fs -> List.fold_left collect acc fs
+  in
+  S.elements (collect S.empty f)
+
+let rec size = function
+  | True | False | Var _ -> 1
+  | Not f -> 1 + size f
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Var v -> env v
+  | Not f -> not (eval env f)
+  | And fs -> List.for_all (eval env) fs
+  | Or fs -> List.exists (eval env) fs
+
+let rec substitute lookup = function
+  | True -> True
+  | False -> False
+  | Var v as f -> (match lookup v with Some g -> g | None -> f)
+  | Not f -> neg (substitute lookup f)
+  | And fs -> conj (List.map (substitute lookup) fs)
+  | Or fs -> disj (List.map (substitute lookup) fs)
+
+(* Printing. Precedence levels: Or = 0, And = 1, Not/atom = 2. A child is
+   parenthesized when its level is below the context's. *)
+let render ~not_ ~and_ ~or_ f =
+  let buf = Buffer.create 64 in
+  let rec go level f =
+    match f with
+    | True -> Buffer.add_string buf "T"
+    | False -> Buffer.add_string buf "F"
+    | Var v -> Buffer.add_string buf (Var.to_string v)
+    | Not g ->
+        Buffer.add_string buf not_;
+        go 2 g
+    | And fs -> infix level 1 and_ fs
+    | Or fs -> infix level 0 or_ fs
+  and infix level own sep fs =
+    let needs_parens = level > own in
+    if needs_parens then Buffer.add_char buf '(';
+    List.iteri
+      (fun i f ->
+        if i > 0 then Buffer.add_string buf sep;
+        go (own + 1) f)
+      fs;
+    if needs_parens then Buffer.add_char buf ')'
+  in
+  go 0 f;
+  Buffer.contents buf
+
+let to_string f = render ~not_:"\xc2\xac" ~and_:" \xe2\x88\xa7 " ~or_:" \xe2\x88\xa8 " f
+
+let to_string_ascii f = render ~not_:"!" ~and_:" & " ~or_:" | " f
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)
+
+(* Recursive-descent parser for the ASCII notation. *)
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = invalid_arg (Printf.sprintf "Formula.of_string: %s at %d in %S" msg !pos s) in
+  let rec skip_ws () =
+    if !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') then (incr pos; skip_ws ())
+  in
+  let peek () =
+    skip_ws ();
+    if !pos < n then Some s.[!pos] else None
+  in
+  let advance () = incr pos in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let ident () =
+    let start = !pos in
+    while !pos < n && is_ident s.[!pos] do incr pos done;
+    if !pos = start then fail "expected identifier";
+    String.sub s start (!pos - start)
+  in
+  let rec parse_or () =
+    let left = parse_and () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        left ||| parse_or ()
+    | _ -> left
+  and parse_and () =
+    let left = parse_atom () in
+    match peek () with
+    | Some '&' ->
+        advance ();
+        left &&& parse_and ()
+    | _ -> left
+  and parse_atom () =
+    match peek () with
+    | Some '!' ->
+        advance ();
+        neg (parse_atom ())
+    | Some '(' ->
+        advance ();
+        let f = parse_or () in
+        (match peek () with
+        | Some ')' -> advance (); f
+        | _ -> fail "expected ')'")
+    | Some c when is_ident c -> (
+        let id = ident () in
+        match id with
+        | "T" -> True
+        | "F" -> False
+        | _ -> (
+            match Var.of_string id with
+            | v -> Var v
+            | exception Invalid_argument _ -> fail ("bad variable " ^ id)))
+    | _ -> fail "expected formula"
+  in
+  let f = parse_or () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  f

@@ -1,0 +1,66 @@
+(** Lineage formulas: propositional formulas over base-tuple variables.
+
+    Constructors are smart: [conj] and [disj] flatten nested connectives
+    and apply identity/annihilator laws, so formulas built through this
+    interface never contain [And []], [Or [x]] or a [True] inside a
+    conjunction. Deeper (NP-hard) simplification is deliberately out of
+    scope — probabilities are computed exactly via {!Bdd}. *)
+
+type t = private
+  | True
+  | False
+  | Var of Var.t
+  | Not of t
+  | And of t list  (** >= 2 juncts, none of them [And]/[True]/[False] *)
+  | Or of t list  (** >= 2 juncts, none of them [Or]/[True]/[False] *)
+
+val true_ : t
+val false_ : t
+val var : Var.t -> t
+val neg : t -> t
+(** [neg] applies double-negation elimination and constant folding only. *)
+
+val conj : t list -> t
+val disj : t list -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+
+val and_not : t -> t -> t
+(** [and_not a b] is [a ∧ ¬b] — the paper's [andNot] lineage-concatenation
+    function used for negating windows. *)
+
+val equal : t -> t -> bool
+(** Structural equality. For equality up to commutativity compare
+    {!normalize}d formulas. *)
+
+val compare : t -> t -> int
+
+val normalize : t -> t
+(** Sorts and de-duplicates the juncts of every connective, recursively.
+    Two window lineages built from the same set of tuple variables in
+    different orders normalize to the same formula. *)
+
+val vars : t -> Var.t list
+(** Distinct variables, sorted. *)
+
+val size : t -> int
+(** Number of connective and variable nodes. *)
+
+val eval : (Var.t -> bool) -> t -> bool
+
+val substitute : (Var.t -> t option) -> t -> t
+(** Replaces variables for which the function returns [Some _]. *)
+
+val to_string : t -> string
+(** Paper notation: [a1 ∧ ¬(b3 ∨ b2)]. *)
+
+val to_string_ascii : t -> string
+(** ASCII notation accepted by {!of_string}: [a1 & !(b3 | b2)]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** Parses the ASCII notation: variables as in {!Var.of_string}, [!] for
+    negation, [&]/[|] for connectives (with the usual precedences:
+    [!] > [&] > [|]), [T]/[F] for constants, parentheses. Raises
+    [Invalid_argument] on syntax errors. *)

@@ -1,0 +1,95 @@
+type env = Var.t -> float
+
+let env_of_alist alist =
+  let table = Hashtbl.create (List.length alist) in
+  List.iter (fun (v, p) -> Hashtbl.replace table v p) alist;
+  fun v ->
+    match Hashtbl.find_opt table v with
+    | Some p -> p
+    | None -> raise Not_found
+
+let exact env f =
+  let m = Bdd.manager ~order:(Formula.vars f) () in
+  Bdd.probability m env (Bdd.of_formula m f)
+
+exception Repeated_variable
+
+let read_once env f =
+  (* One shared seen-set suffices: a formula is read-once iff no variable
+     occurs twice anywhere, and sub-formula independence then follows. *)
+  let seen = Hashtbl.create 16 in
+  let rec go f =
+    match (f : Formula.t) with
+    | True -> 1.0
+    | False -> 0.0
+    | Var v ->
+        if Hashtbl.mem seen v then raise Repeated_variable;
+        Hashtbl.add seen v ();
+        env v
+    | Not g -> 1.0 -. go g
+    | And gs -> List.fold_left (fun acc g -> acc *. go g) 1.0 gs
+    | Or gs ->
+        1.0 -. List.fold_left (fun acc g -> acc *. (1.0 -. go g)) 1.0 gs
+  in
+  match go f with p -> Some p | exception Repeated_variable -> None
+
+let conditional env ~given f =
+  let order =
+    List.sort_uniq Var.compare (Formula.vars f @ Formula.vars given)
+  in
+  let m = Bdd.manager ~order () in
+  let given_bdd = Bdd.of_formula m given in
+  let p_given = Bdd.probability m env given_bdd in
+  if p_given <= 0.0 then
+    invalid_arg "Prob.conditional: evidence has probability 0";
+  let joint = Bdd.conj m (Bdd.of_formula m f) given_bdd in
+  Bdd.probability m env joint /. p_given
+
+let compute env f =
+  match read_once env f with Some p -> p | None -> exact env f
+
+(* Local SplitMix64 (same construction as Tpdb_workload.Rng, duplicated
+   here because workload depends on this library). *)
+let monte_carlo ?(seed = 1) ~samples env f =
+  if samples <= 0 then invalid_arg "Prob.monte_carlo: samples must be positive";
+  let state = ref (Int64.of_int seed) in
+  let next () =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+  in
+  let vars = Array.of_list (Formula.vars f) in
+  let marginals = Array.map env vars in
+  let assignment = Hashtbl.create (Array.length vars) in
+  let successes = ref 0 in
+  for _ = 1 to samples do
+    Array.iteri
+      (fun i v -> Hashtbl.replace assignment v (next () < marginals.(i)))
+      vars;
+    if Formula.eval (Hashtbl.find assignment) f then incr successes
+  done;
+  float_of_int !successes /. float_of_int samples
+
+let enumerate env f =
+  let vars = Array.of_list (Formula.vars f) in
+  let n = Array.length vars in
+  if n > 20 then invalid_arg "Prob.enumerate: too many variables";
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let assignment v =
+      let rec index i = if Var.equal vars.(i) v then i else index (i + 1) in
+      mask land (1 lsl index 0) <> 0
+    in
+    if Formula.eval assignment f then begin
+      let weight = ref 1.0 in
+      for i = 0 to n - 1 do
+        let p = env vars.(i) in
+        weight := !weight *. (if mask land (1 lsl i) <> 0 then p else 1.0 -. p)
+      done;
+      total := !total +. !weight
+    end
+  done;
+  !total

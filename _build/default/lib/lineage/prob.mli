@@ -1,0 +1,45 @@
+(** Probability computation for lineage formulas.
+
+    Base-tuple variables are independent Bernoulli random variables; an
+    environment maps each variable to its marginal probability. The output
+    probability of a TP tuple is the probability that its lineage is
+    true. *)
+
+type env = Var.t -> float
+
+val env_of_alist : (Var.t * float) list -> env
+(** Lookup raising [Not_found] for unbound variables. *)
+
+val exact : env -> Formula.t -> float
+(** Exact probability via BDD-based weighted model counting. Worst-case
+    exponential (the problem is #P-hard) but linear in BDD size. *)
+
+val read_once : env -> Formula.t -> float option
+(** Fast path: when no variable occurs twice in the formula (a read-once
+    formula), the probability factorizes over the connectives:
+    [P(∧) = ∏ P], [P(∨) = 1 − ∏ (1 − P)], [P(¬f) = 1 − P(f)].
+    Returns [None] for formulas with repeated variables. Every window
+    lineage produced from duplicate-free base relations is read-once. *)
+
+val compute : env -> Formula.t -> float
+(** {!read_once} when it applies, otherwise {!exact}. This is what the
+    join operators call. *)
+
+val conditional : env -> given:Formula.t -> Formula.t -> float
+(** [conditional env ~given f] is P(f | given) = P(f ∧ given) / P(given),
+    computed exactly on one shared BDD. Conditioning on observed evidence
+    is the standard query refinement in probabilistic databases. Raises
+    [Invalid_argument] when the evidence has probability 0. *)
+
+val monte_carlo : ?seed:int -> samples:int -> env -> Formula.t -> float
+(** Monte-Carlo estimate: draws independent assignments from the
+    marginals and reports the fraction satisfying the formula. The
+    standard error is at most [0.5 / sqrt samples]; used as a scalable
+    cross-check of {!exact} and for lineages whose BDDs blow up.
+    Deterministic for a fixed [seed] (default 1). Raises
+    [Invalid_argument] if [samples <= 0]. *)
+
+val enumerate : env -> Formula.t -> float
+(** Reference implementation: sums over all 2^n assignments. Used by the
+    test suite to validate {!exact}; raises [Invalid_argument] for more
+    than 20 variables. *)

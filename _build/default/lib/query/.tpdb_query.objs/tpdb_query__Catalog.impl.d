@@ -1,0 +1,1 @@
+lib/query/catalog.ml: Hashtbl List String Tpdb_lineage Tpdb_relation

@@ -1,0 +1,1 @@
+lib/query/catalog.mli: Tpdb_lineage Tpdb_relation

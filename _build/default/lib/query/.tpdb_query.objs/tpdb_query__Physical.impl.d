@@ -1,0 +1,1 @@
+lib/query/physical.ml: Buffer List Option Printf Seq String Tpdb_interval Tpdb_joins Tpdb_lineage Tpdb_relation Tpdb_setops Tpdb_windows Unix

@@ -1,0 +1,1 @@
+lib/query/physical.mli: Seq Tpdb_interval Tpdb_joins Tpdb_lineage Tpdb_relation Tpdb_setops Tpdb_windows

@@ -1,0 +1,1 @@
+lib/query/planner.ml: Ast Catalog Float Fun List Parser Physical Printf String Tpdb_interval Tpdb_joins Tpdb_lineage Tpdb_relation Tpdb_setops Tpdb_windows

@@ -1,0 +1,137 @@
+type comparison = [ `Eq | `Ne | `Lt | `Le | `Gt | `Ge ]
+
+type operand =
+  | Column of string option * string
+  | Const of Tpdb_relation.Value.t
+
+type atom = { op : comparison; lhs : operand; rhs : operand }
+
+type join_kind = Inner | Left | Right | Full | Anti
+
+type join = { kind : join_kind; rel : string; on : atom list }
+
+type slice =
+  | At of int
+  | During of int * int
+
+type order_key =
+  | By_column of string
+  | By_probability
+  | By_start
+
+type direction = Asc | Desc
+
+type aggregate =
+  | Count
+  | Sum of string
+  | Avg of string
+
+type select = {
+  distinct : bool;
+  projection : string list option;
+  aggregate : aggregate option;
+  group_by : string list;
+  from : string;
+  joins : join list;
+  where : atom list;
+  slice : slice option;
+  order_by : (order_key * direction) option;
+  limit : int option;
+}
+
+type set_kind = Union | Intersect | Except
+
+type t =
+  | Select of select
+  | Set of set_kind * select * select
+
+let comparison_string = function
+  | `Eq -> "="
+  | `Ne -> "<>"
+  | `Lt -> "<"
+  | `Le -> "<="
+  | `Gt -> ">"
+  | `Ge -> ">="
+
+let operand_string = function
+  | Column (None, c) -> c
+  | Column (Some r, c) -> r ^ "." ^ c
+  | Const v -> (
+      match v with
+      | Tpdb_relation.Value.S s -> "'" ^ s ^ "'"
+      | other -> Tpdb_relation.Value.to_string other)
+
+let atom_string a =
+  Printf.sprintf "%s %s %s" (operand_string a.lhs)
+    (comparison_string a.op) (operand_string a.rhs)
+
+let conj_string atoms = String.concat " AND " (List.map atom_string atoms)
+
+let join_kind_string = function
+  | Inner -> "INNER TPJOIN"
+  | Left -> "LEFT TPJOIN"
+  | Right -> "RIGHT TPJOIN"
+  | Full -> "FULL TPJOIN"
+  | Anti -> "ANTIJOIN"
+
+let select_string s =
+  let proj =
+    match (s.aggregate, s.projection) with
+    | Some Count, _ -> "COUNT(*)"
+    | Some (Sum c), _ -> Printf.sprintf "SUM(%s)" c
+    | Some (Avg c), _ -> Printf.sprintf "AVG(%s)" c
+    | None, None -> "*"
+    | None, Some cols -> String.concat ", " cols
+  in
+  let proj = if s.distinct then "DISTINCT " ^ proj else proj in
+  let join =
+    String.concat ""
+      (List.map
+         (fun j ->
+           Printf.sprintf " %s %s ON %s" (join_kind_string j.kind) j.rel
+             (conj_string j.on))
+         s.joins)
+  in
+  let where =
+    match s.where with [] -> "" | atoms -> " WHERE " ^ conj_string atoms
+  in
+  let group =
+    match s.group_by with
+    | [] -> ""
+    | cols -> " GROUP BY " ^ String.concat ", " cols
+  in
+  let slice =
+    match s.slice with
+    | None -> ""
+    | Some (At t) -> Printf.sprintf " AT %d" t
+    | Some (During (a, b)) -> Printf.sprintf " DURING [%d,%d)" a b
+  in
+  let order =
+    match s.order_by with
+    | None -> ""
+    | Some (key, direction) ->
+        Printf.sprintf " ORDER BY %s%s"
+          (match key with
+          | By_column c -> c
+          | By_probability -> "p"
+          | By_start -> "ts")
+          (match direction with Asc -> "" | Desc -> " DESC")
+  in
+  let limit =
+    match s.limit with None -> "" | Some n -> Printf.sprintf " LIMIT %d" n
+  in
+  Printf.sprintf "SELECT %s FROM %s%s%s%s%s%s%s" proj s.from join where group
+    slice order limit
+
+let set_kind_string = function
+  | Union -> "UNION"
+  | Intersect -> "INTERSECT"
+  | Except -> "EXCEPT"
+
+let to_string = function
+  | Select s -> select_string s
+  | Set (k, a, b) ->
+      Printf.sprintf "%s %s %s" (select_string a) (set_kind_string k)
+        (select_string b)
+
+let pp ppf q = Format.pp_print_string ppf (to_string q)

@@ -1,0 +1,77 @@
+(** Abstract syntax of the mini TP-SQL dialect.
+
+    The dialect covers exactly the operators this repository implements:
+
+    {v
+    query    ::= select (UNION | INTERSECT | EXCEPT) select | select
+    select   ::= SELECT [DISTINCT] proj FROM rel join* [WHERE conj]
+                 [GROUP BY column (, column)*] [AT number | DURING interval]
+                 [ORDER BY (column | p | ts) [ASC | DESC]] [LIMIT number]
+    proj     ::= STAR | COUNT(STAR) | SUM(column) | AVG(column)
+               | column (, column)*
+    join     ::= (INNER | LEFT | RIGHT | FULL) TPJOIN rel ON conj
+               | ANTIJOIN rel ON conj
+    conj     ::= atom (AND atom)*
+    atom     ::= operand (= | <> | < | <= | > | >=) operand
+    operand  ::= ident | ident.ident | 'string' | number
+    v}
+
+    Temporal and probabilistic attributes are implicit, as in the paper:
+    every result row carries its interval, lineage and probability. *)
+
+type comparison = [ `Eq | `Ne | `Lt | `Le | `Gt | `Ge ]
+
+type operand =
+  | Column of string option * string  (** optional relation qualifier *)
+  | Const of Tpdb_relation.Value.t
+
+type atom = { op : comparison; lhs : operand; rhs : operand }
+
+type join_kind = Inner | Left | Right | Full | Anti
+
+type join = { kind : join_kind; rel : string; on : atom list }
+
+type slice =
+  | At of int  (** [AT t]: snapshot at one time point *)
+  | During of int * int  (** [DURING [a,b)]: clamp results to a window *)
+
+type order_key =
+  | By_column of string
+  | By_probability  (** [ORDER BY p] *)
+  | By_start  (** [ORDER BY ts] *)
+
+type direction = Asc | Desc
+
+type aggregate =
+  | Count  (** [COUNT(STAR)]: expected number of valid tuples *)
+  | Sum of string  (** [SUM(col)] *)
+  | Avg of string  (** [AVG(col)] *)
+
+type select = {
+  distinct : bool;  (** [SELECT DISTINCT]: duplicate-eliminating TP
+                        projection (lineage disjunction) *)
+  projection : string list option;  (** [None] = [*] *)
+  aggregate : aggregate option;
+      (** mutually exclusive with [projection]/[distinct] *)
+  group_by : string list;
+  from : string;
+  joins : join list;  (** left-deep chain, in source order *)
+  where : atom list;
+  slice : slice option;
+  order_by : (order_key * direction) option;
+  limit : int option;
+}
+
+type set_kind = Union | Intersect | Except
+
+type t =
+  | Select of select
+  | Set of set_kind * select * select
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val atom_string : atom -> string
+val conj_string : atom list -> string
+val join_kind_string : join_kind -> string
+val set_kind_string : set_kind -> string

@@ -1,0 +1,21 @@
+module Relation = Tpdb_relation.Relation
+module Prob = Tpdb_lineage.Prob
+
+type t = (string, Relation.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let register t r = Hashtbl.replace t (Relation.name r) r
+
+let find t name = Hashtbl.find_opt t name
+
+let find_exn t name =
+  match find t name with Some r -> r | None -> raise Not_found
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t []
+  |> List.sort String.compare
+
+let env t =
+  let relations = Hashtbl.fold (fun _ r acc -> r :: acc) t [] in
+  Relation.prob_env relations

@@ -1,0 +1,22 @@
+(** Named relations available to queries, with the probability environment
+    of all their base variables. *)
+
+module Relation = Tpdb_relation.Relation
+module Prob = Tpdb_lineage.Prob
+
+type t
+
+val create : unit -> t
+
+val register : t -> Relation.t -> unit
+(** Keyed by {!Relation.name}; re-registering a name replaces it. *)
+
+val find : t -> string -> Relation.t option
+val find_exn : t -> string -> Relation.t
+(** Raises [Not_found]. *)
+
+val names : t -> string list
+(** Sorted. *)
+
+val env : t -> Prob.env
+(** Marginals of every base variable of every registered relation. *)

@@ -1,0 +1,109 @@
+type token =
+  | Kw of string
+  | Ident of string
+  | Qualified of string * string
+  | Str of string
+  | Num of string
+  | Iv of int * int
+  | Op of string
+  | Comma
+  | Lparen
+  | Rparen
+  | Star
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "ON"; "AND"; "TPJOIN"; "ANTIJOIN"; "INNER";
+    "LEFT"; "RIGHT"; "FULL"; "UNION"; "INTERSECT"; "EXCEPT"; "AS"; "DISTINCT";
+    "AT"; "DURING"; "COUNT"; "SUM"; "AVG"; "GROUP"; "BY"; "ORDER"; "LIMIT"; "ASC"; "DESC";
+  ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      match input.[pos] with
+      | ' ' | '\t' | '\n' | '\r' -> go (pos + 1) acc
+      | ',' -> go (pos + 1) (Comma :: acc)
+      | '[' -> (
+          (* interval literal [ts,te) *)
+          let sub = String.sub input pos (min 32 (n - pos)) in
+          match Scanf.sscanf_opt sub "[%d,%d)" (fun a b -> (a, b)) with
+          | Some (a, b) ->
+              let consumed =
+                let rec find i = if input.[i] = ')' then i - pos + 1 else find (i + 1) in
+                find pos
+              in
+              go (pos + consumed) (Iv (a, b) :: acc)
+          | None -> raise (Lex_error ("malformed interval literal", pos)))
+      | '(' -> go (pos + 1) (Lparen :: acc)
+      | ')' -> go (pos + 1) (Rparen :: acc)
+      | '*' -> go (pos + 1) (Star :: acc)
+      | '=' -> go (pos + 1) (Op "=" :: acc)
+      | '<' ->
+          if pos + 1 < n && input.[pos + 1] = '>' then go (pos + 2) (Op "<>" :: acc)
+          else if pos + 1 < n && input.[pos + 1] = '=' then go (pos + 2) (Op "<=" :: acc)
+          else go (pos + 1) (Op "<" :: acc)
+      | '>' ->
+          if pos + 1 < n && input.[pos + 1] = '=' then go (pos + 2) (Op ">=" :: acc)
+          else go (pos + 1) (Op ">" :: acc)
+      | '\'' ->
+          let rec scan_string i =
+            if i >= n then raise (Lex_error ("unterminated string", pos))
+            else if input.[i] = '\'' then i
+            else scan_string (i + 1)
+          in
+          let close = scan_string (pos + 1) in
+          go (close + 1) (Str (String.sub input (pos + 1) (close - pos - 1)) :: acc)
+      | c when is_digit c || (c = '-' && pos + 1 < n && is_digit input.[pos + 1]) ->
+          let rec scan i =
+            if i < n && (is_digit input.[i] || input.[i] = '.') then scan (i + 1)
+            else i
+          in
+          let fin = scan (pos + 1) in
+          go fin (Num (String.sub input pos (fin - pos)) :: acc)
+      | c when is_ident_start c ->
+          let rec scan i = if i < n && is_ident input.[i] then scan (i + 1) else i in
+          let fin = scan (pos + 1) in
+          let word = String.sub input pos (fin - pos) in
+          let upper = String.uppercase_ascii word in
+          if List.mem upper keywords then go fin (Kw upper :: acc)
+          else if fin < n && input.[fin] = '.' then begin
+            let col_start = fin + 1 in
+            if col_start >= n || not (is_ident_start input.[col_start]) then
+              raise (Lex_error ("expected column after '.'", fin));
+            let rec scan2 i =
+              if i < n && is_ident input.[i] then scan2 (i + 1) else i
+            in
+            let col_end = scan2 col_start in
+            go col_end
+              (Qualified (word, String.sub input col_start (col_end - col_start))
+              :: acc)
+          end
+          else go fin (Ident word :: acc)
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos))
+  in
+  go 0 []
+
+let token_string = function
+  | Kw k -> k
+  | Ident i -> i
+  | Qualified (r, c) -> r ^ "." ^ c
+  | Str s -> "'" ^ s ^ "'"
+  | Num x -> x
+  | Iv (a, b) -> Printf.sprintf "[%d,%d)" a b
+  | Op o -> o
+  | Comma -> ","
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Star -> "*"

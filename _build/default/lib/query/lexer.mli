@@ -1,0 +1,21 @@
+(** Tokenizer for the mini TP-SQL dialect. *)
+
+type token =
+  | Kw of string  (** upper-cased keyword: SELECT, FROM, TPJOIN, ... *)
+  | Ident of string
+  | Qualified of string * string  (** [a.Loc] *)
+  | Str of string  (** ['...'] *)
+  | Num of string
+  | Iv of int * int  (** interval literal [[2,8)] *)
+  | Op of string  (** [=], [<>], [<], [<=], [>], [>=] *)
+  | Comma
+  | Lparen
+  | Rparen
+  | Star
+
+exception Lex_error of string * int
+(** Message and byte offset. *)
+
+val tokenize : string -> token list
+
+val token_string : token -> string

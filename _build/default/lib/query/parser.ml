@@ -1,0 +1,276 @@
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail msg = raise (Parse_error msg)
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with
+  | [] -> fail "unexpected end of query"
+  | t :: rest ->
+      st.tokens <- rest;
+      t
+
+let expect_kw st kw =
+  match advance st with
+  | Lexer.Kw k when String.equal k kw -> ()
+  | t -> fail (Printf.sprintf "expected %s, got %s" kw (Lexer.token_string t))
+
+let ident st =
+  match advance st with
+  | Lexer.Ident i -> i
+  | t -> fail (Printf.sprintf "expected identifier, got %s" (Lexer.token_string t))
+
+let comparison_of_op = function
+  | "=" -> `Eq
+  | "<>" -> `Ne
+  | "<" -> `Lt
+  | "<=" -> `Le
+  | ">" -> `Gt
+  | ">=" -> `Ge
+  | o -> fail (Printf.sprintf "unknown operator %s" o)
+
+let operand st : Ast.operand =
+  match advance st with
+  | Lexer.Ident i -> Ast.Column (None, i)
+  | Lexer.Qualified (r, c) -> Ast.Column (Some r, c)
+  | Lexer.Str s -> Ast.Const (Tpdb_relation.Value.S s)
+  | Lexer.Num x -> Ast.Const (Tpdb_relation.Value.of_string_guess x)
+  | t -> fail (Printf.sprintf "expected operand, got %s" (Lexer.token_string t))
+
+let atom st : Ast.atom =
+  let lhs = operand st in
+  let op =
+    match advance st with
+    | Lexer.Op o -> comparison_of_op o
+    | t -> fail (Printf.sprintf "expected comparison, got %s" (Lexer.token_string t))
+  in
+  let rhs = operand st in
+  { Ast.op; lhs; rhs }
+
+let conj st =
+  let rec more acc =
+    match peek st with
+    | Some (Lexer.Kw "AND") ->
+        ignore (advance st);
+        more (atom st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ atom st ]
+
+let projection st =
+  match peek st with
+  | Some Lexer.Star ->
+      ignore (advance st);
+      None
+  | _ ->
+      let column () =
+        match advance st with
+        | Lexer.Ident i -> i
+        | Lexer.Qualified (r, c) -> r ^ "." ^ c
+        | t ->
+            fail (Printf.sprintf "expected column, got %s" (Lexer.token_string t))
+      in
+      let rec more acc =
+        match peek st with
+        | Some Lexer.Comma ->
+            ignore (advance st);
+            more (column () :: acc)
+        | _ -> List.rev acc
+      in
+      Some (more [ column () ])
+
+let join_opt st : Ast.join option =
+  let joined ~tpjoin_follows kind =
+    ignore (advance st);
+    if tpjoin_follows then expect_kw st "TPJOIN";
+    let rel = ident st in
+    expect_kw st "ON";
+    Some { Ast.kind; rel; on = conj st }
+  in
+  match peek st with
+  | Some (Lexer.Kw "INNER") -> joined ~tpjoin_follows:true Ast.Inner
+  | Some (Lexer.Kw "LEFT") -> joined ~tpjoin_follows:true Ast.Left
+  | Some (Lexer.Kw "RIGHT") -> joined ~tpjoin_follows:true Ast.Right
+  | Some (Lexer.Kw "FULL") -> joined ~tpjoin_follows:true Ast.Full
+  | Some (Lexer.Kw "ANTIJOIN") -> joined ~tpjoin_follows:false Ast.Anti
+  | Some (Lexer.Kw "TPJOIN") -> joined ~tpjoin_follows:false Ast.Inner
+  | _ -> None
+
+let slice_opt st : Ast.slice option =
+  match peek st with
+  | Some (Lexer.Kw "AT") -> (
+      ignore (advance st);
+      match advance st with
+      | Lexer.Num x -> (
+          match int_of_string_opt x with
+          | Some t -> Some (Ast.At t)
+          | None -> fail (Printf.sprintf "AT expects an integer, got %s" x))
+      | t -> fail (Printf.sprintf "AT expects a time point, got %s" (Lexer.token_string t)))
+  | Some (Lexer.Kw "DURING") -> (
+      ignore (advance st);
+      match advance st with
+      | Lexer.Iv (a, b) when a < b -> Some (Ast.During (a, b))
+      | Lexer.Iv _ -> fail "DURING expects a non-empty interval"
+      | t ->
+          fail
+            (Printf.sprintf "DURING expects an interval literal, got %s"
+               (Lexer.token_string t)))
+  | _ -> None
+
+(* COUNT(star), SUM(col), AVG(col) *)
+let aggregate_opt st : Ast.aggregate option =
+  let parenthesized_column kw =
+    (match advance st with
+    | Lexer.Lparen -> ()
+    | t -> fail (Printf.sprintf "%s expects '(', got %s" kw (Lexer.token_string t)));
+    let column =
+      match advance st with
+      | Lexer.Ident c -> c
+      | t -> fail (Printf.sprintf "%s expects a column, got %s" kw (Lexer.token_string t))
+    in
+    (match advance st with
+    | Lexer.Rparen -> ()
+    | t -> fail (Printf.sprintf "%s expects ')', got %s" kw (Lexer.token_string t)));
+    column
+  in
+  match peek st with
+  | Some (Lexer.Kw "COUNT") ->
+      ignore (advance st);
+      (match (advance st, advance st, advance st) with
+      | Lexer.Lparen, Lexer.Star, Lexer.Rparen -> Some Ast.Count
+      | _ -> fail "COUNT expects (*)")
+  | Some (Lexer.Kw "SUM") ->
+      ignore (advance st);
+      Some (Ast.Sum (parenthesized_column "SUM"))
+  | Some (Lexer.Kw "AVG") ->
+      ignore (advance st);
+      Some (Ast.Avg (parenthesized_column "AVG"))
+  | _ -> None
+
+let group_by_opt st =
+  match peek st with
+  | Some (Lexer.Kw "GROUP") ->
+      ignore (advance st);
+      expect_kw st "BY";
+      let rec more acc =
+        match peek st with
+        | Some Lexer.Comma ->
+            ignore (advance st);
+            more (ident st :: acc)
+        | _ -> List.rev acc
+      in
+      more [ ident st ]
+  | _ -> []
+
+let order_by_opt st =
+  match peek st with
+  | Some (Lexer.Kw "ORDER") ->
+      ignore (advance st);
+      expect_kw st "BY";
+      let key =
+        match advance st with
+        | Lexer.Ident "p" -> Ast.By_probability
+        | Lexer.Ident "ts" -> Ast.By_start
+        | Lexer.Ident c -> Ast.By_column c
+        | Lexer.Qualified (r, c) -> Ast.By_column (r ^ "." ^ c)
+        | t ->
+            fail (Printf.sprintf "ORDER BY expects a key, got %s"
+                    (Lexer.token_string t))
+      in
+      let direction =
+        match peek st with
+        | Some (Lexer.Kw "ASC") ->
+            ignore (advance st);
+            Ast.Asc
+        | Some (Lexer.Kw "DESC") ->
+            ignore (advance st);
+            Ast.Desc
+        | _ -> Ast.Asc
+      in
+      Some (key, direction)
+  | _ -> None
+
+let limit_opt st =
+  match peek st with
+  | Some (Lexer.Kw "LIMIT") -> (
+      ignore (advance st);
+      match advance st with
+      | Lexer.Num x -> (
+          match int_of_string_opt x with
+          | Some n when n >= 0 -> Some n
+          | _ -> fail (Printf.sprintf "LIMIT expects a non-negative integer, got %s" x))
+      | t -> fail (Printf.sprintf "LIMIT expects a number, got %s" (Lexer.token_string t)))
+  | _ -> None
+
+let select st : Ast.select =
+  expect_kw st "SELECT";
+  let distinct =
+    match peek st with
+    | Some (Lexer.Kw "DISTINCT") ->
+        ignore (advance st);
+        true
+    | _ -> false
+  in
+  let aggregate = aggregate_opt st in
+  let projection =
+    match aggregate with
+    | Some _ ->
+        if distinct then fail "DISTINCT cannot combine with an aggregate";
+        None
+    | None -> projection st
+  in
+  expect_kw st "FROM";
+  let from = ident st in
+  let rec joins acc =
+    match join_opt st with Some j -> joins (j :: acc) | None -> List.rev acc
+  in
+  let joins = joins [] in
+  let where =
+    match peek st with
+    | Some (Lexer.Kw "WHERE") ->
+        ignore (advance st);
+        conj st
+    | _ -> []
+  in
+  let group_by = group_by_opt st in
+  if group_by <> [] && aggregate = None then
+    fail "GROUP BY requires an aggregate (COUNT/SUM/AVG)";
+  let slice = slice_opt st in
+  let order_by = order_by_opt st in
+  let limit = limit_opt st in
+  {
+    Ast.distinct;
+    projection;
+    aggregate;
+    group_by;
+    from;
+    joins;
+    where;
+    slice;
+    order_by;
+    limit;
+  }
+
+let parse input =
+  let st = { tokens = Lexer.tokenize input } in
+  let first = select st in
+  let result =
+    match peek st with
+    | Some (Lexer.Kw "UNION") ->
+        ignore (advance st);
+        Ast.Set (Ast.Union, first, select st)
+    | Some (Lexer.Kw "INTERSECT") ->
+        ignore (advance st);
+        Ast.Set (Ast.Intersect, first, select st)
+    | Some (Lexer.Kw "EXCEPT") ->
+        ignore (advance st);
+        Ast.Set (Ast.Except, first, select st)
+    | _ -> Ast.Select first
+  in
+  (match peek st with
+  | None -> ()
+  | Some t -> fail (Printf.sprintf "trailing input at %s" (Lexer.token_string t)));
+  result

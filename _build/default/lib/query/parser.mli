@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the mini TP-SQL dialect (grammar in
+    {!Ast}). *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.t
+(** Raises {!Parse_error} (or {!Lexer.Lex_error}) on malformed input. *)

@@ -1,0 +1,276 @@
+module Relation = Tpdb_relation.Relation
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Prob = Tpdb_lineage.Prob
+module Theta = Tpdb_windows.Theta
+module Overlap = Tpdb_windows.Overlap
+module Nj = Tpdb_joins.Nj
+module Set_ops = Tpdb_setops.Set_ops
+module Projection = Tpdb_setops.Projection
+module Aggregate = Tpdb_setops.Aggregate
+
+type t =
+  | Scan of Relation.t
+  | Filter of { description : string; predicate : Tuple.t -> bool; child : t }
+  | Project of { columns : int list; schema : Schema.t; child : t }
+  | Tp_join of {
+      kind : Nj.join_kind;
+      algorithm : Overlap.algorithm;
+      theta : Theta.t;
+      left : t;
+      right : t;
+    }
+  | Distinct_project of { columns : int list; schema : Schema.t; child : t }
+  | Timeslice of { window : Tpdb_interval.Interval.t; child : t }
+  | Aggregate of { group_by : int list; spec : Aggregate.spec; child : t }
+  | Sort_limit of {
+      description : string;
+      compare : Tuple.t -> Tuple.t -> int;
+      limit : int option;
+      child : t;
+    }
+  | Set_op of { kind : [ `Union | `Intersect | `Except ]; left : t; right : t }
+
+let rec schema = function
+  | Scan r -> Relation.schema r
+  | Filter { child; _ } | Timeslice { child; _ } | Sort_limit { child; _ } ->
+      schema child
+  | Project { schema = s; _ } | Distinct_project { schema = s; _ } -> s
+  | Aggregate { group_by; spec; child } ->
+      Aggregate.output_schema ~group_by spec (schema child)
+  | Tp_join { kind = Nj.Anti; left; right; _ } ->
+      let l = schema left and r = schema right in
+      Schema.rename (Schema.name l ^ "_anti_" ^ Schema.name r) l
+  | Tp_join { left; right; _ } -> Schema.join (schema left) (schema right)
+  | Set_op { kind; left; right } ->
+      let op =
+        match kind with
+        | `Union -> "union"
+        | `Intersect -> "isect"
+        | `Except -> "minus"
+      in
+      let l = schema left and r = schema right in
+      Schema.rename (Schema.name l ^ "_" ^ op ^ "_" ^ Schema.name r) l
+
+let rec to_relation ~env plan =
+  match plan with
+  | Scan r -> r
+  | Filter { predicate; child; _ } ->
+      Relation.filter predicate (to_relation ~env child)
+  | Timeslice { window; child } ->
+      Relation.timeslice window (to_relation ~env child)
+  | Project { columns; schema; child } ->
+      let projected tp =
+        Tuple.make
+          ~fact:(Fact.project columns (Tuple.fact tp))
+          ~lineage:(Tuple.lineage tp) ~iv:(Tuple.iv tp) ~p:(Tuple.p tp)
+      in
+      Relation.of_tuples schema
+        (List.map projected (Relation.tuples (to_relation ~env child)))
+  | Distinct_project { columns; child; _ } ->
+      Projection.project ~env ~columns (to_relation ~env child)
+  | Aggregate { group_by; spec; child } ->
+      Aggregate.sequenced ~env ~group_by spec (to_relation ~env child)
+  | Sort_limit { compare; limit; child; _ } ->
+      let input = to_relation ~env child in
+      let sorted = List.stable_sort compare (Relation.tuples input) in
+      let limited =
+        match limit with
+        | None -> sorted
+        | Some n -> List.filteri (fun i _ -> i < n) sorted
+      in
+      Relation.of_tuples (Relation.schema input) limited
+  | Tp_join { kind; algorithm; theta; left; right } ->
+      let options = { Nj.default_options with algorithm } in
+      Nj.run ~options ~env ~kind ~theta (to_relation ~env left)
+        (to_relation ~env right)
+  | Set_op { kind; left; right } ->
+      let op =
+        match kind with
+        | `Union -> Set_ops.union
+        | `Intersect -> Set_ops.intersection
+        | `Except -> Set_ops.difference
+      in
+      op ~env (to_relation ~env left) (to_relation ~env right)
+
+(* Filters and projections stream over the child's sequence; blocking
+   nodes (joins, set operations, distinct) fall back to [to_relation] for
+   their inputs and stream their own output. *)
+let rec execute ~env plan =
+  match plan with
+  | Scan r -> Relation.to_seq r
+  | Filter { predicate; child; _ } -> Seq.filter predicate (execute ~env child)
+  | Timeslice { window; child } ->
+      Seq.filter_map
+        (fun tp ->
+          Tpdb_interval.Interval.clamp ~within:window (Tuple.iv tp)
+          |> Option.map (fun iv ->
+                 Tuple.make ~fact:(Tuple.fact tp) ~lineage:(Tuple.lineage tp)
+                   ~iv ~p:(Tuple.p tp)))
+        (execute ~env child)
+  | Project { columns; child; _ } ->
+      Seq.map
+        (fun tp ->
+          Tuple.make
+            ~fact:(Fact.project columns (Tuple.fact tp))
+            ~lineage:(Tuple.lineage tp) ~iv:(Tuple.iv tp) ~p:(Tuple.p tp))
+        (execute ~env child)
+  | Distinct_project _ | Tp_join _ | Set_op _ | Aggregate _ | Sort_limit _ ->
+      fun () -> Relation.to_seq (to_relation ~env plan) ()
+
+let algorithm_string : Overlap.algorithm -> string = function
+  | `Hash -> "hash"
+  | `Nested_loop -> "nested loop"
+  | `Merge -> "merge"
+  | `Index -> "interval-tree index"
+
+let kind_string = function
+  | Nj.Inner -> "TP Inner Join"
+  | Nj.Anti -> "TP Anti Join"
+  | Nj.Left -> "TP Left Outer Join"
+  | Nj.Right -> "TP Right Outer Join"
+  | Nj.Full -> "TP Full Outer Join"
+
+(* Shared by explain and analyze: the one-line description of a node. *)
+let describe ~child_schema plan =
+  match plan with
+  | Scan r -> Printf.sprintf "Scan %s (%d tuples)" (Relation.name r) (Relation.cardinality r)
+  | Filter { description; _ } -> Printf.sprintf "Filter (%s)" description
+  | Timeslice { window; _ } ->
+      Printf.sprintf "Timeslice (%s)" (Tpdb_interval.Interval.to_string window)
+  | Project { schema = s; _ } ->
+      Printf.sprintf "Project (%s)" (String.concat ", " (Schema.columns s))
+  | Distinct_project { schema = s; _ } ->
+      Printf.sprintf "Distinct TP Project (%s; lineage disjunction)"
+        (String.concat ", " (Schema.columns s))
+  | Tp_join { kind; algorithm; theta; left; right } ->
+      Printf.sprintf "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s)"
+        (kind_string kind)
+        (algorithm_string algorithm)
+        (Theta.to_string ~left:(child_schema left) ~right:(child_schema right) theta)
+  | Aggregate { spec; _ } ->
+      Printf.sprintf "Sequenced Aggregate (%s; expectation per witness-constant segment)"
+        (match spec with
+        | Aggregate.Count -> "COUNT(*)"
+        | Aggregate.Sum c -> Printf.sprintf "SUM(#%d)" c
+        | Aggregate.Avg c -> Printf.sprintf "AVG(#%d)" c)
+  | Sort_limit { description; limit; _ } ->
+      Printf.sprintf "Sort%s (%s)"
+        (match limit with
+        | None -> ""
+        | Some n -> Printf.sprintf " + Limit %d" n)
+        description
+  | Set_op { kind; _ } ->
+      Printf.sprintf "TP %s (windows)"
+        (match kind with
+        | `Union -> "Union"
+        | `Intersect -> "Intersect"
+        | `Except -> "Except")
+
+let children = function
+  | Scan _ -> []
+  | Filter { child; _ }
+  | Timeslice { child; _ }
+  | Project { child; _ }
+  | Distinct_project { child; _ }
+  | Aggregate { child; _ }
+  | Sort_limit { child; _ } ->
+      [ child ]
+  | Tp_join { left; right; _ } | Set_op { left; right; _ } -> [ left; right ]
+
+(* Re-roots a plan onto pre-materialized child relations, so each node can
+   be timed in isolation. *)
+let with_children plan inputs =
+  match (plan, inputs) with
+  | Scan _, [] -> plan
+  | Filter f, [ child ] -> Filter { f with child = Scan child }
+  | Timeslice t, [ child ] -> Timeslice { t with child = Scan child }
+  | Project p, [ child ] -> Project { p with child = Scan child }
+  | Distinct_project p, [ child ] -> Distinct_project { p with child = Scan child }
+  | Aggregate a, [ child ] -> Aggregate { a with child = Scan child }
+  | Sort_limit s, [ child ] -> Sort_limit { s with child = Scan child }
+  | Tp_join j, [ left; right ] ->
+      Tp_join { j with left = Scan left; right = Scan right }
+  | Set_op s, [ left; right ] -> Set_op { s with left = Scan left; right = Scan right }
+  | _ -> invalid_arg "Physical.with_children: arity mismatch"
+
+(* Render top-down but execute bottom-up: execute children first, time
+   this node over the materialized inputs, then emit this node's line
+   before the children's blocks. *)
+let analyze ~env plan =
+  let rec run indent plan =
+    let child_results = List.map (run (indent + 1)) (children plan) in
+    let child_relations = List.map (fun (r, _, _) -> r) child_results in
+    let rerooted = with_children plan child_relations in
+    let t0 = Unix.gettimeofday () in
+    let result = to_relation ~env rerooted in
+    let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    let line =
+      Printf.sprintf "%s%s  [rows=%d, %.1f ms]"
+        (String.make (2 * indent) ' ')
+        (describe ~child_schema:schema plan)
+        (Relation.cardinality result) ms
+    in
+    let block = String.concat "\n" (line :: List.map (fun (_, _, b) -> b) child_results) in
+    (result, ms, block)
+  in
+  let result, _, block = run 0 plan in
+  (result, block)
+
+let explain plan =
+  let buffer = Buffer.create 256 in
+  let rec render indent plan =
+    let pad = String.make (2 * indent) ' ' in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (pad ^ s ^ "\n")) fmt in
+    match plan with
+    | Scan r -> line "Scan %s (%d tuples)" (Relation.name r) (Relation.cardinality r)
+    | Filter { description; child; _ } ->
+        line "Filter (%s)" description;
+        render (indent + 1) child
+    | Timeslice { window; child } ->
+        line "Timeslice (%s)" (Tpdb_interval.Interval.to_string window);
+        render (indent + 1) child
+    | Project { schema = s; child; _ } ->
+        line "Project (%s)" (String.concat ", " (Schema.columns s));
+        render (indent + 1) child
+    | Distinct_project { schema = s; child; _ } ->
+        line "Distinct TP Project (%s; lineage disjunction)"
+          (String.concat ", " (Schema.columns s));
+        render (indent + 1) child
+    | Tp_join { kind; algorithm; theta; left; right } ->
+        line "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s)"
+          (kind_string kind)
+          (algorithm_string algorithm)
+          (Theta.to_string ~left:(schema left) ~right:(schema right) theta);
+        render (indent + 1) left;
+        render (indent + 1) right
+    | Aggregate { spec; child; _ } ->
+        line "Sequenced Aggregate (%s; expectation per witness-constant segment)"
+          (match spec with
+          | Aggregate.Count -> "COUNT(*)"
+          | Aggregate.Sum c -> Printf.sprintf "SUM(#%d)" c
+          | Aggregate.Avg c -> Printf.sprintf "AVG(#%d)" c);
+        render (indent + 1) child
+    | Sort_limit { description; limit; child; _ } ->
+        line "Sort%s (%s)"
+          (match limit with
+          | None -> ""
+          | Some n -> Printf.sprintf " + Limit %d" n)
+          description;
+        render (indent + 1) child
+    | Set_op { kind; left; right } ->
+        line "TP %s (windows)"
+          (match kind with
+          | `Union -> "Union"
+          | `Intersect -> "Intersect"
+          | `Except -> "Except");
+        render (indent + 1) left;
+        render (indent + 1) right
+  in
+  render 0 plan;
+  (* drop the trailing newline *)
+  let s = Buffer.contents buffer in
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s

@@ -1,0 +1,62 @@
+(** Physical query plans.
+
+    The planner lowers a TP-SQL AST into a tree of physical operators,
+    mirroring how the paper's implementation appears inside PostgreSQL's
+    executor: scans feed a TP join node (the Overlap → LAWAU → LAWAN
+    pipeline with a chosen join algorithm), optionally topped by filter
+    and projection nodes. [execute] streams tuples: filters and
+    projections are fully pipelined; a join node materializes its inputs
+    (the build phase, as a hash join does) and then streams its output
+    windows through output formation. *)
+
+module Relation = Tpdb_relation.Relation
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Prob = Tpdb_lineage.Prob
+module Theta = Tpdb_windows.Theta
+module Overlap = Tpdb_windows.Overlap
+
+type t =
+  | Scan of Relation.t
+  | Filter of { description : string; predicate : Tuple.t -> bool; child : t }
+  | Project of { columns : int list; schema : Schema.t; child : t }
+  | Tp_join of {
+      kind : Tpdb_joins.Nj.join_kind;
+      algorithm : Overlap.algorithm;
+      theta : Theta.t;
+      left : t;
+      right : t;
+    }
+  | Distinct_project of { columns : int list; schema : Schema.t; child : t }
+      (** duplicate-eliminating TP projection: lineages of coinciding
+          tuples are disjoined per time point *)
+  | Timeslice of { window : Tpdb_interval.Interval.t; child : t }
+      (** AT / DURING: clamp result validity to a window *)
+  | Aggregate of {
+      group_by : int list;
+      spec : Tpdb_setops.Aggregate.spec;
+      child : t;
+    }  (** sequenced expected-value aggregation *)
+  | Sort_limit of {
+      description : string;
+      compare : Tuple.t -> Tuple.t -> int;
+      limit : int option;
+      child : t;
+    }  (** ORDER BY / LIMIT: blocking *)
+  | Set_op of { kind : [ `Union | `Intersect | `Except ]; left : t; right : t }
+
+val schema : t -> Schema.t
+
+val execute : env:Prob.env -> t -> Tuple.t Seq.t
+(** Streams the plan's result. Recomputed on each traversal. *)
+
+val to_relation : env:Prob.env -> t -> Relation.t
+
+val explain : t -> string
+(** Multi-line tree rendering; join nodes name their algorithm
+    ([overlap[hash]] / [overlap[nested loop]]) and θ. *)
+
+val analyze : env:Prob.env -> t -> Relation.t * string
+(** EXPLAIN ANALYZE: executes the plan bottom-up, materializing at node
+    granularity, and returns the result plus the explain tree annotated
+    with per-node output cardinality and exclusive wall time. *)

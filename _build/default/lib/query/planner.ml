@@ -1,0 +1,295 @@
+module Relation = Tpdb_relation.Relation
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Value = Tpdb_relation.Value
+module Interval = Tpdb_interval.Interval
+module Theta = Tpdb_windows.Theta
+module Nj = Tpdb_joins.Nj
+
+exception Plan_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Plan_error msg)) fmt
+
+type t = { plan : Physical.t; env : Tpdb_lineage.Prob.env }
+
+type side = L of int | R of int
+
+(* In a join chain the left side is a composite whose clashing columns are
+   qualified ("a.Loc"); a qualified reference therefore matches the left
+   side either through the schema name (base relation) or through the
+   qualified column name itself, falling back to the bare name. *)
+let resolve_side ~left ~right (qualifier, column) =
+  let in_schema schema name = Schema.column_index schema name in
+  match qualifier with
+  | Some q ->
+      let left_hit =
+        if String.equal q (Schema.name left) then in_schema left column
+        else in_schema left (q ^ "." ^ column)
+      in
+      let right_hit =
+        if String.equal q (Schema.name right) then in_schema right column
+        else None
+      in
+      (match (left_hit, right_hit) with
+      | Some i, None -> L i
+      | None, Some j -> R j
+      | Some _, Some _ -> fail "ambiguous column %s.%s" q column
+      | None, None -> (
+          (* Deep constituent of the composite left side whose column
+             stayed unqualified (no name clash). *)
+          match in_schema left column with
+          | Some i -> L i
+          | None -> fail "unknown column %s.%s" q column))
+  | None -> (
+      match (in_schema left column, in_schema right column) with
+      | Some i, None -> L i
+      | None, Some j -> R j
+      | Some _, Some _ -> fail "ambiguous column %s" column
+      | None, None -> fail "unknown column %s" column)
+
+let swap_op : Ast.comparison -> Theta.op = function
+  | `Eq -> `Eq
+  | `Ne -> `Ne
+  | `Lt -> `Gt
+  | `Le -> `Ge
+  | `Gt -> `Lt
+  | `Ge -> `Le
+
+let theta_atom ~left ~right (atom : Ast.atom) =
+  let side = function
+    | Ast.Column (q, c) -> `Col (resolve_side ~left ~right (q, c))
+    | Ast.Const v -> `Const v
+  in
+  match (side atom.lhs, side atom.rhs) with
+  | `Col (L i), `Col (R j) -> Theta.Cols ((atom.op :> Theta.op), i, j)
+  | `Col (R j), `Col (L i) -> Theta.Cols (swap_op atom.op, i, j)
+  | `Col (L i), `Const v -> Theta.Left_const ((atom.op :> Theta.op), i, v)
+  | `Col (R j), `Const v -> Theta.Right_const ((atom.op :> Theta.op), j, v)
+  | `Const v, `Col (L i) -> Theta.Left_const (swap_op atom.op, i, v)
+  | `Const v, `Col (R j) -> Theta.Right_const (swap_op atom.op, j, v)
+  | `Col (L _), `Col (L _) | `Col (R _), `Col (R _) ->
+      fail "condition %s does not relate the two relations"
+        (Ast.atom_string atom)
+  | `Const _, `Const _ ->
+      fail "constant-only condition %s" (Ast.atom_string atom)
+
+(* WHERE predicates run over the output schema; qualified references use
+   the qualified column names Schema.join produces ("a.Loc"). *)
+let where_predicate schema atoms =
+  let resolve = function
+    | Ast.Column (q, c) ->
+        let name = match q with Some q -> q ^ "." ^ c | None -> c in
+        let index =
+          match Schema.column_index schema name with
+          | Some i -> Some i
+          | None -> Schema.column_index schema c
+        in
+        (match index with
+        | Some i -> `Col i
+        | None -> fail "unknown column %s in WHERE" name)
+    | Ast.Const v -> `Const v
+  in
+  let compiled =
+    List.map (fun (a : Ast.atom) -> (a.op, resolve a.lhs, resolve a.rhs)) atoms
+  in
+  fun tuple ->
+    let fact = Tuple.fact tuple in
+    let value = function `Col i -> Fact.get fact i | `Const v -> v in
+    List.for_all
+      (fun (op, lhs, rhs) ->
+        let a = value lhs and b = value rhs in
+        if Value.is_null a || Value.is_null b then false
+        else
+          let c = Value.compare a b in
+          match op with
+          | `Eq -> c = 0
+          | `Ne -> c <> 0
+          | `Lt -> c < 0
+          | `Le -> c <= 0
+          | `Gt -> c > 0
+          | `Ge -> c >= 0)
+      compiled
+
+let projection_indices schema columns =
+  List.map
+    (fun name ->
+      match Schema.column_index schema name with
+      | Some i -> i
+      | None -> fail "unknown column %s in SELECT" name)
+    columns
+
+let join_kind : Ast.join_kind -> Nj.join_kind = function
+  | Ast.Inner -> Nj.Inner
+  | Ast.Left -> Nj.Left
+  | Ast.Right -> Nj.Right
+  | Ast.Full -> Nj.Full
+  | Ast.Anti -> Nj.Anti
+
+let plan_select catalog (s : Ast.select) : Physical.t =
+  let lookup name =
+    match Catalog.find catalog name with
+    | Some r -> r
+    | None -> fail "unknown relation %s" name
+  in
+  let base =
+    (* Left-deep chain in source order. The optimizer's per-join choice:
+       hash on an equality atom, nested loop otherwise — the same split
+       PostgreSQL makes for θo ∧ θ. *)
+    List.fold_left
+      (fun acc (j : Ast.join) ->
+        let right = lookup j.rel in
+        let theta =
+          Theta.of_atoms
+            (List.map
+               (theta_atom ~left:(Physical.schema acc)
+                  ~right:(Relation.schema right))
+               j.on)
+        in
+        let algorithm : Tpdb_windows.Overlap.algorithm =
+          match Theta.equi_keys theta with
+          | Some _ -> `Hash
+          | None -> `Nested_loop
+        in
+        Physical.Tp_join
+          {
+            kind = join_kind j.kind;
+            algorithm;
+            theta;
+            left = acc;
+            right = Physical.Scan right;
+          })
+      (Physical.Scan (lookup s.from))
+      s.joins
+  in
+  let with_where =
+    match s.where with
+    | [] -> base
+    | atoms ->
+        Physical.Filter
+          {
+            description = Ast.conj_string atoms;
+            predicate = where_predicate (Physical.schema base) atoms;
+            child = base;
+          }
+  in
+  let with_slice =
+    match s.slice with
+    | None -> with_where
+    | Some (Ast.At t) ->
+        Physical.Timeslice { window = Interval.make t (t + 1); child = with_where }
+    | Some (Ast.During (a, b)) ->
+        if a >= b then fail "DURING window [%d,%d) is empty" a b;
+        Physical.Timeslice { window = Interval.make a b; child = with_where }
+  in
+  let child_schema = Physical.schema with_slice in
+  let projected_schema columns =
+    try Schema.make ~name:(Schema.name child_schema) columns
+    with Invalid_argument msg -> fail "bad projection: %s" msg
+  in
+  let column_index name =
+    match Schema.column_index child_schema name with
+    | Some i -> i
+    | None -> fail "unknown column %s" name
+  in
+  let with_order_limit plan =
+    match (s.order_by, s.limit) with
+    | None, None -> plan
+    | order, _ ->
+        let plan_schema = Physical.schema plan in
+        let key_compare =
+          match order with
+          | None -> fun _ _ -> 0
+          | Some (key, direction) ->
+              let base =
+                match key with
+                | Ast.By_probability ->
+                    fun a b -> Float.compare (Tuple.p a) (Tuple.p b)
+                | Ast.By_start ->
+                    fun a b ->
+                      Interval.compare_start (Tuple.iv a) (Tuple.iv b)
+                | Ast.By_column name -> (
+                    match Schema.column_index plan_schema name with
+                    | Some i ->
+                        fun a b ->
+                          Value.compare
+                            (Fact.get (Tuple.fact a) i)
+                            (Fact.get (Tuple.fact b) i)
+                    | None -> fail "unknown column %s in ORDER BY" name)
+              in
+              (match direction with
+              | Ast.Asc -> base
+              | Ast.Desc -> fun a b -> base b a)
+        in
+        let description =
+          (match order with
+          | None -> "input order"
+          | Some (key, direction) ->
+              Printf.sprintf "%s%s"
+                (match key with
+                | Ast.By_column c -> c
+                | Ast.By_probability -> "p"
+                | Ast.By_start -> "ts")
+                (match direction with Ast.Asc -> "" | Ast.Desc -> " desc"))
+        in
+        Physical.Sort_limit
+          { description; compare = key_compare; limit = s.limit; child = plan }
+  in
+  with_order_limit
+  @@
+  match s.aggregate with
+  | Some aggregate ->
+      let spec : Tpdb_setops.Aggregate.spec =
+        match aggregate with
+        | Ast.Count -> Tpdb_setops.Aggregate.Count
+        | Ast.Sum c -> Tpdb_setops.Aggregate.Sum (column_index c)
+        | Ast.Avg c -> Tpdb_setops.Aggregate.Avg (column_index c)
+      in
+      Physical.Aggregate
+        {
+          group_by = List.map column_index s.group_by;
+          spec;
+          child = with_slice;
+        }
+  | None -> (
+  match (s.projection, s.distinct) with
+  | None, false -> with_slice
+  | None, true ->
+      (* DISTINCT * : duplicate-eliminate on the full fact. *)
+      Physical.Distinct_project
+        {
+          columns = List.init (Schema.arity child_schema) Fun.id;
+          schema = child_schema;
+          child = with_slice;
+        }
+  | Some columns, distinct ->
+      let indices = projection_indices child_schema columns in
+      let schema = projected_schema columns in
+      if distinct then
+        Physical.Distinct_project { columns = indices; schema; child = with_slice }
+      else Physical.Project { columns = indices; schema; child = with_slice })
+
+let plan catalog (query : Ast.t) =
+  let env = Catalog.env catalog in
+  match query with
+  | Ast.Select s -> { plan = plan_select catalog s; env }
+  | Ast.Set (kind, a, b) ->
+      let kind =
+        match kind with
+        | Ast.Union -> `Union
+        | Ast.Intersect -> `Intersect
+        | Ast.Except -> `Except
+      in
+      {
+        plan =
+          Physical.Set_op
+            { kind; left = plan_select catalog a; right = plan_select catalog b };
+        env;
+      }
+
+let explain t = Physical.explain t.plan
+let run_analyze t = Physical.analyze ~env:t.env t.plan
+let run t = Physical.to_relation ~env:t.env t.plan
+let stream t = Physical.execute ~env:t.env t.plan
+
+let run_string catalog input = run (plan catalog (Parser.parse input))

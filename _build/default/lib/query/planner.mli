@@ -1,0 +1,30 @@
+(** Planning and execution of TP-SQL queries.
+
+    The planner mirrors the paper's PostgreSQL integration: it resolves
+    column references, splits each join condition into hashable equality
+    atoms and a residual predicate, picks the join algorithm (hash when an
+    equality atom exists, nested loop otherwise) and wires the pipelined
+    NJ operators. [explain] renders the chosen plan. *)
+
+module Relation = Tpdb_relation.Relation
+
+exception Plan_error of string
+(** Unknown relation/column, ambiguous reference, or an ON condition that
+    does not relate the two inputs. *)
+
+type t
+
+val plan : Catalog.t -> Ast.t -> t
+val explain : t -> string
+val run : t -> Relation.t
+
+val stream : t -> Tpdb_relation.Tuple.t Seq.t
+(** Pipelined execution: pulls result tuples one at a time through the
+    physical operators (see {!Physical.execute}). *)
+
+val run_analyze : t -> Relation.t * string
+(** EXPLAIN ANALYZE: the result plus the plan tree annotated with
+    per-node output cardinalities and exclusive wall times. *)
+
+val run_string : Catalog.t -> string -> Relation.t
+(** Parse, plan and execute in one step. *)

@@ -1,0 +1,1 @@
+lib/relation/csv.ml: Fact Fun List Printf Relation Schema String Tpdb_interval Tpdb_lineage Tuple Value

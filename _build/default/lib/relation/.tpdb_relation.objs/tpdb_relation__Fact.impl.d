@@ -1,0 +1,1 @@
+lib/relation/fact.ml: Array Format List Printf String Value

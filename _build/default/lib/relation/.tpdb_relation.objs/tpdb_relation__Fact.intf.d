@@ -1,0 +1,1 @@
+lib/relation/fact.mli: Format Value

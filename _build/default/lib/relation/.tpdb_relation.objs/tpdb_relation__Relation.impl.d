@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Array Fact Format Hashtbl List Option Printf Schema Seq Stdlib String Tpdb_interval Tpdb_lineage Tuple Value

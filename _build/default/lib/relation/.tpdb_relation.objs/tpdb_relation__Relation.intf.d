@@ -1,0 +1,1 @@
+lib/relation/relation.mli: Format Schema Seq Tpdb_interval Tpdb_lineage Tuple

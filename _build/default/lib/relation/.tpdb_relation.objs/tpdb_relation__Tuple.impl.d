@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Fact Float Format Printf Tpdb_interval Tpdb_lineage

@@ -1,0 +1,1 @@
+lib/relation/tuple.mli: Fact Format Tpdb_interval Tpdb_lineage

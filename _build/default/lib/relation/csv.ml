@@ -1,0 +1,72 @@
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+
+let to_channel oc r =
+  let cols = Schema.columns (Relation.schema r) in
+  output_string oc (String.concat "," (cols @ [ "lineage"; "ts"; "te"; "p" ]));
+  output_char oc '\n';
+  List.iter
+    (fun tp ->
+      let fact = Tuple.fact tp in
+      let values =
+        List.init (Fact.arity fact) (fun i -> Value.to_string (Fact.get fact i))
+      in
+      let row =
+        values
+        @ [
+            Formula.to_string_ascii (Tuple.lineage tp);
+            string_of_int (Interval.ts (Tuple.iv tp));
+            string_of_int (Interval.te (Tuple.iv tp));
+            Printf.sprintf "%.12g" (Tuple.p tp);
+          ]
+      in
+      output_string oc (String.concat "," row);
+      output_char oc '\n')
+    (Relation.tuples r)
+
+let save path r =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc r)
+
+let of_lines ~name lines =
+  match lines with
+  | [] -> failwith "Csv.load: empty input"
+  | header :: rows ->
+      let fields = String.split_on_char ',' header in
+      let ncols = List.length fields - 4 in
+      if ncols < 0 then failwith "Csv.load: header too short";
+      let columns = List.filteri (fun i _ -> i < ncols) fields in
+      let schema = Schema.make ~name columns in
+      let parse_row lineno line =
+        let cells = String.split_on_char ',' line in
+        if List.length cells <> ncols + 4 then
+          failwith (Printf.sprintf "Csv.load: line %d: wrong field count" lineno);
+        let values = List.filteri (fun i _ -> i < ncols) cells in
+        match List.filteri (fun i _ -> i >= ncols) cells with
+        | [ lineage; ts; te; p ] ->
+            Tuple.make
+              ~fact:(Fact.of_strings values)
+              ~lineage:(Formula.of_string lineage)
+              ~iv:(Interval.make (int_of_string ts) (int_of_string te))
+              ~p:(float_of_string p)
+        | _ -> assert false
+      in
+      let tuples =
+        List.concat
+          (List.mapi
+             (fun i line -> if String.equal line "" then [] else [ parse_row (i + 2) line ])
+             rows)
+      in
+      Relation.of_tuples schema tuples
+
+let load ~name path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      of_lines ~name (read []))

@@ -1,0 +1,14 @@
+(** CSV persistence for TP relations.
+
+    Format: a header line [col1,...,colN,lineage,ts,te,p], then one line
+    per tuple. Lineages use the ASCII formula notation. Commas inside
+    values are not supported (values are workload identifiers, not free
+    text). *)
+
+val save : string -> Relation.t -> unit
+
+val load : name:string -> string -> Relation.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val to_channel : out_channel -> Relation.t -> unit
+val of_lines : name:string -> string list -> Relation.t

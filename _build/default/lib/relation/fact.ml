@@ -1,0 +1,44 @@
+type t = Value.t array
+
+let of_strings strings = Array.of_list (List.map Value.of_string_guess strings)
+
+let of_values values = Array.of_list values
+
+let arity = Array.length
+
+let equal a b =
+  Array.length a = Array.length b
+  && (let rec loop i = i >= Array.length a || (Value.equal a.(i) b.(i) && loop (i + 1)) in
+      loop 0)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let hash f = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 f
+
+let get f i =
+  if i < 0 || i >= Array.length f then
+    invalid_arg (Printf.sprintf "Fact.get: index %d, arity %d" i (Array.length f))
+  else f.(i)
+
+let concat = Array.append
+
+let nulls n = Array.make n Value.Null
+
+let project cols f = Array.of_list (List.map (get f) cols)
+
+let key = project
+
+let to_string f =
+  String.concat ", " (Array.to_list (Array.map Value.to_string f))
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

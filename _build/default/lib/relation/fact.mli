@@ -1,0 +1,33 @@
+(** Facts: the non-temporal attribute tuples of the TP data model. *)
+
+type t = Value.t array
+
+val of_strings : string list -> t
+(** Values via {!Value.of_string_guess}. *)
+
+val of_values : Value.t list -> t
+
+val arity : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val get : t -> int -> Value.t
+(** Raises [Invalid_argument] when out of range. *)
+
+val concat : t -> t -> t
+
+val nulls : int -> t
+(** A fact of [n] nulls: the padding half of an outer-join output. *)
+
+val project : int list -> t -> t
+
+val key : int list -> t -> t
+(** [key cols f] extracts the join-key columns; used for hash
+    partitioning. *)
+
+val to_string : t -> string
+(** Comma-separated values. *)
+
+val pp : Format.formatter -> t -> unit

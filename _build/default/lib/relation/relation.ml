@@ -1,0 +1,178 @@
+module Interval = Tpdb_interval.Interval
+module Timeline = Tpdb_interval.Timeline
+module Formula = Tpdb_lineage.Formula
+module Var = Tpdb_lineage.Var
+module Prob = Tpdb_lineage.Prob
+
+type t = { schema : Schema.t; tuples : Tuple.t array }
+
+let of_tuples schema tuples =
+  let arity = Schema.arity schema in
+  List.iter
+    (fun tp ->
+      if Fact.arity (Tuple.fact tp) <> arity then
+        invalid_arg
+          (Printf.sprintf "Relation.of_tuples: arity %d tuple in schema %s"
+             (Fact.arity (Tuple.fact tp))
+             (Schema.name schema)))
+    tuples;
+  { schema; tuples = Array.of_list tuples }
+
+let of_rows ~name ~columns ?tag rows =
+  let tag = Option.value tag ~default:name in
+  let schema = Schema.make ~name columns in
+  let tuples =
+    List.mapi
+      (fun i (values, iv, p) ->
+        let fact = Fact.of_strings values in
+        let lineage = Formula.var (Var.make tag (i + 1)) in
+        Tuple.make ~fact ~lineage ~iv ~p)
+      rows
+  in
+  of_tuples schema tuples
+
+let schema r = r.schema
+let name r = Schema.name r.schema
+let cardinality r = Array.length r.tuples
+let tuples r = Array.to_list r.tuples
+let to_seq r = Array.to_seq r.tuples
+let to_array r = Array.copy r.tuples
+
+let prob_env relations =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      Array.iter
+        (fun tp ->
+          match Tuple.lineage tp with
+          | Formula.Var v -> Hashtbl.replace table v (Tuple.p tp)
+          | _ -> ())
+        r.tuples)
+    relations;
+  fun v ->
+    match Hashtbl.find_opt table v with
+    | Some p -> p
+    | None -> raise Not_found
+
+let is_duplicate_free r =
+  let by_fact = Hashtbl.create (Array.length r.tuples) in
+  Array.iter
+    (fun tp ->
+      let key = Fact.hash (Tuple.fact tp) in
+      let existing = Option.value (Hashtbl.find_opt by_fact key) ~default:[] in
+      Hashtbl.replace by_fact key (tp :: existing))
+    r.tuples;
+  Hashtbl.fold
+    (fun _ group ok ->
+      ok
+      && List.for_all
+           (fun tp ->
+             List.for_all
+               (fun other ->
+                 tp == other
+                 || (not (Fact.equal (Tuple.fact tp) (Tuple.fact other)))
+                 || not (Interval.overlaps (Tuple.iv tp) (Tuple.iv other)))
+               group)
+           group)
+    by_fact true
+
+let active_domain r =
+  Timeline.span (Array.to_list (Array.map Tuple.iv r.tuples))
+
+let sorted_by_fact_start r =
+  List.sort Tuple.compare_fact_start (tuples r)
+
+let coalesce r =
+  (* Group by (fact, normalized lineage), then merge joinable intervals. *)
+  let groups = Hashtbl.create (Array.length r.tuples) in
+  let order = ref [] in
+  Array.iter
+    (fun tp ->
+      let key =
+        ( Tuple.fact tp,
+          Formula.normalize (Tuple.lineage tp) )
+      in
+      (match Hashtbl.find_opt groups key with
+      | Some existing -> Hashtbl.replace groups key (tp :: existing)
+      | None ->
+          order := key :: !order;
+          Hashtbl.add groups key [ tp ]))
+    r.tuples;
+  let merged =
+    List.concat_map
+      (fun key ->
+        let group = List.rev (Hashtbl.find groups key) in
+        let fact, lineage = key in
+        let p = Tuple.p (List.hd group) in
+        Timeline.coalesce (List.map Tuple.iv group)
+        |> List.map (fun iv -> Tuple.make ~fact ~lineage ~iv ~p))
+      (List.rev !order)
+  in
+  { r with tuples = Array.of_list merged }
+
+let same_columns a b =
+  List.length (Schema.columns a.schema) = List.length (Schema.columns b.schema)
+  && List.for_all2 String.equal (Schema.columns a.schema) (Schema.columns b.schema)
+
+let equal_as_sets a b =
+  same_columns a b
+  &&
+  let canon r =
+    List.sort_uniq
+      (fun x y ->
+        let c = Tuple.compare_fact_start x y in
+        if c <> 0 then c
+        else if Tuple.equal x y then 0
+        else Stdlib.compare (Tuple.p x) (Tuple.p y))
+      (List.map
+         (fun tp ->
+           Tuple.make ~fact:(Tuple.fact tp)
+             ~lineage:(Formula.normalize (Tuple.lineage tp))
+             ~iv:(Tuple.iv tp) ~p:(Tuple.p tp))
+         (tuples r))
+  in
+  let ta = canon a and tb = canon b in
+  List.length ta = List.length tb && List.for_all2 Tuple.equal ta tb
+
+let timeslice window r =
+  let clamp tp =
+    Interval.clamp ~within:window (Tuple.iv tp)
+    |> Option.map (fun iv ->
+           Tuple.make ~fact:(Tuple.fact tp) ~lineage:(Tuple.lineage tp) ~iv
+             ~p:(Tuple.p tp))
+  in
+  { r with tuples = Array.of_seq (Seq.filter_map clamp (Array.to_seq r.tuples)) }
+
+let snapshot_at t r = timeslice (Interval.make t (t + 1)) r
+
+let filter keep r =
+  { r with tuples = Array.of_seq (Seq.filter keep (Array.to_seq r.tuples)) }
+
+let map_tuples f r = { r with tuples = Array.map f r.tuples }
+
+let union_all a b =
+  if not (same_columns a b) then
+    invalid_arg "Relation.union_all: incompatible schemas";
+  { a with tuples = Array.append a.tuples b.tuples }
+
+let pp ppf r =
+  let cols = Schema.columns r.schema in
+  Format.fprintf ppf "%s (%d tuples)@." (Schema.name r.schema)
+    (Array.length r.tuples);
+  Format.fprintf ppf "%s | lineage | T | p@."
+    (String.concat " | " cols);
+  Array.iter
+    (fun tp ->
+      let fact = Tuple.fact tp in
+      let cells =
+        List.init (Fact.arity fact) (fun i ->
+            Value.to_string (Fact.get fact i))
+      in
+      Format.fprintf ppf "%s | %s | %s | %.4g@."
+        (String.concat " | " cells)
+        (Formula.to_string (Tuple.lineage tp))
+        (Interval.to_string (Tuple.iv tp))
+        (Tuple.p tp))
+    r.tuples
+
+let print r = Format.printf "%a@?" pp r

@@ -1,0 +1,64 @@
+type t = { name : string; columns : string array }
+
+let make ~name columns =
+  let sorted = List.sort String.compare columns in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+    | _ -> None
+  in
+  (match dup sorted with
+  | Some c -> invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" c)
+  | None -> ());
+  { name; columns = Array.of_list columns }
+
+let name s = s.name
+let columns s = Array.to_list s.columns
+let arity s = Array.length s.columns
+
+let column_index s c =
+  let rec loop i =
+    if i >= Array.length s.columns then None
+    else if String.equal s.columns.(i) c then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let column_index_exn s c =
+  match column_index s c with Some i -> i | None -> raise Not_found
+
+let rename name s = { s with name }
+
+let join a b =
+  let clashes =
+    List.filter (fun c -> column_index b c <> None) (columns a)
+  in
+  let qualify owner c =
+    if List.exists (String.equal c) clashes then owner.name ^ "." ^ c else c
+  in
+  let cols =
+    List.map (qualify a) (columns a) @ List.map (qualify b) (columns b)
+  in
+  (* Self-joins leave identical qualified names; disambiguate by
+     occurrence index. *)
+  let seen = Hashtbl.create 8 in
+  let unique =
+    List.map
+      (fun c ->
+        match Hashtbl.find_opt seen c with
+        | None ->
+            Hashtbl.add seen c 1;
+            c
+        | Some n ->
+            Hashtbl.replace seen c (n + 1);
+            Printf.sprintf "%s#%d" c (n + 1))
+      cols
+  in
+  make ~name:(a.name ^ "_" ^ b.name) unique
+
+let equal a b =
+  String.equal a.name b.name
+  && Array.length a.columns = Array.length b.columns
+  && Array.for_all2 String.equal a.columns b.columns
+
+let pp ppf s =
+  Format.fprintf ppf "%s(%s)" s.name (String.concat ", " (columns s))

@@ -1,0 +1,28 @@
+(** Relation schemas: named, ordered fact columns.
+
+    The temporal ([T]), lineage ([λ]) and probability ([p]) attributes are
+    implicit — every TP relation has them — so a schema only describes the
+    fact columns. *)
+
+type t
+
+val make : name:string -> string list -> t
+(** Raises [Invalid_argument] on duplicate column names. *)
+
+val name : t -> string
+val columns : t -> string list
+val arity : t -> int
+
+val column_index : t -> string -> int option
+val column_index_exn : t -> string -> int
+(** Raises [Not_found]. *)
+
+val rename : string -> t -> t
+
+val join : t -> t -> t
+(** Schema of a join output: columns of both inputs, left first; a column
+    appearing on both sides is qualified with its relation name
+    (["a.Loc"], ["b.Loc"]). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type t =
+  | Null
+  | S of string
+  | I of int
+  | F of float
+
+let as_float = function
+  | I i -> Some (float_of_int i)
+  | F f -> Some f
+  | Null | S _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | S x, S y -> String.equal x y
+  | I x, I y -> x = y
+  | F x, F y -> Float.equal x y
+  | (I _ | F _), (I _ | F _) -> (
+      match (as_float a, as_float b) with
+      | Some x, Some y -> Float.equal x y
+      | _ -> false)
+  | (Null | S _ | I _ | F _), _ -> false
+
+let compare a b =
+  let rank = function Null -> 0 | I _ | F _ -> 1 | S _ -> 2 in
+  match (a, b) with
+  | Null, Null -> 0
+  | S x, S y -> String.compare x y
+  | (I _ | F _), (I _ | F _) -> (
+      match (as_float a, as_float b) with
+      | Some x, Some y -> Float.compare x y
+      | _ -> assert false)
+  | _ -> Int.compare (rank a) (rank b)
+
+let hash = function
+  | Null -> 17
+  | S s -> Hashtbl.hash s
+  | I i -> Hashtbl.hash (float_of_int i)
+  | F f -> Hashtbl.hash f
+
+let is_null = function Null -> true | S _ | I _ | F _ -> false
+
+let to_string = function
+  | Null -> "-"
+  | S s -> s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%g" f
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let of_string_guess s =
+  match s with
+  | "" | "-" -> Null
+  | _ -> (
+      match int_of_string_opt s with
+      | Some i -> I i
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> F f
+          | None -> S s))

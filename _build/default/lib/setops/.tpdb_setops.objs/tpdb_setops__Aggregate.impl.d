@@ -1,0 +1,1 @@
+lib/setops/aggregate.ml: List Printf Tpdb_engine Tpdb_interval Tpdb_lineage Tpdb_relation

@@ -1,0 +1,1 @@
+lib/setops/aggregate.mli: Tpdb_interval Tpdb_lineage Tpdb_relation

@@ -1,0 +1,1 @@
+lib/setops/projection.ml: List Map Option Printf Seq Tpdb_engine Tpdb_interval Tpdb_lineage Tpdb_relation

@@ -1,0 +1,1 @@
+lib/setops/projection.mli: Tpdb_lineage Tpdb_relation

@@ -1,0 +1,1 @@
+lib/setops/set_ops.ml: List Map Option Printf Seq String Tpdb_interval Tpdb_joins Tpdb_lineage Tpdb_relation Tpdb_windows

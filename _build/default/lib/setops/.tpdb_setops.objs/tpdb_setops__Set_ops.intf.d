@@ -1,0 +1,1 @@
+lib/setops/set_ops.mli: Tpdb_lineage Tpdb_relation

@@ -1,0 +1,102 @@
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Prob = Tpdb_lineage.Prob
+module Relation = Tpdb_relation.Relation
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Value = Tpdb_relation.Value
+module Sweep = Tpdb_engine.Sweep
+module Hash_partition = Tpdb_engine.Hash_partition
+
+type spec =
+  | Count
+  | Sum of int
+  | Avg of int
+
+let spec_column = function
+  | Count -> "exp_count"
+  | Sum _ -> "exp_sum"
+  | Avg _ -> "exp_avg"
+
+let numeric_value tp col =
+  match Fact.get (Tuple.fact tp) col with
+  | Value.I i -> float_of_int i
+  | Value.F f -> f
+  | Value.Null | Value.S _ ->
+      invalid_arg
+        (Printf.sprintf "Aggregate: non-numeric value %s in column %d"
+           (Value.to_string (Fact.get (Tuple.fact tp) col))
+           col)
+
+(* Per witness: (probability of existence, contributed value). *)
+let contribution ~env spec tp =
+  let p = Prob.compute env (Tuple.lineage tp) in
+  match spec with
+  | Count -> (p, 1.0)
+  | Sum col | Avg col -> (p, numeric_value tp col)
+
+let combine spec witnesses =
+  let weighted f = List.fold_left (fun acc w -> acc +. f w) 0.0 witnesses in
+  match spec with
+  | Count -> weighted (fun (p, _) -> p)
+  | Sum _ -> weighted (fun (p, v) -> p *. v)
+  | Avg _ ->
+      let count = weighted (fun (p, _) -> p) in
+      if count = 0.0 then 0.0 else weighted (fun (p, v) -> p *. v) /. count
+
+let env_default env r =
+  match env with Some e -> e | None -> Relation.prob_env [ r ]
+
+let output_schema ~group_by spec source =
+  let names = Schema.columns source in
+  let pick i =
+    match List.nth_opt names i with
+    | Some name -> name
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Aggregate.sequenced: column %d out of range" i)
+  in
+  Schema.make
+    ~name:(Schema.name source ^ "_" ^ spec_column spec)
+    (List.map pick group_by @ [ spec_column spec ])
+
+let sequenced ?env ~group_by spec r =
+  let env = env_default env r in
+  let schema = output_schema ~group_by spec (Relation.schema r) in
+  let partition =
+    Hash_partition.build
+      ~key:(fun tp -> Fact.key group_by (Tuple.fact tp))
+      ~hash:Fact.hash ~equal:Fact.equal (Relation.tuples r)
+  in
+  let tuples =
+    List.concat_map
+      (fun (key, members) ->
+        let sorted =
+          List.sort
+            (fun a b -> Interval.compare (Tuple.iv a) (Tuple.iv b))
+            members
+        in
+        Sweep.constant_segments
+          (List.map (fun tp -> (Tuple.iv tp, contribution ~env spec tp)) sorted)
+        |> List.map (fun (iv, witnesses) ->
+               let value = combine spec witnesses in
+               Tuple.make
+                 ~fact:(Fact.concat key [| Value.F value |])
+                 ~lineage:Formula.true_ ~iv ~p:1.0))
+      (Hash_partition.buckets partition)
+  in
+  Relation.of_tuples schema tuples
+
+let expected_at ?env ~group_by spec r key t =
+  let env = env_default env r in
+  let witnesses =
+    List.filter
+      (fun tp ->
+        Tuple.valid_at tp t
+        && Fact.equal (Fact.key group_by (Tuple.fact tp)) key)
+      (Relation.tuples r)
+  in
+  match witnesses with
+  | [] -> None
+  | _ -> Some (combine spec (List.map (contribution ~env spec) witnesses))

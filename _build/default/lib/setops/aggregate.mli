@@ -1,0 +1,50 @@
+(** Sequenced aggregation over TP relations, in expectation.
+
+    Sequenced (per-time-point) aggregation is the remaining operator of
+    the temporal-alignment framework (Dignös et al., TODS 2016) that the
+    paper's window machinery also covers: group tuples by key, sweep the
+    maximal segments with a constant witness set — the same sweep as
+    LAWAN — and report, per segment, the {e expected value} of the
+    aggregate under the tuple probabilities:
+
+    - [Count]: E[#valid tuples] = Σᵢ P(λᵢ) (exact by linearity of
+      expectation, no independence needed);
+    - [Sum col]: E[Σ values] = Σᵢ P(λᵢ)·vᵢ over numeric column [col];
+    - [Avg col]: the ratio of expectations E[Σ]/E[#] (not E[Σ/#], which
+      has no closed form under independent tuple existence — documented
+      choice, standard in probabilistic DBMSs).
+
+    The result is a deterministic temporal relation: facts are the group
+    key plus one numeric column holding the expectation; lineage is [⊤]
+    and probability 1. Time points where no group tuple is valid produce
+    no output. *)
+
+module Relation = Tpdb_relation.Relation
+module Prob = Tpdb_lineage.Prob
+
+type spec =
+  | Count
+  | Sum of int  (** fact column holding numeric values *)
+  | Avg of int
+
+val output_schema :
+  group_by:int list -> spec -> Tpdb_relation.Schema.t -> Tpdb_relation.Schema.t
+(** Group columns plus the value column; raises [Invalid_argument] on an
+    out-of-range group column. *)
+
+val sequenced :
+  ?env:Prob.env -> group_by:int list -> spec -> Relation.t -> Relation.t
+(** Raises [Invalid_argument] on out-of-range columns or when [Sum]/[Avg]
+    meets a non-numeric value. Output column name: ["exp_count"],
+    ["exp_sum"] or ["exp_avg"]. *)
+
+val expected_at :
+  ?env:Prob.env ->
+  group_by:int list ->
+  spec ->
+  Relation.t ->
+  Tpdb_relation.Fact.t ->
+  Tpdb_interval.Interval.time ->
+  float option
+(** Pointwise oracle: the expectation for one group key at one time
+    point; [None] when no tuple of the group is valid. *)

@@ -1,0 +1,117 @@
+module Interval = Tpdb_interval.Interval
+module Timeline = Tpdb_interval.Timeline
+module Formula = Tpdb_lineage.Formula
+module Prob = Tpdb_lineage.Prob
+module Relation = Tpdb_relation.Relation
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Sweep = Tpdb_engine.Sweep
+
+let projected_schema ~columns r =
+  let source = Relation.schema r in
+  let names = Schema.columns source in
+  let pick i =
+    match List.nth_opt names i with
+    | Some name -> name
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Projection.project: column %d out of range" i)
+  in
+  try Schema.make ~name:(Schema.name source) (List.map pick columns)
+  with Invalid_argument _ ->
+    invalid_arg "Projection.project: duplicate column selected"
+
+let env_default env r =
+  match env with Some e -> e | None -> Relation.prob_env [ r ]
+
+let project ?env ~columns r =
+  let env = env_default env r in
+  let schema = projected_schema ~columns r in
+  (* Group by projected fact; within a group, sweep the maximal
+     constant-witness segments and disjoin the witnesses' lineages. *)
+  let partition =
+    Tpdb_engine.Hash_partition.build
+      ~key:(fun tp -> Fact.project columns (Tuple.fact tp))
+      ~hash:Fact.hash ~equal:Fact.equal (Relation.tuples r)
+  in
+  let tuples =
+    List.concat_map
+      (fun (fact, members) ->
+        let sorted =
+          List.sort
+            (fun a b -> Interval.compare (Tuple.iv a) (Tuple.iv b))
+            members
+        in
+        Sweep.constant_segments
+          (List.map (fun tp -> (Tuple.iv tp, Tuple.lineage tp)) sorted)
+        |> List.map (fun (iv, lineages) ->
+               let lineage = Formula.disj lineages in
+               Tuple.make ~fact ~lineage ~iv ~p:(Prob.compute env lineage)))
+      (Tpdb_engine.Hash_partition.buckets partition)
+  in
+  Relation.of_tuples schema tuples
+
+let project_names ?env ~columns r =
+  let schema = Relation.schema r in
+  project ?env
+    ~columns:(List.map (Schema.column_index_exn schema) columns)
+    r
+
+let oracle ?env ~columns r =
+  let env = env_default env r in
+  let schema = projected_schema ~columns r in
+  let module Key = struct
+    type t = Fact.t * Formula.t
+
+    let compare (fa, la) (fb, lb) =
+      let c = Fact.compare fa fb in
+      if c <> 0 then c else Formula.compare la lb
+  end in
+  let module M = Map.Make (Key) in
+  let domain =
+    Timeline.span (List.map Tuple.iv (Relation.tuples r))
+  in
+  let rows_at t =
+    let witnesses = List.filter (fun tp -> Tuple.valid_at tp t) (Relation.tuples r) in
+    let facts =
+      List.sort_uniq Fact.compare
+        (List.map (fun tp -> Fact.project columns (Tuple.fact tp)) witnesses)
+    in
+    List.map
+      (fun fact ->
+        let lineages =
+          List.filter_map
+            (fun tp ->
+              if Fact.equal (Fact.project columns (Tuple.fact tp)) fact then
+                Some (Tuple.lineage tp)
+              else None)
+            witnesses
+        in
+        (fact, Formula.disj lineages))
+      facts
+  in
+  let by_row =
+    match domain with
+    | None -> M.empty
+    | Some span ->
+        Seq.fold_left
+          (fun acc t ->
+            List.fold_left
+              (fun acc (fact, lineage) ->
+                let key = (fact, Formula.normalize lineage) in
+                M.add key (t :: Option.value (M.find_opt key acc) ~default:[]) acc)
+              acc (rows_at t))
+          M.empty (Interval.points span)
+  in
+  let tuples =
+    M.fold
+      (fun (fact, lineage) points acc ->
+        let p = Prob.compute env lineage in
+        Timeline.coalesce (List.map (fun t -> Interval.make t (t + 1)) points)
+        |> List.fold_left
+             (fun acc iv -> Tuple.make ~fact ~lineage ~iv ~p :: acc)
+             acc)
+      by_row []
+  in
+  Relation.of_tuples schema tuples

@@ -1,0 +1,31 @@
+(** Temporal-probabilistic set operations (the authors' prior work,
+    "Supporting set operations in temporal-probabilistic databases",
+    ICDE 2018 — reference [1] of the paper), rebuilt on generalized
+    lineage-aware temporal windows.
+
+    Set operations are TP joins with θ = equality on {e all} fact columns
+    and per-operation lineage concatenation: at every time point and for
+    every fact [F],
+
+    - [union]: [λr ∨ λs] where both operands contain [F], the single
+      operand's lineage elsewhere;
+    - [intersection]: [λr ∧ λs] where both contain [F];
+    - [difference]: [λr ∧ ¬λs] where both contain [F], [λr] where only
+      [r] does (exactly the anti join of Table II under fact equality).
+
+    Operands must have schemas with equal column lists; the result uses
+    the left schema. *)
+
+module Relation = Tpdb_relation.Relation
+module Prob = Tpdb_lineage.Prob
+
+val union : ?env:Prob.env -> Relation.t -> Relation.t -> Relation.t
+val intersection : ?env:Prob.env -> Relation.t -> Relation.t -> Relation.t
+val difference : ?env:Prob.env -> Relation.t -> Relation.t -> Relation.t
+
+(** Pointwise oracle implementations (quadratic; for tests). *)
+module Oracle : sig
+  val union : ?env:Prob.env -> Relation.t -> Relation.t -> Relation.t
+  val intersection : ?env:Prob.env -> Relation.t -> Relation.t -> Relation.t
+  val difference : ?env:Prob.env -> Relation.t -> Relation.t -> Relation.t
+end

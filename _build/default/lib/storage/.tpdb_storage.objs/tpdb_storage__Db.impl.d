@@ -1,0 +1,1 @@
+lib/storage/db.ml: Array Buffer_pool Filename Heap_file List Printf String Sys Tpdb_relation

@@ -1,0 +1,1 @@
+lib/storage/db.mli: Buffer_pool Tpdb_relation

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Buffer Buffer_pool Bytes Codec Fun List Printf String Sys Tpdb_relation

@@ -1,0 +1,74 @@
+type key = string * int
+
+type entry = { bytes : Bytes.t; mutable stamp : int }
+
+type t = {
+  capacity : int;
+  table : (key, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (2 * capacity); clock = 0; hits = 0; misses = 0 }
+
+let tick pool =
+  pool.clock <- pool.clock + 1;
+  pool.clock
+
+let evict_lru pool =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best <= entry.stamp -> acc
+        | _ -> Some (key, entry.stamp))
+      pool.table None
+  in
+  match victim with
+  | Some (key, _) -> Hashtbl.remove pool.table key
+  | None -> ()
+
+let load path index size =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let file_len = in_channel_length ic in
+      let offset = index * size in
+      if offset >= file_len then
+        invalid_arg
+          (Printf.sprintf "Buffer_pool: page %d beyond end of %s" index path);
+      seek_in ic offset;
+      let available = min size (file_len - offset) in
+      let bytes = Bytes.make size '\000' in
+      really_input ic bytes 0 available;
+      bytes)
+
+let read_page pool ~path ~index ~size =
+  let key = (path, index) in
+  match Hashtbl.find_opt pool.table key with
+  | Some entry ->
+      pool.hits <- pool.hits + 1;
+      entry.stamp <- tick pool;
+      entry.bytes
+  | None ->
+      pool.misses <- pool.misses + 1;
+      let bytes = load path index size in
+      if Hashtbl.length pool.table >= pool.capacity then evict_lru pool;
+      Hashtbl.replace pool.table key { bytes; stamp = tick pool };
+      bytes
+
+let stats pool = (pool.hits, pool.misses)
+
+let cached_pages pool = Hashtbl.length pool.table
+
+let invalidate pool ~path =
+  let keys =
+    Hashtbl.fold
+      (fun ((p, _) as key) _ acc -> if String.equal p path then key :: acc else acc)
+      pool.table []
+  in
+  List.iter (Hashtbl.remove pool.table) keys

@@ -1,0 +1,25 @@
+(** A fixed-capacity LRU page cache over files.
+
+    The read path of {!Heap_file} goes through a pool when one is given,
+    so repeated scans of hot relations avoid I/O — the buffer-manager role
+    of the DBMS substrate. Thread-unsafe by design (the executor is
+    single-threaded, like a PostgreSQL backend). *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] in pages (> 0). *)
+
+val read_page : t -> path:string -> index:int -> size:int -> Bytes.t
+(** Page [index] (0-based) of [path], [size] bytes ([Heap_file.page_size]
+    for all callers; short final pages come back zero-padded). Cached;
+    eviction is least-recently-used. The returned bytes must not be
+    mutated. *)
+
+val stats : t -> int * int
+(** (hits, misses) since creation. *)
+
+val cached_pages : t -> int
+
+val invalidate : t -> path:string -> unit
+(** Drops all cached pages of one file (after a rewrite). *)

@@ -1,0 +1,135 @@
+module Value = Tpdb_relation.Value
+module Fact = Tpdb_relation.Fact
+module Tuple = Tpdb_relation.Tuple
+module Formula = Tpdb_lineage.Formula
+module Interval = Tpdb_interval.Interval
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+
+type reader = { bytes : Bytes.t; mutable pos : int }
+
+let reader bytes = { bytes; pos = 0 }
+let reader_at bytes pos = { bytes; pos }
+
+let need r n =
+  if r.pos + n > Bytes.length r.bytes then
+    corrupt "truncated record at offset %d (need %d bytes)" r.pos n
+
+let write_uint16 buf v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Codec.write_uint16";
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let read_uint16 r =
+  need r 2;
+  let v =
+    Char.code (Bytes.get r.bytes r.pos)
+    lor (Char.code (Bytes.get r.bytes (r.pos + 1)) lsl 8)
+  in
+  r.pos <- r.pos + 2;
+  v
+
+let write_int64 buf v =
+  let v = Int64.of_int v in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let read_int64 r =
+  need r 8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (Bytes.get r.bytes (r.pos + i))))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.to_int !v
+
+let write_float buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let read_float r =
+  need r 8;
+  let bits = ref 0L in
+  for i = 7 downto 0 do
+    bits :=
+      Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code (Bytes.get r.bytes (r.pos + i))))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits !bits
+
+let write_string buf s =
+  write_int64 buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string r =
+  let len = read_int64 r in
+  if len < 0 then corrupt "negative string length";
+  need r len;
+  let s = Bytes.sub_string r.bytes r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let write_value buf = function
+  | Value.Null -> Buffer.add_char buf '\000'
+  | Value.S s ->
+      Buffer.add_char buf '\001';
+      write_string buf s
+  | Value.I i ->
+      Buffer.add_char buf '\002';
+      write_int64 buf i
+  | Value.F f ->
+      Buffer.add_char buf '\003';
+      write_float buf f
+
+let read_value r =
+  need r 1;
+  let tag = Bytes.get r.bytes r.pos in
+  r.pos <- r.pos + 1;
+  match tag with
+  | '\000' -> Value.Null
+  | '\001' -> Value.S (read_string r)
+  | '\002' -> Value.I (read_int64 r)
+  | '\003' -> Value.F (read_float r)
+  | c -> corrupt "unknown value tag %C" c
+
+let write_tuple buf tp =
+  let fact = Tuple.fact tp in
+  write_uint16 buf (Fact.arity fact);
+  for i = 0 to Fact.arity fact - 1 do
+    write_value buf (Fact.get fact i)
+  done;
+  write_string buf (Formula.to_string_ascii (Tuple.lineage tp));
+  write_int64 buf (Interval.ts (Tuple.iv tp));
+  write_int64 buf (Interval.te (Tuple.iv tp));
+  write_float buf (Tuple.p tp)
+
+let read_tuple r =
+  let arity = read_uint16 r in
+  let values = List.init arity (fun _ -> read_value r) in
+  let lineage_text = read_string r in
+  let lineage =
+    try Formula.of_string lineage_text
+    with Invalid_argument msg -> corrupt "bad lineage: %s" msg
+  in
+  let ts = read_int64 r in
+  let te = read_int64 r in
+  let p = read_float r in
+  if ts >= te then corrupt "empty interval [%d,%d)" ts te;
+  if not (p >= 0.0 && p <= 1.0) then corrupt "probability %g out of range" p;
+  Tuple.make ~fact:(Fact.of_values values) ~lineage ~iv:(Interval.make ts te) ~p
+
+let tuple_size tp =
+  let buf = Buffer.create 64 in
+  write_tuple buf tp;
+  Buffer.length buf

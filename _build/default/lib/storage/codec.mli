@@ -1,0 +1,31 @@
+(** Binary (de)serialization of TP values and tuples.
+
+    Little-endian, length-prefixed, tagged. A tuple record is
+    self-delimiting: arity, values, lineage (ASCII formula), interval
+    bounds and the probability's IEEE bits. *)
+
+exception Corrupt of string
+(** Raised by every reader on malformed input. *)
+
+type reader = { bytes : Bytes.t; mutable pos : int }
+
+val reader : Bytes.t -> reader
+val reader_at : Bytes.t -> int -> reader
+
+val write_uint16 : Buffer.t -> int -> unit
+val read_uint16 : reader -> int
+val write_int64 : Buffer.t -> int -> unit
+val read_int64 : reader -> int
+val write_float : Buffer.t -> float -> unit
+val read_float : reader -> float
+val write_string : Buffer.t -> string -> unit
+val read_string : reader -> string
+
+val write_value : Buffer.t -> Tpdb_relation.Value.t -> unit
+val read_value : reader -> Tpdb_relation.Value.t
+
+val write_tuple : Buffer.t -> Tpdb_relation.Tuple.t -> unit
+val read_tuple : reader -> Tpdb_relation.Tuple.t
+
+val tuple_size : Tpdb_relation.Tuple.t -> int
+(** Encoded byte size (by encoding into a scratch buffer). *)

@@ -1,0 +1,42 @@
+module Relation = Tpdb_relation.Relation
+
+type t = { dir : string; pool : Buffer_pool.t }
+
+let extension = ".tpr"
+
+let open_ ?(pool_pages = 256) dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Db.open_: %s is not a directory" dir);
+  { dir; pool = Buffer_pool.create ~capacity:pool_pages }
+
+let dir db = db.dir
+
+let path_of db name = Filename.concat db.dir (name ^ extension)
+
+let save db relation =
+  let path = path_of db (Relation.name relation) in
+  Heap_file.write path relation;
+  Buffer_pool.invalidate db.pool ~path
+
+let exists db name = Sys.file_exists (path_of db name)
+
+let load db name =
+  let path = path_of db name in
+  if not (Sys.file_exists path) then raise Not_found;
+  Heap_file.read ~pool:db.pool path
+
+let list db =
+  Sys.readdir db.dir |> Array.to_list
+  |> List.filter_map (fun file ->
+         if Filename.check_suffix file extension then
+           Some (Filename.chop_suffix file extension)
+         else None)
+  |> List.sort String.compare
+
+let drop db name =
+  let path = path_of db name in
+  Buffer_pool.invalidate db.pool ~path;
+  if Sys.file_exists path then Sys.remove path
+
+let pool db = db.pool

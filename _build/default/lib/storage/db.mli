@@ -1,0 +1,29 @@
+(** A database directory: one heap file per relation, plus a shared buffer
+    pool for reads.
+
+    Relation [name] lives in [<dir>/<name>.tpr]. Saving is atomic per
+    relation; the pool is invalidated on rewrite so readers never see
+    stale pages. *)
+
+type t
+
+val open_ : ?pool_pages:int -> string -> t
+(** Creates the directory if missing (default pool: 256 pages = 1 MiB). *)
+
+val dir : t -> string
+
+val save : t -> Tpdb_relation.Relation.t -> unit
+(** Keyed by {!Tpdb_relation.Relation.name}. *)
+
+val load : t -> string -> Tpdb_relation.Relation.t
+(** Raises [Not_found] for unknown relations, {!Heap_file.Corrupt} on bad
+    files. *)
+
+val exists : t -> string -> bool
+val list : t -> string list
+(** Sorted relation names. *)
+
+val drop : t -> string -> unit
+(** Idempotent. *)
+
+val pool : t -> Buffer_pool.t

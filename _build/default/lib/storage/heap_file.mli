@@ -1,0 +1,29 @@
+(** Paged heap files for TP relations.
+
+    Layout: a header page (magic, format version, schema, tuple and page
+    counts) followed by fixed-size data pages. Each data page holds a
+    record count and a run of self-delimiting tuple records; a tuple never
+    spans pages unless it is larger than a page, in which case it gets a
+    private oversized page (length-prefixed). Relations are immutable, so
+    files are written once (atomically, via a temp file and rename) and
+    only read afterwards. *)
+
+val page_size : int
+(** 4096 bytes. *)
+
+exception Corrupt of string
+
+val write : string -> Tpdb_relation.Relation.t -> unit
+(** [write path relation] — atomic: the file appears complete or not at
+    all. *)
+
+val read : ?pool:Buffer_pool.t -> string -> Tpdb_relation.Relation.t
+(** Reads the whole relation; with [pool], pages come through the buffer
+    pool (and stay cached for subsequent reads). Raises {!Corrupt} on bad
+    magic, version, or page contents; [Sys_error] on I/O failure. *)
+
+val schema_of : ?pool:Buffer_pool.t -> string -> Tpdb_relation.Schema.t
+(** Header-only read. *)
+
+val page_count : ?pool:Buffer_pool.t -> string -> int
+(** Data pages (excluding the header). *)

@@ -1,0 +1,1 @@
+lib/windows/lawan.ml: List Tpdb_engine Tpdb_interval Tpdb_lineage Window

@@ -1,0 +1,1 @@
+lib/windows/lawan.mli: Seq Window

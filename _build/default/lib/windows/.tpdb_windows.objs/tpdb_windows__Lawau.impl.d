@@ -1,0 +1,1 @@
+lib/windows/lawau.ml: List Option Tpdb_engine Tpdb_interval Window

@@ -1,0 +1,1 @@
+lib/windows/lawau.mli: Seq Window

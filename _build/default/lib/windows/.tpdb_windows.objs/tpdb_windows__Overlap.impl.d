@@ -1,0 +1,1 @@
+lib/windows/overlap.ml: Array Fun List Option Seq Theta Tpdb_engine Tpdb_interval Tpdb_relation Window

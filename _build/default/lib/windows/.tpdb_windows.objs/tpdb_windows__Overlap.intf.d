@@ -1,0 +1,1 @@
+lib/windows/overlap.mli: Seq Theta Tpdb_relation Window

@@ -1,0 +1,1 @@
+lib/windows/render.ml: Char Lawan Lawau List Overlap Printf String Tpdb_interval Tpdb_lineage Tpdb_relation Window

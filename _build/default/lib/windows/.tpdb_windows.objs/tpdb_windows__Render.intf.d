@@ -1,0 +1,1 @@
+lib/windows/render.mli: Theta Tpdb_interval Tpdb_relation Window

@@ -1,0 +1,1 @@
+lib/windows/spec.ml: List Option Seq Theta Tpdb_interval Tpdb_lineage Tpdb_relation Window

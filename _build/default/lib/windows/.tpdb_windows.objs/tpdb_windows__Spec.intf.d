@@ -1,0 +1,1 @@
+lib/windows/spec.mli: Theta Tpdb_interval Tpdb_lineage Tpdb_relation Window

@@ -1,0 +1,1 @@
+lib/windows/theta.ml: Format List Printf String Tpdb_relation

@@ -1,0 +1,1 @@
+lib/windows/theta.mli: Format Tpdb_relation

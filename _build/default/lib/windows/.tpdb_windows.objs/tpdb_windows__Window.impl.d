@@ -1,0 +1,1 @@
+lib/windows/window.ml: Format Int Option Printf Tpdb_interval Tpdb_lineage Tpdb_relation

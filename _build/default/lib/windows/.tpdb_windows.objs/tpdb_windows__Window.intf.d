@@ -1,0 +1,1 @@
+lib/windows/window.mli: Format Tpdb_interval Tpdb_lineage Tpdb_relation

@@ -1,0 +1,38 @@
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Grouping = Tpdb_engine.Grouping
+module Sweep = Tpdb_engine.Sweep
+
+type schedule = [ `Heap | `Scan ]
+
+(* The sweep over one group's overlapping windows: every maximal segment
+   with a constant, non-empty set of valid matching s tuples becomes a
+   negating window whose λs lists the lineages in arrival order, matching
+   the paper's examples (b3 ∨ b2 in Fig. 1b). *)
+let negating_of_group schedule group =
+  let overlapping =
+    List.filter_map
+      (fun w ->
+        match (Window.kind w, Window.ls w) with
+        | Window.Overlapping, Some ls -> Some (Window.iv w, ls)
+        | (Window.Overlapping | Window.Unmatched | Window.Negating), _ -> None)
+      group
+  in
+  match group with
+  | [] -> []
+  | first :: _ ->
+      let fr = Window.fr first
+      and lr = Window.lr first
+      and rspan = Window.rspan first in
+      Sweep.constant_segments ~schedule overlapping
+      |> List.map (fun (iv, lineages) ->
+             Window.negating ~fr ~iv ~lr ~ls:(Formula.disj lineages) ~rspan)
+
+let extend_group ?(schedule = `Heap) group =
+  let negs = negating_of_group schedule group in
+  List.merge
+    (fun a b -> Interval.compare_start (Window.iv a) (Window.iv b))
+    group negs
+
+let extend ?schedule stream =
+  Grouping.map_runs ~same:Window.same_group (extend_group ?schedule) stream

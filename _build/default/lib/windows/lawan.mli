@@ -1,0 +1,25 @@
+(** LAWAN — the lineage-aware sweeping algorithm for negating windows
+    (paper §III-C).
+
+    Extends the stream [WUO] produced by LAWAU (overlapping + unmatched
+    windows) with the negating windows. Within each group — the windows of
+    one [r] tuple, ordered by start — the sweep visits the start and end
+    points of the overlapping windows in order; between two consecutive
+    event points with at least one valid matching [s] tuple it emits a
+    negating window whose [λs] is the disjunction of the lineages of the
+    tuples valid over that segment (in order of their appearance, matching
+    the paper's [b3 ∨ b2] in Fig. 1b). A priority queue of ending points
+    schedules the sweep, as in the paper; [`Scan] recomputes the minimum
+    by scanning the active list instead (ablation baseline, same output).
+
+    Unmatched and overlapping windows are copied through; copies and
+    negating windows alternate in start order. *)
+
+type schedule = [ `Heap | `Scan ]
+
+val extend : ?schedule:schedule -> Window.t Seq.t -> Window.t Seq.t
+(** Input grouped by {!Window.same_group}, start-sorted within groups
+    (LAWAU's output order). *)
+
+val extend_group : ?schedule:schedule -> Window.t list -> Window.t list
+(** One group at a time; exposed for tests and for the ablation bench. *)

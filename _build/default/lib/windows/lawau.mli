@@ -1,0 +1,25 @@
+(** LAWAU — the lineage-aware sweeping algorithm for unmatched windows
+    (paper §III-B).
+
+    Extends the overlapping-window stream with the {e remaining} unmatched
+    windows: the sub-intervals of each [r] tuple covered by no overlapping
+    window (the conventional outer join already produced spanning
+    unmatched windows for the [r] tuples that match nothing at all). The
+    sweep walks every group — the windows of one [r] tuple, sorted by
+    start — keeping a cursor on the first uncovered time point of the
+    tuple's original interval and emitting a gap window whenever the next
+    overlapping window starts beyond it (the five ending-point cases of
+    the paper's Fig. 3 collapse onto cursor arithmetic over sorted
+    windows).
+
+    The transformation streams group by group: it is a pipelined operator
+    in the paper's sense, with no tuple replication. *)
+
+val extend : Window.t Seq.t -> Window.t Seq.t
+(** Input must be grouped by spanning tuple ({!Window.same_group}) and
+    sorted by window start inside each group — the order {!Overlap.left}
+    produces. Output keeps that order and is idempotent under re-
+    application. *)
+
+val extend_group : Window.t list -> Window.t list
+(** One group at a time; exposed for tests and for the ablation bench. *)

@@ -1,0 +1,104 @@
+module Fact = Tpdb_relation.Fact
+module Value = Tpdb_relation.Value
+module Schema = Tpdb_relation.Schema
+
+type op = [ `Eq | `Lt | `Le | `Gt | `Ge | `Ne ]
+
+type atom =
+  | Cols of op * int * int
+  | Left_const of op * int * Value.t
+  | Right_const of op * int * Value.t
+
+type t = atom list
+
+let always = []
+
+let of_atoms atoms = atoms
+
+let eq i j = [ Cols (`Eq, i, j) ]
+
+let conj a b = a @ b
+
+let atoms t = t
+
+let apply_op op a b =
+  if Value.is_null a || Value.is_null b then false
+  else
+    let c = Value.compare a b in
+    match op with
+    | `Eq -> c = 0
+    | `Ne -> c <> 0
+    | `Lt -> c < 0
+    | `Le -> c <= 0
+    | `Gt -> c > 0
+    | `Ge -> c >= 0
+
+let matches_atom fr fs = function
+  | Cols (op, i, j) -> apply_op op (Fact.get fr i) (Fact.get fs j)
+  | Left_const (op, i, v) -> apply_op op (Fact.get fr i) v
+  | Right_const (op, j, v) -> apply_op op (Fact.get fs j) v
+
+let matches t fr fs = List.for_all (matches_atom fr fs) t
+
+let equi_keys t =
+  let keys =
+    List.filter_map (function Cols (`Eq, i, j) -> Some (i, j) | _ -> None) t
+  in
+  match keys with
+  | [] -> None
+  | _ -> Some (List.map fst keys, List.map snd keys)
+
+let residual t =
+  List.filter (function Cols (`Eq, _, _) -> false | _ -> true) t
+
+let swap_op : op -> op = function
+  | `Eq -> `Eq
+  | `Ne -> `Ne
+  | `Lt -> `Gt
+  | `Le -> `Ge
+  | `Gt -> `Lt
+  | `Ge -> `Le
+
+let swap t =
+  List.map
+    (function
+      | Cols (op, i, j) -> Cols (swap_op op, j, i)
+      | Left_const (op, i, v) -> Right_const (op, i, v)
+      | Right_const (op, j, v) -> Left_const (op, j, v))
+    t
+
+let op_string : op -> string = function
+  | `Eq -> "="
+  | `Ne -> "<>"
+  | `Lt -> "<"
+  | `Le -> "<="
+  | `Gt -> ">"
+  | `Ge -> ">="
+
+let column schema side i =
+  match schema with
+  | Some s -> (
+      match List.nth_opt (Schema.columns s) i with
+      | Some c -> Printf.sprintf "%s.%s" (Schema.name s) c
+      | None -> Printf.sprintf "%s#%d" side i)
+  | None -> Printf.sprintf "%s#%d" side i
+
+let to_string ?left ?right t =
+  match t with
+  | [] -> "true"
+  | _ ->
+      String.concat " and "
+        (List.map
+           (function
+             | Cols (op, i, j) ->
+                 Printf.sprintf "%s %s %s" (column left "l" i) (op_string op)
+                   (column right "r" j)
+             | Left_const (op, i, v) ->
+                 Printf.sprintf "%s %s %s" (column left "l" i) (op_string op)
+                   (Value.to_string v)
+             | Right_const (op, j, v) ->
+                 Printf.sprintf "%s %s %s" (column right "r" j) (op_string op)
+                   (Value.to_string v))
+           t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,49 @@
+(** Join conditions θ over the non-temporal attributes of two facts.
+
+    θ is a conjunction of atoms comparing a column of the left fact with a
+    column of the right fact (or with a constant). Equality atoms are
+    recognized so the executor can hash-partition on them; everything else
+    is evaluated as a residual predicate — exactly the split PostgreSQL's
+    planner performs between hash clauses and join filters. *)
+
+type op = [ `Eq | `Lt | `Le | `Gt | `Ge | `Ne ]
+
+type atom =
+  | Cols of op * int * int  (** left column ⋈ right column *)
+  | Left_const of op * int * Tpdb_relation.Value.t
+  | Right_const of op * int * Tpdb_relation.Value.t
+
+type t
+
+val always : t
+(** The empty conjunction: every pair matches (pure temporal join). *)
+
+val of_atoms : atom list -> t
+
+val eq : int -> int -> t
+(** [eq i j] : left column [i] = right column [j]. *)
+
+val conj : t -> t -> t
+
+val atoms : t -> atom list
+
+val matches : t -> Tpdb_relation.Fact.t -> Tpdb_relation.Fact.t -> bool
+(** Comparisons involving [Null] never match (SQL semantics). *)
+
+val equi_keys : t -> (int list * int list) option
+(** Columns of the column-equality atoms, left and right, positionally
+    paired; [None] when there is no equality atom to hash on. *)
+
+val residual : t -> t
+(** Everything but the column-equality atoms. [matches t fr fs] iff the
+    {!equi_keys} columns are pairwise equal (and non-null) and
+    [matches (residual t) fr fs]. *)
+
+val swap : t -> t
+(** θ with the two sides exchanged:
+    [matches (swap t) fs fr = matches t fr fs]. *)
+
+val to_string :
+  ?left:Tpdb_relation.Schema.t -> ?right:Tpdb_relation.Schema.t -> t -> string
+
+val pp : Format.formatter -> t -> unit

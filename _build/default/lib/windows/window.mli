@@ -1,0 +1,85 @@
+(** Generalized lineage-aware temporal windows (paper §II, Table I).
+
+    A window binds an interval [iv] to the facts and lineages of the
+    matching valid tuples of both input relations:
+
+    - {b overlapping}: a θ-matching pair (r, s) over the intersection of
+      their intervals; both facts and both lineages are set;
+    - {b unmatched}: a maximal sub-interval of an [r] tuple where no
+      θ-matching [s] tuple is valid; [fs] and [ls] are null;
+    - {b negating}: a maximal sub-interval where the set of valid
+      θ-matching [s] tuples is non-empty and constant; [fs] is null and
+      [ls] is the disjunction of their lineages.
+
+    Windows additionally carry [rspan], the original interval of the
+    spanning [r] tuple (and [sspan] for overlapping windows): LAWAU needs
+    it to find coverage gaps, and mirroring an overlapping window for the
+    right-hand side of a full outer join needs the [s] span. *)
+
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Fact = Tpdb_relation.Fact
+
+type kind = Overlapping | Unmatched | Negating
+
+type t = private {
+  kind : kind;
+  fr : Fact.t;
+  fs : Fact.t option;
+  iv : Interval.t;
+  lr : Formula.t;
+  ls : Formula.t option;
+  rspan : Interval.t;
+  sspan : Interval.t option;
+}
+
+val overlapping :
+  fr:Fact.t ->
+  fs:Fact.t ->
+  iv:Interval.t ->
+  lr:Formula.t ->
+  ls:Formula.t ->
+  rspan:Interval.t ->
+  sspan:Interval.t ->
+  t
+(** Raises [Invalid_argument] unless [rspan] and [sspan] both cover
+    [iv]. *)
+
+val unmatched :
+  fr:Fact.t -> iv:Interval.t -> lr:Formula.t -> rspan:Interval.t -> t
+
+val negating :
+  fr:Fact.t ->
+  iv:Interval.t ->
+  lr:Formula.t ->
+  ls:Formula.t ->
+  rspan:Interval.t ->
+  t
+
+val kind : t -> kind
+val fr : t -> Fact.t
+val fs : t -> Fact.t option
+val iv : t -> Interval.t
+val lr : t -> Formula.t
+val ls : t -> Formula.t option
+val rspan : t -> Interval.t
+
+val mirror : t -> t
+(** Swaps the two sides of an {e overlapping} window, so that the result
+    is grouped and spanned by the original [s] tuple. Raises
+    [Invalid_argument] on unmatched/negating windows. *)
+
+val same_group : t -> t -> bool
+(** Two windows belong to the same LAWAU/LAWAN group iff they stem from
+    the same spanning [r] tuple: equal [fr], [lr] and [rspan]. *)
+
+val compare_group_start : t -> t -> int
+(** The stream order of the window pipeline: by group, then by interval
+    start (then end, then kind, then the [s] side, for determinism). *)
+
+val equal : t -> t -> bool
+(** Structural, with [ls] compared after {!Formula.normalize} (the
+    disjunction order in a negating window is not semantic). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

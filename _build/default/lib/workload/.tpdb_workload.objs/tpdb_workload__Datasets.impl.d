@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Array List Printf Rng Tpdb_interval Tpdb_relation

@@ -1,0 +1,127 @@
+module Interval = Tpdb_interval.Interval
+module Relation = Tpdb_relation.Relation
+
+type chain_params = {
+  mean_duration : int;
+  gap_probability : float;
+  p_low : float;
+  p_high : float;
+  horizon : int;
+}
+
+let webkit_chain =
+  { mean_duration = 60; gap_probability = 0.1; p_low = 0.5; p_high = 1.0; horizon = 2000 }
+
+let meteo_chain =
+  { mean_duration = 40; gap_probability = 0.25; p_low = 0.6; p_high = 1.0; horizon = 1500 }
+
+(* A chain of [count] mostly-consecutive prediction intervals for one
+   entity, duplicate-free by construction. *)
+let chain rng params ~count =
+  let duration () = 1 + Rng.int rng (2 * params.mean_duration) in
+  let start = Rng.int rng (max 1 (params.horizon - (count * params.mean_duration))) in
+  let rec build t k acc =
+    if k = 0 then List.rev acc
+    else
+      let t = if Rng.bool rng params.gap_probability then t + duration () else t in
+      let te = t + duration () in
+      let p = Rng.uniform_float rng params.p_low params.p_high in
+      build te (k - 1) ((Interval.make t te, p) :: acc)
+  in
+  build start count []
+
+(* Distributes [size] tuples over entities of ~[per_entity] chain steps,
+   then materializes the rows. [fact_of entity rev] names the columns. *)
+let rows_of_entities rng ~size ~per_entity ~chain_params ~fact_of =
+  let rec collect entity made acc =
+    if made >= size then List.rev acc
+    else
+      let count = min (size - made) (1 + Rng.int rng (2 * per_entity)) in
+      let links = chain rng chain_params ~count in
+      let rows =
+        List.mapi (fun rev (iv, p) -> (fact_of entity rev, iv, p)) links
+      in
+      collect (entity + 1) (made + count) (List.rev_append rows acc)
+  in
+  collect 0 0 []
+
+module Webkit = struct
+  type params = { tuples_per_file : int; chain : chain_params }
+
+  let default = { tuples_per_file = 8; chain = webkit_chain }
+
+  let relation ?(params = default) ~name ~seed size =
+    let rng = Rng.create seed in
+    let fact_of file rev =
+      [ Printf.sprintf "file%d" file; Printf.sprintf "r%d" rev ]
+    in
+    let rows =
+      rows_of_entities rng ~size ~per_entity:params.tuples_per_file
+        ~chain_params:params.chain ~fact_of
+    in
+    Relation.of_rows ~name ~columns:[ "File"; "Rev" ] ~tag:name rows
+
+  let pair ?(params = default) ~seed size =
+    ( relation ~params ~name:"r" ~seed size,
+      relation ~params ~name:"s" ~seed:(seed + 1) size )
+end
+
+module Meteo = struct
+  type params = { stations : int; metrics : int; chain : chain_params }
+
+  let default = { stations = 400; metrics = 6; chain = meteo_chain }
+
+  let metric_names =
+    [| "temp"; "humidity"; "pressure"; "wind"; "precip"; "sunshine"; "snow"; "ozone" |]
+
+  let relation ?(params = default) ~name ~seed size =
+    let rng = Rng.create seed in
+    let metric_of entity =
+      metric_names.(entity mod min params.metrics (Array.length metric_names))
+    in
+    let station_of entity = (entity / params.metrics) mod params.stations in
+    let fact_of entity _rev =
+      [ Printf.sprintf "st%d" (station_of entity); metric_of entity ]
+    in
+    (* Station×metric entities contribute longer chains than Webkit files:
+       stations keep reporting, so per-entity tuple counts are higher and
+       the distinct-value count stays far below the input size. *)
+    let per_entity = max 4 (size / (params.stations * params.metrics)) in
+    let rows =
+      rows_of_entities rng ~size ~per_entity ~chain_params:params.chain
+        ~fact_of
+    in
+    Relation.of_rows ~name ~columns:[ "Station"; "Metric" ] ~tag:name rows
+
+  let pair ?(params = default) ~seed size =
+    ( relation ~params ~name:"r" ~seed size,
+      relation ~params ~name:"s" ~seed:(seed + 1) size )
+end
+
+module Uniform = struct
+  let relation ?(skew = 0.0) ~name ~seed ~keys ~horizon ~mean_duration size =
+    let rng = Rng.create seed in
+    (* Per-key cursors keep each fact's intervals disjoint. *)
+    let cursors = Array.make keys 0 in
+    let pick_key () =
+      if skew = 0.0 then Rng.int rng keys else Rng.zipf rng ~s:skew ~n:keys
+    in
+    let rows =
+      List.init size (fun _ ->
+          let key = pick_key () in
+          let start = max cursors.(key) (Rng.int rng horizon) in
+          let te = start + 1 + Rng.int rng (2 * mean_duration) in
+          cursors.(key) <- te;
+          ( [ Printf.sprintf "k%d" key ],
+            Interval.make start te,
+            Rng.uniform_float rng 0.5 1.0 ))
+    in
+    Relation.of_rows ~name ~columns:[ "Key" ] ~tag:name rows
+end
+
+let subset ~seed ~k r =
+  let rng = Rng.create seed in
+  let tuples = Relation.to_array r in
+  if k > Array.length tuples then invalid_arg "Datasets.subset: k too large";
+  let sampled = Rng.sample rng k tuples in
+  Relation.of_tuples (Relation.schema r) (Array.to_list sampled)

@@ -1,0 +1,97 @@
+(** Synthetic stand-ins for the paper's evaluation datasets.
+
+    The real Webkit and Meteo Swiss datasets are not redistributable; these
+    generators reproduce the three properties the experiments depend on
+    (see DESIGN.md §4): input cardinality, join-key selectivity and
+    interval overlap structure.
+
+    - {b Webkit}: predictions that a file remains unchanged over an
+      interval. Facts are (File, Rev); each file contributes a chain of
+      mostly-consecutive revision intervals; the number of distinct files
+      grows with the dataset, so the equality condition on File is {e
+      selective}.
+    - {b Meteo}: predictions that a metric at a station stays within 0.1
+      of its value. Facts are (Station, Metric); there are only a handful
+      of distinct metrics, so the equality condition on Metric is {e
+      unselective} — the property the paper blames for Meteo's higher
+      runtimes.
+
+    Join pairs [(r, s)] are drawn over a shared key universe with
+    different seeds, mirroring the paper's self-combination of each
+    dataset ("tuples referring to the same file", "measurements on the
+    same metric but in different stations"). Scaling sweeps use
+    {!subset}, the paper's uniform subset creation. *)
+
+module Relation = Tpdb_relation.Relation
+
+(** Join conditions for the datasets (this library does not depend on the
+    windows layer): Webkit joins on column 0 = column 0 (File), Meteo on
+    column 1 = column 1 (Metric). *)
+
+type chain_params = {
+  mean_duration : int;  (** mean interval length of one prediction *)
+  gap_probability : float;  (** chance of a hole between two predictions *)
+  p_low : float;  (** prediction-probability range *)
+  p_high : float;
+  horizon : int;  (** timeline [0, horizon) the chains start within *)
+}
+
+val webkit_chain : chain_params
+val meteo_chain : chain_params
+
+module Webkit : sig
+  type params = {
+    tuples_per_file : int;  (** mean revisions per file; default 8 *)
+    chain : chain_params;
+  }
+
+  val default : params
+
+  val relation :
+    ?params:params -> name:string -> seed:int -> int -> Relation.t
+  (** [relation ~name ~seed size]. *)
+
+  val pair : ?params:params -> seed:int -> int -> Relation.t * Relation.t
+  (** [size] tuples on each side, shared file universe. Join on
+      File = File (columns 0 = 0). *)
+end
+
+module Meteo : sig
+  type params = {
+    stations : int;  (** default 400 *)
+    metrics : int;  (** distinct metric names; default 6 *)
+    chain : chain_params;
+  }
+
+  val default : params
+
+  val relation :
+    ?params:params -> name:string -> seed:int -> int -> Relation.t
+  (** [relation ~name ~seed size]. *)
+
+  val pair : ?params:params -> seed:int -> int -> Relation.t * Relation.t
+  (** Join on Metric = Metric (columns 1 = 1). *)
+end
+
+module Uniform : sig
+  (** A generic generator for ablation studies: [keys] distinct join
+      values, intervals uniform in [0, horizon). *)
+
+  val relation :
+    ?skew:float ->
+    name:string ->
+    seed:int ->
+    keys:int ->
+    horizon:int ->
+    mean_duration:int ->
+    int ->
+    Relation.t
+  (** [relation ~name ~seed ~keys ~horizon ~mean_duration size]: single
+      fact column [Key]; join on 0 = 0. [skew] is the Zipf exponent over
+      the key ranks (default 0 = uniform). *)
+end
+
+val subset : seed:int -> k:int -> Relation.t -> Relation.t
+(** Uniform sample of [k] tuples (without replacement), preserving
+    lineage variables and probabilities. Raises [Invalid_argument] if [k]
+    exceeds the cardinality. *)

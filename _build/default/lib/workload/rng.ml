@@ -1,0 +1,91 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_seed t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+(* SplitMix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t = mix (next_seed t)
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let in_range t lo hi =
+  if lo >= hi then invalid_arg "Rng.in_range: empty range";
+  lo + int t (hi - lo)
+
+let float t =
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let uniform_float t lo hi = lo +. ((hi -. lo) *. float t)
+
+let bool t p = float t < p
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let zipf =
+  (* cache of cumulative weights per (s, n) — generators draw many ranks
+     from the same distribution *)
+  let cache : (float * int, float array) Hashtbl.t = Hashtbl.create 8 in
+  fun t ~s ~n ->
+    if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+    if s < 0.0 then invalid_arg "Rng.zipf: negative exponent";
+    let cumulative =
+      match Hashtbl.find_opt cache (s, n) with
+      | Some c -> c
+      | None ->
+          let weights =
+            Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) s)
+          in
+          let c = Array.make n 0.0 in
+          let total = ref 0.0 in
+          Array.iteri
+            (fun i w ->
+              total := !total +. w;
+              c.(i) <- !total)
+            weights;
+          Array.iteri (fun i x -> c.(i) <- x /. !total) c;
+          Hashtbl.replace cache (s, n) c;
+          c
+    in
+    let u = float t in
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cumulative.(mid) < u then bisect (mid + 1) hi else bisect lo mid
+    in
+    bisect 0 (n - 1)
+
+let sample t k arr =
+  let n = Array.length arr in
+  if k > n then invalid_arg "Rng.sample: k larger than population";
+  (* Partial Fisher–Yates: only the first k positions are fixed up. *)
+  let copy = Array.copy arr in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.sub copy 0 k

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    All generators take explicit state so that every dataset, subset and
+    shuffle in the benchmarks is reproducible from a seed, independent of
+    the standard library's global RNG. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [lo, hi) ([lo < hi]). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform_float : t -> float -> float -> float
+(** Uniform in [lo, hi). *)
+
+val bool : t -> float -> bool
+(** True with the given probability. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val zipf : t -> s:float -> n:int -> int
+(** A rank in [0, n) drawn from a (truncated) Zipf distribution with
+    exponent [s] ([s = 0.] is uniform); rank 0 is the most likely. Uses
+    inverse-CDF sampling over precomputed weights for small [n]; raises
+    [Invalid_argument] if [n <= 0] or [s < 0]. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t k arr] draws [k] elements uniformly without replacement
+    (the paper's uniform subset creation). Raises [Invalid_argument] if
+    [k > Array.length arr]. *)

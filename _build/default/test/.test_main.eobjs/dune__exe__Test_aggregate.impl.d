@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Float Fun List QCheck2 QCheck_alcotest Tp_gen Tpdb_interval Tpdb_relation Tpdb_setops

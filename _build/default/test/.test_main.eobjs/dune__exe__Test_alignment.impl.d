@@ -1,0 +1,1 @@
+test/test_alignment.ml: Alcotest Fixtures List QCheck2 QCheck_alcotest Tp_gen Tpdb_alignment Tpdb_interval Tpdb_joins Tpdb_lineage Tpdb_relation Tpdb_windows

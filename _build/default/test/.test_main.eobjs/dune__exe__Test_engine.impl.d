@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Gen Hashtbl Int List QCheck2 QCheck_alcotest Seq String Test Tpdb_engine Tpdb_interval

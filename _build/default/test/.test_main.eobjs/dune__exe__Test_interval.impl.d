@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Fun Gen List QCheck2 QCheck_alcotest Test Tp_gen Tpdb_interval

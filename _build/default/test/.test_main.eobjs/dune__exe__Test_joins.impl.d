@@ -1,0 +1,1 @@
+test/test_joins.ml: Alcotest Fixtures Float Format List QCheck2 QCheck_alcotest Tp_gen Tpdb_interval Tpdb_joins Tpdb_lineage Tpdb_relation Tpdb_windows

@@ -1,0 +1,1 @@
+test/test_lineage.ml: Alcotest Float Gen List Option QCheck2 QCheck_alcotest Test Tpdb_lineage

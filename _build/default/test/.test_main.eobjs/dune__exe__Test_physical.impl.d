@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Fixtures List Seq String Tpdb_interval Tpdb_joins Tpdb_query Tpdb_relation Tpdb_setops Tpdb_windows

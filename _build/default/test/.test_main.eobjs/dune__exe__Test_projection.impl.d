@@ -1,0 +1,1 @@
+test/test_projection.ml: Alcotest Fun List QCheck2 QCheck_alcotest Tp_gen Tpdb_engine Tpdb_interval Tpdb_lineage Tpdb_relation Tpdb_setops

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Fixtures List Option String Tpdb_joins Tpdb_query Tpdb_relation Tpdb_setops Tpdb_windows

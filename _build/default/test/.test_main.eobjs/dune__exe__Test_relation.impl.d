@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Filename Fun List QCheck2 QCheck_alcotest Sys Test Tp_gen Tpdb_interval Tpdb_lineage Tpdb_relation

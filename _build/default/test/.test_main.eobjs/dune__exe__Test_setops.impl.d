@@ -1,0 +1,1 @@
+test/test_setops.ml: Alcotest Float List QCheck2 QCheck_alcotest Tp_gen Tpdb_interval Tpdb_lineage Tpdb_relation Tpdb_setops

@@ -1,0 +1,1 @@
+test/test_windows.ml: Alcotest Fixtures List QCheck2 QCheck_alcotest Seq String Test Tp_gen Tpdb_interval Tpdb_lineage Tpdb_relation Tpdb_windows

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Int List Printf String Tpdb_experiments Tpdb_interval Tpdb_relation Tpdb_workload

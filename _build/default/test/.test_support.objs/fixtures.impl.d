@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest List Tpdb_interval Tpdb_lineage Tpdb_relation Tpdb_windows

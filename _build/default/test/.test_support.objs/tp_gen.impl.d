@@ -1,0 +1,1 @@
+test/tp_gen.ml: Format Gen List Printf QCheck2 Tpdb_interval Tpdb_relation Tpdb_windows

@@ -1,0 +1,7 @@
+  $ ../../bin/tpdb_cli.exe generate --dataset webkit --size 50 --seed 3 --prefix wk
+  $ ../../bin/tpdb_cli.exe query --explain -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
+  $ ../../bin/tpdb_cli.exe query -t wk_r.csv "SELECT Nope FROM wk_r"
+  $ ../../bin/tpdb_cli.exe store --db warehouse wk_r.csv wk_s.csv
+  $ ls warehouse
+  $ ../../bin/tpdb_cli.exe query --db warehouse --explain "SELECT DISTINCT File FROM wk_r DURING [0,500)"
+  $ ../../bin/tpdb_cli.exe render -t wk_r.csv -t wk_s.csv wk_r wk_s --on File=File --width 40 | head -4

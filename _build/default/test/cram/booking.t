@@ -1,0 +1,84 @@
+The paper's running example, end to end (Figs. 1 and 2):
+
+  $ ../../examples/booking.exe
+  Base relations (paper Fig. 1a):
+  a (2 tuples)
+  Name | Loc | lineage | T | p
+  Ann | ZAK | a1 | [2,8) | 0.7
+  Jim | WEN | a2 | [7,10) | 0.8
+  b (3 tuples)
+  Hotel | Loc | lineage | T | p
+  hotel3 | SOR | b1 | [1,4) | 0.9
+  hotel2 | ZAK | b2 | [5,8) | 0.6
+  hotel1 | ZAK | b3 | [4,6) | 0.7
+  
+  --- All windows of a w.r.t. b (paper Fig. 2) ---
+    unmatched('Ann, ZAK', null, [2,4), a1, null)
+    overlapping('Ann, ZAK', 'hotel1, ZAK', [4,6), a1, b3)
+    negating('Ann, ZAK', null, [4,5), a1, b3)
+    overlapping('Ann, ZAK', 'hotel2, ZAK', [5,8), a1, b2)
+    negating('Ann, ZAK', null, [5,6), a1, b3 ∨ b2)
+    negating('Ann, ZAK', null, [6,8), a1, b2)
+    unmatched('Jim, WEN', null, [7,10), a2, null)
+  
+  --- The same picture, drawn (cf. paper Fig. 2) ---
+  a
+                            |23456789|
+    a1 [2,8)                |######  | Ann, ZAK
+    a2 [7,10)               |     ###| Jim, WEN
+  
+  b
+                            |1234567|
+    b3 [4,6)                |   ##  | hotel1, ZAK
+    b2 [5,8)                |    ###| hotel2, ZAK
+    b1 [1,4)                |###    | hotel3, SOR
+  
+  windows
+                            |123456789|
+    U [2,4) a1              | ##      | Fs=- λs=-
+    O [4,6) a1              |   ##    | Fs='hotel1, ZAK' λs=b3
+    N [4,5) a1              |   #     | Fs=- λs=b3
+    O [5,8) a1              |    ###  | Fs='hotel2, ZAK' λs=b2
+    N [5,6) a1              |    #    | Fs=- λs=b3 | b2
+    N [6,8) a1              |     ##  | Fs=- λs=b2
+    U [7,10) a2             |      ###| Fs=- λs=-
+  
+  --- Q = a LEFT TPJOIN b ON a.Loc = b.Loc (paper Fig. 1b) ---
+  a_b (7 tuples)
+  Name | a.Loc | Hotel | b.Loc | lineage | T | p
+  Ann | ZAK | - | - | a1 | [2,4) | 0.7
+  Ann | ZAK | hotel1 | ZAK | a1 ∧ b3 | [4,6) | 0.49
+  Ann | ZAK | - | - | a1 ∧ ¬b3 | [4,5) | 0.21
+  Ann | ZAK | hotel2 | ZAK | a1 ∧ b2 | [5,8) | 0.42
+  Ann | ZAK | - | - | a1 ∧ ¬(b3 ∨ b2) | [5,6) | 0.084
+  Ann | ZAK | - | - | a1 ∧ ¬b2 | [6,8) | 0.28
+  Jim | WEN | - | - | a2 | [7,10) | 0.8
+  Reading: over [5,6) there is probability 0.084 that Ann wants to
+  visit Zakynthos but finds no accommodation - she is interested (a1
+  true) while neither hotel1 nor hotel2 has rooms (b3, b2 false).
+  
+  --- TP anti join: when does a client certainly find no hotel? ---
+  a_anti_b (5 tuples)
+  Name | Loc | lineage | T | p
+  Ann | ZAK | a1 | [2,4) | 0.7
+  Ann | ZAK | a1 ∧ ¬b3 | [4,5) | 0.21
+  Ann | ZAK | a1 ∧ ¬(b3 ∨ b2) | [5,6) | 0.084
+  Ann | ZAK | a1 ∧ ¬b2 | [6,8) | 0.28
+  Jim | WEN | a2 | [7,10) | 0.8
+  
+  --- TP full outer join: hotels with no interested client included ---
+  a_b (10 tuples)
+  Name | a.Loc | Hotel | b.Loc | lineage | T | p
+  Ann | ZAK | - | - | a1 | [2,4) | 0.7
+  Ann | ZAK | hotel1 | ZAK | a1 ∧ b3 | [4,6) | 0.49
+  Ann | ZAK | - | - | a1 ∧ ¬b3 | [4,5) | 0.21
+  Ann | ZAK | hotel2 | ZAK | a1 ∧ b2 | [5,8) | 0.42
+  Ann | ZAK | - | - | a1 ∧ ¬(b3 ∨ b2) | [5,6) | 0.084
+  Ann | ZAK | - | - | a1 ∧ ¬b2 | [6,8) | 0.28
+  Jim | WEN | - | - | a2 | [7,10) | 0.8
+  - | - | hotel1 | ZAK | b3 ∧ ¬a1 | [4,6) | 0.21
+  - | - | hotel2 | ZAK | b2 ∧ ¬a1 | [5,8) | 0.18
+  - | - | hotel3 | SOR | b1 | [1,4) | 0.9
+  
+  --- Table I check ---
+  all 7 windows satisfy their Table I definitions: true

@@ -1,0 +1,73 @@
+The full TP-SQL dialect on the booking scenario:
+
+  $ ../../examples/capacity_planning.exe
+  
+  > SELECT DISTINCT Loc FROM a
+  Distinct TP Project (Loc; lineage disjunction)
+    Scan a (3 tuples)
+  a (4 tuples)
+  Loc | lineage | T | p
+  ZAK | a1 | [2,5) | 0.7
+  ZAK | a1 ∨ a3 | [5,8) | 0.97
+  ZAK | a3 | [8,9) | 0.9
+  WEN | a2 | [7,10) | 0.8
+  
+  > SELECT COUNT(*) FROM a GROUP BY Loc
+  Sequenced Aggregate (COUNT(*); expectation per witness-constant segment)
+    Scan a (3 tuples)
+  a_exp_count (4 tuples)
+  Loc | exp_count | lineage | T | p
+  ZAK | 0.7 | T | [2,5) | 1
+  ZAK | 1.6 | T | [5,8) | 1
+  ZAK | 0.9 | T | [8,9) | 1
+  WEN | 0.8 | T | [7,10) | 1
+  
+  > SELECT COUNT(*) FROM b GROUP BY Loc DURING [4,7)
+  Sequenced Aggregate (COUNT(*); expectation per witness-constant segment)
+    Timeslice ([4,7))
+      Scan b (3 tuples)
+  b_exp_count (3 tuples)
+  Loc | exp_count | lineage | T | p
+  ZAK | 0.7 | T | [4,5) | 1
+  ZAK | 1.3 | T | [5,6) | 1
+  ZAK | 0.6 | T | [6,7) | 1
+  
+  > SELECT Name FROM a ANTIJOIN b ON a.Loc = b.Loc AT 5
+  Project (Name)
+    Timeslice ([5,6))
+      TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc)
+        Scan a (3 tuples)
+        Scan b (3 tuples)
+  a_anti_b (2 tuples)
+  Name | lineage | T | p
+  Ann | a1 ∧ ¬(b3 ∨ b2) | [5,6) | 0.084
+  Lea | a3 ∧ ¬(b3 ∨ b2) | [5,6) | 0.108
+  
+  > SELECT Name, Hotel FROM a LEFT TPJOIN b ON a.Loc = b.Loc WHERE Name <> 'Jim' DURING [4,8)
+  Project (Name, Hotel)
+    Timeslice ([4,8))
+      Filter (Name <> 'Jim')
+        TP Left Outer Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc)
+          Scan a (3 tuples)
+          Scan b (3 tuples)
+  a_b (9 tuples)
+  Name | Hotel | lineage | T | p
+  Ann | hotel1 | a1 ∧ b3 | [4,6) | 0.49
+  Ann | - | a1 ∧ ¬b3 | [4,5) | 0.21
+  Ann | hotel2 | a1 ∧ b2 | [5,8) | 0.42
+  Ann | - | a1 ∧ ¬(b3 ∨ b2) | [5,6) | 0.084
+  Ann | - | a1 ∧ ¬b2 | [6,8) | 0.28
+  Lea | hotel1 | a3 ∧ b3 | [5,6) | 0.63
+  Lea | hotel2 | a3 ∧ b2 | [5,8) | 0.54
+  Lea | - | a3 ∧ ¬(b3 ∨ b2) | [5,6) | 0.108
+  Lea | - | a3 ∧ ¬b2 | [6,8) | 0.36
+
+  > SELECT DISTINCT Loc FROM a
+
+  > SELECT COUNT(*) FROM a GROUP BY Loc
+
+  > SELECT COUNT(*) FROM b GROUP BY Loc DURING [4,7)
+
+  > SELECT Name FROM a ANTIJOIN b ON a.Loc = b.Loc AT 5
+
+  > SELECT Name, Hotel FROM a LEFT TPJOIN b ON a.Loc = b.Loc WHERE Name <> 'Jim' DURING [4,8)

@@ -1,0 +1,39 @@
+Generate a small deterministic dataset pair:
+
+  $ ../../bin/tpdb_cli.exe generate --dataset webkit --size 50 --seed 3 --prefix wk
+  wrote wk_r.csv (50 tuples) and wk_s.csv (50 tuples)
+
+Plan a TP anti join over the generated CSVs:
+
+  $ ../../bin/tpdb_cli.exe query --explain -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
+  Project (File)
+    TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File)
+      Scan wk_r (50 tuples)
+      Scan wk_s (50 tuples)
+
+An unknown column is a plan error:
+
+  $ ../../bin/tpdb_cli.exe query -t wk_r.csv "SELECT Nope FROM wk_r"
+  plan error: unknown column Nope in SELECT
+  [1]
+
+Round-trip through the binary database directory:
+
+  $ ../../bin/tpdb_cli.exe store --db warehouse wk_r.csv wk_s.csv
+  stored wk_r (50 tuples)
+  stored wk_s (50 tuples)
+  $ ls warehouse
+  wk_r.tpr
+  wk_s.tpr
+  $ ../../bin/tpdb_cli.exe query --db warehouse --explain "SELECT DISTINCT File FROM wk_r DURING [0,500)"
+  Distinct TP Project (File; lineage disjunction)
+    Timeslice ([0,500))
+      Scan wk_r (50 tuples)
+
+Draw the join picture (paper Fig. 2 style):
+
+  $ ../../bin/tpdb_cli.exe render -t wk_r.csv -t wk_s.csv wk_r wk_s --on File=File --width 40 | head -4
+  wk_r
+                            |0628406284062840628406284062840628406284|
+    r1 [940,964)            |                 ##                     | file0, r0
+    r2 [964,1001)           |                  #                     | file0, r1

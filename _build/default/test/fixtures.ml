@@ -1,0 +1,52 @@
+(* Shared test data: the paper's running example (Fig. 1) and helpers for
+   building small TP relations tersely. *)
+
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Theta = Tpdb_windows.Theta
+
+let iv a b = Interval.make a b
+
+(* wantsToVisit: who wants to be where, and when (paper Fig. 1a). *)
+let relation_a () =
+  Relation.of_rows ~name:"a" ~columns:[ "Name"; "Loc" ]
+    [
+      ([ "Ann"; "ZAK" ], iv 2 8, 0.7);
+      ([ "Jim"; "WEN" ], iv 7 10, 0.8);
+    ]
+
+(* hotelAvailability: which hotel is free where, and when. *)
+let relation_b () =
+  Relation.of_rows ~name:"b" ~columns:[ "Hotel"; "Loc" ]
+    [
+      ([ "hotel3"; "SOR" ], iv 1 4, 0.9);
+      ([ "hotel2"; "ZAK" ], iv 5 8, 0.6);
+      ([ "hotel1"; "ZAK" ], iv 4 6, 0.7);
+    ]
+
+(* θ : a.Loc = b.Loc *)
+let theta_loc = Theta.eq 1 1
+
+(* Terse builder: facts from strings, lineage from the ASCII notation. *)
+let tuple columns_values lineage_str (ts, te) p =
+  Tuple.make
+    ~fact:(Fact.of_strings columns_values)
+    ~lineage:(Formula.of_string lineage_str)
+    ~iv:(iv ts te) ~p
+
+let relation ~name ~columns rows =
+  Relation.of_tuples
+    (Tpdb_relation.Schema.make ~name columns)
+    (List.map (fun (values, lineage, span, p) -> tuple values lineage span p) rows)
+
+(* Alcotest testable for relations under set semantics. *)
+let relation_testable =
+  Alcotest.testable
+    (fun ppf r -> Relation.pp ppf r)
+    (fun x y -> Relation.equal_as_sets x y)
+
+let check_relation msg expected actual =
+  Alcotest.check relation_testable msg expected actual

@@ -1,0 +1,141 @@
+module Interval = Tpdb_interval.Interval
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Value = Tpdb_relation.Value
+module Schema = Tpdb_relation.Schema
+module Aggregate = Tpdb_setops.Aggregate
+
+let iv = Interval.make
+
+(* Sensors reporting a reading with a confidence. *)
+let sensors () =
+  Relation.of_rows ~name:"m" ~columns:[ "Station"; "Reading" ] ~tag:"m"
+    [
+      ([ "zrh"; "10" ], iv 0 6, 0.5);
+      ([ "zrh"; "20" ], iv 4 9, 0.8);
+      ([ "gva"; "30" ], iv 2 5, 1.0);
+    ]
+
+let value_of tp =
+  match Fact.get (Tuple.fact tp) 1 with
+  | Value.F f -> f
+  | other -> Alcotest.failf "non-float aggregate value %s" (Value.to_string other)
+
+let find_segment result span station =
+  match
+    List.find_opt
+      (fun tp ->
+        Interval.equal (Tuple.iv tp) span
+        && Value.equal (Fact.get (Tuple.fact tp) 0) (Value.S station))
+      (Relation.tuples result)
+  with
+  | Some tp -> tp
+  | None -> Alcotest.failf "no segment %s for %s" (Interval.to_string span) station
+
+let test_expected_count () =
+  let result = Aggregate.sequenced ~group_by:[ 0 ] Aggregate.Count (sensors ()) in
+  Alcotest.(check (list string)) "schema" [ "Station"; "exp_count" ]
+    (Schema.columns (Relation.schema result));
+  Alcotest.(check (float 1e-9)) "zrh alone" 0.5
+    (value_of (find_segment result (iv 0 4) "zrh"));
+  Alcotest.(check (float 1e-9)) "zrh both" 1.3
+    (value_of (find_segment result (iv 4 6) "zrh"));
+  Alcotest.(check (float 1e-9)) "zrh second only" 0.8
+    (value_of (find_segment result (iv 6 9) "zrh"));
+  Alcotest.(check (float 1e-9)) "gva certain" 1.0
+    (value_of (find_segment result (iv 2 5) "gva"))
+
+let test_expected_sum_avg () =
+  let sum = Aggregate.sequenced ~group_by:[ 0 ] (Aggregate.Sum 1) (sensors ()) in
+  (* E[sum] over [4,6) for zrh: 0.5·10 + 0.8·20 = 21 *)
+  Alcotest.(check (float 1e-9)) "expected sum" 21.0
+    (value_of (find_segment sum (iv 4 6) "zrh"));
+  let avg = Aggregate.sequenced ~group_by:[ 0 ] (Aggregate.Avg 1) (sensors ()) in
+  (* ratio of expectations: 21 / 1.3 *)
+  Alcotest.(check (float 1e-9)) "expected avg" (21.0 /. 1.3)
+    (value_of (find_segment avg (iv 4 6) "zrh"))
+
+let test_global_aggregate () =
+  (* Empty group_by: one global group. *)
+  let result = Aggregate.sequenced ~group_by:[] Aggregate.Count (sensors ()) in
+  Alcotest.(check (list string)) "only the value column" [ "exp_count" ]
+    (Schema.columns (Relation.schema result));
+  (* [4,5): all three tuples valid -> 0.5 + 0.8 + 1.0 *)
+  let seg =
+    List.find
+      (fun tp -> Interval.equal (Tuple.iv tp) (iv 4 5))
+      (Relation.tuples result)
+  in
+  Alcotest.(check (float 1e-9)) "global count" 2.3
+    (match Fact.get (Tuple.fact seg) 0 with
+    | Value.F f -> f
+    | _ -> Alcotest.fail "not a float")
+
+let test_errors () =
+  (match Aggregate.sequenced ~group_by:[ 9 ] Aggregate.Count (sensors ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range group column accepted");
+  match Aggregate.sequenced ~group_by:[ 1 ] (Aggregate.Sum 0) (sensors ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-numeric sum column accepted"
+
+(* --- properties --- *)
+
+module Test = QCheck2.Test
+
+let qtest = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+let prop_count_matches_pointwise =
+  Test.make ~name:"sequenced count = pointwise expectation" ~count:100
+    ~print:Tp_gen.print_relation
+    (Tp_gen.relation_gen ~name:"r" ())
+    (fun r ->
+      let env = Relation.prob_env [ r ] in
+      let result = Aggregate.sequenced ~env ~group_by:[ 0 ] Aggregate.Count r in
+      List.for_all
+        (fun t ->
+          List.for_all
+            (fun tp ->
+              let key = Fact.key [ 0 ] (Tuple.fact tp) in
+              match
+                Aggregate.expected_at ~env ~group_by:[ 0 ] Aggregate.Count r key t
+              with
+              | None -> not (Tuple.valid_at tp t)
+              | Some expected ->
+                  (not (Tuple.valid_at tp t))
+                  || Float.abs (value_of tp -. expected) < 1e-9)
+            (Relation.tuples result))
+        (List.init 40 Fun.id))
+
+let prop_output_segments_disjoint =
+  Test.make ~name:"per-group output segments are disjoint and cover witnesses"
+    ~count:100 ~print:Tp_gen.print_relation
+    (Tp_gen.relation_gen ~name:"r" ())
+    (fun r ->
+      let result = Aggregate.sequenced ~group_by:[ 0 ] Aggregate.Count r in
+      let covered rel key t =
+        List.exists
+          (fun tp ->
+            Tuple.valid_at tp t
+            && Fact.equal (Fact.key [ 0 ] (Tuple.fact tp)) key)
+          (Relation.tuples rel)
+      in
+      List.for_all
+        (fun t ->
+          List.for_all
+            (fun tp ->
+              let key = Fact.key [ 0 ] (Tuple.fact tp) in
+              covered result key t = covered r key t)
+            (Relation.tuples r))
+        (List.init 40 Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "expected count per segment" `Quick test_expected_count;
+    Alcotest.test_case "expected sum / avg" `Quick test_expected_sum_avg;
+    Alcotest.test_case "global aggregate" `Quick test_global_aggregate;
+    Alcotest.test_case "errors" `Quick test_errors;
+    qtest prop_count_matches_pointwise;
+    qtest prop_output_segments_disjoint;
+  ]

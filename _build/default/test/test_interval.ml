@@ -1,0 +1,212 @@
+module Interval = Tpdb_interval.Interval
+module Timeline = Tpdb_interval.Timeline
+
+let iv = Interval.make
+
+let interval_testable =
+  Alcotest.testable Interval.pp Interval.equal
+
+let intervals = Alcotest.list interval_testable
+
+let check_iv = Alcotest.check interval_testable
+let check_ivs = Alcotest.check intervals
+
+(* --- Interval --- *)
+
+let test_make_validates () =
+  Alcotest.check_raises "empty" (Interval.Empty_interval (3, 3)) (fun () ->
+      ignore (iv 3 3));
+  Alcotest.check_raises "inverted" (Interval.Empty_interval (5, 2)) (fun () ->
+      ignore (iv 5 2));
+  Alcotest.(check (option interval_testable))
+    "make_opt empty" None
+    (Interval.make_opt 4 4);
+  Alcotest.(check int) "duration" 3 (Interval.duration (iv 2 5))
+
+let test_contains_covers () =
+  let i = iv 2 5 in
+  Alcotest.(check bool) "start in" true (Interval.contains i 2);
+  Alcotest.(check bool) "end out" false (Interval.contains i 5);
+  Alcotest.(check bool) "mid in" true (Interval.contains i 4);
+  Alcotest.(check bool) "before out" false (Interval.contains i 1);
+  Alcotest.(check bool) "covers self" true (Interval.covers i i);
+  Alcotest.(check bool) "covers sub" true (Interval.covers i (iv 3 5));
+  Alcotest.(check bool) "not covers super" false (Interval.covers i (iv 1 5))
+
+let test_overlap_intersect () =
+  Alcotest.(check bool) "overlap" true (Interval.overlaps (iv 2 5) (iv 4 8));
+  Alcotest.(check bool) "meets is not overlap" false
+    (Interval.overlaps (iv 2 5) (iv 5 8));
+  Alcotest.(check (option interval_testable))
+    "intersect" (Some (iv 4 5))
+    (Interval.intersect (iv 2 5) (iv 4 8));
+  Alcotest.(check (option interval_testable))
+    "disjoint intersect" None
+    (Interval.intersect (iv 2 4) (iv 5 8));
+  check_iv "hull" (iv 2 8) (Interval.hull (iv 2 5) (iv 4 8));
+  check_iv "hull disjoint" (iv 2 9) (Interval.hull (iv 2 4) (iv 7 9))
+
+let test_minus () =
+  check_ivs "split" [ iv 2 4; iv 6 9 ] (Interval.minus (iv 2 9) (iv 4 6));
+  check_ivs "left" [ iv 2 4 ] (Interval.minus (iv 2 6) (iv 4 8));
+  check_ivs "right" [ iv 5 8 ] (Interval.minus (iv 3 8) (iv 1 5));
+  check_ivs "swallowed" [] (Interval.minus (iv 3 5) (iv 2 6));
+  check_ivs "disjoint" [ iv 2 4 ] (Interval.minus (iv 2 4) (iv 6 8))
+
+let test_union_adjacent () =
+  Alcotest.(check bool) "adjacent" true (Interval.adjacent (iv 2 4) (iv 4 6));
+  Alcotest.(check (option interval_testable))
+    "join adjacent" (Some (iv 2 6))
+    (Interval.union_if_joinable (iv 2 4) (iv 4 6));
+  Alcotest.(check (option interval_testable))
+    "no join gap" None
+    (Interval.union_if_joinable (iv 2 4) (iv 5 6))
+
+let test_allen () =
+  let check name expected a b =
+    Alcotest.(check bool) name true (Interval.allen a b = expected)
+  in
+  check "before" Interval.Before (iv 1 2) (iv 4 6);
+  check "meets" Interval.Meets (iv 1 4) (iv 4 6);
+  check "overlaps" Interval.Overlaps (iv 1 5) (iv 4 6);
+  check "starts" Interval.Starts (iv 4 5) (iv 4 6);
+  check "during" Interval.During (iv 4 5) (iv 3 6);
+  check "finishes" Interval.Finishes (iv 5 6) (iv 3 6);
+  check "equals" Interval.Equals (iv 3 6) (iv 3 6);
+  check "finished_by" Interval.Finished_by (iv 3 6) (iv 5 6);
+  check "contains" Interval.Contains (iv 3 6) (iv 4 5);
+  check "started_by" Interval.Started_by (iv 4 6) (iv 4 5);
+  check "overlapped_by" Interval.Overlapped_by (iv 4 6) (iv 1 5);
+  check "met_by" Interval.Met_by (iv 4 6) (iv 1 4);
+  check "after" Interval.After (iv 4 6) (iv 1 2)
+
+let test_points_string () =
+  Alcotest.(check (list int)) "points" [ 2; 3; 4 ]
+    (List.of_seq (Interval.points (iv 2 5)));
+  Alcotest.(check string) "to_string" "[2,5)" (Interval.to_string (iv 2 5));
+  check_iv "of_string" (iv 2 5) (Interval.of_string "[2,5)");
+  Alcotest.check_raises "of_string invalid"
+    (Invalid_argument "Interval.of_string: \"nope\"") (fun () ->
+      ignore (Interval.of_string "nope"))
+
+(* --- Timeline --- *)
+
+let test_endpoints_segments () =
+  Alcotest.(check (list int)) "endpoints" [ 1; 3; 4; 6 ]
+    (Timeline.endpoints [ iv 1 4; iv 3 6 ]);
+  check_ivs "segments"
+    [ iv 0 1; iv 1 3; iv 3 4; iv 4 6; iv 6 8 ]
+    (Timeline.segments ~within:(iv 0 8) [ iv 3 6; iv 1 4 ]);
+  check_ivs "segments no cut" [ iv 2 5 ]
+    (Timeline.segments ~within:(iv 2 5) []);
+  check_ivs "segments outside cuts ignored" [ iv 4 5 ]
+    (Timeline.segments ~within:(iv 4 5) [ iv 0 2; iv 7 9 ])
+
+let test_coalesce () =
+  check_ivs "merge overlap" [ iv 1 6 ] (Timeline.coalesce [ iv 3 6; iv 1 4 ]);
+  check_ivs "merge adjacent" [ iv 1 6 ] (Timeline.coalesce [ iv 1 3; iv 3 6 ]);
+  check_ivs "keep gap" [ iv 1 3; iv 5 6 ]
+    (Timeline.coalesce [ iv 5 6; iv 1 3 ]);
+  check_ivs "empty" [] (Timeline.coalesce [])
+
+let test_gaps () =
+  check_ivs "inner gaps"
+    [ iv 0 1; iv 4 6; iv 8 10 ]
+    (Timeline.gaps ~within:(iv 0 10) [ iv 1 4; iv 6 8 ]);
+  check_ivs "no cover" [ iv 0 5 ] (Timeline.gaps ~within:(iv 0 5) []);
+  check_ivs "fully covered" [] (Timeline.gaps ~within:(iv 2 4) [ iv 0 10 ]);
+  Alcotest.(check int) "covered_duration" 5
+    (Timeline.covered_duration [ iv 1 4; iv 3 6 ])
+
+(* --- properties --- *)
+
+open QCheck2
+
+let intervals_gen = Gen.list_size (Gen.int_range 0 8) Tp_gen.interval
+
+let prop_coalesce_preserves_points =
+  Test.make ~name:"coalesce preserves covered time points" ~count:200
+    intervals_gen (fun ivs ->
+      let covered_by list t =
+        List.exists (fun i -> Interval.contains i t) list
+      in
+      let merged = Timeline.coalesce ivs in
+      List.for_all
+        (fun t -> covered_by ivs t = covered_by merged t)
+        (List.init 40 Fun.id))
+
+let prop_coalesce_minimal =
+  Test.make ~name:"coalesce output is disjoint and non-adjacent" ~count:200
+    intervals_gen (fun ivs ->
+      let rec pairwise = function
+        | a :: (b :: _ as rest) ->
+            (not (Interval.overlaps a b))
+            && (not (Interval.adjacent a b))
+            && Interval.before a b && pairwise rest
+        | _ -> true
+      in
+      pairwise (Timeline.coalesce ivs))
+
+let prop_segments_partition =
+  Test.make ~name:"segments partition the within interval" ~count:200
+    (Gen.pair Tp_gen.interval intervals_gen) (fun (within, ivs) ->
+      let segments = Timeline.segments ~within ivs in
+      let rec gapless cursor = function
+        | [] -> cursor = Interval.te within
+        | seg :: rest ->
+            Interval.ts seg = cursor && gapless (Interval.te seg) rest
+      in
+      gapless (Interval.ts within) segments)
+
+let prop_gaps_complement =
+  Test.make ~name:"gaps = within minus coverage" ~count:200
+    (Gen.pair Tp_gen.interval intervals_gen) (fun (within, ivs) ->
+      let gaps = Timeline.gaps ~within ivs in
+      List.for_all
+        (fun t ->
+          let inside = Interval.contains within t in
+          let covered = List.exists (fun i -> Interval.contains i t) ivs in
+          let in_gap = List.exists (fun g -> Interval.contains g t) gaps in
+          in_gap = (inside && not covered))
+        (List.init 40 Fun.id))
+
+let prop_allen_total =
+  Test.make ~name:"allen relations are mutually exclusive and mirror" ~count:200
+    (Gen.pair Tp_gen.interval Tp_gen.interval) (fun (a, b) ->
+      let mirror = function
+        | Interval.Before -> Interval.After
+        | Interval.Meets -> Interval.Met_by
+        | Interval.Overlaps -> Interval.Overlapped_by
+        | Interval.Starts -> Interval.Started_by
+        | Interval.During -> Interval.Contains
+        | Interval.Finishes -> Interval.Finished_by
+        | Interval.Equals -> Interval.Equals
+        | Interval.Finished_by -> Interval.Finishes
+        | Interval.Contains -> Interval.During
+        | Interval.Started_by -> Interval.Starts
+        | Interval.Overlapped_by -> Interval.Overlaps
+        | Interval.Met_by -> Interval.Meets
+        | Interval.After -> Interval.Before
+      in
+      Interval.allen b a = mirror (Interval.allen a b))
+
+let qcheck = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+let suite =
+  [
+    Alcotest.test_case "make validates" `Quick test_make_validates;
+    Alcotest.test_case "contains / covers" `Quick test_contains_covers;
+    Alcotest.test_case "overlap / intersect / hull" `Quick test_overlap_intersect;
+    Alcotest.test_case "minus" `Quick test_minus;
+    Alcotest.test_case "adjacent / union" `Quick test_union_adjacent;
+    Alcotest.test_case "allen relations" `Quick test_allen;
+    Alcotest.test_case "points / string round-trip" `Quick test_points_string;
+    Alcotest.test_case "endpoints / segments" `Quick test_endpoints_segments;
+    Alcotest.test_case "coalesce" `Quick test_coalesce;
+    Alcotest.test_case "gaps" `Quick test_gaps;
+    qcheck prop_coalesce_preserves_points;
+    qcheck prop_coalesce_minimal;
+    qcheck prop_segments_partition;
+    qcheck prop_gaps_complement;
+    qcheck prop_allen_total;
+  ]

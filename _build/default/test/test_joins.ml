@@ -1,0 +1,270 @@
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Prob = Tpdb_lineage.Prob
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Value = Tpdb_relation.Value
+module Theta = Tpdb_windows.Theta
+module Nj = Tpdb_joins.Nj
+module Reference = Tpdb_joins.Reference
+module Concat = Tpdb_joins.Concat
+module Window = Tpdb_windows.Window
+
+let iv = Interval.make
+
+(* --- Concat (output formation) --- *)
+
+let test_concat_functions () =
+  let fr = Fact.of_strings [ "x" ] and lr = Formula.of_string "a1" in
+  let overl =
+    Window.overlapping ~fr ~fs:(Fact.of_strings [ "y" ]) ~iv:(iv 1 3) ~lr
+      ~ls:(Formula.of_string "b1") ~rspan:(iv 0 4) ~sspan:(iv 1 3)
+  in
+  Alcotest.(check string) "and" "a1 & b1"
+    (Formula.to_string_ascii (Concat.output_lineage overl));
+  let unm = Window.unmatched ~fr ~iv:(iv 1 3) ~lr ~rspan:(iv 0 4) in
+  Alcotest.(check string) "pass-through" "a1"
+    (Formula.to_string_ascii (Concat.output_lineage unm));
+  let negw =
+    Window.negating ~fr ~iv:(iv 1 3) ~lr
+      ~ls:(Formula.of_string "b1 | b2") ~rspan:(iv 0 4)
+  in
+  Alcotest.(check string) "andNot" "a1 & !(b1 | b2)"
+    (Formula.to_string_ascii (Concat.output_lineage negw));
+  let env _ = 0.5 in
+  let padded = Concat.tuple_of_window ~env ~side:Concat.Left ~pad:2 unm in
+  Alcotest.(check int) "null padding" 3 (Fact.arity (Tuple.fact padded));
+  Alcotest.(check bool) "padding is null" true
+    (Value.is_null (Fact.get (Tuple.fact padded) 2));
+  (match Concat.tuple_of_window_no_fs ~env overl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "anti-join formation accepted a pair window")
+
+(* --- hand-written edge cases --- *)
+
+let krel name rows = Relation.of_rows ~name ~columns:[ "K" ] ~tag:name rows
+let theta_k = Theta.eq 0 0
+
+let check_against_oracle ?(theta = theta_k) r s =
+  let check name nj oracle =
+    let got = nj ~theta r s and want = oracle ~theta r s in
+    if not (Relation.equal_as_sets want got) then
+      Alcotest.failf "%s mismatch:\nexpected:\n%s\ngot:\n%s" name
+        (Format.asprintf "%a" Relation.pp want)
+        (Format.asprintf "%a" Relation.pp got)
+  in
+  check "inner" (Nj.inner ?options:None ?env:None) (Reference.inner ?env:None);
+  check "anti" (Nj.anti ?options:None ?env:None) (Reference.anti ?env:None);
+  check "left" (Nj.left_outer ?options:None ?env:None) (Reference.left_outer ?env:None);
+  check "right" (Nj.right_outer ?options:None ?env:None) (Reference.right_outer ?env:None);
+  check "full" (Nj.full_outer ?options:None ?env:None) (Reference.full_outer ?env:None)
+
+let test_empty_sides () =
+  let r = krel "r" [ ([ "x" ], iv 1 5, 0.5) ] in
+  let empty = krel "s" [] in
+  check_against_oracle r empty;
+  check_against_oracle empty r;
+  check_against_oracle empty empty;
+  (* An empty s still yields the whole of r in the left outer join. *)
+  Alcotest.(check int) "left outer keeps r" 1
+    (Relation.cardinality (Nj.left_outer ~theta:theta_k r empty));
+  Alcotest.(check int) "anti keeps r" 1
+    (Relation.cardinality (Nj.anti ~theta:theta_k r empty))
+
+let test_identical_intervals () =
+  let r = krel "r" [ ([ "x" ], iv 2 6, 0.5) ] in
+  let s = krel "s" [ ([ "x" ], iv 2 6, 0.5) ] in
+  check_against_oracle r s;
+  (* Exact cover: no unmatched or negating-free time points on either side. *)
+  let left = Nj.left_outer ~theta:theta_k r s in
+  Alcotest.(check int) "pair + negation" 2 (Relation.cardinality left)
+
+let test_touching_intervals () =
+  (* [2,4) and [4,6): meet but never overlap. *)
+  let r = krel "r" [ ([ "x" ], iv 2 4, 0.5) ] in
+  let s = krel "s" [ ([ "x" ], iv 4 6, 0.5) ] in
+  check_against_oracle r s;
+  Alcotest.(check int) "no pairs" 0
+    (Relation.cardinality (Nj.inner ~theta:theta_k r s))
+
+let test_point_intervals () =
+  let r = krel "r" [ ([ "x" ], iv 3 4, 0.5) ] in
+  let s = krel "s" [ ([ "x" ], iv 3 4, 0.9); ([ "x" ], iv 4 5, 0.8) ] in
+  check_against_oracle r s
+
+let test_many_stacked_matches () =
+  (* Five s tuples valid simultaneously: λs must collect all of them. *)
+  let r = krel "r" [ ([ "x" ], iv 0 10, 0.5) ] in
+  let s =
+    Relation.of_rows ~name:"s" ~columns:[ "K" ] ~tag:"s"
+      (List.init 5 (fun i -> ([ "x" ], iv i (10 - i), 0.5)))
+  in
+  check_against_oracle r s;
+  let anti = Nj.anti ~theta:theta_k r s in
+  let deepest =
+    List.find
+      (fun tp -> Interval.equal (Tuple.iv tp) (iv 4 6))
+      (Relation.tuples anti)
+  in
+  Alcotest.(check int) "all five negated over the middle" 5
+    (List.length (Formula.vars (Tuple.lineage deepest)) - 1)
+
+let test_self_join () =
+  let r = krel "r" [ ([ "x" ], iv 0 6, 0.5); ([ "y" ], iv 2 8, 0.7) ] in
+  check_against_oracle r r
+
+let test_non_equi_theta () =
+  let r = krel "r" [ ([ "a" ], iv 0 5, 0.5); ([ "b" ], iv 2 9, 0.6) ] in
+  let s = krel "s" [ ([ "a" ], iv 1 4, 0.7); ([ "c" ], iv 3 8, 0.8) ] in
+  check_against_oracle ~theta:(Theta.of_atoms [ Theta.Cols (`Ne, 0, 0) ]) r s;
+  check_against_oracle ~theta:(Theta.of_atoms [ Theta.Cols (`Lt, 0, 0) ]) r s;
+  check_against_oracle ~theta:Theta.always r s
+
+let test_probabilities_in_range () =
+  let r, s = (Fixtures.relation_a (), Fixtures.relation_b ()) in
+  let all_ops =
+    [
+      Nj.inner ~theta:Fixtures.theta_loc r s;
+      Nj.anti ~theta:Fixtures.theta_loc r s;
+      Nj.left_outer ~theta:Fixtures.theta_loc r s;
+      Nj.right_outer ~theta:Fixtures.theta_loc r s;
+      Nj.full_outer ~theta:Fixtures.theta_loc r s;
+    ]
+  in
+  List.iter
+    (fun result ->
+      List.iter
+        (fun tp ->
+          let p = Tuple.p tp in
+          if not (p >= 0.0 && p <= 1.0) then
+            Alcotest.failf "probability out of range: %s" (Tuple.to_string tp))
+        (Relation.tuples result))
+    all_ops
+
+let test_explicit_env () =
+  (* Joining derived relations requires an explicit environment. *)
+  let r, s = (Fixtures.relation_a (), Fixtures.relation_b ()) in
+  let env = Relation.prob_env [ r; s ] in
+  let derived = Nj.anti ~env ~theta:Fixtures.theta_loc r s in
+  let again = Nj.left_outer ~env ~theta:(Theta.eq 1 1) derived s in
+  Alcotest.(check bool) "derived join runs" true (Relation.cardinality again > 0);
+  List.iter
+    (fun tp ->
+      let p = Tuple.p tp in
+      Alcotest.(check bool) "p in range" true (p >= 0.0 && p <= 1.0))
+    (Relation.tuples again)
+
+(* --- properties: NJ vs the timepoint oracle --- *)
+
+(* No [open QCheck2] here: it would shadow our [Tuple] alias. *)
+module Test = QCheck2.Test
+
+let qtest = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+let against_oracle name nj oracle =
+  Test.make ~name ~count:120 ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      Relation.equal_as_sets (oracle ?env:None ~theta r s) (nj ?options:None ?env:None ~theta r s))
+
+let prop_inner = against_oracle "inner join = oracle" Nj.inner Reference.inner
+let prop_anti = against_oracle "anti join = oracle" Nj.anti Reference.anti
+
+let prop_left =
+  against_oracle "left outer join = oracle" Nj.left_outer Reference.left_outer
+
+let prop_right =
+  against_oracle "right outer join = oracle" Nj.right_outer Reference.right_outer
+
+let prop_full =
+  against_oracle "full outer join = oracle" Nj.full_outer Reference.full_outer
+
+let prop_left_decomposes =
+  Test.make ~name:"left outer = inner ∪ padded anti" ~count:120
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      let left = Nj.left_outer ~theta r s in
+      let inner = Nj.inner ~theta r s in
+      let anti = Nj.anti ~theta r s in
+      let pad = Tpdb_relation.Schema.arity (Relation.schema s) in
+      let padded_anti =
+        Relation.of_tuples (Relation.schema left)
+          (List.map
+             (fun tp ->
+               Tuple.make
+                 ~fact:(Fact.concat (Tuple.fact tp) (Fact.nulls pad))
+                 ~lineage:(Tuple.lineage tp) ~iv:(Tuple.iv tp) ~p:(Tuple.p tp))
+             (Relation.tuples anti))
+      in
+      Relation.equal_as_sets left (Relation.union_all inner padded_anti))
+
+let prop_full_contains_left_and_right_parts =
+  Test.make ~name:"full outer ⊇ left outer and right outer" ~count:120
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      let canon rel =
+        Relation.tuples rel
+        |> List.map (fun tp ->
+               ( Tuple.fact tp,
+                 Formula.normalize (Tuple.lineage tp),
+                 Tuple.iv tp ))
+        |> List.sort_uniq compare
+      in
+      let full = canon (Nj.full_outer ~theta r s) in
+      let contains part =
+        List.for_all (fun row -> List.mem row full) (canon part)
+      in
+      contains (Nj.left_outer ~theta r s)
+      && contains (Nj.right_outer ~theta r s))
+
+let prop_anti_probability_decomposes =
+  Test.make ~name:"P(anti row) factorizes over independent matches" ~count:120
+    ~print:Tp_gen.print_pair
+    (Tp_gen.pair_gen ())
+    (fun (r, s) ->
+      let env = Relation.prob_env [ r; s ] in
+      let anti = Nj.anti ~theta:theta_k r s in
+      List.for_all
+        (fun tp ->
+          Float.abs (Tuple.p tp -. Prob.exact env (Tuple.lineage tp)) < 1e-9)
+        (Relation.tuples anti))
+
+let prop_composed_joins_match_oracle =
+  (* Compositionality: the join of a derived relation (an anti-join
+     result, with complex lineages) against a base relation must still
+     agree with the timepoint oracle, given the base environment. *)
+  Test.make ~name:"join of derived relation = oracle" ~count:80
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      let env = Relation.prob_env [ r; s ] in
+      let derived = Nj.anti ~env ~theta r s in
+      Relation.equal_as_sets
+        (Reference.left_outer ~env ~theta derived s)
+        (Nj.left_outer ~env ~theta derived s))
+
+let suite =
+  [
+    Alcotest.test_case "lineage concatenation functions" `Quick test_concat_functions;
+    Alcotest.test_case "empty inputs" `Quick test_empty_sides;
+    Alcotest.test_case "identical intervals" `Quick test_identical_intervals;
+    Alcotest.test_case "touching intervals" `Quick test_touching_intervals;
+    Alcotest.test_case "point intervals" `Quick test_point_intervals;
+    Alcotest.test_case "stacked matches" `Quick test_many_stacked_matches;
+    Alcotest.test_case "self join" `Quick test_self_join;
+    Alcotest.test_case "non-equi theta" `Quick test_non_equi_theta;
+    Alcotest.test_case "probabilities in range" `Quick test_probabilities_in_range;
+    Alcotest.test_case "explicit environment" `Quick test_explicit_env;
+    qtest prop_inner;
+    qtest prop_anti;
+    qtest prop_left;
+    qtest prop_right;
+    qtest prop_full;
+    qtest prop_left_decomposes;
+    qtest prop_full_contains_left_and_right_parts;
+    qtest prop_anti_probability_decomposes;
+    qtest prop_composed_joins_match_oracle;
+  ]

@@ -1,0 +1,316 @@
+module Var = Tpdb_lineage.Var
+module Formula = Tpdb_lineage.Formula
+module Bdd = Tpdb_lineage.Bdd
+module Prob = Tpdb_lineage.Prob
+
+let f = Formula.of_string
+
+let formula_testable = Alcotest.testable Formula.pp Formula.equal
+
+(* --- Var --- *)
+
+let test_var () =
+  let v = Var.make "a" 3 in
+  Alcotest.(check string) "to_string" "a3" (Var.to_string v);
+  Alcotest.(check bool) "of_string" true (Var.equal v (Var.of_string "a3"));
+  Alcotest.(check bool)
+    "of_string multi-digit" true
+    (Var.equal (Var.make "rel" 42) (Var.of_string "rel42"));
+  Alcotest.(check bool) "ordering by rel then idx" true
+    (Var.compare (Var.make "a" 9) (Var.make "b" 1) < 0);
+  List.iter
+    (fun bad ->
+      match Var.of_string bad with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %S" bad)
+    [ "abc"; "42"; "" ];
+  (match Var.make "a1" 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tag ending in digit accepted")
+
+(* --- Formula construction --- *)
+
+let test_smart_constructors () =
+  Alcotest.check formula_testable "flatten and" (f "a1 & a2 & a3")
+    Formula.(conj [ conj [ var (Var.make "a" 1); var (Var.make "a" 2) ]; var (Var.make "a" 3) ]);
+  Alcotest.check formula_testable "true unit" (f "a1")
+    Formula.(conj [ true_; var (Var.make "a" 1) ]);
+  Alcotest.check formula_testable "false annihilates" Formula.false_
+    Formula.(conj [ var (Var.make "a" 1); false_ ]);
+  Alcotest.check formula_testable "or false unit" (f "a1")
+    Formula.(disj [ false_; var (Var.make "a" 1) ]);
+  Alcotest.check formula_testable "or true annihilates" Formula.true_
+    Formula.(disj [ var (Var.make "a" 1); true_ ]);
+  Alcotest.check formula_testable "double negation" (f "a1")
+    Formula.(neg (neg (var (Var.make "a" 1))));
+  Alcotest.check formula_testable "neg true" Formula.false_ (Formula.neg Formula.true_);
+  Alcotest.check formula_testable "and_not" (f "a1 & !a2")
+    (Formula.and_not (f "a1") (f "a2"));
+  Alcotest.check formula_testable "singleton conj" (f "a1") (Formula.conj [ f "a1" ]);
+  Alcotest.check formula_testable "empty conj is true" Formula.true_ (Formula.conj [])
+
+let test_parser_printer () =
+  let roundtrip s = Formula.to_string_ascii (f s) in
+  Alcotest.(check string) "precedence and over or" "a1 & a2 | a3"
+    (roundtrip "a1 & a2 | a3");
+  Alcotest.(check string) "parens preserved when needed" "(a1 | a2) & a3"
+    (roundtrip "(a1 | a2) & a3");
+  Alcotest.(check string) "negated group" "!(a1 | a2)" (roundtrip "!(a1 | a2)");
+  Alcotest.(check string) "unicode rendering" "a1 \xe2\x88\xa7 \xc2\xacb2"
+    (Formula.to_string (f "a1 & !b2"));
+  Alcotest.check formula_testable "parse T/F" Formula.true_ (f "T");
+  List.iter
+    (fun bad ->
+      match f bad with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "parsed %S" bad)
+    [ ""; "a1 &"; "(a1"; "a1 a2"; "&a1"; "a" ]
+
+let test_eval_vars () =
+  let env v = Var.idx v mod 2 = 1 in
+  Alcotest.(check bool) "eval" true (Formula.eval env (f "a1 & !(a2 | b4)"));
+  Alcotest.(check bool) "eval false" false (Formula.eval env (f "a1 & a2"));
+  Alcotest.(check (list string))
+    "vars sorted unique"
+    [ "a1"; "a2"; "b1" ]
+    (List.map Var.to_string (Formula.vars (f "b1 & a2 & (a1 | a2)")));
+  Alcotest.(check int) "size" 6 (Formula.size (f "a1 & !(a2 | a3)"))
+
+let test_normalize () =
+  Alcotest.check formula_testable "commutative"
+    (Formula.normalize (f "a1 & a2"))
+    (Formula.normalize (f "a2 & a1"));
+  Alcotest.check formula_testable "dedup"
+    (Formula.normalize (f "a1"))
+    (Formula.normalize (f "a1 & a1"));
+  Alcotest.check formula_testable "nested or order"
+    (Formula.normalize (f "a1 & !(b2 | b3)"))
+    (Formula.normalize (f "a1 & !(b3 | b2)"))
+
+let test_substitute () =
+  let lookup v =
+    if Var.equal v (Var.make "a" 1) then Some (f "b1 & b2") else None
+  in
+  Alcotest.check formula_testable "substitute"
+    (f "b1 & b2 & !a2")
+    (Formula.substitute lookup (f "a1 & !a2"))
+
+(* --- BDD --- *)
+
+let test_bdd_basics () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m (Var.make "a" 1) in
+  let excluded_middle = Bdd.disj m a (Bdd.neg m a) in
+  Alcotest.(check bool) "excluded middle" true (Bdd.is_tautology excluded_middle);
+  let contradiction = Bdd.conj m a (Bdd.neg m a) in
+  Alcotest.(check bool) "contradiction" true (Bdd.is_contradiction contradiction);
+  Alcotest.(check bool) "hash consing" true
+    (Bdd.equal (Bdd.of_formula m (f "a1 & b1")) (Bdd.of_formula m (f "b1 & a1")))
+
+let test_bdd_equivalence () =
+  Alcotest.(check bool) "de morgan" true
+    (Bdd.equivalent (f "!(a1 | a2)") (f "!a1 & !a2"));
+  Alcotest.(check bool) "distribution" true
+    (Bdd.equivalent (f "a1 & (b1 | b2)") (f "a1 & b1 | a1 & b2"));
+  Alcotest.(check bool) "absorption" true
+    (Bdd.equivalent (f "a1 | a1 & b1") (f "a1"));
+  Alcotest.(check bool) "not equivalent" false
+    (Bdd.equivalent (f "a1 | b1") (f "a1 & b1"))
+
+let test_bdd_counting () =
+  let m = Bdd.manager ~order:[ Var.make "a" 1; Var.make "a" 2; Var.make "a" 3 ] () in
+  let xor_three = Bdd.of_formula m (f "a1 & !a2 | !a1 & a2") in
+  Alcotest.(check (float 1e-9)) "sat count over 3 declared vars" 4.0
+    (Bdd.sat_count m xor_three);
+  Alcotest.(check int) "node sharing" 3 (Bdd.node_count xor_three)
+
+(* --- probability --- *)
+
+let test_probability_example () =
+  (* The paper's Fig. 1b probabilities. *)
+  let env =
+    Prob.env_of_alist
+      [
+        (Var.make "a" 1, 0.7);
+        (Var.make "b" 2, 0.6);
+        (Var.make "b" 3, 0.7);
+      ]
+  in
+  let check name expected formula =
+    Alcotest.(check (float 1e-9)) name expected (Prob.compute env (f formula))
+  in
+  check "pair" 0.49 "a1 & b3";
+  check "negation of two" 0.084 "a1 & !(b3 | b2)";
+  check "negation of one" 0.28 "a1 & !b2"
+
+let test_read_once () =
+  let env = Prob.env_of_alist [ (Var.make "a" 1, 0.5); (Var.make "a" 2, 0.5) ] in
+  Alcotest.(check bool) "read-once applies" true
+    (Option.is_some (Prob.read_once env (f "a1 & !a2")));
+  Alcotest.(check bool) "repeated var rejected" true
+    (Option.is_none (Prob.read_once env (f "a1 & (a1 | a2)")));
+  (* a1 | a1 is NOT read-once even though it is semantically just a1 *)
+  Alcotest.(check bool) "syntactic repetition rejected" true
+    (Option.is_none (Prob.read_once env (f "a1 | a1")))
+
+let test_conditional () =
+  let env =
+    Prob.env_of_alist
+      [ (Var.make "a" 1, 0.7); (Var.make "b" 2, 0.6); (Var.make "b" 3, 0.7) ]
+  in
+  Alcotest.(check (float 1e-9)) "P(f|f) = 1" 1.0
+    (Prob.conditional env ~given:(f "a1") (f "a1"));
+  (* Observing that Ann found no hotel over [5,6): P(hotel2 free | no room)
+     must be 0, P(Ann interested | no room) must be 1 given it includes a1. *)
+  let evidence = f "a1 & !(b3 | b2)" in
+  Alcotest.(check (float 1e-9)) "contradictory" 0.0
+    (Prob.conditional env ~given:evidence (f "b2"));
+  Alcotest.(check (float 1e-9)) "entailed" 1.0
+    (Prob.conditional env ~given:evidence (f "a1"));
+  (* Independence: conditioning on an unrelated variable changes nothing. *)
+  Alcotest.(check (float 1e-9)) "independent evidence" 0.7
+    (Prob.conditional env ~given:(f "b2") (f "a1"));
+  match Prob.conditional env ~given:Formula.false_ (f "a1") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "conditioning on impossible evidence accepted"
+
+let test_monte_carlo () =
+  let env =
+    Prob.env_of_alist
+      [
+        (Var.make "a" 1, 0.7);
+        (Var.make "b" 2, 0.6);
+        (Var.make "b" 3, 0.7);
+      ]
+  in
+  let formula = f "a1 & !(b3 | b2)" in
+  let estimate = Prob.monte_carlo ~samples:50_000 env formula in
+  Alcotest.(check bool) "estimate near exact" true
+    (Float.abs (estimate -. 0.084) < 0.01);
+  Alcotest.(check (float 0.0)) "deterministic for a seed"
+    (Prob.monte_carlo ~seed:7 ~samples:500 env formula)
+    (Prob.monte_carlo ~seed:7 ~samples:500 env formula);
+  match Prob.monte_carlo ~samples:0 env formula with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero samples accepted"
+
+let test_enumerate_guard () =
+  let env _ = 0.5 in
+  let big =
+    Formula.disj
+      (List.init 21 (fun i -> Formula.var (Var.make "x" i)))
+  in
+  match Prob.enumerate env big with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "enumerate accepted 21 variables"
+
+(* --- properties --- *)
+
+open QCheck2
+
+let var_gen = Gen.map (fun i -> Var.make "v" i) (Gen.int_range 1 6)
+
+let formula_gen : Formula.t Gen.t =
+  Gen.sized @@ Gen.fix (fun self size ->
+      if size <= 1 then
+        Gen.oneof
+          [
+            Gen.map Formula.var var_gen;
+            Gen.return Formula.true_;
+            Gen.return Formula.false_;
+          ]
+      else
+        Gen.oneof
+          [
+            Gen.map Formula.var var_gen;
+            Gen.map Formula.neg (self (size / 2));
+            Gen.map2
+              (fun a b -> Formula.conj [ a; b ])
+              (self (size / 2)) (self (size / 2));
+            Gen.map2
+              (fun a b -> Formula.disj [ a; b ])
+              (self (size / 2)) (self (size / 2));
+          ])
+
+let print_formula = Formula.to_string_ascii
+
+let env_half _ = 0.5
+let env_idx v = 0.1 +. (0.12 *. float_of_int (Var.idx v))
+
+let prop_exact_matches_enumeration =
+  Test.make ~name:"BDD probability = naive enumeration" ~count:300
+    ~print:print_formula formula_gen (fun formula ->
+      let close a b = Float.abs (a -. b) < 1e-9 in
+      close (Prob.exact env_idx formula) (Prob.enumerate env_idx formula))
+
+let prop_read_once_matches_exact =
+  Test.make ~name:"read-once fast path agrees with exact" ~count:300
+    ~print:print_formula formula_gen (fun formula ->
+      match Prob.read_once env_idx formula with
+      | None -> true
+      | Some p -> Float.abs (p -. Prob.exact env_idx formula) < 1e-9)
+
+let prop_normalize_preserves_semantics =
+  Test.make ~name:"normalize preserves logical equivalence" ~count:300
+    ~print:print_formula formula_gen (fun formula ->
+      Bdd.equivalent formula (Formula.normalize formula))
+
+let prop_parser_roundtrip =
+  Test.make ~name:"ascii printer/parser round-trip" ~count:300
+    ~print:print_formula formula_gen (fun formula ->
+      Formula.equal formula (Formula.of_string (Formula.to_string_ascii formula)))
+
+let prop_chain_rule =
+  Test.make ~name:"chain rule: P(f∧g) = P(f|g) P(g)" ~count:200
+    ~print:(fun (a, b) -> print_formula a ^ " ; " ^ print_formula b)
+    (QCheck2.Gen.pair formula_gen formula_gen)
+    (fun (f1, f2) ->
+      let p_g = Prob.exact env_idx f2 in
+      if p_g <= 1e-12 then true
+      else
+        let joint = Prob.exact env_idx (Formula.( &&& ) f1 f2) in
+        Float.abs ((Prob.conditional env_idx ~given:f2 f1 *. p_g) -. joint)
+        < 1e-9)
+
+let prop_monte_carlo_converges =
+  Test.make ~name:"Monte-Carlo estimate within 5 sigma of exact" ~count:60
+    ~print:print_formula formula_gen (fun formula ->
+      let samples = 20_000 in
+      let exact = Prob.exact env_idx formula in
+      let estimate = Prob.monte_carlo ~samples env_idx formula in
+      (* binomial std-dev bound: 0.5/sqrt(n); allow 5 sigma *)
+      Float.abs (estimate -. exact) <= 5.0 *. 0.5 /. sqrt (float_of_int samples))
+
+let prop_negation_complements =
+  Test.make ~name:"P(f) + P(!f) = 1" ~count:300 ~print:print_formula
+    formula_gen (fun formula ->
+      let p = Prob.exact env_half formula
+      and q = Prob.exact env_half (Formula.neg formula) in
+      Float.abs (p +. q -. 1.0) < 1e-9)
+
+let qcheck = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+let suite =
+  [
+    Alcotest.test_case "var naming" `Quick test_var;
+    Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+    Alcotest.test_case "parser / printer" `Quick test_parser_printer;
+    Alcotest.test_case "eval / vars / size" `Quick test_eval_vars;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "substitute" `Quick test_substitute;
+    Alcotest.test_case "bdd basics" `Quick test_bdd_basics;
+    Alcotest.test_case "bdd equivalence" `Quick test_bdd_equivalence;
+    Alcotest.test_case "bdd counting" `Quick test_bdd_counting;
+    Alcotest.test_case "paper probabilities" `Quick test_probability_example;
+    Alcotest.test_case "read-once detection" `Quick test_read_once;
+    Alcotest.test_case "conditional probability" `Quick test_conditional;
+    Alcotest.test_case "monte carlo" `Quick test_monte_carlo;
+    Alcotest.test_case "enumerate guard" `Quick test_enumerate_guard;
+    qcheck prop_exact_matches_enumeration;
+    qcheck prop_read_once_matches_exact;
+    qcheck prop_normalize_preserves_semantics;
+    qcheck prop_parser_roundtrip;
+    qcheck prop_chain_rule;
+    qcheck prop_monte_carlo_converges;
+    qcheck prop_negation_complements;
+  ]

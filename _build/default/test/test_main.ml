@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "tpdb"
+    [
+      ("interval", Test_interval.suite);
+      ("lineage", Test_lineage.suite);
+      ("relation", Test_relation.suite);
+      ("engine", Test_engine.suite);
+      ("storage", Test_storage.suite);
+      ("windows", Test_windows.suite);
+      ("joins", Test_joins.suite);
+      ("alignment", Test_alignment.suite);
+      ("setops", Test_setops.suite);
+      ("projection", Test_projection.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("query", Test_query.suite);
+      ("physical", Test_physical.suite);
+      ("workload", Test_workload.suite);
+      ("paper_example", Test_paper_example.suite);
+    ]

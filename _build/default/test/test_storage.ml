@@ -1,0 +1,264 @@
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Value = Tpdb_relation.Value
+module Schema = Tpdb_relation.Schema
+module Codec = Tpdb_storage.Codec
+module Heap_file = Tpdb_storage.Heap_file
+module Buffer_pool = Tpdb_storage.Buffer_pool
+module Db = Tpdb_storage.Db
+
+let iv = Interval.make
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tpdb_store" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun file -> Sys.remove (Filename.concat dir file)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* --- Codec --- *)
+
+let test_codec_scalars () =
+  let buf = Buffer.create 64 in
+  Codec.write_uint16 buf 0;
+  Codec.write_uint16 buf 65535;
+  Codec.write_int64 buf (-42);
+  Codec.write_int64 buf max_int;
+  Codec.write_float buf 0.084;
+  Codec.write_string buf "hello, wörld";
+  let r = Codec.reader (Buffer.to_bytes buf) in
+  Alcotest.(check int) "u16 zero" 0 (Codec.read_uint16 r);
+  Alcotest.(check int) "u16 max" 65535 (Codec.read_uint16 r);
+  Alcotest.(check int) "negative int" (-42) (Codec.read_int64 r);
+  Alcotest.(check int) "max_int" max_int (Codec.read_int64 r);
+  Alcotest.(check (float 0.0)) "float bits" 0.084 (Codec.read_float r);
+  Alcotest.(check string) "string" "hello, wörld" (Codec.read_string r)
+
+let test_codec_values () =
+  let values =
+    [ Value.Null; Value.S "zurich"; Value.I (-7); Value.F 2.5; Value.S "" ]
+  in
+  let buf = Buffer.create 64 in
+  List.iter (Codec.write_value buf) values;
+  let r = Codec.reader (Buffer.to_bytes buf) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Value.to_string expected) true
+        (Value.equal expected (Codec.read_value r)))
+    values
+
+let test_codec_tuple_roundtrip () =
+  let tp =
+    Tuple.make
+      ~fact:(Fact.of_values [ Value.S "Ann"; Value.Null; Value.I 7 ])
+      ~lineage:(Formula.of_string "a1 & !(b2 | b3)")
+      ~iv:(iv 5 6) ~p:0.084
+  in
+  let buf = Buffer.create 64 in
+  Codec.write_tuple buf tp;
+  let back = Codec.read_tuple (Codec.reader (Buffer.to_bytes buf)) in
+  Alcotest.(check bool) "roundtrip" true (Tuple.equal tp back);
+  Alcotest.(check int) "tuple_size = encoded length" (Buffer.length buf)
+    (Codec.tuple_size tp)
+
+let test_codec_corruption () =
+  let r = Codec.reader (Bytes.of_string "\002") in
+  (match Codec.read_value r with
+  | exception Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated int accepted");
+  let r = Codec.reader (Bytes.of_string "\042") in
+  match Codec.read_value r with
+  | exception Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "unknown tag accepted"
+
+(* --- Heap file --- *)
+
+let big_relation n =
+  Relation.of_rows ~name:"big" ~columns:[ "K"; "Payload" ] ~tag:"big"
+    (List.init n (fun i ->
+         ( [ Printf.sprintf "k%d" (i mod 17); Printf.sprintf "payload-%06d" i ],
+           iv i (i + 3),
+           0.25 +. (0.5 *. float_of_int (i mod 3) /. 3.0) )))
+
+let test_heap_file_roundtrip () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "big.tpr" in
+      let r = big_relation 2_000 in
+      Heap_file.write path r;
+      Alcotest.(check bool) "multi-page" true (Heap_file.page_count path > 5);
+      let back = Heap_file.read path in
+      Alcotest.(check bool) "roundtrip" true (Relation.equal_as_sets r back);
+      Alcotest.(check (list string))
+        "schema" [ "K"; "Payload" ]
+        (Schema.columns (Heap_file.schema_of path)))
+
+let test_heap_file_oversize () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "wide.tpr" in
+      (* One tuple much larger than a page, surrounded by normal ones. *)
+      let huge = String.make (3 * Heap_file.page_size) 'x' in
+      let r =
+        Relation.of_rows ~name:"wide" ~columns:[ "Blob" ] ~tag:"w"
+          [
+            ([ "small-1" ], iv 0 2, 0.5);
+            ([ huge ], iv 1 5, 0.7);
+            ([ "small-2" ], iv 4 9, 0.9);
+          ]
+      in
+      Heap_file.write path r;
+      let back = Heap_file.read path in
+      Alcotest.(check bool) "oversize roundtrip" true (Relation.equal_as_sets r back))
+
+let test_heap_file_empty () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "empty.tpr" in
+      let r = Relation.of_rows ~name:"empty" ~columns:[ "K" ] [] in
+      Heap_file.write path r;
+      Alcotest.(check int) "no data pages" 0 (Heap_file.page_count path);
+      Alcotest.(check int) "no tuples" 0 (Relation.cardinality (Heap_file.read path)))
+
+let test_heap_file_corrupt () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "bad.tpr" in
+      let oc = open_out_bin path in
+      output_string oc "NOPE-this-is-not-a-heap-file";
+      close_out oc;
+      match Heap_file.read path with
+      | exception Heap_file.Corrupt _ -> ()
+      | _ -> Alcotest.fail "bad magic accepted")
+
+let test_heap_file_version_check () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "v.tpr" in
+      Heap_file.write path (big_relation 10);
+      (* Flip the version field (bytes 4-5 after the magic). *)
+      let bytes = In_channel.with_open_bin path In_channel.input_all in
+      let mutated = Bytes.of_string bytes in
+      Bytes.set mutated 4 '\099';
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc mutated);
+      match Heap_file.read path with
+      | exception Heap_file.Corrupt _ -> ()
+      | _ -> Alcotest.fail "future format version accepted")
+
+(* --- Buffer pool --- *)
+
+let test_buffer_pool () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "pooled.tpr" in
+      Heap_file.write path (big_relation 500);
+      (* Pool larger than the file: the second scan is all hits. *)
+      let pool = Buffer_pool.create ~capacity:64 in
+      let first = Heap_file.read ~pool path in
+      let hits_cold, misses_cold = Buffer_pool.stats pool in
+      Alcotest.(check bool) "cold read misses" true (misses_cold > 0);
+      Alcotest.(check int) "no hits yet" 0 hits_cold;
+      let again = Heap_file.read ~pool path in
+      let hits, misses_warm = Buffer_pool.stats pool in
+      Alcotest.(check int) "warm scan is all hits" misses_cold hits;
+      Alcotest.(check int) "no new misses" misses_cold misses_warm;
+      Alcotest.(check bool) "reads agree" true (Relation.equal_as_sets first again);
+      (* Pool smaller than the file: sequential flooding means zero hits,
+         but the cache never exceeds its capacity. *)
+      let tiny = Buffer_pool.create ~capacity:2 in
+      ignore (Heap_file.read ~pool:tiny path);
+      ignore (Heap_file.read ~pool:tiny path);
+      let tiny_hits, _ = Buffer_pool.stats tiny in
+      Alcotest.(check int) "sequential flooding: no hits" 0 tiny_hits;
+      Alcotest.(check bool) "capacity bounds cache" true
+        (Buffer_pool.cached_pages tiny <= 2))
+
+let test_buffer_pool_invalidate () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "mut.tpr" in
+      let pool = Buffer_pool.create ~capacity:16 in
+      Heap_file.write path (big_relation 50);
+      let v1 = Heap_file.read ~pool path in
+      Heap_file.write path (big_relation 60);
+      Buffer_pool.invalidate pool ~path;
+      let v2 = Heap_file.read ~pool path in
+      Alcotest.(check int) "first version" 50 (Relation.cardinality v1);
+      Alcotest.(check int) "fresh pages after invalidate" 60
+        (Relation.cardinality v2))
+
+(* --- Db --- *)
+
+let test_db () =
+  with_temp_dir (fun dir ->
+      let db = Db.open_ (Filename.concat dir "warehouse") in
+      Alcotest.(check (list string)) "empty" [] (Db.list db);
+      Db.save db (Fixtures.relation_a ());
+      Db.save db (Fixtures.relation_b ());
+      Alcotest.(check (list string)) "listed" [ "a"; "b" ] (Db.list db);
+      Alcotest.(check bool) "exists" true (Db.exists db "a");
+      let a = Db.load db "a" in
+      Alcotest.(check bool) "load = original" true
+        (Relation.equal_as_sets (Fixtures.relation_a ()) a);
+      (* Overwrite goes through pool invalidation. *)
+      Db.save db (Relation.of_rows ~name:"a" ~columns:[ "Name"; "Loc" ] []);
+      Alcotest.(check int) "overwritten" 0 (Relation.cardinality (Db.load db "a"));
+      Db.drop db "a";
+      Alcotest.(check bool) "dropped" false (Db.exists db "a");
+      Db.drop db "a";
+      (match Db.load db "a" with
+      | exception Not_found -> ()
+      | _ -> Alcotest.fail "loaded dropped relation");
+      (* cleanup nested dir for with_temp_dir *)
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat (Db.dir db) f))
+        (Sys.readdir (Db.dir db));
+      Sys.rmdir (Db.dir db))
+
+(* --- properties --- *)
+
+module Test = QCheck2.Test
+
+let qtest = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+let prop_heap_file_roundtrip =
+  Test.make ~name:"heap file round-trips random relations" ~count:60
+    ~print:Tp_gen.print_relation
+    (Tp_gen.relation_gen ~name:"r" ())
+    (fun r ->
+      with_temp_dir (fun dir ->
+          let path = Filename.concat dir "r.tpr" in
+          Heap_file.write path r;
+          Relation.equal_as_sets r (Heap_file.read path)))
+
+let prop_join_results_survive_storage =
+  Test.make ~name:"derived relations survive storage" ~count:40
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      let result = Tpdb_joins.Nj.left_outer ~theta r s in
+      with_temp_dir (fun dir ->
+          let path = Filename.concat dir "q.tpr" in
+          Heap_file.write path result;
+          Relation.equal_as_sets result (Heap_file.read path)))
+
+let suite =
+  [
+    Alcotest.test_case "codec scalars" `Quick test_codec_scalars;
+    Alcotest.test_case "codec values" `Quick test_codec_values;
+    Alcotest.test_case "codec tuple round-trip" `Quick test_codec_tuple_roundtrip;
+    Alcotest.test_case "codec corruption" `Quick test_codec_corruption;
+    Alcotest.test_case "heap file round-trip" `Quick test_heap_file_roundtrip;
+    Alcotest.test_case "heap file oversize chain" `Quick test_heap_file_oversize;
+    Alcotest.test_case "heap file empty" `Quick test_heap_file_empty;
+    Alcotest.test_case "heap file corruption" `Quick test_heap_file_corrupt;
+    Alcotest.test_case "heap file version check" `Quick test_heap_file_version_check;
+    Alcotest.test_case "buffer pool" `Quick test_buffer_pool;
+    Alcotest.test_case "buffer pool invalidation" `Quick test_buffer_pool_invalidate;
+    Alcotest.test_case "db directory" `Quick test_db;
+    qtest prop_heap_file_roundtrip;
+    qtest prop_join_results_survive_storage;
+  ]

@@ -1,0 +1,364 @@
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Relation = Tpdb_relation.Relation
+module Fact = Tpdb_relation.Fact
+module Theta = Tpdb_windows.Theta
+module Window = Tpdb_windows.Window
+module Overlap = Tpdb_windows.Overlap
+module Lawau = Tpdb_windows.Lawau
+module Lawan = Tpdb_windows.Lawan
+module Spec = Tpdb_windows.Spec
+
+let iv = Interval.make
+
+let rel name rows = Relation.of_rows ~name ~columns:[ "K" ] ~tag:name rows
+
+let theta_k = Theta.eq 0 0
+
+(* --- Theta --- *)
+
+let test_theta_matches () =
+  let fr = Fact.of_strings [ "x"; "3" ] and fs = Fact.of_strings [ "x"; "5" ] in
+  Alcotest.(check bool) "eq" true (Theta.matches (Theta.eq 0 0) fr fs);
+  Alcotest.(check bool) "lt" true
+    (Theta.matches (Theta.of_atoms [ Theta.Cols (`Lt, 1, 1) ]) fr fs);
+  Alcotest.(check bool) "conj" false
+    (Theta.matches
+       (Theta.conj (Theta.eq 0 0) (Theta.of_atoms [ Theta.Cols (`Eq, 1, 1) ]))
+       fr fs);
+  Alcotest.(check bool) "always" true (Theta.matches Theta.always fr fs);
+  let with_null = Fact.of_values [ Tpdb_relation.Value.Null; Tpdb_relation.Value.S "5" ] in
+  Alcotest.(check bool) "null never matches" false
+    (Theta.matches (Theta.eq 0 0) with_null with_null)
+
+let test_theta_split () =
+  let theta =
+    Theta.of_atoms
+      [ Theta.Cols (`Eq, 0, 1); Theta.Cols (`Lt, 1, 0); Theta.Cols (`Eq, 2, 2) ]
+  in
+  (match Theta.equi_keys theta with
+  | Some (left, right) ->
+      Alcotest.(check (list int)) "left keys" [ 0; 2 ] left;
+      Alcotest.(check (list int)) "right keys" [ 1; 2 ] right
+  | None -> Alcotest.fail "no equi keys");
+  Alcotest.(check int) "residual size" 1 (List.length (Theta.atoms (Theta.residual theta)));
+  Alcotest.(check (option (pair (list int) (list int))))
+    "no keys on pure inequality" None
+    (Theta.equi_keys (Theta.of_atoms [ Theta.Cols (`Lt, 0, 0) ]))
+
+let test_theta_swap () =
+  let theta = Theta.of_atoms [ Theta.Cols (`Lt, 0, 1) ] in
+  let fr = Fact.of_strings [ "1"; "9" ] and fs = Fact.of_strings [ "0"; "5" ] in
+  Alcotest.(check bool) "orig" true (Theta.matches theta fr fs);
+  Alcotest.(check bool) "swapped" true (Theta.matches (Theta.swap theta) fs fr);
+  Alcotest.(check bool) "swap twice = identity" true
+    (Theta.matches (Theta.swap (Theta.swap theta)) fr fs)
+
+(* --- Window constructors --- *)
+
+let test_window_invariants () =
+  let fr = Fact.of_strings [ "x" ] and lr = Formula.of_string "a1" in
+  (match Window.unmatched ~fr ~iv:(iv 0 9) ~lr ~rspan:(iv 2 5) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "window outside rspan accepted");
+  let w =
+    Window.overlapping ~fr ~fs:(Fact.of_strings [ "y" ]) ~iv:(iv 3 5) ~lr
+      ~ls:(Formula.of_string "b1") ~rspan:(iv 2 5) ~sspan:(iv 3 8)
+  in
+  let m = Window.mirror w in
+  Alcotest.(check bool) "mirror swaps facts" true
+    (Fact.equal (Window.fr m) (Fact.of_strings [ "y" ]));
+  Alcotest.(check bool) "mirror swaps spans" true
+    (Interval.equal (Window.rspan m) (iv 3 8));
+  Alcotest.(check bool) "mirror involutive" true (Window.equal w (Window.mirror m));
+  match Window.mirror (Window.unmatched ~fr ~iv:(iv 2 5) ~lr ~rspan:(iv 2 5)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mirrored unmatched window"
+
+(* --- LAWAU: the five ending-point cases of Fig. 3 ---
+   Single r tuple [0,10); s tuples arranged per case. Join on K. *)
+
+let lawau_case ~s_rows ~expected_unmatched () =
+  let r = rel "r" [ ([ "x" ], iv 0 10, 0.5) ] in
+  let s = rel "s" (List.map (fun span -> ([ "x" ], span, 0.5)) s_rows) in
+  let unmatched =
+    Lawau.extend (Overlap.left ~theta:theta_k r s)
+    |> Seq.filter (fun w -> Window.kind w = Window.Unmatched)
+    |> Seq.map Window.iv |> List.of_seq
+  in
+  Alcotest.(check (list string))
+    "unmatched gaps"
+    (List.map Interval.to_string expected_unmatched)
+    (List.map Interval.to_string unmatched)
+
+let test_lawau_no_overlap =
+  (* Case: r matches nothing; the spanning unmatched window comes from the
+     conventional outer join itself. *)
+  lawau_case ~s_rows:[] ~expected_unmatched:[ iv 0 10 ]
+
+let test_lawau_gap_before =
+  (* Fig. 3 case: window ends where the first overlap starts. *)
+  lawau_case ~s_rows:[ iv 4 10 ] ~expected_unmatched:[ iv 0 4 ]
+
+let test_lawau_gap_after =
+  (* Fig. 3 case: window ends at the tuple's own end point. *)
+  lawau_case ~s_rows:[ iv 0 6 ] ~expected_unmatched:[ iv 6 10 ]
+
+let test_lawau_gap_between =
+  lawau_case ~s_rows:[ iv 0 3; iv 7 10 ] ~expected_unmatched:[ iv 3 7 ]
+
+let test_lawau_covered =
+  (* Fully covered: no unmatched windows at all. *)
+  lawau_case ~s_rows:[ iv 0 6; iv 5 10 ] ~expected_unmatched:[]
+
+let test_lawau_nested_overlaps =
+  (* Overlapping windows that end before an earlier one does must not
+     reopen a gap (cursor keeps the max ending point). *)
+  lawau_case ~s_rows:[ iv 0 8; iv 2 4; iv 9 10 ] ~expected_unmatched:[ iv 8 9 ]
+
+let test_lawau_idempotent () =
+  let r = rel "r" [ ([ "x" ], iv 0 10, 0.5); ([ "y" ], iv 2 6, 0.5) ] in
+  let s = rel "s" [ ([ "x" ], iv 3 5, 0.5) ] in
+  let once = List.of_seq (Lawau.extend (Overlap.left ~theta:theta_k r s)) in
+  let twice = List.of_seq (Lawau.extend (List.to_seq once)) in
+  Alcotest.(check int) "same size" (List.length once) (List.length twice);
+  Alcotest.(check bool) "same windows" true (List.for_all2 Window.equal once twice)
+
+(* --- LAWAN: the ending-point cases of Fig. 4 --- *)
+
+let lawan_case ~s_rows ~expected () =
+  let r = rel "r" [ ([ "x" ], iv 0 10, 0.5) ] in
+  let s =
+    Relation.of_rows ~name:"s" ~columns:[ "K" ] ~tag:"s"
+      (List.map (fun span -> ([ "x" ], span, 0.5)) s_rows)
+  in
+  let negating =
+    Lawan.extend (Lawau.extend (Overlap.left ~theta:theta_k r s))
+    |> Seq.filter (fun w -> Window.kind w = Window.Negating)
+    |> Seq.map (fun w ->
+           ( Interval.to_string (Window.iv w),
+             match Window.ls w with
+             | Some ls -> Formula.to_string_ascii (Formula.normalize ls)
+             | None -> "null" ))
+    |> List.of_seq
+  in
+  Alcotest.(check (list (pair string string))) "negating windows" expected negating
+
+let test_lawan_single =
+  (* One matching tuple: a single negating window over the overlap. *)
+  lawan_case ~s_rows:[ iv 2 6 ] ~expected:[ ("[2,6)", "s1") ]
+
+let test_lawan_event_points =
+  (* Fig. 4: a new window starts at every start/end event; λs is the
+     disjunction of the tuples valid over each segment. *)
+  lawan_case
+    ~s_rows:[ iv 2 6; iv 4 8 ]
+    ~expected:
+      [ ("[2,4)", "s1"); ("[4,6)", "s1 | s2"); ("[6,8)", "s2") ]
+
+let test_lawan_gap_between_groups =
+  (* Fig. 4 case 3: a gap inside the r tuple separates two sweep groups. *)
+  lawan_case
+    ~s_rows:[ iv 1 3; iv 6 9 ]
+    ~expected:[ ("[1,3)", "s1"); ("[6,9)", "s2") ]
+
+let test_lawan_meets =
+  (* Tuples that meet: the set changes exactly at the meeting point. *)
+  lawan_case
+    ~s_rows:[ iv 2 5; iv 5 8 ]
+    ~expected:[ ("[2,5)", "s1"); ("[5,8)", "s2") ]
+
+let test_lawan_nested =
+  lawan_case
+    ~s_rows:[ iv 1 9; iv 3 5 ]
+    ~expected:[ ("[1,3)", "s1"); ("[3,5)", "s1 | s2"); ("[5,9)", "s1") ]
+
+let test_lawan_clipped_by_r =
+  (* s extends beyond r: negating windows stay inside the r tuple. *)
+  lawan_case ~s_rows:[ iv 5 20 ] ~expected:[ ("[5,10)", "s1") ]
+
+let test_lawan_schedules_agree () =
+  let r = rel "r" [ ([ "x" ], iv 0 12, 0.5) ] in
+  let s =
+    rel "s" [ ([ "x" ], iv 1 5, 0.5); ([ "x" ], iv 6 9, 0.4) ]
+  in
+  let run schedule =
+    List.of_seq
+      (Lawan.extend ~schedule (Lawau.extend (Overlap.left ~theta:theta_k r s)))
+  in
+  let heap = run `Heap and scan = run `Scan in
+  Alcotest.(check int) "same count" (List.length heap) (List.length scan);
+  Alcotest.(check bool) "same windows" true (List.for_all2 Window.equal heap scan)
+
+(* --- Render --- *)
+
+let test_render_picture () =
+  let picture =
+    Tpdb_windows.Render.join_picture ~theta:Fixtures.theta_loc
+      (Fixtures.relation_a ()) (Fixtures.relation_b ())
+  in
+  let contains needle =
+    let nl = String.length needle and hl = String.length picture in
+    let rec at i = i + nl <= hl && (String.sub picture i nl = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("picture contains " ^ needle) true (contains needle))
+    [
+      "a1 [2,8)";
+      "U [2,4) a1";
+      "O [4,6) a1";
+      "N [5,6) a1";
+      "Fs='hotel1, ZAK'";
+      "λs=b3 | b2";
+      "|######  |";
+    ]
+
+let test_render_scaling () =
+  (* A very long relation still renders within the width budget. *)
+  let long =
+    Relation.of_rows ~name:"long" ~columns:[ "K" ]
+      [ ([ "x" ], iv 0 5_000, 0.5) ]
+  in
+  let rendered = Tpdb_windows.Render.relation ~max_width:40 long in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line within budget" true (String.length line < 120))
+    (String.split_on_char '\n' rendered);
+  Alcotest.(check bool) "empty relation renders" true
+    (String.length
+       (Tpdb_windows.Render.relation
+          (Relation.of_rows ~name:"none" ~columns:[ "K" ] []))
+    > 0)
+
+(* --- Spec (Table I) on the paper example --- *)
+
+let test_spec_lambda () =
+  let b = Fixtures.relation_b () in
+  let ann = Fact.of_strings [ "Ann"; "ZAK" ] in
+  let lambda t =
+    match Spec.lambda_s_theta ~theta:Fixtures.theta_loc ~s:b ann t with
+    | Some f -> Formula.to_string_ascii (Formula.normalize f)
+    | None -> "null"
+  in
+  Alcotest.(check string) "t=3: nothing in ZAK" "null" (lambda 3);
+  Alcotest.(check string) "t=4: b3" "b3" (lambda 4);
+  Alcotest.(check string) "t=5: b2 or b3" "b2 | b3" (lambda 5);
+  Alcotest.(check string) "t=7: b2" "b2" (lambda 7)
+
+(* --- properties: pipeline output = Table I definitions --- *)
+
+open QCheck2
+
+let qtest = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+let pipeline_windows theta r s =
+  List.of_seq (Lawan.extend (Lawau.extend (Overlap.left ~theta r s)))
+
+let sorted_normalized ws = List.sort_uniq Window.compare_group_start ws
+
+let windows_equal a b =
+  let a = sorted_normalized a and b = sorted_normalized b in
+  List.length a = List.length b && List.for_all2 Window.equal a b
+
+let prop_pipeline_matches_spec =
+  Test.make ~name:"Overlap->LAWAU->LAWAN = Table I window sets" ~count:150
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      windows_equal (pipeline_windows theta r s) (Spec.windows ~theta r s))
+
+let prop_each_window_satisfies_definition =
+  Test.make ~name:"every produced window satisfies its definition" ~count:150
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      List.for_all
+        (fun w ->
+          match Window.kind w with
+          | Window.Overlapping -> Spec.is_overlapping_window ~theta r s w
+          | Window.Unmatched -> Spec.is_unmatched_window ~theta r s w
+          | Window.Negating -> Spec.is_negating_window ~theta r s w)
+        (pipeline_windows theta r s))
+
+let prop_group_partition =
+  Test.make
+    ~name:"unmatched+negating windows partition each r tuple's interval"
+    ~count:150 ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      let windows = pipeline_windows theta r s in
+      List.for_all
+        (fun tp ->
+          let mine =
+            List.filter
+              (fun w ->
+                Window.kind w <> Window.Overlapping
+                && Interval.equal (Window.rspan w)
+                     (Tpdb_relation.Tuple.iv tp)
+                && Fact.equal (Window.fr w) (Tpdb_relation.Tuple.fact tp)
+                && Formula.equal (Window.lr w) (Tpdb_relation.Tuple.lineage tp))
+              windows
+          in
+          let ivs = List.map Window.iv mine in
+          (* disjoint and exactly covering the tuple's interval *)
+          let sorted = List.sort Interval.compare ivs in
+          let rec covers cursor = function
+            | [] -> cursor = Interval.te (Tpdb_relation.Tuple.iv tp)
+            | i :: rest -> Interval.ts i = cursor && covers (Interval.te i) rest
+          in
+          covers (Interval.ts (Tpdb_relation.Tuple.iv tp)) sorted)
+        (Relation.tuples r))
+
+let prop_hash_equals_nested_loop =
+  Test.make ~name:"hash, merge and nested-loop overlap joins agree" ~count:150
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      let run algorithm = List.of_seq (Overlap.left ~algorithm ~theta r s) in
+      let hash = run `Hash in
+      windows_equal hash (run `Nested_loop)
+      && windows_equal hash (run `Merge)
+      && windows_equal hash (run `Index))
+
+let prop_lawan_schedules_agree =
+  Test.make ~name:"heap and rescan schedules agree" ~count:150
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      let run schedule =
+        List.of_seq
+          (Lawan.extend ~schedule (Lawau.extend (Overlap.left ~theta r s)))
+      in
+      windows_equal (run `Heap) (run `Scan))
+
+let suite =
+  [
+    Alcotest.test_case "theta matches" `Quick test_theta_matches;
+    Alcotest.test_case "theta equi/residual split" `Quick test_theta_split;
+    Alcotest.test_case "theta swap" `Quick test_theta_swap;
+    Alcotest.test_case "window invariants + mirror" `Quick test_window_invariants;
+    Alcotest.test_case "LAWAU: fully unmatched tuple" `Quick test_lawau_no_overlap;
+    Alcotest.test_case "LAWAU: gap before overlap (Fig3)" `Quick test_lawau_gap_before;
+    Alcotest.test_case "LAWAU: gap after overlap (Fig3)" `Quick test_lawau_gap_after;
+    Alcotest.test_case "LAWAU: gap between overlaps (Fig3)" `Quick test_lawau_gap_between;
+    Alcotest.test_case "LAWAU: fully covered (Fig3)" `Quick test_lawau_covered;
+    Alcotest.test_case "LAWAU: nested overlaps (Fig3)" `Quick test_lawau_nested_overlaps;
+    Alcotest.test_case "LAWAU: idempotent" `Quick test_lawau_idempotent;
+    Alcotest.test_case "LAWAN: single match" `Quick test_lawan_single;
+    Alcotest.test_case "LAWAN: event-point segmentation (Fig4)" `Quick test_lawan_event_points;
+    Alcotest.test_case "LAWAN: gap separates groups (Fig4)" `Quick test_lawan_gap_between_groups;
+    Alcotest.test_case "LAWAN: meeting tuples" `Quick test_lawan_meets;
+    Alcotest.test_case "LAWAN: nested validity" `Quick test_lawan_nested;
+    Alcotest.test_case "LAWAN: clipped by r" `Quick test_lawan_clipped_by_r;
+    Alcotest.test_case "LAWAN: schedules agree" `Quick test_lawan_schedules_agree;
+    Alcotest.test_case "Spec lambda_s_theta" `Quick test_spec_lambda;
+    Alcotest.test_case "render join picture" `Quick test_render_picture;
+    Alcotest.test_case "render scaling" `Quick test_render_scaling;
+    qtest prop_pipeline_matches_spec;
+    qtest prop_each_window_satisfies_definition;
+    qtest prop_group_partition;
+    qtest prop_hash_equals_nested_loop;
+    qtest prop_lawan_schedules_agree;
+  ]

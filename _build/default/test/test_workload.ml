@@ -1,0 +1,196 @@
+module Interval = Tpdb_interval.Interval
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Value = Tpdb_relation.Value
+module Schema = Tpdb_relation.Schema
+module Rng = Tpdb_workload.Rng
+module Datasets = Tpdb_workload.Datasets
+module E = Tpdb_experiments.Experiments
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let stream seed = List.init 10 (fun _ -> Rng.int (Rng.create seed) 1000) in
+  Alcotest.(check (list int)) "same seed same stream" (stream 7) (stream 7);
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (List.init 10 (fun _ -> Rng.int a 1000)
+    <> List.init 10 (fun _ -> Rng.int b 1000))
+
+let test_rng_bounds () =
+  let rng = Rng.create 42 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "int out of bounds: %d" x;
+    let y = Rng.in_range rng 5 9 in
+    if y < 5 || y >= 9 then Alcotest.failf "in_range out of bounds: %d" y;
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of bounds: %f" f
+  done;
+  (match Rng.int rng 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero bound accepted")
+
+let test_rng_sample () =
+  let rng = Rng.create 11 in
+  let population = Array.init 100 Fun.id in
+  let sample = Rng.sample rng 30 population in
+  Alcotest.(check int) "sample size" 30 (Array.length sample);
+  let sorted = List.sort_uniq Int.compare (Array.to_list sample) in
+  Alcotest.(check int) "without replacement" 30 (List.length sorted);
+  List.iter
+    (fun x ->
+      if x < 0 || x >= 100 then Alcotest.failf "sampled alien element %d" x)
+    sorted;
+  match Rng.sample rng 101 population with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversample accepted"
+
+let test_rng_shuffle () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  Alcotest.(check (list int)) "permutation" (List.init 50 Fun.id)
+    (List.sort Int.compare (Array.to_list arr))
+
+(* --- Datasets --- *)
+
+let check_well_formed name r expected_size columns =
+  Alcotest.(check int) (name ^ " cardinality") expected_size (Relation.cardinality r);
+  Alcotest.(check (list string)) (name ^ " columns") columns
+    (Schema.columns (Relation.schema r));
+  Alcotest.(check bool) (name ^ " duplicate-free") true (Relation.is_duplicate_free r);
+  List.iter
+    (fun tp ->
+      let p = Tuple.p tp in
+      if p < 0.0 || p > 1.0 then Alcotest.failf "bad probability %f" p)
+    (Relation.tuples r)
+
+let test_webkit_generator () =
+  let r, s = Datasets.Webkit.pair ~seed:1 2_000 in
+  check_well_formed "webkit r" r 2_000 [ "File"; "Rev" ];
+  check_well_formed "webkit s" s 2_000 [ "File"; "Rev" ];
+  (* Selective: many distinct join values. *)
+  let distinct_files rel =
+    Relation.tuples rel
+    |> List.map (fun tp -> Value.to_string (Fact.get (Tuple.fact tp) 0))
+    |> List.sort_uniq String.compare |> List.length
+  in
+  Alcotest.(check bool) "many distinct files" true (distinct_files r > 100)
+
+let test_meteo_generator () =
+  let r, _ = Datasets.Meteo.pair ~seed:2 2_000 in
+  check_well_formed "meteo r" r 2_000 [ "Station"; "Metric" ];
+  let distinct_metrics =
+    Relation.tuples r
+    |> List.map (fun tp -> Value.to_string (Fact.get (Tuple.fact tp) 1))
+    |> List.sort_uniq String.compare |> List.length
+  in
+  (* Unselective: distinct values ≪ size (the paper's Meteo property). *)
+  Alcotest.(check bool) "few distinct metrics" true (distinct_metrics <= 8)
+
+let test_generator_determinism () =
+  let a = Datasets.Webkit.relation ~name:"r" ~seed:9 500 in
+  let b = Datasets.Webkit.relation ~name:"r" ~seed:9 500 in
+  Alcotest.(check bool) "same seed same data" true (Relation.equal_as_sets a b);
+  let c = Datasets.Webkit.relation ~name:"r" ~seed:10 500 in
+  Alcotest.(check bool) "different seed different data" false
+    (Relation.equal_as_sets a c)
+
+let test_uniform_generator () =
+  let r =
+    Datasets.Uniform.relation ~name:"u" ~seed:3 ~keys:10 ~horizon:500
+      ~mean_duration:20 800
+  in
+  check_well_formed "uniform" r 800 [ "Key" ];
+  (* Skewed keys concentrate on low ranks. *)
+  let skewed =
+    Datasets.Uniform.relation ~skew:1.5 ~name:"z" ~seed:4 ~keys:50
+      ~horizon:500 ~mean_duration:10 2_000
+  in
+  let count_key k rel =
+    List.length
+      (List.filter
+         (fun tp ->
+           Value.equal (Fact.get (Tuple.fact tp) 0)
+             (Value.S (Printf.sprintf "k%d" k)))
+         (Relation.tuples rel))
+  in
+  Alcotest.(check bool) "zipf concentrates mass" true
+    (count_key 0 skewed > 5 * max 1 (count_key 30 skewed));
+  Alcotest.(check bool) "skewed still duplicate-free" true
+    (Relation.is_duplicate_free skewed)
+
+let test_subset () =
+  let r = Datasets.Webkit.relation ~name:"r" ~seed:4 1_000 in
+  let sub = Datasets.subset ~seed:5 ~k:250 r in
+  Alcotest.(check int) "subset size" 250 (Relation.cardinality sub);
+  let in_original tp = List.exists (Tuple.equal tp) (Relation.tuples r) in
+  Alcotest.(check bool) "subset of original" true
+    (List.for_all in_original (Relation.tuples sub));
+  Alcotest.(check bool) "subset duplicate-free" true (Relation.is_duplicate_free sub);
+  match Datasets.subset ~seed:5 ~k:5_000 r with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized subset accepted"
+
+(* --- Experiments plumbing --- *)
+
+let test_experiment_sizes () =
+  Alcotest.(check (list int)) "webkit default quarters"
+    [ 4_000; 8_000; 12_000; 16_000 ]
+    (E.sizes E.Webkit E.Default);
+  Alcotest.(check (list int)) "webkit paper = published sizes"
+    [ 50_000; 100_000; 150_000; 200_000 ]
+    (E.sizes E.Webkit E.Paper)
+
+let test_experiment_pair_cached () =
+  let r1, _ = E.pair ~scale:E.Quick E.Webkit ~size:250 in
+  let r2, _ = E.pair ~scale:E.Quick E.Webkit ~size:250 in
+  Alcotest.(check bool) "deterministic subsets" true (Relation.equal_as_sets r1 r2);
+  Alcotest.(check int) "requested size" 250 (Relation.cardinality r1)
+
+let test_quick_experiment_runs () =
+  let points = E.fig5 ~scale:E.Quick E.Webkit in
+  Alcotest.(check int) "four sizes x two systems" 8 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "positive runtime" true (p.E.ms >= 0.0);
+      Alcotest.(check bool) "output recorded" true (p.E.output > 0))
+    points;
+  (* NJ and TA must report identical output cardinalities. *)
+  let by_size size series =
+    List.find (fun p -> p.E.size = size && p.E.series = series) points
+  in
+  List.iter
+    (fun size ->
+      Alcotest.(check int) "same windows" (by_size size "NJ").E.output
+        (by_size size "TA").E.output)
+    [ 250; 500 ]
+
+let test_extra_sweeps_run () =
+  List.iter
+    (fun points ->
+      Alcotest.(check int) "five x two points" 10 (List.length points);
+      (* NJ and TA agree on outputs at every point. *)
+      List.iter
+        (fun p -> Alcotest.(check bool) "output > 0" true (p.E.output > 0))
+        points)
+    [ E.selectivity_sweep ~size:200 (); E.skew_sweep ~size:200 () ]
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng sample" `Quick test_rng_sample;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle;
+    Alcotest.test_case "webkit generator" `Quick test_webkit_generator;
+    Alcotest.test_case "meteo generator" `Quick test_meteo_generator;
+    Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+    Alcotest.test_case "uniform generator" `Quick test_uniform_generator;
+    Alcotest.test_case "subset sampling" `Quick test_subset;
+    Alcotest.test_case "experiment sizes" `Quick test_experiment_sizes;
+    Alcotest.test_case "experiment pair caching" `Quick test_experiment_pair_cached;
+    Alcotest.test_case "quick fig5 runs" `Quick test_quick_experiment_runs;
+    Alcotest.test_case "selectivity/skew sweeps run" `Quick test_extra_sweeps_run;
+  ]
