@@ -111,6 +111,11 @@ let run_sweeps scale =
       E.print_points
         ~header:(Printf.sprintf "Ablation (%s): pipelined vs materialized stages" d)
         (E.ablation_pipelining ~scale dataset);
+      E.print_points
+        ~header:
+          (Printf.sprintf
+             "Parallel (%s): WUON pipeline, partitioned sweep (jobs series)" d)
+        (E.parallel_sweep ~scale dataset);
       let size = List.nth (E.sizes dataset scale) 1 in
       Printf.printf "\n== Ablation (%s): tuple replication ==\n%s\n" d
         (E.replication_report dataset ~size))

@@ -80,7 +80,7 @@ let generate_cmd =
 
 let base_name path = Filename.remove_extension (Filename.basename path)
 
-let query tables db_dir explain_only analyze sql =
+let query tables db_dir explain_only analyze jobs sql =
   let catalog = Tpdb.Catalog.create () in
   (match db_dir with
   | None -> ()
@@ -93,7 +93,7 @@ let query tables db_dir explain_only analyze sql =
     (fun path ->
       Tpdb.Catalog.register catalog (Tpdb.Csv.load ~name:(base_name path) path))
     tables;
-  match Tpdb.Planner.plan catalog (Tpdb.Parser.parse sql) with
+  match Tpdb.Planner.plan ~parallelism:jobs catalog (Tpdb.Parser.parse sql) with
   | plan ->
       if analyze then begin
         let result, report = Tpdb.Planner.run_analyze plan in
@@ -128,6 +128,11 @@ let query_cmd =
   and analyze =
     Arg.(value & flag & info [ "analyze" ]
            ~doc:"Run and annotate the plan with per-node rows and timings.")
+  and jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Partition the window sweep of every equi-join across N \
+                 domains (default 1 = sequential). Joins without an equality \
+                 atom fall back to the sequential sweep.")
   and sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
            ~doc:"TP-SQL query text.")
@@ -135,7 +140,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Run a TP-SQL query over CSV files and/or a database directory.")
-    Term.(const query $ tables $ db_dir $ explain_only $ analyze $ sql)
+    Term.(const query $ tables $ db_dir $ explain_only $ analyze $ jobs $ sql)
 
 (* --- experiment --- *)
 
@@ -151,6 +156,7 @@ let experiment figure dataset scale =
     | "ablation-pipeline" -> E.ablation_pipelining ~scale dataset
     | "selectivity" -> E.selectivity_sweep ()
     | "skew" -> E.skew_sweep ()
+    | "parallel" -> E.parallel_sweep ~scale dataset
     | other ->
         prerr_endline ("unknown figure: " ^ other);
         exit 1
@@ -163,7 +169,8 @@ let experiment_cmd =
   let figure =
     Arg.(value & opt string "fig7" & info [ "figure" ] ~docv:"FIG"
            ~doc:"fig5 | fig6 | fig7 | nj-paper | ablation-join | \
-                 ablation-lawan | ablation-pipeline | selectivity | skew.")
+                 ablation-lawan | ablation-pipeline | selectivity | skew | \
+                 parallel.")
   and dataset =
     Arg.(value & opt dataset_conv E.Webkit & info [ "dataset" ] ~docv:"NAME"
            ~doc:"webkit or meteo.")

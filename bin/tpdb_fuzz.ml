@@ -109,9 +109,7 @@ let run_round ~seed ~round ~size =
   let windows_with algorithm =
     windows_of
       (List.of_seq
-         (Nj.windows_wuon
-            ~options:{ Nj.default_options with algorithm }
-            ~theta r s))
+         (Nj.windows_wuon ~options:(Nj.options ~algorithm ()) ~theta r s))
   in
   List.iter
     (fun (name, algorithm) ->

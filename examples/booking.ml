@@ -40,17 +40,20 @@ let () =
   print_string (Render.join_picture ~theta wants_to_visit hotel_availability);
 
   section "Q = a LEFT TPJOIN b ON a.Loc = b.Loc (paper Fig. 1b)";
-  Relation.print (Nj.left_outer ~theta wants_to_visit hotel_availability);
+  Relation.print
+    (Nj.join ~kind:Nj.Left ~theta wants_to_visit hotel_availability);
   print_endline
     "Reading: over [5,6) there is probability 0.084 that Ann wants to\n\
      visit Zakynthos but finds no accommodation - she is interested (a1\n\
      true) while neither hotel1 nor hotel2 has rooms (b3, b2 false).";
 
   section "TP anti join: when does a client certainly find no hotel?";
-  Relation.print (Nj.anti ~theta wants_to_visit hotel_availability);
+  Relation.print
+    (Nj.join ~kind:Nj.Anti ~theta wants_to_visit hotel_availability);
 
   section "TP full outer join: hotels with no interested client included";
-  Relation.print (Nj.full_outer ~theta wants_to_visit hotel_availability);
+  Relation.print
+    (Nj.join ~kind:Nj.Full ~theta wants_to_visit hotel_availability);
 
   (* Every window the pipeline produced satisfies its Table I definition;
      demonstrate the executable spec on this instance. *)

@@ -29,7 +29,7 @@ let () =
     (String.concat ", " metrics);
 
   let t0 = Unix.gettimeofday () in
-  let uncorroborated = Nj.anti ~theta r s in
+  let uncorroborated = Nj.join ~kind:Nj.Anti ~theta r s in
   let ms = 1000. *. (Unix.gettimeofday () -. t0) in
   Printf.printf
     "TP anti join (uncorroborated predictions): %d tuples in %.1f ms\n"

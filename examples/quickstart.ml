@@ -30,14 +30,15 @@ let () =
   let theta = Theta.eq 1 1 in
 
   (* TP left outer join: at every time point, who could take over — and
-     with what probability nobody can. *)
-  let q = Nj.left_outer ~theta projects oncall in
+     with what probability nobody can. Every Table II operator goes
+     through the one entry point, selected by [kind]. *)
+  let q = Nj.join ~kind:Nj.Left ~theta projects oncall in
   print_endline "\nprojects LEFT TPJOIN oncall ON Skill = Skill:";
   Relation.print q;
 
   (* TP anti join: the probability that no θ-matching on-call person
      exists, per time point. *)
-  let lonely = Nj.anti ~theta projects oncall in
+  let lonely = Nj.join ~kind:Nj.Anti ~theta projects oncall in
   print_endline "\nprojects ANTIJOIN oncall ON Skill = Skill:";
   Relation.print lonely;
 

@@ -20,7 +20,7 @@ let () =
     (Relation.cardinality r) (Relation.cardinality s);
 
   let t0 = Unix.gettimeofday () in
-  let joined = Nj.left_outer ~theta r s in
+  let joined = Nj.join ~kind:Nj.Left ~theta r s in
   let nj_ms = 1000. *. (Unix.gettimeofday () -. t0) in
 
   let tuples = Relation.tuples joined in
@@ -38,7 +38,7 @@ let () =
 
   (* The headline question: the 5 file intervals most likely to be stable
      in r while completely unconfirmed by s. *)
-  let anti = Nj.anti ~theta r s in
+  let anti = Nj.join ~kind:Nj.Anti ~theta r s in
   let top =
     Relation.tuples anti
     |> List.sort (fun a b -> Float.compare (Tuple.p b) (Tuple.p a))

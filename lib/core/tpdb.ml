@@ -24,6 +24,8 @@
     {1 Infrastructure}
     - {!Operator}, {!Grouping}, {!Hash_partition}, {!Heap}: the pipelined
       executor pieces.
+    - {!Pool}, {!Parallel}: the domain pool and the partitioned parallel
+      executor behind [Nj.options ~parallelism] / the CLI's [--jobs].
     - {!Rng}, {!Datasets}: reproducible workload generation.
     - {!Ast}, {!Parser}, {!Catalog}, {!Planner}: the TP-SQL front end. *)
 
@@ -44,6 +46,8 @@ module Grouping = Tpdb_engine.Grouping
 module Hash_partition = Tpdb_engine.Hash_partition
 module Heap = Tpdb_engine.Heap
 module Sweep = Tpdb_engine.Sweep
+module Pool = Tpdb_engine.Pool
+module Parallel = Tpdb_engine.Parallel
 module Theta = Tpdb_windows.Theta
 module Window = Tpdb_windows.Window
 module Overlap = Tpdb_windows.Overlap

@@ -1,0 +1,29 @@
+let bucket_of ~partitions hash = (hash land max_int) mod partitions
+
+let shard2 ~partitions ~left_key ~right_key left right =
+  let partitions = max 1 partitions in
+  let lbuckets = Array.make partitions []
+  and rbuckets = Array.make partitions [] in
+  let push buckets key item =
+    let b = bucket_of ~partitions (key item) in
+    buckets.(b) <- item :: buckets.(b)
+  in
+  List.iter (push lbuckets left_key) left;
+  List.iter (push rbuckets right_key) right;
+  Array.init partitions (fun i ->
+      (List.rev lbuckets.(i), List.rev rbuckets.(i)))
+
+let map ~pool f arr = Array.of_list (Pool.map pool f (Array.to_list arr))
+
+(* Pairwise [List.merge], folded left to right. [List.merge] takes from
+   the left list on ties, so earlier partitions win — and since a group
+   lives in exactly one partition, a group's elements (which compare
+   equal, hence "tie") are never interleaved with another list's. *)
+let merge_grouped ~compare_group streams =
+  Array.fold_left (List.merge compare_group) [] streams
+
+let equi_join ~pool ~partitions ~left_key ~right_key ~sweep ~compare_group left
+    right =
+  shard2 ~partitions ~left_key ~right_key left right
+  |> map ~pool (fun (l, r) -> sweep l r)
+  |> merge_grouped ~compare_group

@@ -1,0 +1,42 @@
+(** A fixed pool of worker domains.
+
+    Domains are expensive to spawn (they own GC state), so the pool is
+    created once and reused for every parallel operator invocation. The
+    worker count is capped at [Domain.recommended_domain_count ()]; the
+    calling domain always participates in draining the job queue, so a
+    pool with zero workers degrades to plain sequential execution and a
+    [map] over fewer items than workers leaves the surplus idle.
+
+    {!map} is the only execution primitive: deterministic in result
+    order (input order is preserved regardless of completion order),
+    with exceptions re-raised in the caller — the first failing item by
+    input position wins. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [create ?num_domains ()] spawns the worker domains immediately.
+    [num_domains] defaults to [Domain.recommended_domain_count () - 1]
+    (the caller is the remaining domain) and is clamped to
+    [0 .. Domain.recommended_domain_count ()]. *)
+
+val num_domains : t -> int
+(** Worker domains, excluding the calling domain. *)
+
+val default : unit -> t
+(** The shared global pool, spawned on first use and reused by every
+    subsequent parallel operator; shut down automatically at exit. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f items] applies [f] to every item, running the
+    applications on the worker domains and the calling domain. Results
+    are in input order. If one or more applications raise, the exception
+    of the earliest failing item is re-raised after the batch has
+    drained. [f] must be safe to run concurrently with itself (no shared
+    mutable state). *)
+
+val shutdown : t -> unit
+(** Stops the workers and joins them. Pending jobs of an in-flight
+    {!map} are still executed by the caller's drain loop; calling
+    {!map} on a pool after [shutdown] runs everything on the calling
+    domain. Idempotent. *)

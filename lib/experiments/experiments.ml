@@ -128,32 +128,37 @@ let nj_paper_scale dataset =
     (sizes dataset Paper)
 
 let ablation_join_algorithm ?scale dataset =
+  let series name algorithm =
+    ( name,
+      fun ~theta r s ->
+        seq_length
+          (Nj.windows_wuo ~options:(Nj.options ~algorithm ()) ~theta r s) )
+  in
   sweep ?scale dataset
     [
-      ( "hash",
-        fun ~theta r s ->
-          seq_length
-            (Nj.windows_wuo ~options:{ Nj.default_options with algorithm = `Hash }
-               ~theta r s) );
-      ( "merge",
-        fun ~theta r s ->
-          seq_length
-            (Nj.windows_wuo
-               ~options:{ Nj.default_options with algorithm = `Merge }
-               ~theta r s) );
-      ( "index",
-        fun ~theta r s ->
-          seq_length
-            (Nj.windows_wuo
-               ~options:{ Nj.default_options with algorithm = `Index }
-               ~theta r s) );
-      ( "nested-loop",
-        fun ~theta r s ->
-          seq_length
-            (Nj.windows_wuo
-               ~options:{ Nj.default_options with algorithm = `Nested_loop }
-               ~theta r s) );
+      series "hash" `Hash;
+      series "merge" `Merge;
+      series "index" `Index;
+      series "nested-loop" `Nested_loop;
     ]
+
+(* The domain-parallel partitioned sweep vs the sequential one: the same
+   WUON pipeline at increasing partition counts, all on the shared
+   domain pool. Speedups require actual cores; on a single-core host the
+   series only shows the partitioning overhead. *)
+let parallel_jobs = [ 1; 2; 4 ]
+
+let parallel_sweep ?scale dataset =
+  sweep ?scale dataset
+    (List.map
+       (fun jobs ->
+         ( Printf.sprintf "jobs-%d" jobs,
+           fun ~theta r s ->
+             seq_length
+               (Nj.windows_wuon
+                  ~options:(Nj.options ~parallelism:jobs ())
+                  ~theta r s) ))
+       parallel_jobs)
 
 let ablation_lawan_schedule ?(scale = Default) dataset =
   let theta = theta dataset in

@@ -80,6 +80,17 @@ val skew_sweep : ?size:int -> unit -> point list
     field is the exponent in tenths) at 256 keys: key skew concentrates
     matches like low key counts do. *)
 
+val parallel_jobs : int list
+(** The partition counts of {!parallel_sweep}: [1; 2; 4]. *)
+
+val parallel_sweep : ?scale:scale -> dataset -> point list
+(** The WUON pipeline under the domain-parallel partitioned executor:
+    series [jobs-1], [jobs-2], [jobs-4] (sequential baseline and 2/4-way
+    sharding on the equi-key). Outputs are identical across series by
+    construction; the runtime ratio is the parallel speedup (requires
+    actual cores — a single-core host only shows the partitioning
+    overhead). *)
+
 val ablation_replication : dataset -> size:int -> int * int
 (** (TA replicas, NJ windows) at one size: the tuple replication NJ
     avoids. *)

@@ -1,43 +1,173 @@
 module Relation = Tpdb_relation.Relation
 module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
 module Prob = Tpdb_lineage.Prob
 module Theta = Tpdb_windows.Theta
 module Window = Tpdb_windows.Window
 module Overlap = Tpdb_windows.Overlap
 module Lawau = Tpdb_windows.Lawau
 module Lawan = Tpdb_windows.Lawan
+module Pool = Tpdb_engine.Pool
+module Parallel = Tpdb_engine.Parallel
 
 type options = {
   algorithm : Overlap.algorithm;
   schedule : [ `Heap | `Scan ];
+  parallelism : int;
 }
 
-let default_options = { algorithm = `Hash; schedule = `Heap }
+let options ?(algorithm = `Hash) ?(schedule = `Heap) ?(parallelism = 1) () =
+  if parallelism < 1 then
+    invalid_arg "Nj.options: parallelism must be at least 1";
+  { algorithm; schedule; parallelism }
+
+let default_options = options ()
+let algorithm o = o.algorithm
+let schedule o = o.schedule
+let parallelism o = o.parallelism
+
+let effective_parallelism o theta =
+  if o.parallelism <= 1 then 1
+  else match Theta.equi_keys theta with None -> 1 | Some _ -> o.parallelism
+
+(* --- domain-parallel partitioned sweeps ------------------------------
+
+   The windows of one equi-key group depend only on the tuples of that
+   key, so both inputs are sharded on the key's hash, the sweep runs per
+   partition on the shared domain pool, and the streams merge back in
+   group order (Window.compare_group — the same order the sequential
+   sweep emits, because it sorts r by Tuple.compare_fact_start, which
+   compares exactly the group fields). Equal facts hash alike, so a
+   group never spans partitions and the merged stream is identical to
+   the sequential one. Only the sweep is parallel; output formation
+   (lineage concatenation, probabilities) stays on the calling domain. *)
+
+let sharded ~partitions ~theta r s =
+  match Theta.equi_keys theta with
+  | None -> None
+  | Some (left_cols, right_cols) ->
+      let key cols tp = Fact.hash (Fact.key cols (Tuple.fact tp)) in
+      Some
+        (Parallel.shard2 ~partitions ~left_key:(key left_cols)
+           ~right_key:(key right_cols) (Relation.tuples r) (Relation.tuples s))
+
+(* Runs [sweep : Relation.t -> Relation.t -> 'a] once per partition on
+   the pool; [None] when θ has no equi-key to shard on. *)
+let partitioned ~partitions ~theta ~sweep r s =
+  match sharded ~partitions ~theta r s with
+  | None -> None
+  | Some parts ->
+      let rschema = Relation.schema r and sschema = Relation.schema s in
+      Some
+        (Parallel.map ~pool:(Pool.default ())
+           (fun (rp, sp) ->
+             sweep (Relation.of_tuples rschema rp) (Relation.of_tuples sschema sp))
+           parts)
+
+let merge parts =
+  Parallel.merge_grouped ~compare_group:Window.compare_group parts
+
+(* --- the window pipeline --------------------------------------------- *)
+
+let overlap_stage ~options ~theta r s =
+  Overlap.left ~algorithm:options.algorithm ~theta r s
+
+let wuo_stage ~options ~theta r s =
+  Lawau.extend (overlap_stage ~options ~theta r s)
+
+let wuon_stage ~options ~theta r s =
+  Lawan.extend ~schedule:options.schedule (wuo_stage ~options ~theta r s)
+
+(* A left-side window stream, parallel when options and θ allow. *)
+let windows_with ~options ~theta stage r s =
+  let p = effective_parallelism options theta in
+  let sequential () = stage ~options ~theta r s in
+  if p <= 1 then sequential ()
+  else
+    match
+      partitioned ~partitions:p ~theta
+        ~sweep:(fun rp sp -> List.of_seq (stage ~options ~theta rp sp))
+        r s
+    with
+    | Some parts -> List.to_seq (merge parts)
+    | None -> sequential ()
 
 let windows_wuo ?(options = default_options) ~theta r s =
-  Lawau.extend (Overlap.left ~algorithm:options.algorithm ~theta r s)
+  windows_with ~options ~theta wuo_stage r s
 
 let windows_wuon ?(options = default_options) ~theta r s =
-  Lawan.extend ~schedule:options.schedule (windows_wuo ~options ~theta r s)
+  windows_with ~options ~theta wuon_stage r s
 
 let env_default env r s =
   match env with Some e -> e | None -> Relation.prob_env [ r; s ]
 
-let inner ?(options = default_options) ?env ~theta r s =
-  let env = env_default env r s in
+(* The right-hand sweep of right/full outer joins: the overlapping
+   windows arrive mirrored and re-sorted so they are grouped by the s
+   tuple; LAWAU/LAWAN then find the s side's unmatched and negating
+   windows (the overlapping copies are dropped — the left pass emits
+   them already). *)
+let right_side_windows ~schedule windows =
+  windows
+  |> Seq.filter (fun w -> Window.kind w = Window.Overlapping)
+  |> Seq.map Window.mirror
+  |> List.of_seq
+  |> List.sort Window.compare_group_start
+  |> List.to_seq |> Lawau.extend
+  |> Lawan.extend ~schedule
+  |> Seq.filter (fun w -> Window.kind w <> Window.Overlapping)
+
+(* One partition (or the whole input, when sequential) of a right/full
+   outer join: one tracking pass of the conventional join, the left-side
+   stream (overlapping-only for the right outer join, LAWAU+LAWAN
+   extended for the full outer join), the right side's gap windows, and
+   the spanning windows of the never-matched s tuples. *)
+let tracked_sweep ~options ~extend_left ~theta r s =
+  let stream, tracker =
+    Overlap.left_tracking ~algorithm:options.algorithm ~theta r s
+  in
+  let raw = List.of_seq stream in
+  let left =
+    if extend_left then
+      List.of_seq
+        (Lawan.extend ~schedule:options.schedule (Lawau.extend (List.to_seq raw)))
+    else List.filter (fun w -> Window.kind w = Window.Overlapping) raw
+  in
+  let gaps =
+    List.of_seq (right_side_windows ~schedule:options.schedule (List.to_seq raw))
+  in
+  let spanning = List.of_seq (Overlap.unmatched_right tracker) in
+  (left, gaps, spanning)
+
+let tracked_join ~options ~extend_left ~theta r s =
+  let p = effective_parallelism options theta in
+  let sweep rp sp = tracked_sweep ~options ~extend_left ~theta rp sp in
+  let merged parts =
+    ( merge (Array.map (fun (l, _, _) -> l) parts),
+      merge (Array.map (fun (_, g, _) -> g) parts),
+      merge (Array.map (fun (_, _, u) -> u) parts) )
+  in
+  if p <= 1 then sweep r s
+  else
+    match partitioned ~partitions:p ~theta ~sweep r s with
+    | Some parts -> merged parts
+    | None -> sweep r s
+
+(* --- output formation per operator ----------------------------------- *)
+
+let exec_inner ~options ~env ~theta r s =
   let pad = Schema.arity (Relation.schema s) in
   let tuples =
-    Overlap.left ~algorithm:options.algorithm ~theta r s
+    windows_with ~options ~theta overlap_stage r s
     |> Seq.filter (fun w -> Window.kind w = Window.Overlapping)
     |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad)
     |> List.of_seq
   in
   Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
 
-let anti ?options ?env ~theta r s =
-  let env = env_default env r s in
+let exec_anti ~options ~env ~theta r s =
   let tuples =
-    windows_wuon ?options ~theta r s
+    windows_with ~options ~theta wuon_stage r s
     |> Seq.filter (fun w -> Window.kind w <> Window.Overlapping)
     |> Seq.map (Concat.tuple_of_window_no_fs ~env)
     |> List.of_seq
@@ -49,82 +179,70 @@ let anti ?options ?env ~theta r s =
   in
   Relation.of_tuples schema tuples
 
-let left_outer ?options ?env ~theta r s =
-  let env = env_default env r s in
+let exec_left_outer ~options ~env ~theta r s =
   let pad = Schema.arity (Relation.schema s) in
   let tuples =
-    windows_wuon ?options ~theta r s
+    windows_with ~options ~theta wuon_stage r s
     |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad)
     |> List.of_seq
   in
   Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
 
-(* The right-hand sweep of right/full outer joins: windows grouped by the s
-   tuple. Overlapping windows arrive mirrored, so [Left]-side formation
-   applies after a second mirror; unmatched and negating windows pad on the
-   left. *)
-let right_side_tuples ?(options = default_options) ~env ~pad_left windows =
-  windows
-  |> Seq.filter (fun w -> Window.kind w = Window.Overlapping)
-  |> Seq.map Window.mirror
-  |> List.of_seq
-  |> List.sort Window.compare_group_start
-  |> List.to_seq |> Lawau.extend
-  |> Lawan.extend ~schedule:options.schedule
-  |> Seq.filter_map (fun w ->
-         match Window.kind w with
-         | Window.Overlapping -> None
-         | Window.Unmatched | Window.Negating ->
-             Some (Concat.tuple_of_window ~env ~side:Concat.Right ~pad:pad_left w))
-
-let right_outer ?(options = default_options) ?env ~theta r s =
-  let env = env_default env r s in
+let exec_right_outer ~options ~env ~theta r s =
   let pad_r = Schema.arity (Relation.schema r) in
   let pad_s = Schema.arity (Relation.schema s) in
-  (* One pass of the conventional join, tracking never-matched s tuples. *)
-  let stream, tracker = Overlap.left_tracking ~algorithm:options.algorithm ~theta r s in
-  let wo = List.of_seq (Seq.filter (fun w -> Window.kind w = Window.Overlapping) stream) in
+  let wo, gaps, spanning =
+    tracked_join ~options ~extend_left:false ~theta r s
+  in
   let pairs =
-    List.to_seq wo
-    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad:pad_s)
+    List.to_seq wo |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad:pad_s)
   in
-  let gap_windows = right_side_tuples ~options ~env ~pad_left:pad_r (List.to_seq wo) in
-  let spanning =
-    Overlap.unmatched_right tracker
+  let right_side =
+    Seq.append (List.to_seq gaps) (List.to_seq spanning)
     |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Right ~pad:pad_r)
   in
-  let tuples = List.of_seq (Seq.append pairs (Seq.append gap_windows spanning)) in
+  let tuples = List.of_seq (Seq.append pairs right_side) in
   Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
 
-let full_outer ?(options = default_options) ?env ~theta r s =
-  let env = env_default env r s in
+let exec_full_outer ~options ~env ~theta r s =
   let pad_r = Schema.arity (Relation.schema r) in
   let pad_s = Schema.arity (Relation.schema s) in
-  let stream, tracker = Overlap.left_tracking ~algorithm:options.algorithm ~theta r s in
-  (* Materialize the conventional join once; both sweeps share it. *)
-  let wuo = List.of_seq stream in
+  let left, gaps, spanning =
+    tracked_join ~options ~extend_left:true ~theta r s
+  in
   let left_side =
-    List.to_seq wuo |> Lawau.extend
-    |> Lawan.extend ~schedule:options.schedule
+    List.to_seq left
     |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad:pad_s)
   in
-  let right_gaps = right_side_tuples ~options ~env ~pad_left:pad_r (List.to_seq wuo) in
-  let spanning =
-    Overlap.unmatched_right tracker
+  let right_side =
+    Seq.append (List.to_seq gaps) (List.to_seq spanning)
     |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Right ~pad:pad_r)
   in
-  let tuples = List.of_seq (Seq.append left_side (Seq.append right_gaps spanning)) in
+  let tuples = List.of_seq (Seq.append left_side right_side) in
   Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
+
+(* --- the unified entry point ----------------------------------------- *)
 
 type join_kind = Inner | Anti | Left | Right | Full
 
-let run ?options ?env ~kind ~theta r s =
-  let op =
+let join ?(options = default_options) ?env ~kind ~theta r s =
+  let env = env_default env r s in
+  let exec =
     match kind with
-    | Inner -> inner
-    | Anti -> anti
-    | Left -> left_outer
-    | Right -> right_outer
-    | Full -> full_outer
+    | Inner -> exec_inner
+    | Anti -> exec_anti
+    | Left -> exec_left_outer
+    | Right -> exec_right_outer
+    | Full -> exec_full_outer
   in
-  op ?options ?env ~theta r s
+  exec ~options ~env ~theta r s
+
+let inner ?options ?env ~theta r s = join ?options ?env ~kind:Inner ~theta r s
+let anti ?options ?env ~theta r s = join ?options ?env ~kind:Anti ~theta r s
+let left_outer ?options ?env ~theta r s = join ?options ?env ~kind:Left ~theta r s
+
+let right_outer ?options ?env ~theta r s =
+  join ?options ?env ~kind:Right ~theta r s
+
+let full_outer ?options ?env ~theta r s = join ?options ?env ~kind:Full ~theta r s
+let run = join

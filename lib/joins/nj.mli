@@ -7,10 +7,26 @@
     - full outer [r ⟗ s]: all five sets, with WO computed once
     - inner join [r ⋈ s]: WO only (for completeness)
 
-    The pipeline is {!Tpdb_windows.Overlap.left} → {!Tpdb_windows.Lawau} →
+    All five are served by the single entry point {!join}, selected by
+    {!join_kind}; the named operators remain as one-line wrappers. The
+    pipeline is {!Tpdb_windows.Overlap.left} → {!Tpdb_windows.Lawau} →
     {!Tpdb_windows.Lawan} → output formation ({!Concat}); the full outer
     join additionally mirrors the overlapping windows to sweep the [s]
     side without executing the join a second time.
+
+    {2 Parallel execution}
+
+    With [parallelism = P > 1] and a θ containing at least one equality
+    atom, both inputs are sharded on the equi-join key into [P]
+    partitions and the window sweep of every partition runs on a
+    separate domain of the shared {!Tpdb_engine.Pool}; the per-partition
+    streams are then merged back deterministically (by group, lower
+    partition id first — see {!Tpdb_engine.Parallel}), so the result is
+    identical to the sequential one, tuple for tuple, including order,
+    lineage and probability. A θ without an equality atom silently falls
+    back to the sequential sweep ({!effective_parallelism} reports the
+    decision). Output formation — lineage concatenation and probability
+    computation — always runs on the calling domain.
 
     Inputs are assumed duplicate-free ({!Tpdb_relation.Relation.is_duplicate_free}),
     as the paper assumes of TP relations. [env] supplies the marginal
@@ -24,22 +40,60 @@ module Theta = Tpdb_windows.Theta
 module Window = Tpdb_windows.Window
 module Overlap = Tpdb_windows.Overlap
 
-type options = {
-  algorithm : Overlap.algorithm;  (** join algorithm for the WUO stage *)
-  schedule : [ `Heap | `Scan ];  (** LAWAN end-point scheduling *)
-}
+type options
+(** Execution options. Abstract: build with {!options} so that future
+    fields (like [parallelism], added after the first release) never
+    break call sites. *)
+
+val options :
+  ?algorithm:Overlap.algorithm ->
+  ?schedule:[ `Heap | `Scan ] ->
+  ?parallelism:int ->
+  unit ->
+  options
+(** Builder, with today's defaults spelled out:
+    - [algorithm] (default [`Hash]): join algorithm for the WUO stage;
+    - [schedule] (default [`Heap]): LAWAN end-point scheduling;
+    - [parallelism] (default [1] = sequential): partition count of the
+      domain-parallel sweep; raises [Invalid_argument] when < 1. *)
 
 val default_options : options
-(** [{ algorithm = `Hash; schedule = `Heap }]. *)
+(** [options ()]. *)
+
+val algorithm : options -> Overlap.algorithm
+val schedule : options -> [ `Heap | `Scan ]
+val parallelism : options -> int
+
+val effective_parallelism : options -> Theta.t -> int
+(** The partition count {!join} will actually use: [parallelism options]
+    when θ has an equality atom to shard on ({!Theta.equi_keys}), [1]
+    otherwise (non-equi θ falls back to the sequential sweep). *)
+
+type join_kind = Inner | Anti | Left | Right | Full
+
+val join :
+  ?options:options ->
+  ?env:Prob.env ->
+  kind:join_kind ->
+  theta:Theta.t ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t
+(** The unified TP join: every operator of the paper's Table II, selected
+    by [kind]. Used by the query planner and the CLI. *)
 
 val windows_wuo :
   ?options:options -> theta:Theta.t -> Relation.t -> Relation.t -> Window.t Seq.t
 (** Overlapping + unmatched windows of [r] w.r.t. [s] (the paper's WUO):
-    {!Overlap.left} extended by LAWAU. Benched as Fig. 5. *)
+    {!Overlap.left} extended by LAWAU. Benched as Fig. 5. Sequential
+    streams are recomputed on every traversal; parallel streams are
+    materialized once at the first traversal. *)
 
 val windows_wuon :
   ?options:options -> theta:Theta.t -> Relation.t -> Relation.t -> Window.t Seq.t
 (** WUO extended with negating windows by LAWAN. Benched as Fig. 6. *)
+
+(** The five named operators: one-line wrappers around {!join}. *)
 
 val inner :
   ?options:options -> ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
@@ -56,8 +110,6 @@ val right_outer :
 val full_outer :
   ?options:options -> ?env:Prob.env -> theta:Theta.t -> Relation.t -> Relation.t -> Relation.t
 
-type join_kind = Inner | Anti | Left | Right | Full
-
 val run :
   ?options:options ->
   ?env:Prob.env ->
@@ -66,4 +118,4 @@ val run :
   Relation.t ->
   Relation.t ->
   Relation.t
-(** Dispatch by operator kind; used by the query planner. *)
+(** Alias of {!join}, kept for callers of the pre-unification API. *)

@@ -17,6 +17,7 @@ type t =
   | Tp_join of {
       kind : Nj.join_kind;
       algorithm : Overlap.algorithm;
+      parallelism : int;
       theta : Theta.t;
       left : t;
       right : t;
@@ -81,9 +82,9 @@ let rec to_relation ~env plan =
         | Some n -> List.filteri (fun i _ -> i < n) sorted
       in
       Relation.of_tuples (Relation.schema input) limited
-  | Tp_join { kind; algorithm; theta; left; right } ->
-      let options = { Nj.default_options with algorithm } in
-      Nj.run ~options ~env ~kind ~theta (to_relation ~env left)
+  | Tp_join { kind; algorithm; parallelism; theta; left; right } ->
+      let options = Nj.options ~algorithm ~parallelism () in
+      Nj.join ~options ~env ~kind ~theta (to_relation ~env left)
         (to_relation ~env right)
   | Set_op { kind; left; right } ->
       let op =
@@ -132,6 +133,9 @@ let kind_string = function
   | Nj.Right -> "TP Right Outer Join"
   | Nj.Full -> "TP Full Outer Join"
 
+let jobs_string parallelism =
+  if parallelism > 1 then Printf.sprintf "; jobs: %d" parallelism else ""
+
 (* Shared by explain and analyze: the one-line description of a node. *)
 let describe ~child_schema plan =
   match plan with
@@ -144,11 +148,12 @@ let describe ~child_schema plan =
   | Distinct_project { schema = s; _ } ->
       Printf.sprintf "Distinct TP Project (%s; lineage disjunction)"
         (String.concat ", " (Schema.columns s))
-  | Tp_join { kind; algorithm; theta; left; right } ->
-      Printf.sprintf "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s)"
+  | Tp_join { kind; algorithm; parallelism; theta; left; right } ->
+      Printf.sprintf "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s)"
         (kind_string kind)
         (algorithm_string algorithm)
         (Theta.to_string ~left:(child_schema left) ~right:(child_schema right) theta)
+        (jobs_string parallelism)
   | Aggregate { spec; _ } ->
       Printf.sprintf "Sequenced Aggregate (%s; expectation per witness-constant segment)"
         (match spec with
@@ -238,11 +243,12 @@ let explain plan =
         line "Distinct TP Project (%s; lineage disjunction)"
           (String.concat ", " (Schema.columns s));
         render (indent + 1) child
-    | Tp_join { kind; algorithm; theta; left; right } ->
-        line "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s)"
+    | Tp_join { kind; algorithm; parallelism; theta; left; right } ->
+        line "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s)"
           (kind_string kind)
           (algorithm_string algorithm)
-          (Theta.to_string ~left:(schema left) ~right:(schema right) theta);
+          (Theta.to_string ~left:(schema left) ~right:(schema right) theta)
+          (jobs_string parallelism);
         render (indent + 1) left;
         render (indent + 1) right
     | Aggregate { spec; child; _ } ->

@@ -23,6 +23,8 @@ type t =
   | Tp_join of {
       kind : Tpdb_joins.Nj.join_kind;
       algorithm : Overlap.algorithm;
+      parallelism : int;
+          (** partition count of the domain-parallel sweep; 1 = sequential *)
       theta : Theta.t;
       left : t;
       right : t;

@@ -126,7 +126,7 @@ let join_kind : Ast.join_kind -> Nj.join_kind = function
   | Ast.Full -> Nj.Full
   | Ast.Anti -> Nj.Anti
 
-let plan_select catalog (s : Ast.select) : Physical.t =
+let plan_select ~parallelism catalog (s : Ast.select) : Physical.t =
   let lookup name =
     match Catalog.find catalog name with
     | Some r -> r
@@ -155,6 +155,7 @@ let plan_select catalog (s : Ast.select) : Physical.t =
           {
             kind = join_kind j.kind;
             algorithm;
+            parallelism;
             theta;
             left = acc;
             right = Physical.Scan right;
@@ -269,10 +270,11 @@ let plan_select catalog (s : Ast.select) : Physical.t =
         Physical.Distinct_project { columns = indices; schema; child = with_slice }
       else Physical.Project { columns = indices; schema; child = with_slice })
 
-let plan catalog (query : Ast.t) =
+let plan ?(parallelism = 1) catalog (query : Ast.t) =
+  if parallelism < 1 then fail "parallelism must be at least 1";
   let env = Catalog.env catalog in
   match query with
-  | Ast.Select s -> { plan = plan_select catalog s; env }
+  | Ast.Select s -> { plan = plan_select ~parallelism catalog s; env }
   | Ast.Set (kind, a, b) ->
       let kind =
         match kind with
@@ -283,7 +285,11 @@ let plan catalog (query : Ast.t) =
       {
         plan =
           Physical.Set_op
-            { kind; left = plan_select catalog a; right = plan_select catalog b };
+            {
+              kind;
+              left = plan_select ~parallelism catalog a;
+              right = plan_select ~parallelism catalog b;
+            };
         env;
       }
 

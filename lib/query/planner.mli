@@ -14,7 +14,12 @@ exception Plan_error of string
 
 type t
 
-val plan : Catalog.t -> Ast.t -> t
+val plan : ?parallelism:int -> Catalog.t -> Ast.t -> t
+(** [parallelism] (default 1) is stored into every TP join node: the
+    partition count of the domain-parallel window sweep (the CLI's
+    [--jobs]). Joins whose θ has no equality atom ignore it and run
+    sequentially. Raises {!Plan_error} when < 1. *)
+
 val explain : t -> string
 val run : t -> Relation.t
 

@@ -80,17 +80,18 @@ let compare_option cmp a b =
   | Some _, None -> 1
   | Some x, Some y -> cmp x y
 
-let compare_group_start a b =
+let compare_group a b =
   let c = Fact.compare a.fr b.fr in
   if c <> 0 then c
   else
     let c = Interval.compare a.rspan b.rspan in
-    if c <> 0 then c
-    else
-      let c = Formula.compare a.lr b.lr in
-      if c <> 0 then c
-      else
-        let c = Interval.compare a.iv b.iv in
+    if c <> 0 then c else Formula.compare a.lr b.lr
+
+let compare_group_start a b =
+  let c = compare_group a b in
+  if c <> 0 then c
+  else
+    let c = Interval.compare a.iv b.iv in
         if c <> 0 then c
         else
           let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in

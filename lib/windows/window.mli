@@ -73,6 +73,14 @@ val same_group : t -> t -> bool
 (** Two windows belong to the same LAWAU/LAWAN group iff they stem from
     the same spanning [r] tuple: equal [fr], [lr] and [rspan]. *)
 
+val compare_group : t -> t -> int
+(** Total order on groups alone: by [fr], [rspan], [lr] — the same keys
+    (and comparators) as {!Tpdb_relation.Tuple.compare_fact_start} on the
+    spanning tuple, so it reproduces the group order of the sequential
+    sweep. [compare_group a b = 0] iff [same_group a b]. The partitioned
+    executor ({!Tpdb_engine.Parallel}) merges per-partition streams under
+    this order. *)
+
 val compare_group_start : t -> t -> int
 (** The stream order of the window pipeline: by group, then by interval
     start (then end, then kind, then the [s] side, for determinism). *)

@@ -11,6 +11,19 @@ Plan a TP anti join over the generated CSVs:
       Scan wk_r (50 tuples)
       Scan wk_s (50 tuples)
 
+A parallel query (--jobs 2): the plan records the partition count and
+the result is byte-identical to the sequential run:
+
+  $ ../../bin/tpdb_cli.exe query --explain --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
+  Project (File)
+    TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; jobs: 2)
+      Scan wk_r (50 tuples)
+      Scan wk_s (50 tuples)
+
+  $ ../../bin/tpdb_cli.exe query -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File" | tail -n +5 > seq.out
+  $ ../../bin/tpdb_cli.exe query --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File" | tail -n +5 > par.out
+  $ cmp seq.out par.out
+
 An unknown column is a plan error:
 
   $ ../../bin/tpdb_cli.exe query -t wk_r.csv "SELECT Nope FROM wk_r"

@@ -120,6 +120,115 @@ let test_interval_tree_basics () =
   Alcotest.(check (list string)) "empty tree" []
     (List.map fst (Interval_tree.overlapping (Interval_tree.build snd []) (iv 0 5)))
 
+(* --- Pool --- *)
+
+module Pool = Tpdb_engine.Pool
+module Parallel = Tpdb_engine.Parallel
+
+let test_pool_map () =
+  let pool = Pool.create ~num_domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check (list int)) "input order preserved" [ 1; 4; 9; 16; 25 ]
+    (Pool.map pool (fun x -> x * x) [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list int)) "empty" [] (Pool.map pool succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map pool succ [ 7 ]);
+  (* Reuse across batches, including batches larger than the pool. *)
+  Alcotest.(check (list int)) "reuse"
+    (List.init 40 (fun i -> i + 1))
+    (Pool.map pool succ (List.init 40 Fun.id))
+
+let test_pool_exception () =
+  let pool = Pool.create ~num_domains:1 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (match
+     Pool.map pool
+       (fun x -> if x mod 2 = 0 then failwith (string_of_int x) else x)
+       [ 1; 3; 4; 5; 6 ]
+   with
+  | exception Failure msg ->
+      Alcotest.(check string) "earliest failing item wins" "4" msg
+  | _ -> Alcotest.fail "exception not propagated");
+  (* The pool survives a failed batch. *)
+  Alcotest.(check (list int)) "usable after failure" [ 2; 3 ]
+    (Pool.map pool succ [ 1; 2 ])
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~num_domains:2 () in
+  (* The worker count is clamped to [Domain.recommended_domain_count ()],
+     so its exact value is machine-dependent. *)
+  Alcotest.(check bool) "worker count clamped" true
+    (let n = Pool.num_domains pool in
+     n >= 1 && n <= 2);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* After shutdown the caller drains everything itself. *)
+  Alcotest.(check (list int)) "sequential degradation" [ 2; 4; 6 ]
+    (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Alcotest.(check bool) "default pool exists" true
+    (Pool.num_domains (Pool.default ()) >= 0)
+
+(* --- Parallel --- *)
+
+let test_shard2 () =
+  let left = [ 0; 1; 2; 3; 4; 5; 6; 7 ] and right = [ 2; 4; 6; 8; 10 ] in
+  let shards =
+    Parallel.shard2 ~partitions:3 ~left_key:Fun.id ~right_key:Fun.id left right
+  in
+  Alcotest.(check int) "partition count" 3 (Array.length shards);
+  let ls = Array.to_list shards |> List.concat_map fst in
+  let rs = Array.to_list shards |> List.concat_map snd in
+  Alcotest.(check (list int)) "left partitioned"
+    (List.sort compare left) (List.sort compare ls);
+  Alcotest.(check (list int)) "right partitioned"
+    (List.sort compare right) (List.sort compare rs);
+  (* Equal keys land in the same bucket on both sides, in input order. *)
+  Array.iter
+    (fun (l, r) ->
+      List.iter
+        (fun x ->
+          if List.mem x l && not (List.mem x r) && List.mem x right then
+            Alcotest.fail "equal keys split across partitions")
+        l;
+      Alcotest.(check (list int)) "left bucket order" (List.sort compare l) l;
+      Alcotest.(check (list int)) "right bucket order" (List.sort compare r) r)
+    shards
+
+let test_merge_grouped () =
+  (* Groups = equal first components; within-group order must survive. *)
+  let compare_group (a, _) (b, _) = Int.compare a b in
+  let merged =
+    Parallel.merge_grouped ~compare_group
+      [|
+        [ (1, "a"); (1, "b"); (4, "c") ];
+        [ (2, "d"); (5, "e"); (5, "f") ];
+        [ (3, "g") ];
+      |]
+  in
+  Alcotest.(check (list string)) "grouped merge"
+    [ "a"; "b"; "d"; "g"; "c"; "e"; "f" ]
+    (List.map snd merged);
+  Alcotest.(check (list string)) "empty streams" []
+    (List.map snd (Parallel.merge_grouped ~compare_group [| []; [] |]))
+
+let test_parallel_equi_join () =
+  let pool = Pool.create ~num_domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (* A toy "join": per-partition cross product of equal keys, swept in
+     ascending key order — the contract merge_grouped needs. *)
+  let sweep l r =
+    List.concat_map
+      (fun x -> List.filter_map (fun y -> if x = y then Some (x, y) else None) r)
+      (List.sort compare l)
+  in
+  let left = [ 5; 1; 3; 2; 4 ] and right = [ 2; 3; 4; 5; 6 ] in
+  let sequential = sweep left right in
+  let merged =
+    Parallel.equi_join ~pool ~partitions:4 ~left_key:Fun.id ~right_key:Fun.id
+      ~sweep ~compare_group:(fun (a, _) (b, _) -> Int.compare a b) left right
+  in
+  Alcotest.(check (list (pair int int))) "partitioned = sequential" sequential
+    merged
+
 open QCheck2
 
 let prop_interval_tree_matches_naive =
@@ -191,6 +300,12 @@ let suite =
     Alcotest.test_case "hash partition" `Quick test_hash_partition;
     Alcotest.test_case "heap basics" `Quick test_heap_basics;
     Alcotest.test_case "interval tree" `Quick test_interval_tree_basics;
+    Alcotest.test_case "pool map" `Quick test_pool_map;
+    Alcotest.test_case "pool exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool shutdown" `Quick test_pool_shutdown;
+    Alcotest.test_case "shard2 partitioning" `Quick test_shard2;
+    Alcotest.test_case "grouped k-way merge" `Quick test_merge_grouped;
+    Alcotest.test_case "partitioned equi join" `Quick test_parallel_equi_join;
     qcheck prop_interval_tree_matches_naive;
     qcheck prop_heap_sorts;
     qcheck prop_runs_concat;

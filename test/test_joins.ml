@@ -155,6 +155,33 @@ let test_explicit_env () =
       Alcotest.(check bool) "p in range" true (p >= 0.0 && p <= 1.0))
     (Relation.tuples again)
 
+(* --- parallel executor --- *)
+
+let all_kinds = [ Nj.Inner; Nj.Anti; Nj.Left; Nj.Right; Nj.Full ]
+
+let test_parallel_fallback () =
+  let opts = Nj.options ~parallelism:4 () in
+  Alcotest.(check int) "equi θ shards" 4
+    (Nj.effective_parallelism opts theta_k);
+  Alcotest.(check int) "non-equi θ falls back" 1
+    (Nj.effective_parallelism opts (Theta.of_atoms [ Theta.Cols (`Lt, 0, 0) ]));
+  Alcotest.(check int) "trivial θ falls back" 1
+    (Nj.effective_parallelism opts Theta.always);
+  (match Nj.options ~parallelism:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "parallelism 0 accepted");
+  (* The silent fallback still computes the right answer. *)
+  let r = krel "r" [ ([ "a" ], iv 0 5, 0.5); ([ "b" ], iv 2 9, 0.6) ] in
+  let s = krel "s" [ ([ "a" ], iv 1 4, 0.7); ([ "c" ], iv 3 8, 0.8) ] in
+  let theta = Theta.of_atoms [ Theta.Cols (`Ne, 0, 0) ] in
+  List.iter
+    (fun kind ->
+      let seq = Nj.join ~kind ~theta r s in
+      let par = Nj.join ~options:opts ~kind ~theta r s in
+      if not (List.equal Tuple.equal (Relation.tuples seq) (Relation.tuples par))
+      then Alcotest.fail "non-equi fallback result differs from sequential")
+    all_kinds
+
 (* --- properties: NJ vs the timepoint oracle --- *)
 
 (* No [open QCheck2] here: it would shadow our [Tuple] alias. *)
@@ -232,6 +259,29 @@ let prop_anti_probability_decomposes =
           Float.abs (Tuple.p tp -. Prob.exact env (Tuple.lineage tp)) < 1e-9)
         (Relation.tuples anti))
 
+let prop_parallel_equals_sequential =
+  (* The determinism contract: the partitioned executor's output is the
+     sequential output tuple for tuple — order, lineage and probability
+     included — for every join kind and partition count. *)
+  Test.make ~name:"parallel join = sequential (all kinds, jobs 2/4)" ~count:120
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      List.for_all
+        (fun kind ->
+          let seq = Nj.join ~kind ~theta r s in
+          List.for_all
+            (fun jobs ->
+              let par =
+                Nj.join
+                  ~options:(Nj.options ~parallelism:jobs ())
+                  ~kind ~theta r s
+              in
+              List.equal Tuple.equal (Relation.tuples seq)
+                (Relation.tuples par))
+            [ 2; 4 ])
+        all_kinds)
+
 let prop_composed_joins_match_oracle =
   (* Compositionality: the join of a derived relation (an anti-join
      result, with complex lineages) against a base relation must still
@@ -258,6 +308,8 @@ let suite =
     Alcotest.test_case "non-equi theta" `Quick test_non_equi_theta;
     Alcotest.test_case "probabilities in range" `Quick test_probabilities_in_range;
     Alcotest.test_case "explicit environment" `Quick test_explicit_env;
+    Alcotest.test_case "parallel fallback on non-equi θ" `Quick
+      test_parallel_fallback;
     qtest prop_inner;
     qtest prop_anti;
     qtest prop_left;
@@ -266,5 +318,6 @@ let suite =
     qtest prop_left_decomposes;
     qtest prop_full_contains_left_and_right_parts;
     qtest prop_anti_probability_decomposes;
+    qtest prop_parallel_equals_sequential;
     qtest prop_composed_joins_match_oracle;
   ]

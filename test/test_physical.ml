@@ -21,6 +21,7 @@ let join kind =
     {
       kind;
       algorithm = `Hash;
+      parallelism = 1;
       theta = Fixtures.theta_loc;
       left = scan_a ();
       right = scan_b ();
