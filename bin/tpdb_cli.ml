@@ -76,44 +76,88 @@ let generate_cmd =
        ~doc:"Generate a synthetic TP dataset pair (CSV or database directory).")
     Term.(const generate $ dataset $ size $ seed $ prefix $ db_dir)
 
-(* --- query --- *)
+(* --- query / check --- *)
 
 let base_name path = Filename.remove_extension (Filename.basename path)
 
-let query tables db_dir explain_only analyze jobs sql =
+(* Typed failures (CSV loading, planning, parsing, sanitizer violations)
+   all render through the analyzer's diagnostic format, on stderr. *)
+let fail_diagnostic d =
+  prerr_endline (Tpdb.Analyze.to_string d);
+  exit 1
+
+let fail_exn exn =
+  match Tpdb.Analyze.diagnostic_of_exn exn with
+  | Some d -> fail_diagnostic d
+  | None -> raise exn
+
+let load_catalog tables db_dir =
   let catalog = Tpdb.Catalog.create () in
-  (match db_dir with
-  | None -> ()
-  | Some dir ->
-      let db = Tpdb.Db.open_ dir in
-      List.iter
-        (fun name -> Tpdb.Catalog.register catalog (Tpdb.Db.load db name))
-        (Tpdb.Db.list db));
-  List.iter
-    (fun path ->
-      Tpdb.Catalog.register catalog (Tpdb.Csv.load ~name:(base_name path) path))
-    tables;
-  match Tpdb.Planner.plan ~parallelism:jobs catalog (Tpdb.Parser.parse sql) with
-  | plan ->
-      if analyze then begin
-        let result, report = Tpdb.Planner.run_analyze plan in
-        print_endline report;
-        print_endline "";
-        Tpdb.Relation.print result
-      end
-      else begin
-        print_endline (Tpdb.Planner.explain plan);
-        if not explain_only then begin
-          print_endline "";
-          Tpdb.Relation.print (Tpdb.Planner.run plan)
-        end
-      end
+  (try
+     (match db_dir with
+     | None -> ()
+     | Some dir ->
+         let db = Tpdb.Db.open_ dir in
+         List.iter
+           (fun name -> Tpdb.Catalog.register catalog (Tpdb.Db.load db name))
+           (Tpdb.Db.list db));
+     List.iter
+       (fun path ->
+         Tpdb.Catalog.register catalog
+           (Tpdb.Csv.load ~name:(base_name path) path))
+       tables
+   with exn -> fail_exn exn);
+  catalog
+
+let plan_or_fail ?sanitize catalog jobs sql =
+  match Tpdb.Planner.plan ~parallelism:jobs ?sanitize catalog
+          (Tpdb.Parser.parse sql)
+  with
+  | plan -> plan
   | exception Tpdb.Planner.Plan_error msg ->
-      prerr_endline ("plan error: " ^ msg);
-      exit 1
-  | exception Tpdb.Parser.Parse_error msg ->
-      prerr_endline ("parse error: " ^ msg);
-      exit 1
+      fail_diagnostic
+        (Tpdb.Analyze.diagnostic ~severity:Tpdb.Analyze.Error ~code:"plan" msg)
+  | exception ((Tpdb.Parser.Parse_error _ | Tpdb.Lexer.Lex_error _) as exn) ->
+      fail_exn exn
+
+let print_diagnostics diags =
+  List.iter (fun d -> print_endline (Tpdb.Analyze.to_string d)) diags
+
+let query tables db_dir explain_only analyze jobs sanitize sql =
+  let catalog = load_catalog tables db_dir in
+  let sanitize = if sanitize then Some true else None in
+  let plan = plan_or_fail ?sanitize catalog jobs sql in
+  try
+    if analyze then begin
+      let result, report = Tpdb.Planner.run_analyze plan in
+      print_endline report;
+      print_endline "";
+      Tpdb.Relation.print result
+    end
+    else begin
+      print_endline (Tpdb.Planner.explain plan);
+      (match Tpdb.Planner.check plan with
+      | [] -> ()
+      | diags ->
+          print_endline "";
+          print_diagnostics diags);
+      if not explain_only then begin
+        print_endline "";
+        Tpdb.Relation.print (Tpdb.Planner.run plan)
+      end
+    end
+  with Tpdb.Invariant.Violation _ as exn -> fail_exn exn
+
+let check tables db_dir jobs sql =
+  let catalog = load_catalog tables db_dir in
+  let plan = plan_or_fail catalog jobs sql in
+  let diags = Tpdb.Planner.check plan in
+  print_diagnostics diags;
+  let errors = List.length (Tpdb.Analyze.errors diags) in
+  let warnings = List.length diags - errors in
+  if diags = [] then print_endline "ok: no issues found"
+  else Printf.printf "%d error(s), %d warning(s)\n" errors warnings;
+  if errors > 0 then exit 1
 
 let query_cmd =
   let tables =
@@ -133,6 +177,12 @@ let query_cmd =
            ~doc:"Partition the window sweep of every equi-join across N \
                  domains (default 1 = sequential). Joins without an equality \
                  atom fall back to the sequential sweep.")
+  and sanitize =
+    Arg.(value & flag & info [ "sanitize" ]
+           ~doc:"Run the TPSan window-invariant checks during execution \
+                 (also enabled by TPDB_SANITIZE=1): every join asserts the \
+                 paper's window lemmas on its live streams and fails fast \
+                 on a violation.")
   and sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
            ~doc:"TP-SQL query text.")
@@ -140,7 +190,32 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Run a TP-SQL query over CSV files and/or a database directory.")
-    Term.(const query $ tables $ db_dir $ explain_only $ analyze $ jobs $ sql)
+    Term.(const query $ tables $ db_dir $ explain_only $ analyze $ jobs
+          $ sanitize $ sql)
+
+let check_cmd =
+  let tables =
+    Arg.(value & opt_all file [] & info [ "table"; "t" ] ~docv:"CSV"
+           ~doc:"TP relation to register (repeatable); its name is the file \
+                 basename.")
+  and db_dir =
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
+           ~doc:"Register every relation of a database directory.")
+  and jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Intended parallelism; the analyzer warns when a join \
+                 cannot use it.")
+  and sql =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"TP-SQL query text.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically analyze a TP-SQL query without running it: plan it, \
+             infer column types, and report \xce\xb8 type errors, \
+             unsatisfiable conditions and suspicious plan shapes. Exits \
+             non-zero when an error-severity diagnostic is found.")
+    Term.(const check $ tables $ db_dir $ jobs $ sql)
 
 (* --- experiment --- *)
 
@@ -185,18 +260,7 @@ let experiment_cmd =
 (* --- render: draw the Fig.-2-style join picture --- *)
 
 let render tables db_dir left right on width =
-  let catalog = Tpdb.Catalog.create () in
-  (match db_dir with
-  | None -> ()
-  | Some dir ->
-      let db = Tpdb.Db.open_ dir in
-      List.iter
-        (fun name -> Tpdb.Catalog.register catalog (Tpdb.Db.load db name))
-        (Tpdb.Db.list db));
-  List.iter
-    (fun path ->
-      Tpdb.Catalog.register catalog (Tpdb.Csv.load ~name:(base_name path) path))
-    tables;
+  let catalog = load_catalog tables db_dir in
   let get name =
     match Tpdb.Catalog.find catalog name with
     | Some r -> r
@@ -280,4 +344,5 @@ let () =
       ~doc:"Temporal-probabilistic outer and anti joins (ICDE 2019 reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ generate_cmd; query_cmd; store_cmd; render_cmd; experiment_cmd ]))
+       [ generate_cmd; query_cmd; check_cmd; store_cmd; render_cmd;
+         experiment_cmd ]))

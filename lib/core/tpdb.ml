@@ -27,7 +27,10 @@
     - {!Pool}, {!Parallel}: the domain pool and the partitioned parallel
       executor behind [Nj.options ~parallelism] / the CLI's [--jobs].
     - {!Rng}, {!Datasets}: reproducible workload generation.
-    - {!Ast}, {!Parser}, {!Catalog}, {!Planner}: the TP-SQL front end. *)
+    - {!Ast}, {!Parser}, {!Catalog}, {!Planner}: the TP-SQL front end.
+    - {!Analyze}, {!Invariant}: TPSan — the static plan analyzer behind
+      [tpdb_cli check] and the runtime window-invariant sanitizer behind
+      [--sanitize] / [TPDB_SANITIZE=1]. *)
 
 module Interval = Tpdb_interval.Interval
 module Timeline = Tpdb_interval.Timeline
@@ -75,3 +78,5 @@ module Parser = Tpdb_query.Parser
 module Catalog = Tpdb_query.Catalog
 module Physical = Tpdb_query.Physical
 module Planner = Tpdb_query.Planner
+module Analyze = Tpdb_query.Analyze
+module Invariant = Tpdb_windows.Invariant

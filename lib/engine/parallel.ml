@@ -19,11 +19,22 @@ let map ~pool f arr = Array.of_list (Pool.map pool f (Array.to_list arr))
    the left list on ties, so earlier partitions win — and since a group
    lives in exactly one partition, a group's elements (which compare
    equal, hence "tie") are never interleaved with another list's. *)
-let merge_grouped ~compare_group streams =
-  Array.fold_left (List.merge compare_group) [] streams
+let merge_grouped ?check ~compare_group streams =
+  let merged = Array.fold_left (List.merge compare_group) [] streams in
+  (match check with
+  | None -> ()
+  | Some check ->
+      let rec pairwise = function
+        | a :: (b :: _ as rest) ->
+            check a b;
+            pairwise rest
+        | [ _ ] | [] -> ()
+      in
+      pairwise merged);
+  merged
 
-let equi_join ~pool ~partitions ~left_key ~right_key ~sweep ~compare_group left
-    right =
+let equi_join ?check ~pool ~partitions ~left_key ~right_key ~sweep
+    ~compare_group left right =
   shard2 ~partitions ~left_key ~right_key left right
   |> map ~pool (fun (l, r) -> sweep l r)
-  |> merge_grouped ~compare_group
+  |> merge_grouped ?check ~compare_group

@@ -30,12 +30,19 @@ val shard2 :
 val map : pool:Pool.t -> ('a -> 'b) -> 'a array -> 'b array
 (** {!Pool.map} over an array, preserving order. *)
 
-val merge_grouped : compare_group:('w -> 'w -> int) -> 'w list array -> 'w list
+val merge_grouped :
+  ?check:('w -> 'w -> unit) ->
+  compare_group:('w -> 'w -> int) ->
+  'w list array ->
+  'w list
 (** K-way merge of per-partition streams under the contract above. Each
     input list must have its groups in nondecreasing [compare_group]
-    order; elements of one group must not occur in two lists. *)
+    order; elements of one group must not occur in two lists. [?check]
+    is called on every adjacent pair of the merged result — a sanitizer
+    hook that can assert the nondecreasing-group postcondition. *)
 
 val equi_join :
+  ?check:('w -> 'w -> unit) ->
   pool:Pool.t ->
   partitions:int ->
   left_key:('r -> int) ->

@@ -8,6 +8,7 @@ module Window = Tpdb_windows.Window
 module Overlap = Tpdb_windows.Overlap
 module Lawau = Tpdb_windows.Lawau
 module Lawan = Tpdb_windows.Lawan
+module Invariant = Tpdb_windows.Invariant
 module Pool = Tpdb_engine.Pool
 module Parallel = Tpdb_engine.Parallel
 
@@ -15,17 +16,23 @@ type options = {
   algorithm : Overlap.algorithm;
   schedule : [ `Heap | `Scan ];
   parallelism : int;
+  sanitize : bool;
 }
 
-let options ?(algorithm = `Hash) ?(schedule = `Heap) ?(parallelism = 1) () =
+let options ?(algorithm = `Hash) ?(schedule = `Heap) ?(parallelism = 1)
+    ?sanitize () =
   if parallelism < 1 then
     invalid_arg "Nj.options: parallelism must be at least 1";
-  { algorithm; schedule; parallelism }
+  let sanitize =
+    match sanitize with Some b -> b | None -> Invariant.env_enabled ()
+  in
+  { algorithm; schedule; parallelism; sanitize }
 
 let default_options = options ()
 let algorithm o = o.algorithm
 let schedule o = o.schedule
 let parallelism o = o.parallelism
+let sanitize o = o.sanitize
 
 let effective_parallelism o theta =
   if o.parallelism <= 1 then 1
@@ -65,19 +72,23 @@ let partitioned ~partitions ~theta ~sweep r s =
              sweep (Relation.of_tuples rschema rp) (Relation.of_tuples sschema sp))
            parts)
 
-let merge parts =
-  Parallel.merge_grouped ~compare_group:Window.compare_group parts
+let merge ~options parts =
+  Parallel.merge_grouped
+    ?check:(if options.sanitize then Some Invariant.merge_check else None)
+    ~compare_group:Window.compare_group parts
 
 (* --- the window pipeline --------------------------------------------- *)
 
 let overlap_stage ~options ~theta r s =
-  Overlap.left ~algorithm:options.algorithm ~theta r s
+  Overlap.left ~algorithm:options.algorithm ~sanitize:options.sanitize ~theta
+    r s
 
 let wuo_stage ~options ~theta r s =
-  Lawau.extend (overlap_stage ~options ~theta r s)
+  Lawau.extend ~sanitize:options.sanitize (overlap_stage ~options ~theta r s)
 
 let wuon_stage ~options ~theta r s =
-  Lawan.extend ~schedule:options.schedule (wuo_stage ~options ~theta r s)
+  Lawan.extend ~schedule:options.schedule ~sanitize:options.sanitize
+    (wuo_stage ~options ~theta r s)
 
 (* A left-side window stream, parallel when options and θ allow. *)
 let windows_with ~options ~theta stage r s =
@@ -90,7 +101,7 @@ let windows_with ~options ~theta stage r s =
         ~sweep:(fun rp sp -> List.of_seq (stage ~options ~theta rp sp))
         r s
     with
-    | Some parts -> List.to_seq (merge parts)
+    | Some parts -> List.to_seq (merge ~options parts)
     | None -> sequential ()
 
 let windows_wuo ?(options = default_options) ~theta r s =
@@ -107,14 +118,15 @@ let env_default env r s =
    tuple; LAWAU/LAWAN then find the s side's unmatched and negating
    windows (the overlapping copies are dropped — the left pass emits
    them already). *)
-let right_side_windows ~schedule windows =
+let right_side_windows ~schedule ~sanitize windows =
   windows
   |> Seq.filter (fun w -> Window.kind w = Window.Overlapping)
   |> Seq.map Window.mirror
   |> List.of_seq
   |> List.sort Window.compare_group_start
-  |> List.to_seq |> Lawau.extend
-  |> Lawan.extend ~schedule
+  |> List.to_seq
+  |> Lawau.extend ~sanitize
+  |> Lawan.extend ~schedule ~sanitize
   |> Seq.filter (fun w -> Window.kind w <> Window.Overlapping)
 
 (* One partition (or the whole input, when sequential) of a right/full
@@ -123,18 +135,22 @@ let right_side_windows ~schedule windows =
    extended for the full outer join), the right side's gap windows, and
    the spanning windows of the never-matched s tuples. *)
 let tracked_sweep ~options ~extend_left ~theta r s =
+  let sanitize = options.sanitize in
   let stream, tracker =
-    Overlap.left_tracking ~algorithm:options.algorithm ~theta r s
+    Overlap.left_tracking ~algorithm:options.algorithm ~sanitize ~theta r s
   in
   let raw = List.of_seq stream in
   let left =
     if extend_left then
       List.of_seq
-        (Lawan.extend ~schedule:options.schedule (Lawau.extend (List.to_seq raw)))
+        (Lawan.extend ~schedule:options.schedule ~sanitize
+           (Lawau.extend ~sanitize (List.to_seq raw)))
     else List.filter (fun w -> Window.kind w = Window.Overlapping) raw
   in
   let gaps =
-    List.of_seq (right_side_windows ~schedule:options.schedule (List.to_seq raw))
+    List.of_seq
+      (right_side_windows ~schedule:options.schedule ~sanitize
+         (List.to_seq raw))
   in
   let spanning = List.of_seq (Overlap.unmatched_right tracker) in
   (left, gaps, spanning)
@@ -143,9 +159,9 @@ let tracked_join ~options ~extend_left ~theta r s =
   let p = effective_parallelism options theta in
   let sweep rp sp = tracked_sweep ~options ~extend_left ~theta rp sp in
   let merged parts =
-    ( merge (Array.map (fun (l, _, _) -> l) parts),
-      merge (Array.map (fun (_, g, _) -> g) parts),
-      merge (Array.map (fun (_, _, u) -> u) parts) )
+    ( merge ~options (Array.map (fun (l, _, _) -> l) parts),
+      merge ~options (Array.map (fun (_, g, _) -> g) parts),
+      merge ~options (Array.map (fun (_, _, u) -> u) parts) )
   in
   if p <= 1 then sweep r s
   else
@@ -235,7 +251,12 @@ let join ?(options = default_options) ?env ~kind ~theta r s =
     | Right -> exec_right_outer
     | Full -> exec_full_outer
   in
-  exec ~options ~env ~theta r s
+  let result = exec ~options ~env ~theta r s in
+  if options.sanitize then
+    Invariant.check_output
+      ~recompute:(fun lineage -> Prob.compute env lineage)
+      (Relation.tuples result);
+  result
 
 let inner ?options ?env ~theta r s = join ?options ?env ~kind:Inner ~theta r s
 let anti ?options ?env ~theta r s = join ?options ?env ~kind:Anti ~theta r s

@@ -49,13 +49,19 @@ val options :
   ?algorithm:Overlap.algorithm ->
   ?schedule:[ `Heap | `Scan ] ->
   ?parallelism:int ->
+  ?sanitize:bool ->
   unit ->
   options
 (** Builder, with today's defaults spelled out:
     - [algorithm] (default [`Hash]): join algorithm for the WUO stage;
     - [schedule] (default [`Heap]): LAWAN end-point scheduling;
     - [parallelism] (default [1] = sequential): partition count of the
-      domain-parallel sweep; raises [Invalid_argument] when < 1. *)
+      domain-parallel sweep; raises [Invalid_argument] when < 1;
+    - [sanitize] (default {!Tpdb_windows.Invariant.env_enabled}, i.e.
+      the [TPDB_SANITIZE] environment variable): run the TPSan window
+      invariant checks on every stage's stream, on the parallel merge,
+      and on the final output; a violated paper lemma raises
+      {!Tpdb_windows.Invariant.Violation}. *)
 
 val default_options : options
 (** [options ()]. *)
@@ -63,6 +69,7 @@ val default_options : options
 val algorithm : options -> Overlap.algorithm
 val schedule : options -> [ `Heap | `Scan ]
 val parallelism : options -> int
+val sanitize : options -> bool
 
 val effective_parallelism : options -> Theta.t -> int
 (** The partition count {!join} will actually use: [parallelism options]

@@ -1,0 +1,429 @@
+module Relation = Tpdb_relation.Relation
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Value = Tpdb_relation.Value
+module Csv = Tpdb_relation.Csv
+module Theta = Tpdb_windows.Theta
+module Invariant = Tpdb_windows.Invariant
+module Nj = Tpdb_joins.Nj
+
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  code : string;
+  path : string;
+  message : string;
+}
+
+let diagnostic ~severity ~code ?(path = "-") message =
+  { severity; code; path; message }
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+
+let to_string d =
+  Printf.sprintf "%s[%s] at %s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.code d.path d.message
+
+let report diags = String.concat "\n" (List.map to_string diags)
+
+let diagnostic_of_exn = function
+  | Csv.Error { path; line; message } ->
+      let where =
+        match line with
+        | Some n -> Printf.sprintf "%s:%d" path n
+        | None -> path
+      in
+      Some (diagnostic ~severity:Error ~code:"csv-load" ~path:where message)
+  | Value.Type_error { context; left; right } ->
+      Some
+        (diagnostic ~severity:Error ~code:"value-type" ~path:context
+           (Printf.sprintf "values '%s' and '%s' are not comparable"
+              (Value.to_string left) (Value.to_string right)))
+  | Invariant.Violation { lemma; group; interval; detail } ->
+      Some
+        (diagnostic ~severity:Error ~code:"tpsan-violation"
+           ~path:(Printf.sprintf "group %s, interval %s" group interval)
+           (Printf.sprintf "lemma %S broken: %s" lemma detail))
+  | Parser.Parse_error msg ->
+      Some (diagnostic ~severity:Error ~code:"parse" msg)
+  | Lexer.Lex_error (msg, pos) ->
+      Some
+        (diagnostic ~severity:Error ~code:"lex"
+           ~path:(Printf.sprintf "offset %d" pos)
+           msg)
+  | _ -> None
+
+(* --- column types ----------------------------------------------------
+
+   A tiny lattice sampled from the data: Unknown (no non-null value
+   seen) < Number | Text < Mixed. Number covers I and F, which
+   Value.compare orders numerically against each other; comparing
+   Number with Text is the classic silently-always-false (for =) or
+   rank-ordered (for <) mistake the analyzer exists to catch. *)
+
+type column_type = Unknown | Number | Text | Mixed
+
+let type_name = function
+  | Unknown -> "unknown"
+  | Number -> "number"
+  | Text -> "text"
+  | Mixed -> "mixed"
+
+let lub a b =
+  match (a, b) with
+  | Unknown, t | t, Unknown -> t
+  | Number, Number -> Number
+  | Text, Text -> Text
+  | (Number | Text | Mixed), _ -> Mixed
+
+let type_of_value = function
+  | Value.Null -> Unknown
+  | Value.I _ | Value.F _ -> Number
+  | Value.S _ -> Text
+
+(* Sampling the first rows suffices: workload relations are
+   homogeneously typed per column, and a genuinely mixed column is
+   reported as such either way. *)
+let sample_limit = 256
+
+let relation_types r =
+  let arity = Schema.arity (Relation.schema r) in
+  let types = Array.make arity Unknown in
+  let rec scan n = function
+    | [] -> ()
+    | _ when n >= sample_limit -> ()
+    | tp :: rest ->
+        let fact = Tuple.fact tp in
+        for i = 0 to arity - 1 do
+          types.(i) <- lub types.(i) (type_of_value (Fact.get fact i))
+        done;
+        scan (n + 1) rest
+  in
+  scan 0 (Relation.tuples r);
+  types
+
+(* --- θ checks --------------------------------------------------------- *)
+
+let atom_string ~left ~right atom =
+  Theta.to_string ~left ~right (Theta.of_atoms [ atom ])
+
+(* Can a comparison between these two types ever be meaningful? Unknown
+   and Mixed stay silent — there is nothing definite to contradict. *)
+let compatible a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown | Mixed, _ | _, Mixed -> true
+  | Number, Number | Text, Text -> true
+  | Number, Text | Text, Number -> false
+
+let op_string : Theta.op -> string = function
+  | `Eq -> "="
+  | `Ne -> "<>"
+  | `Lt -> "<"
+  | `Le -> "<="
+  | `Gt -> ">"
+  | `Ge -> ">="
+
+(* Satisfiability of the constant constraints accumulated on one column:
+   equalities must agree with each other and with every bound, and the
+   lower bounds must stay below the upper bounds. *)
+let unsat_reason constraints =
+  let sat_one v (op, c) =
+    let cmp = Value.compare v c in
+    match (op : Theta.op) with
+    | `Eq -> cmp = 0
+    | `Ne -> cmp <> 0
+    | `Lt -> cmp < 0
+    | `Le -> cmp <= 0
+    | `Gt -> cmp > 0
+    | `Ge -> cmp >= 0
+  in
+  let eqs = List.filter_map (function `Eq, v -> Some v | _ -> None) constraints in
+  match eqs with
+  | v :: _ -> (
+      match List.find_opt (fun c -> not (sat_one v c)) constraints with
+      | Some (op, c) ->
+          Some
+            (Printf.sprintf "= %s contradicts %s %s" (Value.to_string v)
+               (op_string op) (Value.to_string c))
+      | None -> None)
+  | [] ->
+      (* strongest lower bound vs strongest upper bound *)
+      let lower =
+        List.filter_map
+          (function (`Gt | `Ge) as op, v -> Some (op, v) | _ -> None)
+          constraints
+      and upper =
+        List.filter_map
+          (function (`Lt | `Le) as op, v -> Some (op, v) | _ -> None)
+          constraints
+      in
+      let stronger_low (o1, v1) (o2, v2) =
+        let c = Value.compare v1 v2 in
+        if c <> 0 then c > 0 else o1 = `Gt && o2 = `Ge
+      in
+      let stronger_high (o1, v1) (o2, v2) =
+        let c = Value.compare v1 v2 in
+        if c <> 0 then c < 0 else o1 = `Lt && o2 = `Le
+      in
+      let pick stronger = function
+        | [] -> None
+        | x :: rest ->
+            Some
+              (List.fold_left
+                 (fun best c -> if stronger c best then c else best)
+                 x rest)
+      in
+      (match (pick stronger_low lower, pick stronger_high upper) with
+      | Some (lop, lv), Some (uop, uv) ->
+          let c = Value.compare lv uv in
+          if c > 0 || (c = 0 && (lop = `Gt || uop = `Lt)) then
+            Some
+              (Printf.sprintf "%s %s contradicts %s %s" (op_string lop)
+                 (Value.to_string lv) (op_string uop) (Value.to_string uv))
+          else None
+      | _ -> None)
+
+let check_theta ~emit ~left_schema ~right_schema ~left_types ~right_types
+    ~parallelism theta =
+  let atoms = Theta.atoms theta in
+  let atom_str = atom_string ~left:left_schema ~right:right_schema in
+  let side_type types arity side i =
+    if i < 0 || i >= Array.length types then (
+      emit Error "bad-column"
+        (Printf.sprintf
+           "%s column #%d is out of range (the %s side has %d column(s))" side
+           i side arity);
+      None)
+    else Some types.(i)
+  in
+  let larity = Schema.arity left_schema
+  and rarity = Schema.arity right_schema in
+  (* per-atom checks *)
+  List.iter
+    (fun atom ->
+      match atom with
+      | Theta.Cols (_, i, j) -> (
+          match
+            ( side_type left_types larity "left" i,
+              side_type right_types rarity "right" j )
+          with
+          | Some lt, Some rt ->
+              if not (compatible lt rt) then
+                emit Error "type-mismatch"
+                  (Printf.sprintf
+                     "%s compares a %s column with a %s column — the \
+                      comparison is rank-ordered, never value-ordered"
+                     (atom_str atom) (type_name lt) (type_name rt))
+          | _ -> ())
+      | Theta.Left_const (_, i, v) | Theta.Right_const (_, i, v) -> (
+          let side, types, arity =
+            match atom with
+            | Theta.Left_const _ -> ("left", left_types, larity)
+            | _ -> ("right", right_types, rarity)
+          in
+          if Value.is_null v then
+            emit Error "null-comparison"
+              (Printf.sprintf
+                 "%s compares against NULL, which never matches under SQL \
+                  semantics — the atom is unsatisfiable"
+                 (atom_str atom))
+          else
+            match side_type types arity side i with
+            | Some t ->
+                let vt = type_of_value v in
+                if not (compatible t vt) then
+                  emit Error "type-mismatch"
+                    (Printf.sprintf
+                       "%s compares a %s column with the %s constant %s — no \
+                        row can satisfy it as intended"
+                       (atom_str atom) (type_name t) (type_name vt)
+                       (Value.to_string v))
+            | None -> ()))
+    atoms;
+  (* duplicated atoms: a redundant conjunct, usually a typo for another
+     column *)
+  let rec dups = function
+    | [] -> ()
+    | a :: rest ->
+        if List.mem a rest then
+          emit Warning "duplicate-atom"
+            (Printf.sprintf "%s appears more than once in \xce\xb8"
+               (atom_str a));
+        dups (List.filter (fun b -> b <> a) rest)
+  in
+  dups atoms;
+  (* constant-constraint satisfiability per (side, column) *)
+  let constraint_sets = Hashtbl.create 8 in
+  List.iter
+    (fun atom ->
+      match atom with
+      | Theta.Left_const (op, i, v) when not (Value.is_null v) ->
+          Hashtbl.replace constraint_sets (`L, i)
+            ((op, v)
+            :: (try Hashtbl.find constraint_sets (`L, i) with Not_found -> []))
+      | Theta.Right_const (op, i, v) when not (Value.is_null v) ->
+          Hashtbl.replace constraint_sets (`R, i)
+            ((op, v)
+            :: (try Hashtbl.find constraint_sets (`R, i) with Not_found -> []))
+      | Theta.Cols _ | Theta.Left_const _ | Theta.Right_const _ -> ())
+    atoms;
+  Hashtbl.iter
+    (fun (side, i) constraints ->
+      match unsat_reason constraints with
+      | None -> ()
+      | Some reason ->
+          let schema =
+            match side with `L -> left_schema | `R -> right_schema
+          in
+          let column =
+            match List.nth_opt (Schema.columns schema) i with
+            | Some c -> c
+            | None -> Printf.sprintf "#%d" i
+          in
+          emit Error "unsatisfiable"
+            (Printf.sprintf
+               "the constant constraints on %s column %s admit no value (%s) \
+                — \xce\xb8 matches nothing"
+               (match side with `L -> "left" | `R -> "right")
+               column reason))
+    constraint_sets;
+  (* shape warnings *)
+  if atoms = [] then
+    emit Warning "cartesian"
+      "\xce\xb8 has no atoms: every overlapping pair matches (a temporal \
+       cartesian product; quadratic in the overlap)";
+  if parallelism > 1 && Theta.equi_keys theta = None then
+    emit Warning "sequential-fallback"
+      (Printf.sprintf
+         "jobs=%d requested, but \xce\xb8 has no equality atom between the \
+          two sides to shard on — the join runs sequentially"
+         parallelism)
+
+(* --- the walk --------------------------------------------------------- *)
+
+let node_label : Physical.t -> string = function
+  | Physical.Scan r -> Printf.sprintf "Scan %s" (Relation.name r)
+  | Physical.Filter _ -> "Filter"
+  | Physical.Project _ -> "Project"
+  | Physical.Distinct_project _ -> "Distinct Project"
+  | Physical.Timeslice _ -> "Timeslice"
+  | Physical.Aggregate _ -> "Aggregate"
+  | Physical.Sort_limit _ -> "Sort"
+  | Physical.Tp_join { kind; _ } -> (
+      match kind with
+      | Nj.Inner -> "TP Inner Join"
+      | Nj.Anti -> "TP Anti Join"
+      | Nj.Left -> "TP Left Outer Join"
+      | Nj.Right -> "TP Right Outer Join"
+      | Nj.Full -> "TP Full Outer Join")
+  | Physical.Set_op { kind; _ } -> (
+      match kind with
+      | `Union -> "TP Union"
+      | `Intersect -> "TP Intersect"
+      | `Except -> "TP Except")
+
+(* The equi-join key columns of a join, as indices into its own output
+   schema (left columns first, right columns shifted by the left
+   arity; an anti join outputs the left side only). *)
+let join_key_columns = function
+  | Physical.Tp_join { kind; theta; left; _ } -> (
+      match Theta.equi_keys theta with
+      | None -> []
+      | Some (lcols, rcols) ->
+          let larity = Schema.arity (Physical.schema left) in
+          if kind = Nj.Anti then lcols
+          else lcols @ List.map (fun j -> larity + j) rcols)
+  | _ -> []
+
+(* A plain projection looks through order-preserving unary nodes for the
+   join whose output it projects. *)
+let rec underlying_join node =
+  match node with
+  | Physical.Tp_join _ -> Some node
+  | Physical.Filter { child; _ }
+  | Physical.Timeslice { child; _ }
+  | Physical.Sort_limit { child; _ } ->
+      underlying_join child
+  | Physical.Scan _ | Physical.Project _ | Physical.Distinct_project _
+  | Physical.Aggregate _ | Physical.Set_op _ ->
+      None
+
+let check plan =
+  let diags = ref [] in
+  let rec walk rev_path node =
+    let path =
+      String.concat " > " (List.rev (node_label node :: rev_path))
+    in
+    let emit severity code message =
+      diags := { severity; code; path; message } :: !diags
+    in
+    let rev_path = node_label node :: rev_path in
+    let types =
+      match node with
+      | Physical.Scan r -> relation_types r
+      | Physical.Filter { child; _ }
+      | Physical.Timeslice { child; _ }
+      | Physical.Sort_limit { child; _ } ->
+          walk rev_path child
+      | Physical.Project { columns; child; _ }
+      | Physical.Distinct_project { columns; child; _ } ->
+          let child_types = walk rev_path child in
+          let pick i =
+            if i >= 0 && i < Array.length child_types then child_types.(i)
+            else Unknown
+          in
+          let projected = Array.of_list (List.map pick columns) in
+          (match node with
+          | Physical.Project _ -> (
+              match underlying_join child with
+              | Some (Physical.Tp_join { theta; _ } as join) ->
+                  let keys = join_key_columns join in
+                  let dropped =
+                    List.filter (fun k -> not (List.mem k columns)) keys
+                  in
+                  if dropped <> [] && Theta.equi_keys theta <> None then
+                    emit Warning "drops-join-key"
+                      (Printf.sprintf
+                         "projection drops join key column(s) %s of the %s \
+                          below — coinciding facts may appear; SELECT \
+                          DISTINCT disjoins their lineages"
+                         (String.concat ", "
+                            (List.map (string_of_int) dropped))
+                         (node_label join))
+              | _ -> ())
+          | _ -> ());
+          projected
+      | Physical.Aggregate { group_by; child; _ } ->
+          let child_types = walk rev_path child in
+          let pick i =
+            if i >= 0 && i < Array.length child_types then child_types.(i)
+            else Unknown
+          in
+          Array.of_list (List.map pick group_by @ [ Number ])
+      | Physical.Tp_join { kind; parallelism; theta; left; right; _ } ->
+          let left_types = walk rev_path left in
+          let right_types = walk rev_path right in
+          check_theta ~emit ~left_schema:(Physical.schema left)
+            ~right_schema:(Physical.schema right) ~left_types ~right_types
+            ~parallelism theta;
+          if kind = Nj.Anti then left_types
+          else Array.append left_types right_types
+      | Physical.Set_op { left; right; _ } ->
+          let left_types = walk rev_path left in
+          let right_types = walk rev_path right in
+          if Array.length left_types <> Array.length right_types then
+            emit Error "arity-mismatch"
+              (Printf.sprintf
+                 "set operation over %d vs %d column(s) — the two inputs \
+                  must align positionally"
+                 (Array.length left_types)
+                 (Array.length right_types));
+          left_types
+    in
+    types
+  in
+  ignore (walk [] plan);
+  List.rev !diags

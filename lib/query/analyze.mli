@@ -1,0 +1,58 @@
+(** Static analysis of physical plans — the front half of TPSan.
+
+    [check] walks a planned tree once, bottom-up, inferring a column
+    type per output position of every node (sampled from the scanned
+    relations and propagated through projections, joins and set
+    operations) and checking every θ against the inferred types:
+
+    - {b errors} — conditions that can never behave as written: a column
+      reference out of range for its side, a comparison between a text
+      column and a numeric column or constant, a comparison against
+      NULL (never matches under SQL semantics), and a set of constant
+      constraints on one column that no value satisfies;
+    - {b warnings} — legal but suspicious shapes: a θ with no atoms at
+      all (cartesian product over the overlap relation), a join that
+      silently falls back to the sequential sweep despite
+      [parallelism > 1] (no equality atom to shard on), a duplicated
+      atom, and a plain projection that drops the join key of the join
+      below it (coinciding facts then reach downstream operators that
+      assume duplicate-free inputs — [SELECT DISTINCT] disjoins their
+      lineages instead).
+
+    Diagnostics carry the path from the plan root to the offending node,
+    so [tpdb_cli check] and [explain] can point at the node. *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  code : string;  (** stable kebab-case identifier, e.g. ["type-mismatch"] *)
+  path : string;  (** plan-node path from the root, [" > "]-separated *)
+  message : string;
+}
+
+val diagnostic :
+  severity:severity -> code:string -> ?path:string -> string -> diagnostic
+(** Build a diagnostic outside the analyzer — the CLI uses this to
+    report planning and loading failures through the same renderer.
+    [path] defaults to ["-"]. *)
+
+val check : Physical.t -> diagnostic list
+(** All diagnostics of the tree, in bottom-up execution order (a node's
+    children report before the node itself). *)
+
+val errors : diagnostic list -> diagnostic list
+(** The [Error]-severity subset. *)
+
+val to_string : diagnostic -> string
+(** ["severity[code] at path: message"]. *)
+
+val report : diagnostic list -> string
+(** One {!to_string} line per diagnostic. *)
+
+val diagnostic_of_exn : exn -> diagnostic option
+(** Maps the library's typed failures — {!Tpdb_relation.Csv.Error},
+    {!Tpdb_relation.Value.Type_error},
+    {!Tpdb_windows.Invariant.Violation} — onto diagnostics, so the CLI
+    renders load-time and run-time failures like static ones. Returns
+    [None] for other exceptions. *)

@@ -18,6 +18,7 @@ type t =
       kind : Nj.join_kind;
       algorithm : Overlap.algorithm;
       parallelism : int;
+      sanitize : bool;
       theta : Theta.t;
       left : t;
       right : t;
@@ -82,8 +83,8 @@ let rec to_relation ~env plan =
         | Some n -> List.filteri (fun i _ -> i < n) sorted
       in
       Relation.of_tuples (Relation.schema input) limited
-  | Tp_join { kind; algorithm; parallelism; theta; left; right } ->
-      let options = Nj.options ~algorithm ~parallelism () in
+  | Tp_join { kind; algorithm; parallelism; sanitize; theta; left; right } ->
+      let options = Nj.options ~algorithm ~parallelism ~sanitize () in
       Nj.join ~options ~env ~kind ~theta (to_relation ~env left)
         (to_relation ~env right)
   | Set_op { kind; left; right } ->
@@ -136,6 +137,8 @@ let kind_string = function
 let jobs_string parallelism =
   if parallelism > 1 then Printf.sprintf "; jobs: %d" parallelism else ""
 
+let sanitize_string sanitize = if sanitize then "; sanitize" else ""
+
 (* Shared by explain and analyze: the one-line description of a node. *)
 let describe ~child_schema plan =
   match plan with
@@ -148,12 +151,13 @@ let describe ~child_schema plan =
   | Distinct_project { schema = s; _ } ->
       Printf.sprintf "Distinct TP Project (%s; lineage disjunction)"
         (String.concat ", " (Schema.columns s))
-  | Tp_join { kind; algorithm; parallelism; theta; left; right } ->
-      Printf.sprintf "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s)"
+  | Tp_join { kind; algorithm; parallelism; sanitize; theta; left; right } ->
+      Printf.sprintf "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s)"
         (kind_string kind)
         (algorithm_string algorithm)
         (Theta.to_string ~left:(child_schema left) ~right:(child_schema right) theta)
         (jobs_string parallelism)
+        (sanitize_string sanitize)
   | Aggregate { spec; _ } ->
       Printf.sprintf "Sequenced Aggregate (%s; expectation per witness-constant segment)"
         (match spec with
@@ -243,12 +247,13 @@ let explain plan =
         line "Distinct TP Project (%s; lineage disjunction)"
           (String.concat ", " (Schema.columns s));
         render (indent + 1) child
-    | Tp_join { kind; algorithm; parallelism; theta; left; right } ->
-        line "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s)"
+    | Tp_join { kind; algorithm; parallelism; sanitize; theta; left; right } ->
+        line "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s)"
           (kind_string kind)
           (algorithm_string algorithm)
           (Theta.to_string ~left:(schema left) ~right:(schema right) theta)
-          (jobs_string parallelism);
+          (jobs_string parallelism)
+          (sanitize_string sanitize);
         render (indent + 1) left;
         render (indent + 1) right
     | Aggregate { spec; child; _ } ->

@@ -25,6 +25,8 @@ type t =
       algorithm : Overlap.algorithm;
       parallelism : int;
           (** partition count of the domain-parallel sweep; 1 = sequential *)
+      sanitize : bool;
+          (** run the TPSan window-invariant checks during execution *)
       theta : Theta.t;
       left : t;
       right : t;

@@ -126,7 +126,7 @@ let join_kind : Ast.join_kind -> Nj.join_kind = function
   | Ast.Full -> Nj.Full
   | Ast.Anti -> Nj.Anti
 
-let plan_select ~parallelism catalog (s : Ast.select) : Physical.t =
+let plan_select ~parallelism ~sanitize catalog (s : Ast.select) : Physical.t =
   let lookup name =
     match Catalog.find catalog name with
     | Some r -> r
@@ -156,6 +156,7 @@ let plan_select ~parallelism catalog (s : Ast.select) : Physical.t =
             kind = join_kind j.kind;
             algorithm;
             parallelism;
+            sanitize;
             theta;
             left = acc;
             right = Physical.Scan right;
@@ -270,11 +271,16 @@ let plan_select ~parallelism catalog (s : Ast.select) : Physical.t =
         Physical.Distinct_project { columns = indices; schema; child = with_slice }
       else Physical.Project { columns = indices; schema; child = with_slice })
 
-let plan ?(parallelism = 1) catalog (query : Ast.t) =
+let plan ?(parallelism = 1) ?sanitize catalog (query : Ast.t) =
   if parallelism < 1 then fail "parallelism must be at least 1";
+  let sanitize =
+    match sanitize with
+    | Some b -> b
+    | None -> Tpdb_windows.Invariant.env_enabled ()
+  in
   let env = Catalog.env catalog in
   match query with
-  | Ast.Select s -> { plan = plan_select ~parallelism catalog s; env }
+  | Ast.Select s -> { plan = plan_select ~parallelism ~sanitize catalog s; env }
   | Ast.Set (kind, a, b) ->
       let kind =
         match kind with
@@ -287,13 +293,14 @@ let plan ?(parallelism = 1) catalog (query : Ast.t) =
           Physical.Set_op
             {
               kind;
-              left = plan_select ~parallelism catalog a;
-              right = plan_select ~parallelism catalog b;
+              left = plan_select ~parallelism ~sanitize catalog a;
+              right = plan_select ~parallelism ~sanitize catalog b;
             };
         env;
       }
 
 let explain t = Physical.explain t.plan
+let check t = Analyze.check t.plan
 let run_analyze t = Physical.analyze ~env:t.env t.plan
 let run t = Physical.to_relation ~env:t.env t.plan
 let stream t = Physical.execute ~env:t.env t.plan

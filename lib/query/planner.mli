@@ -14,13 +14,22 @@ exception Plan_error of string
 
 type t
 
-val plan : ?parallelism:int -> Catalog.t -> Ast.t -> t
+val plan : ?parallelism:int -> ?sanitize:bool -> Catalog.t -> Ast.t -> t
 (** [parallelism] (default 1) is stored into every TP join node: the
     partition count of the domain-parallel window sweep (the CLI's
     [--jobs]). Joins whose θ has no equality atom ignore it and run
-    sequentially. Raises {!Plan_error} when < 1. *)
+    sequentially. Raises {!Plan_error} when < 1. [sanitize] (default
+    {!Tpdb_windows.Invariant.env_enabled}, i.e. the [TPDB_SANITIZE]
+    environment variable — the CLI's [--sanitize]) turns on the TPSan
+    window-invariant checks in every TP join node. *)
 
 val explain : t -> string
+
+val check : t -> Analyze.diagnostic list
+(** Static analysis of the planned tree ({!Analyze.check}): type checks
+    on θ, unsatisfiable/tautological atoms, sequential-fallback and
+    cartesian-shape warnings, projections that drop join keys. *)
+
 val run : t -> Relation.t
 
 val stream : t -> Tpdb_relation.Tuple.t Seq.t

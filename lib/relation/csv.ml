@@ -1,6 +1,20 @@
 module Interval = Tpdb_interval.Interval
 module Formula = Tpdb_lineage.Formula
 
+exception Error of { path : string; line : int option; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Error { path; line; message } ->
+        Some
+          (match line with
+          | Some n -> Printf.sprintf "%s:%d: %s" path n message
+          | None -> Printf.sprintf "%s: %s" path message)
+    | _ -> None)
+
+let error ~path ?line fmt =
+  Printf.ksprintf (fun message -> raise (Error { path; line; message })) fmt
+
 let to_channel oc r =
   let cols = Schema.columns (Relation.schema r) in
   output_string oc (String.concat "," (cols @ [ "lineage"; "ts"; "te"; "p" ]));
@@ -28,28 +42,55 @@ let save path r =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc r)
 
-let of_lines ~name lines =
+let of_lines ~name ?(path = "<csv>") lines =
   match lines with
-  | [] -> failwith "Csv.load: empty input"
+  | [] -> error ~path "empty input: expected a header line"
   | header :: rows ->
       let fields = String.split_on_char ',' header in
       let ncols = List.length fields - 4 in
-      if ncols < 0 then failwith "Csv.load: header too short";
+      if ncols < 0 then
+        error ~path ~line:1
+          "header too short: expected [col1,...,colN,lineage,ts,te,p], got \
+           %d field(s)"
+          (List.length fields);
       let columns = List.filteri (fun i _ -> i < ncols) fields in
-      let schema = Schema.make ~name columns in
+      let schema =
+        try Schema.make ~name columns
+        with Invalid_argument msg -> error ~path ~line:1 "bad header: %s" msg
+      in
       let parse_row lineno line =
+        let fail fmt = error ~path ~line:lineno fmt in
         let cells = String.split_on_char ',' line in
         if List.length cells <> ncols + 4 then
-          failwith (Printf.sprintf "Csv.load: line %d: wrong field count" lineno);
+          fail "wrong field count: expected %d, got %d" (ncols + 4)
+            (List.length cells);
         let values = List.filteri (fun i _ -> i < ncols) cells in
         match List.filteri (fun i _ -> i >= ncols) cells with
         | [ lineage; ts; te; p ] ->
-            Tuple.make
-              ~fact:(Fact.of_strings values)
-              ~lineage:(Formula.of_string lineage)
-              ~iv:(Interval.make (int_of_string ts) (int_of_string te))
-              ~p:(float_of_string p)
-        | _ -> assert false
+            let int_field what s =
+              match int_of_string_opt (String.trim s) with
+              | Some n -> n
+              | None -> fail "%s is not an integer: '%s'" what s
+            in
+            let lineage =
+              try Formula.of_string lineage
+              with _ -> fail "unparsable lineage: '%s'" lineage
+            in
+            let iv =
+              let ts = int_field "ts" ts and te = int_field "te" te in
+              try Interval.make ts te with
+              | Invalid_argument msg -> fail "bad interval: %s" msg
+              | Interval.Empty_interval (a, b) ->
+                  fail "empty interval [%d,%d): ts must be below te" a b
+            in
+            let p =
+              match float_of_string_opt (String.trim p) with
+              | Some p -> p
+              | None -> fail "probability is not a number: '%s'" p
+            in
+            Tuple.make ~fact:(Fact.of_strings values) ~lineage ~iv ~p
+        | _ -> fail "wrong field count: expected %d, got %d" (ncols + 4)
+                 (List.length cells)
       in
       let tuples =
         List.concat
@@ -60,7 +101,7 @@ let of_lines ~name lines =
       Relation.of_tuples schema tuples
 
 let load ~name path =
-  let ic = open_in path in
+  let ic = try open_in path with Sys_error msg -> error ~path "%s" msg in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
@@ -69,4 +110,4 @@ let load ~name path =
         | line -> read (line :: acc)
         | exception End_of_file -> List.rev acc
       in
-      of_lines ~name (read []))
+      of_lines ~name ~path (read []))

@@ -5,10 +5,18 @@
     values are not supported (values are workload identifiers, not free
     text). *)
 
+exception Error of { path : string; line : int option; message : string }
+(** Malformed input: bad header, wrong field count, unparsable cell, or
+    an unreadable file. [line] is 1-based ([None] when the problem is
+    not tied to one line). Rendered "path:line: message" by
+    [Printexc.to_string] and by the CLI's diagnostic reporter. *)
+
 val save : string -> Relation.t -> unit
 
 val load : name:string -> string -> Relation.t
-(** Raises [Failure] with a line-numbered message on malformed input. *)
+(** Raises {!Error} with file/line context on malformed input. *)
 
 val to_channel : out_channel -> Relation.t -> unit
-val of_lines : name:string -> string list -> Relation.t
+
+val of_lines : name:string -> ?path:string -> string list -> Relation.t
+(** [path] (default ["<csv>"]) is only used in {!Error} diagnostics. *)

@@ -4,6 +4,8 @@ type t =
   | I of int
   | F of float
 
+exception Type_error of { context : string; left : t; right : t }
+
 let as_float = function
   | I i -> Some (float_of_int i)
   | F f -> Some f
@@ -29,7 +31,7 @@ let compare a b =
   | (I _ | F _), (I _ | F _) -> (
       match (as_float a, as_float b) with
       | Some x, Some y -> Float.compare x y
-      | _ -> assert false)
+      | _ -> raise (Type_error { context = "Value.compare"; left = a; right = b }))
   | _ -> Int.compare (rank a) (rank b)
 
 let hash = function
@@ -47,6 +49,14 @@ let to_string = function
   | F f -> Printf.sprintf "%g" f
 
 let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let () =
+  Printexc.register_printer (function
+    | Type_error { context; left; right } ->
+        Some
+          (Printf.sprintf "%s: values '%s' and '%s' are not comparable" context
+             (to_string left) (to_string right))
+    | _ -> None)
 
 let of_string_guess s =
   match s with

@@ -9,6 +9,11 @@ type t =
   | I of int
   | F of float
 
+exception Type_error of { context : string; left : t; right : t }
+(** Raised instead of a bare assertion when two values turn out not to be
+    comparable; [context] names the operation. Rendered by the CLI's
+    diagnostic reporter. *)
+
 val equal : t -> t -> bool
 (** SQL-style for joins is handled at the predicate level; here [Null]
     equals [Null] (needed for set semantics of results). *)

@@ -1,0 +1,327 @@
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Fact = Tpdb_relation.Fact
+module Tuple = Tpdb_relation.Tuple
+module Grouping = Tpdb_engine.Grouping
+
+type stage = Overlap | Wuo | Wuon
+
+exception
+  Violation of {
+    lemma : string;
+    group : string;
+    interval : string;
+    detail : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Violation { lemma; group; interval; detail } ->
+        Some
+          (Printf.sprintf
+             "TPSan violation: lemma %S broken in group %s at interval %s: %s"
+             lemma group interval detail)
+    | _ -> None)
+
+let violation ~lemma ~group ?(interval = "-") fmt =
+  Printf.ksprintf
+    (fun detail -> raise (Violation { lemma; group; interval; detail }))
+    fmt
+
+let env_enabled =
+  let enabled =
+    lazy
+      (match Sys.getenv_opt "TPDB_SANITIZE" with
+      | Some ("1" | "true" | "yes" | "on") -> true
+      | Some _ | None -> false)
+  in
+  fun () -> Lazy.force enabled
+
+let group_string w =
+  Printf.sprintf "(fr='%s', rspan=%s, \xce\xbbr=%s)"
+    (Fact.to_string (Window.fr w))
+    (Interval.to_string (Window.rspan w))
+    (Formula.to_string (Window.lr w))
+
+let ivs_string ivs = String.concat " " (List.map Interval.to_string ivs)
+
+(* The uncovered gaps of [rspan] w.r.t. the overlapping intervals — the
+   same cursor arithmetic as LAWAU, recomputed here from the raw
+   intervals so the checker does not trust the implementation under
+   test. *)
+let uncovered ~rspan o_ivs =
+  let sorted = List.sort Interval.compare o_ivs in
+  let rec sweep cursor acc = function
+    | [] -> (
+        match Interval.make_opt cursor (Interval.te rspan) with
+        | Some g -> List.rev (g :: acc)
+        | None -> List.rev acc)
+    | iv :: rest ->
+        let acc =
+          match Interval.make_opt cursor (Interval.ts iv) with
+          | Some g -> g :: acc
+          | None -> acc
+        in
+        sweep (max cursor (Interval.te iv)) acc rest
+  in
+  sweep (Interval.ts rspan) [] sorted
+
+(* Expected negating windows, from first principles: cut the group's
+   overlapping intervals at every start/end point; every elementary
+   segment with a non-empty set of covering intervals is one maximal
+   constant segment (adjacent segments always differ in at least the
+   window that created the cut), carrying the disjunction of the covering
+   lineages. *)
+let expected_negating os =
+  let points =
+    List.sort_uniq Int.compare
+      (List.concat_map (fun (iv, _) -> [ Interval.ts iv; Interval.te iv ]) os)
+  in
+  let rec segments = function
+    | a :: (b :: _ as rest) ->
+        let seg = Interval.make a b in
+        let cover = List.filter (fun (iv, _) -> Interval.overlaps iv seg) os in
+        let here =
+          match cover with
+          | [] -> []
+          | _ -> [ (seg, Formula.disj (List.map snd cover)) ]
+        in
+        here @ segments rest
+    | [ _ ] | [] -> []
+  in
+  segments points
+
+let kind_name = function
+  | Window.Overlapping -> "overlapping"
+  | Window.Unmatched -> "unmatched"
+  | Window.Negating -> "negating"
+
+let check_group ~stage ?theta group =
+  match group with
+  | [] -> ()
+  | first :: _ ->
+      let g = group_string first in
+      let rspan = Window.rspan first in
+      (* Stream order: within a group, non-decreasing interval start. *)
+      let rec order = function
+        | a :: (b :: _ as rest) ->
+            if Interval.compare_start (Window.iv a) (Window.iv b) > 0 then
+              violation ~lemma:"windows of a group stream in start order"
+                ~group:g
+                ~interval:(Interval.to_string (Window.iv b))
+                "window %s arrives after %s"
+                (Interval.to_string (Window.iv b))
+                (Interval.to_string (Window.iv a));
+            order rest
+        | [ _ ] | [] -> ()
+      in
+      order group;
+      let of_kind k = List.filter (fun w -> Window.kind w = k) group in
+      let os = of_kind Window.Overlapping in
+      let us = of_kind Window.Unmatched in
+      let ns = of_kind Window.Negating in
+      (* Stage discipline: which classes may exist yet. *)
+      (match stage with
+      | Overlap | Wuo ->
+          (match ns with
+          | [] -> ()
+          | w :: _ ->
+              violation ~lemma:"WN windows are produced by LAWAN only"
+                ~group:g
+                ~interval:(Interval.to_string (Window.iv w))
+                "negating window before the LAWAN stage")
+      | Wuon -> ());
+      (match stage with
+      | Overlap -> (
+          (* Before LAWAU, an unmatched window exists only as the single
+             spanning window of a matchless tuple (Overlap's fast
+             path). *)
+          match (us, os) with
+          | [], _ -> ()
+          | [ w ], [] when Interval.equal (Window.iv w) rspan -> ()
+          | w :: _, _ ->
+              violation
+                ~lemma:
+                  "before LAWAU an unmatched window spans a matchless tuple"
+                ~group:g
+                ~interval:(Interval.to_string (Window.iv w))
+                "%d unmatched window(s) beside %d overlapping window(s)"
+                (List.length us) (List.length os))
+      | Wuo | Wuon ->
+          (* Table I, WU (LAWAU lemma): the unmatched windows are exactly
+             the maximal sub-intervals of r.T not covered by any
+             overlapping window — one equation that implies pairwise
+             disjointness, disjointness from WO, maximality, and exact
+             coverage of r.T by WO ∪ WU. *)
+          let want = uncovered ~rspan (List.map Window.iv os) in
+          let got = List.map Window.iv us in
+          if
+            not
+              (List.length want = List.length got
+              && List.for_all2 Interval.equal want got)
+          then
+            violation
+              ~lemma:
+                "WU windows are exactly the maximal uncovered sub-intervals \
+                 of r.T (Table I / LAWAU)"
+              ~group:g "got {%s}, expected {%s}" (ivs_string got)
+              (ivs_string want));
+      (* Table I, WO: each window is the intersection of the two tuples'
+         intervals, and the pair satisfies θ. *)
+      List.iter
+        (fun w ->
+          let iv = Window.iv w in
+          (match w.Window.sspan with
+          | None ->
+              violation ~lemma:"WO windows carry the matching s tuple"
+                ~group:g ~interval:(Interval.to_string iv) "missing sspan"
+          | Some sspan -> (
+              match Interval.intersect rspan sspan with
+              | Some expected when Interval.equal expected iv -> ()
+              | _ ->
+                  violation
+                    ~lemma:"a WO window is r.T \xe2\x88\xa9 s.T (Table I)"
+                    ~group:g ~interval:(Interval.to_string iv)
+                    "rspan=%s sspan=%s do not intersect to %s"
+                    (Interval.to_string rspan) (Interval.to_string sspan)
+                    (Interval.to_string iv)));
+          match (theta, Window.fs w) with
+          | Some theta, Some fs ->
+              if not (Theta.matches theta (Window.fr w) fs) then
+                violation
+                  ~lemma:"WO pairs satisfy \xce\xb8 (Table I)"
+                  ~group:g ~interval:(Interval.to_string iv)
+                  "facts ('%s', '%s') do not \xce\xb8-match"
+                  (Fact.to_string (Window.fr w))
+                  (Fact.to_string fs)
+          | _ -> ())
+        os;
+      (* Lineage shape per class (Table II's concatenation inputs). *)
+      List.iter
+        (fun w ->
+          let shape_ok =
+            match (Window.kind w, Window.ls w) with
+            | Window.Overlapping, Some _ -> true
+            | Window.Unmatched, None -> true
+            | Window.Negating, Some _ -> true
+            | _ -> false
+          in
+          if not shape_ok then
+            violation
+              ~lemma:
+                "lineage shape per class: WO has \xce\xbbs, WU has none, WN \
+                 has a disjunction"
+              ~group:g
+              ~interval:(Interval.to_string (Window.iv w))
+              "%s window with %s \xce\xbbs" (kind_name (Window.kind w))
+              (match Window.ls w with Some _ -> "a" | None -> "no");
+          if not (Formula.equal (Window.lr w) (Window.lr first)) then
+            violation ~lemma:"all windows of a group share \xce\xbbr" ~group:g
+              ~interval:(Interval.to_string (Window.iv w))
+              "\xce\xbbr=%s differs from the group's %s"
+              (Formula.to_string (Window.lr w))
+              (Formula.to_string (Window.lr first)))
+        group;
+      (* Table I, WN (LAWAN lemma): maximal constant non-empty θ-match
+         segments with the disjunction of the active lineages. *)
+      if stage = Wuon then begin
+        let want =
+          expected_negating
+            (List.filter_map
+               (fun w ->
+                 match Window.ls w with
+                 | Some ls -> Some (Window.iv w, ls)
+                 | None -> None)
+               os)
+        in
+        let got = List.map (fun w -> (Window.iv w, Option.get (Window.ls w))) ns in
+        if List.length want <> List.length got then
+          violation
+            ~lemma:
+              "WN windows are exactly the maximal constant non-empty \
+               \xce\xb8-match segments (Table I / LAWAN)"
+            ~group:g "got {%s}, expected {%s}"
+            (ivs_string (List.map fst got))
+            (ivs_string (List.map fst want))
+        else
+          List.iter2
+            (fun (wiv, wls) (giv, gls) ->
+              if not (Interval.equal wiv giv) then
+                violation
+                  ~lemma:
+                    "WN windows are exactly the maximal constant non-empty \
+                     \xce\xb8-match segments (Table I / LAWAN)"
+                  ~group:g ~interval:(Interval.to_string giv)
+                  "expected segment %s" (Interval.to_string wiv);
+              if
+                not
+                  (Formula.equal (Formula.normalize wls)
+                     (Formula.normalize gls))
+              then
+                violation
+                  ~lemma:
+                    "a WN window's \xce\xbbs is the disjunction of the valid \
+                     \xce\xb8-matches' lineages (Table I)"
+                  ~group:g ~interval:(Interval.to_string giv)
+                  "got \xce\xbbs=%s, expected %s" (Formula.to_string gls)
+                  (Formula.to_string wls))
+            want got
+      end
+
+let check_predecessor last w =
+  (match !last with
+  | Some prev when Window.compare_group prev w >= 0 ->
+      violation
+        ~lemma:"groups stream contiguously in ascending group order"
+        ~group:(group_string w)
+        ~interval:(Interval.to_string (Window.iv w))
+        "group %s arrived earlier in the stream" (group_string prev)
+  | Some _ | None -> ());
+  last := Some w
+
+(* Checking state is created per traversal, not per wrap: sequential
+   streams are recomputed on every traversal and must restart the
+   group-order checker each time. *)
+let wrap ~stage ?theta stream () =
+  let last = ref None in
+  Grouping.map_runs ~same:Window.same_group
+    (fun group ->
+      (match group with w :: _ -> check_predecessor last w | [] -> ());
+      check_group ~stage ?theta group;
+      group)
+    stream ()
+
+let merge_check a b =
+  if Window.compare_group a b > 0 then
+    violation ~lemma:"the parallel merge preserves ascending group order"
+      ~group:(group_string b)
+      ~interval:(Interval.to_string (Window.iv b))
+      "window of group %s follows the later group %s" (group_string b)
+      (group_string a)
+
+let check_group_order windows =
+  let rec loop = function
+    | a :: (b :: _ as rest) ->
+        merge_check a b;
+        loop rest
+    | [ _ ] | [] -> ()
+  in
+  loop windows
+
+let check_output ~recompute tuples =
+  List.iter
+    (fun tp ->
+      let p = Tuple.p tp in
+      if not (p >= 0.0 && p <= 1.0) then
+        violation ~lemma:"output probabilities lie in [0,1]"
+          ~group:(Tuple.to_string tp)
+          ~interval:(Interval.to_string (Tuple.iv tp))
+          "p = %g" p;
+      let q = recompute (Tuple.lineage tp) in
+      if Float.abs (p -. q) > 1e-9 then
+        violation
+          ~lemma:"an output probability is the probability of its lineage"
+          ~group:(Tuple.to_string tp)
+          ~interval:(Interval.to_string (Tuple.iv tp))
+          "p = %.12g but P(\xce\xbb) = %.12g" p q)
+    tuples

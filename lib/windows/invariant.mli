@@ -1,0 +1,68 @@
+(** TPSan — the runtime window-invariant sanitizer.
+
+    The paper's correctness argument rests on structural lemmas about the
+    three window classes (Table I; proved in the extended version,
+    arXiv:1902.04379): per spanning tuple, WO windows are the θ-matching
+    interval intersections, WU windows are exactly the maximal uncovered
+    sub-intervals of [r.T], WN windows are the maximal sub-intervals with
+    a constant non-empty set of valid θ-matches, and together the classes
+    cover [r.T]. This module asserts those lemmas on live window streams —
+    an opt-in checking mode (the repo's ASan equivalent) that every
+    executor change can run the whole test suite under.
+
+    Checks are wrapped around a stream with {!wrap} and run lazily as the
+    stream is consumed; a violated lemma raises {!Violation} naming the
+    group, the interval and the lemma. The checks re-derive the expected
+    window sets from first principles (cursor sweep for WU, elementary
+    segments for WN), independently of the LAWAU/LAWAN implementations
+    they guard. *)
+
+type stage =
+  | Overlap
+      (** After {!Overlap.left}: WO windows only, or one spanning WU
+          window for a matchless tuple. Checks per WO window that
+          [iv = rspan ∩ sspan] and, when [theta] is given, that the two
+          facts θ-match. *)
+  | Wuo
+      (** After LAWAU: additionally checks that the WU windows of each
+          group are exactly the maximal sub-intervals of [rspan] not
+          covered by any WO window (disjointness, coverage and maximality
+          in one equation). *)
+  | Wuon
+      (** After LAWAN: additionally checks that the WN windows of each
+          group are exactly the maximal constant non-empty θ-match
+          segments, with λs the disjunction of the active lineages. *)
+
+exception
+  Violation of {
+    lemma : string;  (** the violated lemma, in words *)
+    group : string;  (** the group: spanning fact, rspan, λr *)
+    interval : string;  (** the offending interval, or ["-"] *)
+    detail : string;
+  }
+
+val env_enabled : unit -> bool
+(** Whether [TPDB_SANITIZE] is set to [1]/[true]/[yes]/[on] in the
+    environment — the default for {!Tpdb_joins.Nj.options} and the
+    planner. Read once and cached. *)
+
+val wrap : stage:stage -> ?theta:Theta.t -> Window.t Seq.t -> Window.t Seq.t
+(** The stream with checking side effects: per-group lemma checks plus
+    ascending-group-order/contiguity across groups. Re-traversal restarts
+    the checker, so recomputed sequential streams stay checkable. *)
+
+val check_group_order : Window.t list -> unit
+(** Asserts ascending group order with contiguous groups — the contract
+    of the parallel merge ({!Tpdb_engine.Parallel.merge_grouped}). *)
+
+val merge_check : Window.t -> Window.t -> unit
+(** Pairwise form of {!check_group_order}, pluggable into
+    {!Tpdb_engine.Parallel.merge_grouped}'s [?check] hook. *)
+
+val check_output :
+  recompute:(Tpdb_lineage.Formula.t -> float) ->
+  Tpdb_relation.Tuple.t list ->
+  unit
+(** Output-formation checks: every probability lies in [[0,1]] and equals
+    [recompute lineage] (the environment's exact probability) within
+    1e-9. *)

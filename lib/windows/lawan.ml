@@ -34,5 +34,8 @@ let extend_group ?(schedule = `Heap) group =
     (fun a b -> Interval.compare_start (Window.iv a) (Window.iv b))
     group negs
 
-let extend ?schedule stream =
-  Grouping.map_runs ~same:Window.same_group (extend_group ?schedule) stream
+let extend ?schedule ?(sanitize = false) stream =
+  let extended =
+    Grouping.map_runs ~same:Window.same_group (extend_group ?schedule) stream
+  in
+  if sanitize then Invariant.wrap ~stage:Invariant.Wuon extended else extended

@@ -17,9 +17,11 @@
 
 type schedule = [ `Heap | `Scan ]
 
-val extend : ?schedule:schedule -> Window.t Seq.t -> Window.t Seq.t
+val extend :
+  ?schedule:schedule -> ?sanitize:bool -> Window.t Seq.t -> Window.t Seq.t
 (** Input grouped by {!Window.same_group}, start-sorted within groups
-    (LAWAU's output order). *)
+    (LAWAU's output order). With [~sanitize:true] the output is wrapped
+    in {!Invariant.wrap} at stage {!Invariant.Wuon} (default [false]). *)
 
 val extend_group : ?schedule:schedule -> Window.t list -> Window.t list
 (** One group at a time; exposed for tests and for the ablation bench. *)

@@ -30,4 +30,8 @@ let extend_group group =
       in
       sweep (Interval.ts rspan) [] group
 
-let extend stream = Grouping.map_runs ~same:Window.same_group extend_group stream
+let extend ?(sanitize = false) stream =
+  let extended =
+    Grouping.map_runs ~same:Window.same_group extend_group stream
+  in
+  if sanitize then Invariant.wrap ~stage:Invariant.Wuo extended else extended

@@ -15,11 +15,12 @@
     The transformation streams group by group: it is a pipelined operator
     in the paper's sense, with no tuple replication. *)
 
-val extend : Window.t Seq.t -> Window.t Seq.t
+val extend : ?sanitize:bool -> Window.t Seq.t -> Window.t Seq.t
 (** Input must be grouped by spanning tuple ({!Window.same_group}) and
     sorted by window start inside each group — the order {!Overlap.left}
     produces. Output keeps that order and is idempotent under re-
-    application. *)
+    application. With [~sanitize:true] the output is wrapped in
+    {!Invariant.wrap} at stage {!Invariant.Wuo} (default [false]). *)
 
 val extend_group : Window.t list -> Window.t list
 (** One group at a time; exposed for tests and for the ablation bench. *)

@@ -150,9 +150,14 @@ let left_with ?algorithm ~theta ~mark r s =
       List.to_seq (windows_of_probe r_tuple (List.map snd matches)))
     (List.to_seq r_sorted)
 
-let left ?algorithm ~theta r s = left_with ?algorithm ~theta ~mark:ignore r s
+let checked ~sanitize ~theta stream =
+  if sanitize then Invariant.wrap ~stage:Invariant.Overlap ~theta stream
+  else stream
 
-let left_tracking ?algorithm ~theta r s =
+let left ?algorithm ?(sanitize = false) ~theta r s =
+  checked ~sanitize ~theta (left_with ?algorithm ~theta ~mark:ignore r s)
+
+let left_tracking ?algorithm ?(sanitize = false) ~theta r s =
   let s_tuples = Relation.to_array s in
   let tracker =
     {
@@ -162,7 +167,12 @@ let left_tracking ?algorithm ~theta r s =
     }
   in
   let stream =
-    let body = left_with ?algorithm ~theta ~mark:(fun i -> tracker.matched.(i) <- true) r s in
+    let body =
+      checked ~sanitize ~theta
+        (left_with ?algorithm ~theta
+           ~mark:(fun i -> tracker.matched.(i) <- true)
+           r s)
+    in
     Seq.append body
       (fun () ->
         tracker.drained <- true;

@@ -22,11 +22,14 @@ type algorithm = [ `Hash | `Merge | `Index | `Nested_loop ]
 
 val left :
   ?algorithm:algorithm ->
+  ?sanitize:bool ->
   theta:Theta.t ->
   Tpdb_relation.Relation.t ->
   Tpdb_relation.Relation.t ->
   Window.t Seq.t
-(** The stream is re-computed on every traversal. *)
+(** The stream is re-computed on every traversal. With [~sanitize:true]
+    the stream is wrapped in {!Invariant.wrap} at stage
+    {!Invariant.Overlap} (default [false]). *)
 
 val prober :
   ?algorithm:algorithm ->
@@ -47,6 +50,7 @@ type right_tracker
 
 val left_tracking :
   ?algorithm:algorithm ->
+  ?sanitize:bool ->
   theta:Theta.t ->
   Tpdb_relation.Relation.t ->
   Tpdb_relation.Relation.t ->

@@ -1,0 +1,70 @@
+TPSan's static analyzer: `tpdb_cli check` plans a query, infers column
+types from the data, and reports structured diagnostics without
+executing anything. Exit status 1 iff an error-severity diagnostic
+fires.
+
+  $ ../../bin/tpdb_cli.exe generate --dataset webkit --size 50 --seed 3 --prefix wk
+  wrote wk_r.csv (50 tuples) and wk_s.csv (50 tuples)
+
+A well-typed query over the corpus is accepted:
+
+  $ ../../bin/tpdb_cli.exe check -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
+  ok: no issues found
+
+Comparing the text column Rev with a numeric constant is a type error
+(the comparison would be rank-ordered, never matching as intended):
+
+  $ ../../bin/tpdb_cli.exe check -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File AND wk_r.Rev = 42"
+  error[type-mismatch] at TP Left Outer Join: wk_r.Rev = 42 compares a text column with the number constant 42 — no row can satisfy it as intended
+  1 error(s), 0 warning(s)
+  [1]
+
+Two different equality constants on the same column can never both
+hold:
+
+  $ ../../bin/tpdb_cli.exe check -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File AND wk_r.File = 'a' AND wk_r.File = 'b'"
+  error[unsatisfiable] at TP Left Outer Join: the constant constraints on left column File admit no value (= b contradicts = a) — θ matches nothing
+  1 error(s), 0 warning(s)
+  [1]
+
+Requesting --jobs without an equality atom in θ: the analyzer explains
+why the join will run sequentially (a warning, exit 0):
+
+  $ ../../bin/tpdb_cli.exe check --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File <> wk_s.File"
+  warning[sequential-fallback] at TP Left Outer Join: jobs=2 requested, but θ has no equality atom between the two sides to shard on — the join runs sequentially
+  0 error(s), 1 warning(s)
+
+A plain projection that drops the join key is flagged:
+
+  $ ../../bin/tpdb_cli.exe check -t wk_r.csv -t wk_s.csv "SELECT Rev FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
+  warning[drops-join-key] at Project: projection drops join key column(s) 0 of the TP Anti Join below — coinciding facts may appear; SELECT DISTINCT disjoins their lineages
+  0 error(s), 1 warning(s)
+
+Parse and plan failures render through the same diagnostic format:
+
+  $ ../../bin/tpdb_cli.exe check -t wk_r.csv "SELECT Nope FROM wk_r"
+  error[plan] at -: unknown column Nope in SELECT
+  [1]
+
+So does a malformed CSV, with file and line:
+
+  $ printf 'File,Rev,lineage,ts,te,p\na,r0,x1,5,3,0.5\n' > bad.csv
+  $ ../../bin/tpdb_cli.exe check -t bad.csv "SELECT * FROM bad"
+  error[csv-load] at bad.csv:2: empty interval [5,3): ts must be below te
+  [1]
+
+`query --explain` inlines the same diagnostics under the plan:
+
+  $ ../../bin/tpdb_cli.exe query --explain --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File <> wk_s.File"
+  TP Left Outer Join (NJ pipeline: overlap[nested loop] -> LAWAU -> LAWAN; θ: wk_r.File <> wk_s.File; jobs: 2)
+    Scan wk_r (50 tuples)
+    Scan wk_s (50 tuples)
+  
+  warning[sequential-fallback] at TP Left Outer Join: jobs=2 requested, but θ has no equality atom between the two sides to shard on — the join runs sequentially
+
+`query --sanitize` turns on the runtime window-invariant checks; the
+plan records it and the query still returns its rows:
+
+  $ ../../bin/tpdb_cli.exe query --sanitize -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File" | head -2
+  Project (File)
+    TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; sanitize)

@@ -27,7 +27,7 @@ the result is byte-identical to the sequential run:
 An unknown column is a plan error:
 
   $ ../../bin/tpdb_cli.exe query -t wk_r.csv "SELECT Nope FROM wk_r"
-  plan error: unknown column Nope in SELECT
+  error[plan] at -: unknown column Nope in SELECT
   [1]
 
 Round-trip through the binary database directory:

@@ -182,6 +182,61 @@ let test_parallel_fallback () =
       then Alcotest.fail "non-equi fallback result differs from sequential")
     all_kinds
 
+(* --- the TPSan invariant sanitizer --- *)
+
+module Invariant = Tpdb_windows.Invariant
+
+let test_sanitizer_detects_violations () =
+  let fr = Fact.of_strings [ "x" ] and fs = Fact.of_strings [ "y" ] in
+  let lr = Formula.of_string "a1" and ls = Formula.of_string "b1" in
+  let expect_violation name stream =
+    match List.of_seq stream with
+    | exception Invariant.Violation _ -> ()
+    | _ -> Alcotest.failf "sanitizer accepted %s" name
+  in
+  (* A WO window that is not rspan ∩ sspan ([1,3) vs [1,4)). *)
+  let broken_wo =
+    Window.overlapping ~fr ~fs ~iv:(iv 1 3) ~lr ~ls ~rspan:(iv 0 4)
+      ~sspan:(iv 1 4)
+  in
+  expect_violation "a WO window that is not the interval intersection"
+    (Invariant.wrap ~stage:Invariant.Overlap (List.to_seq [ broken_wo ]));
+  (* A WU set that does not cover r.T ([0,2) leaves [2,4) uncovered). *)
+  let partial_wu = Window.unmatched ~fr ~iv:(iv 0 2) ~lr ~rspan:(iv 0 4) in
+  expect_violation "a WU set that does not cover r.T"
+    (Invariant.wrap ~stage:Invariant.Wuo (List.to_seq [ partial_wu ]));
+  (* A WN window before the LAWAN stage. *)
+  let premature_wn = Window.negating ~fr ~iv:(iv 0 2) ~lr ~ls ~rspan:(iv 0 4) in
+  expect_violation "a negating window before LAWAN"
+    (Invariant.wrap ~stage:Invariant.Wuo
+       (List.to_seq
+          [ Window.unmatched ~fr ~iv:(iv 0 4) ~lr ~rspan:(iv 0 4); premature_wn ]));
+  (* A θ-mismatched WO pair. *)
+  let mismatched =
+    Window.overlapping ~fr ~fs ~iv:(iv 0 4) ~lr ~ls ~rspan:(iv 0 4)
+      ~sspan:(iv 0 4)
+  in
+  expect_violation "a WO pair that does not satisfy θ"
+    (Invariant.wrap ~stage:Invariant.Overlap ~theta:theta_k
+       (List.to_seq [ mismatched ]));
+  (* Descending group order across the merged stream. *)
+  let group_of name span =
+    Window.unmatched ~fr:(Fact.of_strings [ name ]) ~iv:span
+      ~lr:(Formula.of_string "a1") ~rspan:span
+  in
+  (match Invariant.check_group_order [ group_of "b" (iv 0 4); group_of "a" (iv 0 4) ] with
+  | exception Invariant.Violation _ -> ()
+  | _ -> Alcotest.fail "sanitizer accepted a descending group order");
+  (* And the valid counterparts all pass. *)
+  let ok =
+    Window.overlapping ~fr ~fs ~iv:(iv 1 3) ~lr ~ls ~rspan:(iv 0 4)
+      ~sspan:(iv 1 3)
+  in
+  let checked =
+    List.of_seq (Invariant.wrap ~stage:Invariant.Overlap (List.to_seq [ ok ]))
+  in
+  Alcotest.(check int) "valid stream passes" 1 (List.length checked)
+
 (* --- properties: NJ vs the timepoint oracle --- *)
 
 (* No [open QCheck2] here: it would shadow our [Tuple] alias. *)
@@ -282,6 +337,33 @@ let prop_parallel_equals_sequential =
             [ 2; 4 ])
         all_kinds)
 
+let prop_sanitized_equals_unsanitized =
+  (* TPSan is a pure observer: with checking on, every join kind at every
+     partition count returns the identical relation — and no lemma
+     violation fires on any generated scenario. *)
+  Test.make ~name:"sanitized join = unsanitized (all kinds, jobs 1/2/4)"
+    ~count:80 ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      List.for_all
+        (fun kind ->
+          List.for_all
+            (fun jobs ->
+              let plain =
+                Nj.join
+                  ~options:(Nj.options ~parallelism:jobs ~sanitize:false ())
+                  ~kind ~theta r s
+              in
+              let checked =
+                Nj.join
+                  ~options:(Nj.options ~parallelism:jobs ~sanitize:true ())
+                  ~kind ~theta r s
+              in
+              List.equal Tuple.equal (Relation.tuples plain)
+                (Relation.tuples checked))
+            [ 1; 2; 4 ])
+        all_kinds)
+
 let prop_composed_joins_match_oracle =
   (* Compositionality: the join of a derived relation (an anti-join
      result, with complex lineages) against a base relation must still
@@ -310,6 +392,9 @@ let suite =
     Alcotest.test_case "explicit environment" `Quick test_explicit_env;
     Alcotest.test_case "parallel fallback on non-equi θ" `Quick
       test_parallel_fallback;
+    Alcotest.test_case "sanitizer detects broken window streams" `Quick
+      test_sanitizer_detects_violations;
+    qtest prop_sanitized_equals_unsanitized;
     qtest prop_inner;
     qtest prop_anti;
     qtest prop_left;

@@ -14,6 +14,7 @@ let () =
       ("aggregate", Test_aggregate.suite);
       ("query", Test_query.suite);
       ("physical", Test_physical.suite);
+      ("analyze", Test_analyze.suite);
       ("workload", Test_workload.suite);
       ("paper_example", Test_paper_example.suite);
     ]

@@ -22,6 +22,7 @@ let join kind =
       kind;
       algorithm = `Hash;
       parallelism = 1;
+      sanitize = false;
       theta = Fixtures.theta_loc;
       left = scan_a ();
       right = scan_b ();

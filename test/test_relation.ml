@@ -240,9 +240,16 @@ let test_csv_derived_lineage () =
         (Relation.equal_as_sets r (Csv.load ~name:"d" path)))
 
 let test_csv_malformed () =
-  match Csv.of_lines ~name:"x" [ "A,lineage,ts,te,p"; "v,a1,3" ] with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "short row accepted"
+  (match Csv.of_lines ~name:"x" [ "A,lineage,ts,te,p"; "v,a1,3" ] with
+  | exception Csv.Error { line = Some 2; _ } -> ()
+  | exception Csv.Error _ -> Alcotest.fail "error lost the line number"
+  | _ -> Alcotest.fail "short row accepted");
+  (match Csv.of_lines ~name:"x" [] with
+  | exception Csv.Error { line = None; _ } -> ()
+  | _ -> Alcotest.fail "empty input accepted");
+  match Csv.of_lines ~name:"x" ~path:"p.csv" [ "A,lineage,ts,te,p"; "v,a1,9,3,0.5" ] with
+  | exception Csv.Error { path = "p.csv"; line = Some 2; _ } -> ()
+  | _ -> Alcotest.fail "empty interval accepted"
 
 (* --- properties --- *)
 
