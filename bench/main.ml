@@ -6,7 +6,10 @@
      --quick       tiny sweep sizes (CI smoke run)
      --paper       additionally run the NJ series at paper-scale sizes
      --no-bechamel skip the Bechamel micro-benchmarks
-     --no-sweep    skip the sweeps *)
+     --no-sweep    skip the sweeps
+     --json FILE   additionally write every sweep point plus the
+                   pipeline's metrics snapshot (windows per class,
+                   partition skew) as a JSON report *)
 
 open Bechamel
 open Toolkit
@@ -14,6 +17,8 @@ module E = Tpdb_experiments.Experiments
 module Nj = Tpdb.Nj
 module Ta = Tpdb.Ta
 module Relation = Tpdb.Relation
+module Metrics = Tpdb.Metrics
+module J = Tpdb_obs.Json
 
 let seq_length seq = Seq.fold_left (fun n _ -> n + 1) 0 seq
 
@@ -89,32 +94,39 @@ let run_bechamel () =
 
 (* --- Sweeps: the figure series. --- *)
 
+(* Every sweep goes through [emit], which prints the table as before and
+   keeps the points for the [--json] report. *)
+let sweeps : (string * E.point list) list ref = ref []
+
+let emit header points =
+  E.print_points ~header points;
+  sweeps := (header, points) :: !sweeps
+
 let run_sweeps scale =
   List.iter
     (fun dataset ->
       let d = E.dataset_name dataset in
-      E.print_points
-        ~header:(Printf.sprintf "Fig 5 (%s): WUO - overlapping + unmatched windows" d)
+      emit
+        (Printf.sprintf "Fig 5 (%s): WUO - overlapping + unmatched windows" d)
         (E.fig5 ~scale dataset);
-      E.print_points
-        ~header:(Printf.sprintf "Fig 6 (%s): negating windows" d)
+      emit
+        (Printf.sprintf "Fig 6 (%s): negating windows" d)
         (E.fig6 ~scale dataset);
-      E.print_points
-        ~header:(Printf.sprintf "Fig 7 (%s): TP left outer join" d)
+      emit
+        (Printf.sprintf "Fig 7 (%s): TP left outer join" d)
         (E.fig7 ~scale dataset);
-      E.print_points
-        ~header:(Printf.sprintf "Ablation (%s): overlap join algorithm (NJ WUO)" d)
+      emit
+        (Printf.sprintf "Ablation (%s): overlap join algorithm (NJ WUO)" d)
         (E.ablation_join_algorithm ~scale dataset);
-      E.print_points
-        ~header:(Printf.sprintf "Ablation (%s): LAWAN schedule (heap vs rescan)" d)
+      emit
+        (Printf.sprintf "Ablation (%s): LAWAN schedule (heap vs rescan)" d)
         (E.ablation_lawan_schedule ~scale dataset);
-      E.print_points
-        ~header:(Printf.sprintf "Ablation (%s): pipelined vs materialized stages" d)
+      emit
+        (Printf.sprintf "Ablation (%s): pipelined vs materialized stages" d)
         (E.ablation_pipelining ~scale dataset);
-      E.print_points
-        ~header:
-          (Printf.sprintf
-             "Parallel (%s): WUON pipeline, partitioned sweep (jobs series)" d)
+      emit
+        (Printf.sprintf
+           "Parallel (%s): WUON pipeline, partitioned sweep (jobs series)" d)
         (E.parallel_sweep ~scale dataset);
       let size = List.nth (E.sizes dataset scale) 1 in
       Printf.printf "\n== Ablation (%s): tuple replication ==\n%s\n" d
@@ -122,26 +134,75 @@ let run_sweeps scale =
     [ E.Webkit; E.Meteo ]
 
 let run_extra_sweeps () =
-  E.print_points
-    ~header:"Extra: selectivity sweep (distinct keys; size column = keys)"
+  emit "Extra: selectivity sweep (distinct keys; size column = keys)"
     (E.selectivity_sweep ());
-  E.print_points
-    ~header:"Extra: skew sweep (Zipf exponent in tenths; 256 keys)"
+  emit "Extra: skew sweep (Zipf exponent in tenths; 256 keys)"
     (E.skew_sweep ())
 
 let run_paper_scale () =
   List.iter
     (fun dataset ->
-      E.print_points
-        ~header:
-          (Printf.sprintf "Paper scale (%s): NJ left outer join"
-             (E.dataset_name dataset))
+      emit
+        (Printf.sprintf "Paper scale (%s): NJ left outer join"
+           (E.dataset_name dataset))
         (E.nj_paper_scale dataset))
     [ E.Webkit; E.Meteo ]
+
+(* --- the JSON report --- *)
+
+let json_report metrics =
+  let point (p : E.point) =
+    J.obj
+      [
+        ("series", J.str p.E.series);
+        ("size", J.int p.E.size);
+        ("ms", J.float p.E.ms);
+        ("output", J.int p.E.output);
+      ]
+  in
+  let sweep (header, points) =
+    J.obj
+      [ ("name", J.str header); ("points", J.arr (List.map point points)) ]
+  in
+  let window name c = (name, J.int (Metrics.get metrics c)) in
+  let ps = Metrics.dist_stats metrics Metrics.Partition_size in
+  let mean = Metrics.mean ps in
+  J.obj
+    [
+      ("sweeps", J.arr (List.map sweep (List.rev !sweeps)));
+      ( "windows",
+        J.obj
+          [
+            window "overlapping" Metrics.Windows_overlapping;
+            window "unmatched" Metrics.Windows_unmatched;
+            window "negating" Metrics.Windows_negating;
+          ] );
+      ( "partition_skew",
+        J.obj
+          [
+            ("sweeps", J.int ps.Metrics.count);
+            ("max_size", J.int ps.Metrics.max);
+            ("mean_size", J.float mean);
+            ( "max_over_mean",
+              J.float
+                (if mean > 0.0 then float_of_int ps.Metrics.max /. mean
+                 else 0.0) );
+          ] );
+      (* the full snapshot, verbatim from the sink *)
+      ("metrics", Metrics.to_json metrics);
+    ]
+
+let rec option_value flag = function
+  | f :: v :: _ when f = flag -> Some v
+  | _ :: rest -> option_value flag rest
+  | [] -> None
 
 let () =
   let flags = Array.to_list Sys.argv in
   let has f = List.mem f flags in
+  let json_out = option_value "--json" flags in
+  let metrics = Metrics.create () in
+  if Option.is_some json_out then Metrics.install metrics;
   let scale = if has "--quick" then E.Quick else E.Default in
   if not (has "--no-bechamel") then run_bechamel ();
   if not (has "--no-sweep") then begin
@@ -149,4 +210,13 @@ let () =
     if scale <> E.Quick then run_extra_sweeps ()
   end;
   if has "--paper" then run_paper_scale ();
+  (match json_out with
+  | Some path ->
+      Metrics.uninstall ();
+      let oc = open_out path in
+      output_string oc (json_report metrics);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote JSON report to %s\n" path
+  | None -> ());
   Printf.printf "\nbench: done\n"

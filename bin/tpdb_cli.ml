@@ -123,18 +123,56 @@ let plan_or_fail ?sanitize catalog jobs sql =
 let print_diagnostics diags =
   List.iter (fun d -> print_endline (Tpdb.Analyze.to_string d)) diags
 
-let query tables db_dir explain_only analyze jobs sanitize sql =
+(* Installs the trace/metrics sinks requested on the command line, runs
+   the thunk, then uninstalls the sinks and writes the output files —
+   even when the run raises, so a failing query still leaves its partial
+   trace behind. *)
+let with_observability ~trace_out ~stats_out f =
+  let trace = Option.map (fun _ -> Tpdb.Trace.create ()) trace_out in
+  let metrics = Option.map (fun _ -> Tpdb.Metrics.create ()) stats_out in
+  Option.iter Tpdb.Trace.install trace;
+  Option.iter Tpdb.Metrics.install metrics;
+  Fun.protect
+    ~finally:(fun () ->
+      (match (trace, trace_out) with
+      | Some t, Some path ->
+          Tpdb.Trace.uninstall ();
+          Tpdb.Trace.save t path
+      | _ -> ());
+      match (metrics, stats_out) with
+      | Some m, Some path ->
+          Tpdb.Metrics.uninstall ();
+          Tpdb.Metrics.save m path
+      | _ -> ())
+    f
+
+(* The execution settings that are not part of the plan tree, printed
+   above every EXPLAIN / EXPLAIN ANALYZE report. *)
+let explain_header ~sanitize ~trace_out ~stats_out =
+  let sink label = function Some path -> label ^ ": " ^ path | None -> label ^ ": off" in
+  Printf.sprintf "-- sanitize: %s; %s; %s"
+    (if sanitize then "on" else "off")
+    (sink "trace" trace_out)
+    (sink "stats" stats_out)
+
+let query tables db_dir explain_only analyze jobs sanitize trace_out stats_out
+    sql =
   let catalog = load_catalog tables db_dir in
-  let sanitize = if sanitize then Some true else None in
-  let plan = plan_or_fail ?sanitize catalog jobs sql in
+  let sanitize_flag = if sanitize then Some true else None in
+  let plan = plan_or_fail ?sanitize:sanitize_flag catalog jobs sql in
+  let sanitize_on = sanitize || Tpdb.Invariant.env_enabled () in
+  let header = explain_header ~sanitize:sanitize_on ~trace_out ~stats_out in
   try
+    with_observability ~trace_out ~stats_out @@ fun () ->
     if analyze then begin
       let result, report = Tpdb.Planner.run_analyze plan in
+      print_endline header;
       print_endline report;
       print_endline "";
       Tpdb.Relation.print result
     end
     else begin
+      print_endline header;
       print_endline (Tpdb.Planner.explain plan);
       (match Tpdb.Planner.check plan with
       | [] -> ()
@@ -183,6 +221,16 @@ let query_cmd =
                  (also enabled by TPDB_SANITIZE=1): every join asserts the \
                  paper's window lemmas on its live streams and fails fast \
                  on a violation.")
+  and trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a span per operator, sweep phase and parallel \
+                 partition and write a Chrome trace-event JSON file, \
+                 loadable in chrome://tracing or Perfetto.")
+  and stats_out =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Collect the pipeline's runtime counters (tuples, windows \
+                 per class, partition sizes, sanitizer work) and write \
+                 them as JSON.")
   and sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
            ~doc:"TP-SQL query text.")
@@ -191,7 +239,7 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Run a TP-SQL query over CSV files and/or a database directory.")
     Term.(const query $ tables $ db_dir $ explain_only $ analyze $ jobs
-          $ sanitize $ sql)
+          $ sanitize $ trace_out $ stats_out $ sql)
 
 let check_cmd =
   let tables =

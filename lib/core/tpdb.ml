@@ -30,7 +30,12 @@
     - {!Ast}, {!Parser}, {!Catalog}, {!Planner}: the TP-SQL front end.
     - {!Analyze}, {!Invariant}: TPSan — the static plan analyzer behind
       [tpdb_cli check] and the runtime window-invariant sanitizer behind
-      [--sanitize] / [TPDB_SANITIZE=1]. *)
+      [--sanitize] / [TPDB_SANITIZE=1].
+    - {!Metrics}, {!Trace}, {!Obs_clock}: the observability layer —
+      atomic pipeline counters ([--stats-json], [bench --json]),
+      span-based tracing with a Chrome trace-event exporter
+      ([--trace]), and the shared monotonic clock. Both are no-ops
+      until a sink is installed. *)
 
 module Interval = Tpdb_interval.Interval
 module Timeline = Tpdb_interval.Timeline
@@ -80,3 +85,6 @@ module Physical = Tpdb_query.Physical
 module Planner = Tpdb_query.Planner
 module Analyze = Tpdb_query.Analyze
 module Invariant = Tpdb_windows.Invariant
+module Metrics = Tpdb_obs.Metrics
+module Trace = Tpdb_obs.Trace
+module Obs_clock = Tpdb_obs.Clock

@@ -51,9 +51,11 @@ let constant_segments ?(schedule = `Heap) items =
         else begin
           let next_start = if !i < n then start_of !i else max_int in
           let t = min (min_end ()) next_start in
-          if t > !pos then
+          if t > !pos then begin
+            Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Sweep_segments;
             segments :=
-              (Interval.make !pos t, List.rev_map snd !active) :: !segments;
+              (Interval.make !pos t, List.rev_map snd !active) :: !segments
+          end;
           retire t;
           admit t;
           pos := t

@@ -3,6 +3,13 @@ module Prob = Tpdb_lineage.Prob
 module Fact = Tpdb_relation.Fact
 module Tuple = Tpdb_relation.Tuple
 module Window = Tpdb_windows.Window
+module Metrics = Tpdb_obs.Metrics
+
+(* [Formula.size] walks the formula, so guard on the sink before paying
+   for it — the flat check the rest of the instrumentation also uses. *)
+let count_lineage lineage =
+  if Metrics.enabled () then
+    Metrics.add Metrics.Lineage_nodes (Formula.size lineage)
 
 let output_lineage w =
   match (Window.kind w, Window.ls w) with
@@ -29,6 +36,7 @@ let output_fact ~side ~pad w =
 
 let tuple_of_window ~env ~side ~pad w =
   let lineage = output_lineage w in
+  count_lineage lineage;
   Tuple.make
     ~fact:(output_fact ~side ~pad w)
     ~lineage ~iv:(Window.iv w) ~p:(Prob.compute env lineage)
@@ -39,5 +47,6 @@ let tuple_of_window_no_fs ~env w =
       invalid_arg "Concat.tuple_of_window_no_fs: overlapping window"
   | Window.Unmatched | Window.Negating ->
       let lineage = output_lineage w in
+      count_lineage lineage;
       Tuple.make ~fact:(Window.fr w) ~lineage ~iv:(Window.iv w)
         ~p:(Prob.compute env lineage)

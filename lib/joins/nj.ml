@@ -11,6 +11,8 @@ module Lawan = Tpdb_windows.Lawan
 module Invariant = Tpdb_windows.Invariant
 module Pool = Tpdb_engine.Pool
 module Parallel = Tpdb_engine.Parallel
+module Metrics = Tpdb_obs.Metrics
+module Trace = Tpdb_obs.Trace
 
 type options = {
   algorithm : Overlap.algorithm;
@@ -66,29 +68,62 @@ let partitioned ~partitions ~theta ~sweep r s =
   | None -> None
   | Some parts ->
       let rschema = Relation.schema r and sschema = Relation.schema s in
+      let indexed = Array.mapi (fun i part -> (i, part)) parts in
       Some
         (Parallel.map ~pool:(Pool.default ())
-           (fun (rp, sp) ->
-             sweep (Relation.of_tuples rschema rp) (Relation.of_tuples sschema sp))
-           parts)
+           (fun (i, (rp, sp)) ->
+             if Metrics.enabled () then begin
+               Metrics.observe Metrics.Partition_size
+                 (List.length rp + List.length sp);
+               Metrics.incr Metrics.Partition_sweeps
+             end;
+             let run () =
+               Metrics.time Metrics.Domain_busy_ns (fun () ->
+                   sweep
+                     (Relation.of_tuples rschema rp)
+                     (Relation.of_tuples sschema sp))
+             in
+             if Trace.enabled () then
+               Trace.with_span ~cat:"partition"
+                 (Printf.sprintf "partition-%d" i)
+                 run
+             else run ())
+           indexed)
 
 let merge ~options parts =
-  Parallel.merge_grouped
-    ?check:(if options.sanitize then Some Invariant.merge_check else None)
-    ~compare_group:Window.compare_group parts
+  let run () =
+    Parallel.merge_grouped
+      ?check:(if options.sanitize then Some Invariant.merge_check else None)
+      ~compare_group:Window.compare_group parts
+  in
+  if Trace.enabled () then Trace.with_span ~cat:"merge" "merge-grouped" run
+  else run ()
 
 (* --- the window pipeline --------------------------------------------- *)
 
+(* With a trace sink installed the stage's stream is forced inside the
+   span so the span measures the stage's actual work; without one the
+   stream passes through untouched — lazy pipelines stay lazy and the
+   only cost is one atomic load. *)
+let traced name stream =
+  if Trace.enabled () then
+    Trace.with_span ~cat:"sweep" name (fun () ->
+        List.to_seq (List.of_seq stream))
+  else stream
+
 let overlap_stage ~options ~theta r s =
-  Overlap.left ~algorithm:options.algorithm ~sanitize:options.sanitize ~theta
-    r s
+  traced "overlap"
+    (Overlap.left ~algorithm:options.algorithm ~sanitize:options.sanitize
+       ~theta r s)
 
 let wuo_stage ~options ~theta r s =
-  Lawau.extend ~sanitize:options.sanitize (overlap_stage ~options ~theta r s)
+  traced "lawau"
+    (Lawau.extend ~sanitize:options.sanitize (overlap_stage ~options ~theta r s))
 
 let wuon_stage ~options ~theta r s =
-  Lawan.extend ~schedule:options.schedule ~sanitize:options.sanitize
-    (wuo_stage ~options ~theta r s)
+  traced "lawan"
+    (Lawan.extend ~schedule:options.schedule ~sanitize:options.sanitize
+       (wuo_stage ~options ~theta r s))
 
 (* A left-side window stream, parallel when options and θ allow. *)
 let windows_with ~options ~theta stage r s =
@@ -139,18 +174,36 @@ let tracked_sweep ~options ~extend_left ~theta r s =
   let stream, tracker =
     Overlap.left_tracking ~algorithm:options.algorithm ~sanitize ~theta r s
   in
-  let raw = List.of_seq stream in
+  let raw =
+    if Trace.enabled () then
+      Trace.with_span ~cat:"sweep" "overlap" (fun () -> List.of_seq stream)
+    else List.of_seq stream
+  in
   let left =
     if extend_left then
-      List.of_seq
-        (Lawan.extend ~schedule:options.schedule ~sanitize
-           (Lawau.extend ~sanitize (List.to_seq raw)))
+      if Trace.enabled () then
+        let wuo =
+          Trace.with_span ~cat:"sweep" "lawau" (fun () ->
+              List.of_seq (Lawau.extend ~sanitize (List.to_seq raw)))
+        in
+        Trace.with_span ~cat:"sweep" "lawan" (fun () ->
+            List.of_seq
+              (Lawan.extend ~schedule:options.schedule ~sanitize
+                 (List.to_seq wuo)))
+      else
+        List.of_seq
+          (Lawan.extend ~schedule:options.schedule ~sanitize
+             (Lawau.extend ~sanitize (List.to_seq raw)))
     else List.filter (fun w -> Window.kind w = Window.Overlapping) raw
   in
   let gaps =
-    List.of_seq
-      (right_side_windows ~schedule:options.schedule ~sanitize
-         (List.to_seq raw))
+    let run () =
+      List.of_seq
+        (right_side_windows ~schedule:options.schedule ~sanitize
+           (List.to_seq raw))
+    in
+    if Trace.enabled () then Trace.with_span ~cat:"sweep" "right-sweep" run
+    else run ()
   in
   let spanning = List.of_seq (Overlap.unmatched_right tracker) in
   (left, gaps, spanning)
@@ -241,8 +294,18 @@ let exec_full_outer ~options ~env ~theta r s =
 
 type join_kind = Inner | Anti | Left | Right | Full
 
+let kind_name = function
+  | Inner -> "inner"
+  | Anti -> "anti"
+  | Left -> "left-outer"
+  | Right -> "right-outer"
+  | Full -> "full-outer"
+
 let join ?(options = default_options) ?env ~kind ~theta r s =
   let env = env_default env r s in
+  if Metrics.enabled () then
+    Metrics.add Metrics.Tuples_in
+      (Relation.cardinality r + Relation.cardinality s);
   let exec =
     match kind with
     | Inner -> exec_inner
@@ -251,7 +314,14 @@ let join ?(options = default_options) ?env ~kind ~theta r s =
     | Right -> exec_right_outer
     | Full -> exec_full_outer
   in
-  let result = exec ~options ~env ~theta r s in
+  let run () = exec ~options ~env ~theta r s in
+  let result =
+    if Trace.enabled () then
+      Trace.with_span ~cat:"join" ("nj-" ^ kind_name kind) run
+    else run ()
+  in
+  if Metrics.enabled () then
+    Metrics.add Metrics.Tuples_out (Relation.cardinality result);
   if options.sanitize then
     Invariant.check_output
       ~recompute:(fun lineage -> Prob.compute env lineage)

@@ -78,6 +78,11 @@ val effective_parallelism : options -> Theta.t -> int
 
 type join_kind = Inner | Anti | Left | Right | Full
 
+val kind_name : join_kind -> string
+(** Lowercase name used in trace span labels and stats output:
+    ["inner"], ["anti"], ["left-outer"], ["right-outer"],
+    ["full-outer"]. *)
+
 val join :
   ?options:options ->
   ?env:Prob.env ->

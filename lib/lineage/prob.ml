@@ -46,6 +46,7 @@ let conditional env ~given f =
   Bdd.probability m env joint /. p_given
 
 let compute env f =
+  Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Prob_evals;
   match read_once env f with Some p -> p | None -> exact env f
 
 (* Local SplitMix64 (same construction as Tpdb_workload.Rng, duplicated

@@ -1,0 +1,14 @@
+(* The process-local epoch pins the first read near zero so that int
+   nanoseconds never overflow (2^62 ns ≈ 146 years). *)
+let epoch = Unix.gettimeofday ()
+let last = Atomic.make 0
+
+let now_ns () =
+  let t = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9) in
+  let rec bump () =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else bump ()
+  in
+  bump ()

@@ -1,0 +1,13 @@
+(** The observability clock: wall time forced monotonic.
+
+    Chrome-trace timestamps and busy-time histograms need a clock that
+    never runs backwards across domains. The stdlib has no monotonic
+    clock, so this one reads [Unix.gettimeofday] and clamps it to the
+    largest value any domain has seen (a lock-free atomic max), which
+    makes every pair of reads ordered consistently with program order —
+    good enough for spans whose durations are far above the clock's
+    resolution. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary process-local epoch, monotonically
+    non-decreasing across all domains. *)

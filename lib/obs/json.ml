@@ -1,0 +1,35 @@
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let str = escape
+
+let obj fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> escape k ^ ": " ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"
+let int = string_of_int
+
+let float f =
+  if Float.is_finite f then
+    (* %.17g round-trips; strip to the shortest representation dune's
+       printer produces for readability. *)
+    let s = Printf.sprintf "%.6f" f in
+    s
+  else "null"

@@ -1,0 +1,20 @@
+(** Minimal JSON rendering for the metrics and trace exporters — enough
+    to emit objects/arrays of strings, ints and floats without pulling a
+    JSON library into the kernel's dependency cone. *)
+
+val escape : string -> string
+(** The JSON string-literal encoding of a string, quotes included. *)
+
+val obj : (string * string) list -> string
+(** [obj fields] renders [{"k": v, ...}]; values arrive pre-rendered. *)
+
+val arr : string list -> string
+(** [arr items] renders [[v, ...]]; items arrive pre-rendered. *)
+
+val str : string -> string
+(** A string value: alias of {!escape}. *)
+
+val int : int -> string
+val float : float -> string
+(** Finite shortest-round-trip rendering; NaN/infinities render as
+    [null] (JSON has no lexeme for them). *)

@@ -1,0 +1,190 @@
+type counter =
+  | Tuples_in
+  | Tuples_out
+  | Windows_overlapping
+  | Windows_unmatched
+  | Windows_negating
+  | Sweep_segments
+  | Lineage_nodes
+  | Prob_evals
+  | Partition_sweeps
+  | Sanitizer_checks
+
+type dist = Partition_size | Domain_busy_ns | Sanitizer_ns
+
+let counters =
+  [
+    Tuples_in;
+    Tuples_out;
+    Windows_overlapping;
+    Windows_unmatched;
+    Windows_negating;
+    Sweep_segments;
+    Lineage_nodes;
+    Prob_evals;
+    Partition_sweeps;
+    Sanitizer_checks;
+  ]
+
+let dists = [ Partition_size; Domain_busy_ns; Sanitizer_ns ]
+
+let counter_index = function
+  | Tuples_in -> 0
+  | Tuples_out -> 1
+  | Windows_overlapping -> 2
+  | Windows_unmatched -> 3
+  | Windows_negating -> 4
+  | Sweep_segments -> 5
+  | Lineage_nodes -> 6
+  | Prob_evals -> 7
+  | Partition_sweeps -> 8
+  | Sanitizer_checks -> 9
+
+let dist_index = function
+  | Partition_size -> 0
+  | Domain_busy_ns -> 1
+  | Sanitizer_ns -> 2
+
+let counter_name = function
+  | Tuples_in -> "tuples_in"
+  | Tuples_out -> "tuples_out"
+  | Windows_overlapping -> "windows_overlapping"
+  | Windows_unmatched -> "windows_unmatched"
+  | Windows_negating -> "windows_negating"
+  | Sweep_segments -> "sweep_segments"
+  | Lineage_nodes -> "lineage_nodes"
+  | Prob_evals -> "prob_evals"
+  | Partition_sweeps -> "partition_sweeps"
+  | Sanitizer_checks -> "sanitizer_checks"
+
+let dist_name = function
+  | Partition_size -> "partition_size"
+  | Domain_busy_ns -> "domain_busy_ns"
+  | Sanitizer_ns -> "sanitizer_ns"
+
+type t = {
+  c : int Atomic.t array;  (** indexed by [counter_index] *)
+  d_count : int Atomic.t array;  (** indexed by [dist_index] *)
+  d_sum : int Atomic.t array;
+  d_max : int Atomic.t array;
+}
+
+type dist_stats = { count : int; sum : int; max : int }
+
+type snapshot = {
+  counters : (string * int) list;
+  dists : (string * dist_stats) list;
+}
+
+let atomics n = Array.init n (fun _ -> Atomic.make 0)
+
+let create () =
+  let nd = List.length dists in
+  {
+    c = atomics (List.length counters);
+    d_count = atomics nd;
+    d_sum = atomics nd;
+    d_max = atomics nd;
+  }
+
+(* --- the global sink --- *)
+
+let sink : t option Atomic.t = Atomic.make None
+let install t = Atomic.set sink (Some t)
+let uninstall () = Atomic.set sink None
+let active () = Atomic.get sink
+let enabled () = Option.is_some (Atomic.get sink)
+
+let with_sink t f =
+  let previous = Atomic.get sink in
+  Atomic.set sink (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set sink previous) f
+
+(* --- recording --- *)
+
+let add_to t counter n = ignore (Atomic.fetch_and_add t.c.(counter_index counter) n)
+
+let rec atomic_max cell v =
+  let prev = Atomic.get cell in
+  if v <= prev then ()
+  else if Atomic.compare_and_set cell prev v then ()
+  else atomic_max cell v
+
+let observe_in t dist v =
+  let i = dist_index dist in
+  ignore (Atomic.fetch_and_add t.d_count.(i) 1);
+  ignore (Atomic.fetch_and_add t.d_sum.(i) v);
+  atomic_max t.d_max.(i) v
+
+let add counter n =
+  match Atomic.get sink with None -> () | Some t -> add_to t counter n
+
+let incr counter = add counter 1
+
+let observe dist v =
+  match Atomic.get sink with None -> () | Some t -> observe_in t dist v
+
+let time dist f =
+  match Atomic.get sink with
+  | None -> f ()
+  | Some t ->
+      let t0 = Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () -> observe_in t dist (Clock.now_ns () - t0))
+        f
+
+(* --- reading --- *)
+
+let get t counter = Atomic.get t.c.(counter_index counter)
+
+let dist_stats t dist =
+  let i = dist_index dist in
+  {
+    count = Atomic.get t.d_count.(i);
+    sum = Atomic.get t.d_sum.(i);
+    max = Atomic.get t.d_max.(i);
+  }
+
+let mean { count; sum; _ } =
+  if count = 0 then 0.0 else float_of_int sum /. float_of_int count
+
+let snapshot t =
+  {
+    counters = List.map (fun c -> (counter_name c, get t c)) counters;
+    dists = List.map (fun d -> (dist_name d, dist_stats t d)) dists;
+  }
+
+let reset t =
+  Array.iter (fun a -> Atomic.set a 0) t.c;
+  List.iter
+    (fun a -> Array.iter (fun cell -> Atomic.set cell 0) a)
+    [ t.d_count; t.d_sum; t.d_max ]
+
+let to_json t =
+  let s = snapshot t in
+  Json.obj
+    [
+      ( "counters",
+        Json.obj (List.map (fun (k, v) -> (k, Json.int v)) s.counters) );
+      ( "distributions",
+        Json.obj
+          (List.map
+             (fun (k, st) ->
+               ( k,
+                 Json.obj
+                   [
+                     ("count", Json.int st.count);
+                     ("sum", Json.int st.sum);
+                     ("max", Json.int st.max);
+                     ("mean", Json.float (mean st));
+                   ] ))
+             s.dists) );
+    ]
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')

@@ -1,0 +1,100 @@
+(** Cheap runtime metrics for the sweeping-window pipeline.
+
+    A {!t} is a fixed set of atomic counters and value distributions
+    (count/sum/max) that the instrumented code updates through the
+    process-global {e sink}. With no sink installed every recording
+    entry point is a single flat check ([Atomic.get] + pattern match)
+    and touches nothing else, so instrumentation stays in the hot paths
+    permanently at near-zero cost; installing a sink (the CLI's
+    [--stats-json], [bench/main.exe --json], or [EXPLAIN ANALYZE])
+    turns the counters on for the extent of a run.
+
+    Counter updates are atomic and therefore correct under the
+    domain-parallel partitioned executor; a counter's value is exact
+    once the run being measured has completed.
+
+    Naming: the snapshot/JSON key of a counter or distribution is its
+    constructor name lower-cased ([Windows_overlapping] →
+    ["windows_overlapping"]). docs/INTERNALS.md carries the full
+    operator → span → counter reference table. *)
+
+type counter =
+  | Tuples_in  (** input tuples entering a TP join (both sides) *)
+  | Tuples_out  (** result tuples leaving a TP join *)
+  | Windows_overlapping  (** WO windows created by the overlap stage *)
+  | Windows_unmatched
+      (** WU windows: spanning (matchless tuple, unmatched right side)
+          plus the maximal gap windows LAWAU sweeps out *)
+  | Windows_negating  (** WN windows created by LAWAN *)
+  | Sweep_segments
+      (** maximal constant-coverage segments emitted by the generic
+          interval sweep (LAWAN, TP projection, sequenced aggregation) *)
+  | Lineage_nodes
+      (** formula nodes (connectives + variables) of output lineages *)
+  | Prob_evals  (** probability computations ({!Tpdb_lineage.Prob}) *)
+  | Partition_sweeps  (** per-partition sweeps run by the domain pool *)
+  | Sanitizer_checks  (** TPSan group/output checks executed *)
+
+type dist =
+  | Partition_size  (** tuples (both sides) per parallel partition *)
+  | Domain_busy_ns  (** wall time of each partition sweep, on its domain *)
+  | Sanitizer_ns  (** wall time spent inside TPSan checks *)
+
+type t
+(** A metrics registry. Create one per measured run; reuse reads
+    accumulate. *)
+
+type dist_stats = { count : int; sum : int; max : int }
+
+type snapshot = {
+  counters : (string * int) list;  (** every counter, declaration order *)
+  dists : (string * dist_stats) list;  (** every distribution *)
+}
+
+val create : unit -> t
+
+(** {2 The global sink} *)
+
+val install : t -> unit
+(** Make [t] the process-global sink. Replaces any previous sink. *)
+
+val uninstall : unit -> unit
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Installs [t], runs the thunk, restores the previously installed sink
+    (even on exceptions). *)
+
+val active : unit -> t option
+val enabled : unit -> bool
+
+(** {2 Recording (no-ops without a sink)} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val observe : dist -> int -> unit
+
+val time : dist -> (unit -> 'a) -> 'a
+(** Runs the thunk; with a sink installed, additionally observes its
+    wall-clock duration in nanoseconds into [dist]. *)
+
+(** {2 Reading} *)
+
+val get : t -> counter -> int
+val dist_stats : t -> dist -> dist_stats
+
+val mean : dist_stats -> float
+(** [sum/count], 0 when empty. *)
+
+val counter_name : counter -> string
+val dist_name : dist -> string
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val to_json : t -> string
+(** The machine-readable stats document behind [tpdb_cli query
+    --stats-json] (embedded verbatim by the bench harness):
+    [{"counters": {..}, "distributions": {"partition_size": {"count": n,
+    "sum": n, "max": n, "mean": x}, ..}}]. *)
+
+val save : t -> string -> unit
+(** Writes {!to_json} (newline-terminated) to a file. *)

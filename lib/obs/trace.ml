@@ -1,0 +1,126 @@
+type phase = Complete | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  phase : phase;
+  ts_ns : int;  (** start, relative to the trace epoch *)
+  dur_ns : int;
+  tid : int;
+  args : (string * string) list;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable events : event list;  (** reverse completion order *)
+  epoch_ns : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); events = []; epoch_ns = Clock.now_ns () }
+
+(* --- the global sink --- *)
+
+let sink : t option Atomic.t = Atomic.make None
+let install t = Atomic.set sink (Some t)
+let uninstall () = Atomic.set sink None
+let active () = Atomic.get sink
+let enabled () = Option.is_some (Atomic.get sink)
+
+let with_sink t f =
+  let previous = Atomic.get sink in
+  Atomic.set sink (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set sink previous) f
+
+(* --- recording --- *)
+
+let record t event =
+  Mutex.lock t.mutex;
+  t.events <- event :: t.events;
+  Mutex.unlock t.mutex
+
+let with_span ?(cat = "tpdb") ?(args = []) name f =
+  match Atomic.get sink with
+  | None -> f ()
+  | Some t ->
+      let t0 = Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          record t
+            {
+              name;
+              cat;
+              phase = Complete;
+              ts_ns = t0 - t.epoch_ns;
+              dur_ns = Clock.now_ns () - t0;
+              tid = (Domain.self () :> int);
+              args;
+            })
+        f
+
+let instant ?(cat = "tpdb") ?(args = []) name =
+  match Atomic.get sink with
+  | None -> ()
+  | Some t ->
+      record t
+        {
+          name;
+          cat;
+          phase = Instant;
+          ts_ns = Clock.now_ns () - t.epoch_ns;
+          dur_ns = 0;
+          tid = (Domain.self () :> int);
+          args;
+        }
+
+(* --- reading --- *)
+
+let spans t =
+  Mutex.lock t.mutex;
+  let events = t.events in
+  Mutex.unlock t.mutex;
+  List.rev events
+
+let span_count t = List.length (spans t)
+let span_names t = List.map (fun e -> e.name) (spans t)
+
+let us ns = float_of_int ns /. 1e3
+
+let event_json e =
+  let base =
+    [
+      ("name", Json.str e.name);
+      ("cat", Json.str e.cat);
+      ("ph", Json.str (match e.phase with Complete -> "X" | Instant -> "i"));
+      ("ts", Json.float (us e.ts_ns));
+      ("pid", Json.int 0);
+      ("tid", Json.int e.tid);
+    ]
+  in
+  let dur =
+    match e.phase with
+    | Complete -> [ ("dur", Json.float (us e.dur_ns)) ]
+    | Instant -> [ ("s", Json.str "t") ]
+  in
+  let args =
+    match e.args with
+    | [] -> []
+    | args ->
+        [ ("args", Json.obj (List.map (fun (k, v) -> (k, Json.str v)) args)) ]
+  in
+  Json.obj (base @ dur @ args)
+
+let to_json t =
+  Json.obj
+    [
+      ("traceEvents", Json.arr (List.map event_json (spans t)));
+      ("displayTimeUnit", Json.str "ms");
+    ]
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')

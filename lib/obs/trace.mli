@@ -1,0 +1,56 @@
+(** Span-based tracing with a Chrome trace-event exporter.
+
+    A {!t} is an in-memory buffer of completed spans. Instrumented code
+    brackets work with {!with_span}; with no sink installed the bracket
+    is a single flat check and the thunk runs untouched. With a sink
+    (the CLI's [--trace out.json]) every span records its start
+    timestamp, duration, and the id of the domain it ran on, and
+    {!to_json}/{!save} export the buffer in the Chrome trace-event
+    format — complete ["ph": "X"] events — loadable in
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}.
+
+    Spans are recorded at close from any domain (the buffer is
+    mutex-protected), so the per-partition sweeps of the parallel
+    executor appear on their own tracks ([tid] = domain id). *)
+
+type t
+
+val create : unit -> t
+
+(** {2 The global sink} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Installs [t], runs the thunk, restores the previous sink. *)
+
+val active : unit -> t option
+val enabled : unit -> bool
+
+(** {2 Recording (no-ops without a sink)} *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()]; with a sink installed it records one
+    complete span covering the call, closed even when [f] raises.
+    [cat] (default ["tpdb"]) is the Chrome-trace category; [args]
+    become the event's [args] object. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** A zero-duration instant event (["ph": "i"]). *)
+
+(** {2 Reading} *)
+
+val span_count : t -> int
+
+val span_names : t -> string list
+(** Names in completion order (earliest first). *)
+
+val to_json : t -> string
+(** The Chrome trace-event document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Timestamps are
+    microseconds from the trace's creation. *)
+
+val save : t -> string -> unit
+(** Writes {!to_json} to a file. *)

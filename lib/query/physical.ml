@@ -9,6 +9,8 @@ module Nj = Tpdb_joins.Nj
 module Set_ops = Tpdb_setops.Set_ops
 module Projection = Tpdb_setops.Projection
 module Aggregate = Tpdb_setops.Aggregate
+module Metrics = Tpdb_obs.Metrics
+module Trace = Tpdb_obs.Trace
 
 type t =
   | Scan of Relation.t
@@ -55,7 +57,28 @@ let rec schema = function
       let l = schema left and r = schema right in
       Schema.rename (Schema.name l ^ "_" ^ op ^ "_" ^ Schema.name r) l
 
+(* Span label of one operator node, e.g. [op:tp-join:left-outer]. *)
+let op_name = function
+  | Scan r -> "scan:" ^ Relation.name r
+  | Filter _ -> "filter"
+  | Project _ -> "project"
+  | Distinct_project _ -> "distinct-project"
+  | Timeslice _ -> "timeslice"
+  | Aggregate _ -> "aggregate"
+  | Sort_limit _ -> "sort-limit"
+  | Tp_join { kind; _ } -> "tp-join:" ^ Nj.kind_name kind
+  | Set_op { kind; _ } -> (
+      match kind with
+      | `Union -> "set-op:union"
+      | `Intersect -> "set-op:intersect"
+      | `Except -> "set-op:except")
+
 let rec to_relation ~env plan =
+  if Trace.enabled () then
+    Trace.with_span ~cat:"operator" (op_name plan) (fun () -> eval ~env plan)
+  else eval ~env plan
+
+and eval ~env plan =
   match plan with
   | Scan r -> r
   | Filter { predicate; child; _ } ->
@@ -206,20 +229,46 @@ let with_children plan inputs =
 
 (* Render top-down but execute bottom-up: execute children first, time
    this node over the materialized inputs, then emit this node's line
-   before the children's blocks. *)
+   before the children's blocks. Window counts come from the metrics
+   sink by before/after deltas — children run outside the parent's
+   delta, so the numbers are exclusive, like the wall time. When the
+   caller has no sink installed a private one is used for the run. *)
 let analyze ~env plan =
+  let metrics, private_sink =
+    match Metrics.active () with
+    | Some m -> (m, false)
+    | None ->
+        let m = Metrics.create () in
+        Metrics.install m;
+        (m, true)
+  in
+  Fun.protect
+    ~finally:(fun () -> if private_sink then Metrics.uninstall ())
+  @@ fun () ->
+  let window_counts () =
+    ( Metrics.get metrics Metrics.Windows_overlapping,
+      Metrics.get metrics Metrics.Windows_unmatched,
+      Metrics.get metrics Metrics.Windows_negating )
+  in
   let rec run indent plan =
     let child_results = List.map (run (indent + 1)) (children plan) in
     let child_relations = List.map (fun (r, _, _) -> r) child_results in
     let rerooted = with_children plan child_relations in
+    let wo0, wu0, wn0 = window_counts () in
     let t0 = Unix.gettimeofday () in
     let result = to_relation ~env rerooted in
     let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    let wo1, wu1, wn1 = window_counts () in
+    let windows =
+      let wo = wo1 - wo0 and wu = wu1 - wu0 and wn = wn1 - wn0 in
+      if wo + wu + wn = 0 then ""
+      else Printf.sprintf " [windows: WO=%d WU=%d WN=%d]" wo wu wn
+    in
     let line =
-      Printf.sprintf "%s%s  [rows=%d, %.1f ms]"
+      Printf.sprintf "%s%s  [rows=%d, %.1f ms]%s"
         (String.make (2 * indent) ' ')
         (describe ~child_schema:schema plan)
-        (Relation.cardinality result) ms
+        (Relation.cardinality result) ms windows
     in
     let block = String.concat "\n" (line :: List.map (fun (_, _, b) -> b) child_results) in
     (result, ms, block)

@@ -63,4 +63,9 @@ val explain : t -> string
 val analyze : env:Prob.env -> t -> Relation.t * string
 (** EXPLAIN ANALYZE: executes the plan bottom-up, materializing at node
     granularity, and returns the result plus the explain tree annotated
-    with per-node output cardinality and exclusive wall time. *)
+    with per-node output cardinality, exclusive wall time, and — for
+    nodes that sweep windows — the per-class window counts
+    ([WO]/[WU]/[WN]) read as deltas from the {!Tpdb_obs.Metrics} sink
+    (a private sink is installed for the run when the caller has none).
+    With a {!Tpdb_obs.Trace} sink installed, every operator also records
+    an [operator]-category span. *)

@@ -286,8 +286,10 @@ let wrap ~stage ?theta stream () =
   let last = ref None in
   Grouping.map_runs ~same:Window.same_group
     (fun group ->
-      (match group with w :: _ -> check_predecessor last w | [] -> ());
-      check_group ~stage ?theta group;
+      Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Sanitizer_checks;
+      Tpdb_obs.Metrics.time Tpdb_obs.Metrics.Sanitizer_ns (fun () ->
+          (match group with w :: _ -> check_predecessor last w | [] -> ());
+          check_group ~stage ?theta group);
       group)
     stream ()
 
@@ -309,6 +311,8 @@ let check_group_order windows =
   loop windows
 
 let check_output ~recompute tuples =
+  Tpdb_obs.Metrics.add Tpdb_obs.Metrics.Sanitizer_checks (List.length tuples);
+  Tpdb_obs.Metrics.time Tpdb_obs.Metrics.Sanitizer_ns @@ fun () ->
   List.iter
     (fun tp ->
       let p = Tuple.p tp in

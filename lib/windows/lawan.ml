@@ -26,6 +26,7 @@ let negating_of_group schedule group =
       and rspan = Window.rspan first in
       Sweep.constant_segments ~schedule overlapping
       |> List.map (fun (iv, lineages) ->
+             Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Windows_negating;
              Window.negating ~fr ~iv ~lr ~ls:(Formula.disj lineages) ~rspan)
 
 let extend_group ?(schedule = `Heap) group =

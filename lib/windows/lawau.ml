@@ -9,7 +9,9 @@ let extend_group group =
       let fr = Window.fr first and lr = Window.lr first in
       let gap cursor upto =
         Interval.make_opt cursor upto
-        |> Option.map (fun iv -> Window.unmatched ~fr ~iv ~lr ~rspan)
+        |> Option.map (fun iv ->
+               Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Windows_unmatched;
+               Window.unmatched ~fr ~iv ~lr ~rspan)
       in
       let rec sweep cursor acc = function
         | [] ->

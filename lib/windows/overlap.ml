@@ -3,6 +3,7 @@ module Relation = Tpdb_relation.Relation
 module Tuple = Tpdb_relation.Tuple
 module Fact = Tpdb_relation.Fact
 module Hash_partition = Tpdb_engine.Hash_partition
+module Metrics = Tpdb_obs.Metrics
 
 type algorithm = [ `Hash | `Merge | `Index | `Nested_loop ]
 
@@ -19,7 +20,9 @@ let windows_of_probe r_tuple matches =
   and lr = Tuple.lineage r_tuple
   and rspan = Tuple.iv r_tuple in
   match matches with
-  | [] -> [ Window.unmatched ~fr ~iv:rspan ~lr ~rspan ]
+  | [] ->
+      Metrics.incr Metrics.Windows_unmatched;
+      [ Window.unmatched ~fr ~iv:rspan ~lr ~rspan ]
   | _ ->
       let with_iv =
         List.filter_map
@@ -37,6 +40,7 @@ let windows_of_probe r_tuple matches =
       in
       List.map
         (fun (iv, s_tuple) ->
+          Metrics.incr Metrics.Windows_overlapping;
           Window.overlapping ~fr ~fs:(Tuple.fact s_tuple) ~iv ~lr
             ~ls:(Tuple.lineage s_tuple) ~rspan ~sspan:(Tuple.iv s_tuple))
         sorted
@@ -187,11 +191,13 @@ let unmatched_right tracker =
     List.filter_map
       (fun i ->
         if tracker.matched.(i) then None
-        else
+        else begin
+          Metrics.incr Metrics.Windows_unmatched;
           let tp = tracker.s_tuples.(i) in
           Some
             (Window.unmatched ~fr:(Tuple.fact tp) ~iv:(Tuple.iv tp)
-               ~lr:(Tuple.lineage tp) ~rspan:(Tuple.iv tp)))
+               ~lr:(Tuple.lineage tp) ~rspan:(Tuple.iv tp))
+        end)
       (List.init (Array.length tracker.s_tuples) Fun.id)
   in
   List.to_seq (List.sort Window.compare_group_start unmatched)

@@ -56,6 +56,7 @@ So does a malformed CSV, with file and line:
 `query --explain` inlines the same diagnostics under the plan:
 
   $ ../../bin/tpdb_cli.exe query --explain --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File <> wk_s.File"
+  -- sanitize: off; trace: off; stats: off
   TP Left Outer Join (NJ pipeline: overlap[nested loop] -> LAWAU -> LAWAN; θ: wk_r.File <> wk_s.File; jobs: 2)
     Scan wk_r (50 tuples)
     Scan wk_s (50 tuples)
@@ -66,5 +67,5 @@ So does a malformed CSV, with file and line:
 plan records it and the query still returns its rows:
 
   $ ../../bin/tpdb_cli.exe query --sanitize -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File" | head -2
+  -- sanitize: on; trace: off; stats: off
   Project (File)
-    TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; sanitize)

@@ -6,6 +6,7 @@ Generate a small deterministic dataset pair:
 Plan a TP anti join over the generated CSVs:
 
   $ ../../bin/tpdb_cli.exe query --explain -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
+  -- sanitize: off; trace: off; stats: off
   Project (File)
     TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File)
       Scan wk_r (50 tuples)
@@ -15,6 +16,7 @@ A parallel query (--jobs 2): the plan records the partition count and
 the result is byte-identical to the sequential run:
 
   $ ../../bin/tpdb_cli.exe query --explain --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
+  -- sanitize: off; trace: off; stats: off
   Project (File)
     TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; jobs: 2)
       Scan wk_r (50 tuples)
@@ -39,6 +41,7 @@ Round-trip through the binary database directory:
   wk_r.tpr
   wk_s.tpr
   $ ../../bin/tpdb_cli.exe query --db warehouse --explain "SELECT DISTINCT File FROM wk_r DURING [0,500)"
+  -- sanitize: off; trace: off; stats: off
   Distinct TP Project (File; lineage disjunction)
     Timeslice ([0,500))
       Scan wk_r (50 tuples)

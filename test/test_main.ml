@@ -17,4 +17,5 @@ let () =
       ("analyze", Test_analyze.suite);
       ("workload", Test_workload.suite);
       ("paper_example", Test_paper_example.suite);
+      ("obs", Test_obs.suite);
     ]
