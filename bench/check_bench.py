@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a freshly generated bench JSON report (bench/main.exe --json)
+against the committed baseline (BENCH_4.json at the repo root). Timings
+are machine-dependent and ignored; everything the pipeline counts
+deterministically must match the baseline exactly:
+
+  - every sweep point's (series, size, output cardinality)
+  - window counts per class (overlapping / unmatched / negating)
+  - the deterministic metrics counters (tuples in/out, sweep segments,
+    lineage nodes, prob evals, prob-cache hits/misses/resets, ...)
+  - partition counts and sizes of the domain-parallel sweeps
+
+On top of the exact checks, the prob-cache hit rate on the
+lineage-heavy series must stay above a floor (the cache memoizes
+whole-formula probabilities; a hit-rate collapse means hash-consing or
+generation invalidation regressed even if outputs are still right).
+
+Usage: check_bench.py BASELINE CURRENT [--hit-rate-floor F]
+Exits non-zero on the first class of failure, printing every diff.
+"""
+
+import argparse
+import json
+import sys
+
+# Monotonic-time distributions (and the derived mean of partition_size)
+# vary run to run; everything else in the report is deterministic.
+DETERMINISTIC_COUNTERS = [
+    "tuples_in",
+    "tuples_out",
+    "windows_overlapping",
+    "windows_unmatched",
+    "windows_negating",
+    "sweep_segments",
+    "lineage_nodes",
+    "prob_evals",
+    "partition_sweeps",
+    "sanitizer_checks",
+    "prob_cache_hits",
+    "prob_cache_misses",
+    "prob_cache_resets",
+]
+
+
+def sweep_points(doc):
+    return {
+        (sweep["name"], point["series"], point["size"]): point["output"]
+        for sweep in doc["sweeps"]
+        for point in sweep["points"]
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--hit-rate-floor", type=float, default=0.25)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = []
+
+    base_points = sweep_points(baseline)
+    cur_points = sweep_points(current)
+    for key in sorted(set(base_points) | set(cur_points)):
+        b, c = base_points.get(key), cur_points.get(key)
+        if b != c:
+            failures.append(f"sweep point {key}: baseline output {b}, current {c}")
+
+    for cls, b in baseline["windows"].items():
+        c = current["windows"].get(cls)
+        if b != c:
+            failures.append(f"windows.{cls}: baseline {b}, current {c}")
+
+    base_counters = baseline["metrics"]["counters"]
+    cur_counters = current["metrics"]["counters"]
+    for name in DETERMINISTIC_COUNTERS:
+        b, c = base_counters.get(name), cur_counters.get(name)
+        if b != c:
+            failures.append(f"counter {name}: baseline {b}, current {c}")
+
+    for field in ("sweeps", "max_size"):
+        b = baseline["partition_skew"][field]
+        c = current["partition_skew"][field]
+        if b != c:
+            failures.append(f"partition_skew.{field}: baseline {b}, current {c}")
+
+    pc_base, pc_cur = baseline["prob_cache"], current["prob_cache"]
+    for name in ("hits", "misses", "resets"):
+        if pc_base.get(name) != pc_cur.get(name):
+            failures.append(
+                f"prob_cache.{name}: baseline {pc_base.get(name)}, "
+                f"current {pc_cur.get(name)}"
+            )
+
+    hit_rate = pc_cur.get("hit_rate", 0.0)
+    if hit_rate < args.hit_rate_floor:
+        failures.append(
+            f"prob_cache.hit_rate {hit_rate:.3f} below floor {args.hit_rate_floor}"
+        )
+
+    if failures:
+        print(f"bench regression check FAILED ({len(failures)} diffs):")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+
+    print(
+        "bench regression check passed: "
+        f"{len(cur_points)} sweep points, hit rate {hit_rate:.3f}, "
+        f"speedup {json.dumps(pc_cur.get('speedup', {}))}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -133,6 +133,30 @@ let run_sweeps scale =
         (E.replication_report dataset ~size))
     [ E.Webkit; E.Meteo ]
 
+(* The prob-cache series: counters are snapshotted around the sweep so
+   the reported hit rate covers only the lineage-heavy runs, not every
+   join the other sweeps happen to execute. *)
+let prob_cache_report = ref None
+
+let run_prob_cache_sweep metrics scale =
+  let hits () = Metrics.get metrics Metrics.Prob_cache_hits in
+  let misses () = Metrics.get metrics Metrics.Prob_cache_misses in
+  let h0 = hits () and m0 = misses () in
+  let points = E.prob_cache_sweep ~scale () in
+  emit
+    "Prob cache (uniform, 8 keys): full outer / anti, cached vs uncached"
+    points;
+  let speedups = E.prob_cache_speedups points in
+  List.iter
+    (fun (kind, speedup) ->
+      Printf.printf "prob-cache speedup (%s): %.2fx\n" kind speedup)
+    speedups;
+  let h = hits () - h0 and m = misses () - m0 in
+  let rate = if h + m > 0 then float_of_int h /. float_of_int (h + m) else 0.0 in
+  if h + m > 0 then Printf.printf "prob-cache hit rate: %.3f\n" rate;
+  flush stdout;
+  prob_cache_report := Some (h, m, rate, speedups)
+
 let run_extra_sweeps () =
   emit "Extra: selectivity sweep (distinct keys; size column = keys)"
     (E.selectivity_sweep ());
@@ -188,6 +212,20 @@ let json_report metrics =
                 (if mean > 0.0 then float_of_int ps.Metrics.max /. mean
                  else 0.0) );
           ] );
+      ( "prob_cache",
+        match !prob_cache_report with
+        | None -> J.obj []
+        | Some (hits, misses, rate, speedups) ->
+            J.obj
+              [
+                ("hits", J.int hits);
+                ("misses", J.int misses);
+                ( "resets",
+                  J.int (Metrics.get metrics Metrics.Prob_cache_resets) );
+                ("hit_rate", J.float rate);
+                ( "speedup",
+                  J.obj (List.map (fun (k, v) -> (k, J.float v)) speedups) );
+              ] );
       (* the full snapshot, verbatim from the sink *)
       ("metrics", Metrics.to_json metrics);
     ]
@@ -207,6 +245,7 @@ let () =
   if not (has "--no-bechamel") then run_bechamel ();
   if not (has "--no-sweep") then begin
     run_sweeps scale;
+    run_prob_cache_sweep metrics scale;
     if scale <> E.Quick then run_extra_sweeps ()
   end;
   if has "--paper" then run_paper_scale ();

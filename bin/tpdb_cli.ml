@@ -109,8 +109,8 @@ let load_catalog tables db_dir =
    with exn -> fail_exn exn);
   catalog
 
-let plan_or_fail ?sanitize catalog jobs sql =
-  match Tpdb.Planner.plan ~parallelism:jobs ?sanitize catalog
+let plan_or_fail ?sanitize ?prob_cache catalog jobs sql =
+  match Tpdb.Planner.plan ~parallelism:jobs ?sanitize ?prob_cache catalog
           (Tpdb.Parser.parse sql)
   with
   | plan -> plan
@@ -148,20 +148,28 @@ let with_observability ~trace_out ~stats_out f =
 
 (* The execution settings that are not part of the plan tree, printed
    above every EXPLAIN / EXPLAIN ANALYZE report. *)
-let explain_header ~sanitize ~trace_out ~stats_out =
+let explain_header ~sanitize ~prob_cache ~trace_out ~stats_out =
   let sink label = function Some path -> label ^ ": " ^ path | None -> label ^ ": off" in
-  Printf.sprintf "-- sanitize: %s; %s; %s"
+  Printf.sprintf "-- sanitize: %s; %s; %s%s"
     (if sanitize then "on" else "off")
     (sink "trace" trace_out)
     (sink "stats" stats_out)
+    (* default-on: only worth a line when disabled, and the cram
+       expectations of cache-on runs stay byte-identical *)
+    (if prob_cache then "" else "; prob-cache: off")
 
-let query tables db_dir explain_only analyze jobs sanitize trace_out stats_out
-    sql =
+let query tables db_dir explain_only analyze jobs sanitize no_prob_cache
+    trace_out stats_out sql =
   let catalog = load_catalog tables db_dir in
   let sanitize_flag = if sanitize then Some true else None in
-  let plan = plan_or_fail ?sanitize:sanitize_flag catalog jobs sql in
+  let prob_cache = not no_prob_cache in
+  let plan =
+    plan_or_fail ?sanitize:sanitize_flag ~prob_cache catalog jobs sql
+  in
   let sanitize_on = sanitize || Tpdb.Invariant.env_enabled () in
-  let header = explain_header ~sanitize:sanitize_on ~trace_out ~stats_out in
+  let header =
+    explain_header ~sanitize:sanitize_on ~prob_cache ~trace_out ~stats_out
+  in
   try
     with_observability ~trace_out ~stats_out @@ fun () ->
     if analyze then begin
@@ -221,6 +229,12 @@ let query_cmd =
                  (also enabled by TPDB_SANITIZE=1): every join asserts the \
                  paper's window lemmas on its live streams and fails fast \
                  on a violation.")
+  and no_prob_cache =
+    Arg.(value & flag & info [ "no-prob-cache" ]
+           ~doc:"Compute every output probability from scratch instead of \
+                 through the per-domain memoization cache (identical \
+                 results; useful for measuring the cache and bounding \
+                 memory).")
   and trace_out =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Record a span per operator, sweep phase and parallel \
@@ -239,7 +253,7 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Run a TP-SQL query over CSV files and/or a database directory.")
     Term.(const query $ tables $ db_dir $ explain_only $ analyze $ jobs
-          $ sanitize $ trace_out $ stats_out $ sql)
+          $ sanitize $ no_prob_cache $ trace_out $ stats_out $ sql)
 
 let check_cmd =
   let tables =

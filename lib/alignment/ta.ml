@@ -93,7 +93,7 @@ let anti ?(algorithm = default_algorithm) ?env ~theta r s =
   let tuples =
     windows_wuon ~algorithm ~theta r s
     |> List.filter (fun w -> Window.kind w <> Window.Overlapping)
-    |> List.map (Concat.tuple_of_window_no_fs ~env)
+    |> List.map (Concat.tuple_of_window_no_fs ~prob:(Prob.compute env))
   in
   let schema =
     Schema.rename
@@ -107,7 +107,7 @@ let left_outer ?(algorithm = default_algorithm) ?env ~theta r s =
   let pad = Schema.arity (Relation.schema s) in
   let tuples =
     windows_wuon ~algorithm ~theta r s
-    |> List.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad)
+    |> List.map (Concat.tuple_of_window ~prob:(Prob.compute env) ~side:Concat.Left ~pad)
   in
   Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
 
@@ -115,7 +115,7 @@ let left_outer ?(algorithm = default_algorithm) ?env ~theta r s =
    swapped inputs — TA re-executes the join rather than reusing pass 1. *)
 let right_side ~algorithm ~env ~pad_left ~theta r s =
   pass2 ~algorithm ~theta:(Theta.swap theta) s r
-  |> List.map (Concat.tuple_of_window ~env ~side:Concat.Right ~pad:pad_left)
+  |> List.map (Concat.tuple_of_window ~prob:(Prob.compute env) ~side:Concat.Right ~pad:pad_left)
 
 let right_outer ?(algorithm = default_algorithm) ?env ~theta r s =
   let env = env_default env r s in
@@ -124,7 +124,7 @@ let right_outer ?(algorithm = default_algorithm) ?env ~theta r s =
   let pairs =
     pass1 ~algorithm ~theta r s
     |> keep Window.Overlapping
-    |> List.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad:pad_s)
+    |> List.map (Concat.tuple_of_window ~prob:(Prob.compute env) ~side:Concat.Left ~pad:pad_s)
   in
   let gaps = right_side ~algorithm ~env ~pad_left:pad_r ~theta r s in
   Relation.of_tuples
@@ -137,7 +137,7 @@ let full_outer ?(algorithm = default_algorithm) ?env ~theta r s =
   let pad_s = Schema.arity (Relation.schema s) in
   let left =
     windows_wuon ~algorithm ~theta r s
-    |> List.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad:pad_s)
+    |> List.map (Concat.tuple_of_window ~prob:(Prob.compute env) ~side:Concat.Left ~pad:pad_s)
   in
   let gaps = right_side ~algorithm ~env ~pad_left:pad_r ~theta r s in
   Relation.of_tuples

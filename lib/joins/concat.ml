@@ -34,14 +34,14 @@ let output_fact ~side ~pad w =
   | (Window.Unmatched | Window.Negating), Right ->
       Fact.concat (Fact.nulls pad) (Window.fr w)
 
-let tuple_of_window ~env ~side ~pad w =
+let tuple_of_window ~prob ~side ~pad w =
   let lineage = output_lineage w in
   count_lineage lineage;
   Tuple.make
     ~fact:(output_fact ~side ~pad w)
-    ~lineage ~iv:(Window.iv w) ~p:(Prob.compute env lineage)
+    ~lineage ~iv:(Window.iv w) ~p:(prob lineage)
 
-let tuple_of_window_no_fs ~env w =
+let tuple_of_window_no_fs ~prob w =
   match Window.kind w with
   | Window.Overlapping ->
       invalid_arg "Concat.tuple_of_window_no_fs: overlapping window"
@@ -49,4 +49,4 @@ let tuple_of_window_no_fs ~env w =
       let lineage = output_lineage w in
       count_lineage lineage;
       Tuple.make ~fact:(Window.fr w) ~lineage ~iv:(Window.iv w)
-        ~p:(Prob.compute env lineage)
+        ~p:(prob lineage)

@@ -19,11 +19,14 @@ type side = Left | Right
     the window swapped, so the null padding goes in front. *)
 
 val tuple_of_window :
-  env:Prob.env -> side:side -> pad:int -> Window.t -> Tuple.t
-(** [pad] is the arity of the null-padded side. Overlapping windows on the
-    [Right] side are rejected with [Invalid_argument] (they are emitted by
-    the left pass already). *)
+  prob:(Formula.t -> float) -> side:side -> pad:int -> Window.t -> Tuple.t
+(** [prob] computes the output probability of the window's lineage —
+    [Prob.compute env], or a {!Prob.Cache.compute} partial application
+    when the caller memoizes (how {!Nj} wires [~prob_cache]). [pad] is
+    the arity of the null-padded side. Overlapping windows on the
+    [Right] side are rejected with [Invalid_argument] (they are emitted
+    by the left pass already). *)
 
-val tuple_of_window_no_fs : env:Prob.env -> Window.t -> Tuple.t
+val tuple_of_window_no_fs : prob:(Formula.t -> float) -> Window.t -> Tuple.t
 (** Output formation for the anti join: no [s] columns at all. Raises
     [Invalid_argument] on overlapping windows. *)

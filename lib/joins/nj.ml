@@ -19,22 +19,24 @@ type options = {
   schedule : [ `Heap | `Scan ];
   parallelism : int;
   sanitize : bool;
+  prob_cache : bool;
 }
 
 let options ?(algorithm = `Hash) ?(schedule = `Heap) ?(parallelism = 1)
-    ?sanitize () =
+    ?sanitize ?(prob_cache = true) () =
   if parallelism < 1 then
     invalid_arg "Nj.options: parallelism must be at least 1";
   let sanitize =
     match sanitize with Some b -> b | None -> Invariant.env_enabled ()
   in
-  { algorithm; schedule; parallelism; sanitize }
+  { algorithm; schedule; parallelism; sanitize; prob_cache }
 
 let default_options = options ()
 let algorithm o = o.algorithm
 let schedule o = o.schedule
 let parallelism o = o.parallelism
 let sanitize o = o.sanitize
+let prob_cache o = o.prob_cache
 
 let effective_parallelism o theta =
   if o.parallelism <= 1 then 1
@@ -148,6 +150,16 @@ let windows_wuon ?(options = default_options) ~theta r s =
 let env_default env r s =
   match env with Some e -> e | None -> Relation.prob_env [ r; s ]
 
+(* The probability function output formation runs through: memoized on
+   the calling domain's long-lived cache (keyed on hash-consed formula
+   ids, reset when [env] changes) unless the option turns it off. *)
+let prob_fn ~options ~env =
+  if options.prob_cache then begin
+    let cache = Prob.Cache.domain () in
+    fun lineage -> Prob.Cache.compute cache env lineage
+  end
+  else fun lineage -> Prob.compute env lineage
+
 (* The right-hand sweep of right/full outer joins: the overlapping
    windows arrive mirrored and re-sorted so they are grouped by the s
    tuple; LAWAU/LAWAN then find the s side's unmatched and negating
@@ -224,21 +236,21 @@ let tracked_join ~options ~extend_left ~theta r s =
 
 (* --- output formation per operator ----------------------------------- *)
 
-let exec_inner ~options ~env ~theta r s =
+let exec_inner ~options ~prob ~theta r s =
   let pad = Schema.arity (Relation.schema s) in
   let tuples =
     windows_with ~options ~theta overlap_stage r s
     |> Seq.filter (fun w -> Window.kind w = Window.Overlapping)
-    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad)
+    |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Left ~pad)
     |> List.of_seq
   in
   Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
 
-let exec_anti ~options ~env ~theta r s =
+let exec_anti ~options ~prob ~theta r s =
   let tuples =
     windows_with ~options ~theta wuon_stage r s
     |> Seq.filter (fun w -> Window.kind w <> Window.Overlapping)
-    |> Seq.map (Concat.tuple_of_window_no_fs ~env)
+    |> Seq.map (Concat.tuple_of_window_no_fs ~prob)
     |> List.of_seq
   in
   let schema =
@@ -248,32 +260,33 @@ let exec_anti ~options ~env ~theta r s =
   in
   Relation.of_tuples schema tuples
 
-let exec_left_outer ~options ~env ~theta r s =
+let exec_left_outer ~options ~prob ~theta r s =
   let pad = Schema.arity (Relation.schema s) in
   let tuples =
     windows_with ~options ~theta wuon_stage r s
-    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad)
+    |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Left ~pad)
     |> List.of_seq
   in
   Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
 
-let exec_right_outer ~options ~env ~theta r s =
+let exec_right_outer ~options ~prob ~theta r s =
   let pad_r = Schema.arity (Relation.schema r) in
   let pad_s = Schema.arity (Relation.schema s) in
   let wo, gaps, spanning =
     tracked_join ~options ~extend_left:false ~theta r s
   in
   let pairs =
-    List.to_seq wo |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad:pad_s)
+    List.to_seq wo
+    |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Left ~pad:pad_s)
   in
   let right_side =
     Seq.append (List.to_seq gaps) (List.to_seq spanning)
-    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Right ~pad:pad_r)
+    |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Right ~pad:pad_r)
   in
   let tuples = List.of_seq (Seq.append pairs right_side) in
   Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
 
-let exec_full_outer ~options ~env ~theta r s =
+let exec_full_outer ~options ~prob ~theta r s =
   let pad_r = Schema.arity (Relation.schema r) in
   let pad_s = Schema.arity (Relation.schema s) in
   let left, gaps, spanning =
@@ -281,11 +294,11 @@ let exec_full_outer ~options ~env ~theta r s =
   in
   let left_side =
     List.to_seq left
-    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Left ~pad:pad_s)
+    |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Left ~pad:pad_s)
   in
   let right_side =
     Seq.append (List.to_seq gaps) (List.to_seq spanning)
-    |> Seq.map (Concat.tuple_of_window ~env ~side:Concat.Right ~pad:pad_r)
+    |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Right ~pad:pad_r)
   in
   let tuples = List.of_seq (Seq.append left_side right_side) in
   Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
@@ -303,6 +316,7 @@ let kind_name = function
 
 let join ?(options = default_options) ?env ~kind ~theta r s =
   let env = env_default env r s in
+  let prob = prob_fn ~options ~env in
   if Metrics.enabled () then
     Metrics.add Metrics.Tuples_in
       (Relation.cardinality r + Relation.cardinality s);
@@ -314,7 +328,7 @@ let join ?(options = default_options) ?env ~kind ~theta r s =
     | Right -> exec_right_outer
     | Full -> exec_full_outer
   in
-  let run () = exec ~options ~env ~theta r s in
+  let run () = exec ~options ~prob ~theta r s in
   let result =
     if Trace.enabled () then
       Trace.with_span ~cat:"join" ("nj-" ^ kind_name kind) run

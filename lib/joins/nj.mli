@@ -50,6 +50,7 @@ val options :
   ?schedule:[ `Heap | `Scan ] ->
   ?parallelism:int ->
   ?sanitize:bool ->
+  ?prob_cache:bool ->
   unit ->
   options
 (** Builder, with today's defaults spelled out:
@@ -61,7 +62,13 @@ val options :
       the [TPDB_SANITIZE] environment variable): run the TPSan window
       invariant checks on every stage's stream, on the parallel merge,
       and on the final output; a violated paper lemma raises
-      {!Tpdb_windows.Invariant.Violation}. *)
+      {!Tpdb_windows.Invariant.Violation};
+    - [prob_cache] (default [true]): compute output probabilities
+      through the calling domain's {!Prob.Cache} — memoized on
+      hash-consed formula ids, so lineages repeated across windows (and
+      across joins sharing one [env] closure) are evaluated once.
+      Probabilities are bit-identical either way; turn it off to
+      measure the uncached path or to bound memory. *)
 
 val default_options : options
 (** [options ()]. *)
@@ -70,6 +77,7 @@ val algorithm : options -> Overlap.algorithm
 val schedule : options -> [ `Heap | `Scan ]
 val parallelism : options -> int
 val sanitize : options -> bool
+val prob_cache : options -> bool
 
 val effective_parallelism : options -> Theta.t -> int
 (** The partition count {!join} will actually use: [parallelism options]

@@ -111,7 +111,7 @@ let disj m a b =
   | _ -> apply m m.or_cache ( || ) a b
 
 let rec of_formula m (f : Formula.t) =
-  match f with
+  match Formula.view f with
   | Formula.True -> Leaf true
   | Formula.False -> Leaf false
   | Formula.Var v -> var m v

@@ -1,18 +1,44 @@
-(** Lineage formulas: propositional formulas over base-tuple variables.
+(** Lineage formulas: propositional formulas over base-tuple variables,
+    hash-consed.
 
     Constructors are smart: [conj] and [disj] flatten nested connectives
     and apply identity/annihilator laws, so formulas built through this
     interface never contain [And []], [Or [x]] or a [True] inside a
     conjunction. Deeper (NP-hard) simplification is deliberately out of
-    scope — probabilities are computed exactly via {!Bdd}. *)
+    scope — probabilities are computed exactly via {!Bdd}.
 
-type t = private
+    Every formula is interned in a per-domain unique table: structurally
+    equal formulas built on the same domain are physically shared, so
+    {!equal} is usually a pointer comparison, {!hash} is O(1), and
+    {!vars}/{!size} are memoized per node. {!id} is unique process-wide
+    and never reused, which is what lets {!Prob.Cache} key compiled BDDs
+    and probabilities on it. Interned nodes are never reclaimed. *)
+
+type t
+
+type view =
   | True
   | False
   | Var of Var.t
   | Not of t
   | And of t list  (** >= 2 juncts, none of them [And]/[True]/[False] *)
   | Or of t list  (** >= 2 juncts, none of them [Or]/[True]/[False] *)
+
+val view : t -> view
+(** The root node, for pattern matching. *)
+
+val id : t -> int
+(** Unique id, assigned at interning time; process-wide, never reused.
+    Allocation-ordered, so not stable across runs — use {!compare} for
+    any ordering that must be deterministic. *)
+
+val hash : t -> int
+(** O(1): precomputed structural hash. Equal formulas hash equal, even
+    when interned on different domains. *)
+
+val interned : unit -> int
+(** Number of distinct formulas interned on the calling domain
+    (diagnostics; constants excluded). *)
 
 val true_ : t
 val false_ : t
@@ -30,10 +56,12 @@ val and_not : t -> t -> t
     function used for negating windows. *)
 
 val equal : t -> t -> bool
-(** Structural equality. For equality up to commutativity compare
-    {!normalize}d formulas. *)
+(** Structural equality — O(1) pointer comparison for formulas interned
+    on the same domain, hash-guarded structural recursion otherwise. For
+    equality up to commutativity compare {!normalize}d formulas. *)
 
 val compare : t -> t -> int
+(** Structural order, identical on every domain and across runs. *)
 
 val normalize : t -> t
 (** Sorts and de-duplicates the juncts of every connective, recursively.
@@ -41,10 +69,10 @@ val normalize : t -> t
     different orders normalize to the same formula. *)
 
 val vars : t -> Var.t list
-(** Distinct variables, sorted. *)
+(** Distinct variables, sorted. Memoized per node. *)
 
 val size : t -> int
-(** Number of connective and variable nodes. *)
+(** Number of connective and variable nodes. Memoized per node. *)
 
 val eval : (Var.t -> bool) -> t -> bool
 

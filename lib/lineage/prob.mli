@@ -23,7 +23,44 @@ val read_once : env -> Formula.t -> float option
 
 val compute : env -> Formula.t -> float
 (** {!read_once} when it applies, otherwise {!exact}. This is what the
-    join operators call. *)
+    join operators call when the probability cache is off. *)
+
+(** Memoized probability computation over hash-consed formulas.
+
+    A cache keys probabilities on {!Formula.id} — hash-consing makes the
+    id a sound proxy for the formula — so lineages repeated across sweep
+    windows (e.g. the λr an outer join replays across gap windows, or an
+    anti join re-deriving an outer join's WU/WN lineages under a shared
+    env) are evaluated once. Misses delegate to {!compute}, so a cached
+    probability is bit-for-bit the float the uncached path returns.
+
+    Invalidation is by environment {e generation}: the first [compute]
+    with a physically different [env] closure drops every memoized
+    value. Pass the same closure (e.g. one [Relation.prob_env] result)
+    across calls to share the cache between operators. Caches are
+    single-domain; use {!Cache.domain} for the calling domain's
+    long-lived instance (how [Nj] gets a per-worker cache with no locks
+    on the hot path). *)
+module Cache : sig
+  type t
+
+  type stats = { hits : int; misses : int; resets : int; entries : int }
+
+  val create : unit -> t
+
+  val domain : unit -> t
+  (** The calling domain's cache (created on first use, lives as long as
+      the domain). *)
+
+  val compute : t -> env -> Formula.t -> float
+  (** Memoized {!compute}. Also records [prob_cache_hits]/[misses]/
+      [resets] counters and the [prob_cache_lookup_ns] distribution in
+      {!Tpdb_obs.Metrics}. *)
+
+  val stats : t -> stats
+  (** Lifetime totals for this cache instance; [entries] is the current
+      generation's result count. *)
+end
 
 val conditional : env -> given:Formula.t -> Formula.t -> float
 (** [conditional env ~given f] is P(f | given) = P(f ∧ given) / P(given),

@@ -9,8 +9,15 @@ type counter =
   | Prob_evals
   | Partition_sweeps
   | Sanitizer_checks
+  | Prob_cache_hits
+  | Prob_cache_misses
+  | Prob_cache_resets
 
-type dist = Partition_size | Domain_busy_ns | Sanitizer_ns
+type dist =
+  | Partition_size
+  | Domain_busy_ns
+  | Sanitizer_ns
+  | Prob_cache_lookup_ns
 
 let counters =
   [
@@ -24,9 +31,12 @@ let counters =
     Prob_evals;
     Partition_sweeps;
     Sanitizer_checks;
+    Prob_cache_hits;
+    Prob_cache_misses;
+    Prob_cache_resets;
   ]
 
-let dists = [ Partition_size; Domain_busy_ns; Sanitizer_ns ]
+let dists = [ Partition_size; Domain_busy_ns; Sanitizer_ns; Prob_cache_lookup_ns ]
 
 let counter_index = function
   | Tuples_in -> 0
@@ -39,11 +49,15 @@ let counter_index = function
   | Prob_evals -> 7
   | Partition_sweeps -> 8
   | Sanitizer_checks -> 9
+  | Prob_cache_hits -> 10
+  | Prob_cache_misses -> 11
+  | Prob_cache_resets -> 12
 
 let dist_index = function
   | Partition_size -> 0
   | Domain_busy_ns -> 1
   | Sanitizer_ns -> 2
+  | Prob_cache_lookup_ns -> 3
 
 let counter_name = function
   | Tuples_in -> "tuples_in"
@@ -56,11 +70,15 @@ let counter_name = function
   | Prob_evals -> "prob_evals"
   | Partition_sweeps -> "partition_sweeps"
   | Sanitizer_checks -> "sanitizer_checks"
+  | Prob_cache_hits -> "prob_cache_hits"
+  | Prob_cache_misses -> "prob_cache_misses"
+  | Prob_cache_resets -> "prob_cache_resets"
 
 let dist_name = function
   | Partition_size -> "partition_size"
   | Domain_busy_ns -> "domain_busy_ns"
   | Sanitizer_ns -> "sanitizer_ns"
+  | Prob_cache_lookup_ns -> "prob_cache_lookup_ns"
 
 type t = {
   c : int Atomic.t array;  (** indexed by [counter_index] *)

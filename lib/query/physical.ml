@@ -21,6 +21,7 @@ type t =
       algorithm : Overlap.algorithm;
       parallelism : int;
       sanitize : bool;
+      prob_cache : bool;
       theta : Theta.t;
       left : t;
       right : t;
@@ -106,8 +107,11 @@ and eval ~env plan =
         | Some n -> List.filteri (fun i _ -> i < n) sorted
       in
       Relation.of_tuples (Relation.schema input) limited
-  | Tp_join { kind; algorithm; parallelism; sanitize; theta; left; right } ->
-      let options = Nj.options ~algorithm ~parallelism ~sanitize () in
+  | Tp_join { kind; algorithm; parallelism; sanitize; prob_cache; theta; left; right }
+    ->
+      let options =
+        Nj.options ~algorithm ~parallelism ~sanitize ~prob_cache ()
+      in
       Nj.join ~options ~env ~kind ~theta (to_relation ~env left)
         (to_relation ~env right)
   | Set_op { kind; left; right } ->
@@ -162,6 +166,10 @@ let jobs_string parallelism =
 
 let sanitize_string sanitize = if sanitize then "; sanitize" else ""
 
+(* The cache is the default: only the unusual configuration is shown, so
+   existing EXPLAIN expectations stay byte-identical. *)
+let prob_cache_string prob_cache = if prob_cache then "" else "; prob-cache: off"
+
 (* Shared by explain and analyze: the one-line description of a node. *)
 let describe ~child_schema plan =
   match plan with
@@ -174,13 +182,17 @@ let describe ~child_schema plan =
   | Distinct_project { schema = s; _ } ->
       Printf.sprintf "Distinct TP Project (%s; lineage disjunction)"
         (String.concat ", " (Schema.columns s))
-  | Tp_join { kind; algorithm; parallelism; sanitize; theta; left; right } ->
-      Printf.sprintf "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s)"
+  | Tp_join
+      { kind; algorithm; parallelism; sanitize; prob_cache; theta; left; right }
+    ->
+      Printf.sprintf
+        "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s%s)"
         (kind_string kind)
         (algorithm_string algorithm)
         (Theta.to_string ~left:(child_schema left) ~right:(child_schema right) theta)
         (jobs_string parallelism)
         (sanitize_string sanitize)
+        (prob_cache_string prob_cache)
   | Aggregate { spec; _ } ->
       Printf.sprintf "Sequenced Aggregate (%s; expectation per witness-constant segment)"
         (match spec with
@@ -250,25 +262,36 @@ let analyze ~env plan =
       Metrics.get metrics Metrics.Windows_unmatched,
       Metrics.get metrics Metrics.Windows_negating )
   in
+  let cache_counts () =
+    ( Metrics.get metrics Metrics.Prob_cache_hits,
+      Metrics.get metrics Metrics.Prob_cache_misses )
+  in
   let rec run indent plan =
     let child_results = List.map (run (indent + 1)) (children plan) in
     let child_relations = List.map (fun (r, _, _) -> r) child_results in
     let rerooted = with_children plan child_relations in
     let wo0, wu0, wn0 = window_counts () in
+    let ch0, cm0 = cache_counts () in
     let t0 = Unix.gettimeofday () in
     let result = to_relation ~env rerooted in
     let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
     let wo1, wu1, wn1 = window_counts () in
+    let ch1, cm1 = cache_counts () in
     let windows =
       let wo = wo1 - wo0 and wu = wu1 - wu0 and wn = wn1 - wn0 in
       if wo + wu + wn = 0 then ""
       else Printf.sprintf " [windows: WO=%d WU=%d WN=%d]" wo wu wn
     in
+    let cache =
+      let hits = ch1 - ch0 and misses = cm1 - cm0 in
+      if hits + misses = 0 then ""
+      else Printf.sprintf " [prob-cache: %d hits, %d misses]" hits misses
+    in
     let line =
-      Printf.sprintf "%s%s  [rows=%d, %.1f ms]%s"
+      Printf.sprintf "%s%s  [rows=%d, %.1f ms]%s%s"
         (String.make (2 * indent) ' ')
         (describe ~child_schema:schema plan)
-        (Relation.cardinality result) ms windows
+        (Relation.cardinality result) ms windows cache
     in
     let block = String.concat "\n" (line :: List.map (fun (_, _, b) -> b) child_results) in
     (result, ms, block)
@@ -296,13 +319,16 @@ let explain plan =
         line "Distinct TP Project (%s; lineage disjunction)"
           (String.concat ", " (Schema.columns s));
         render (indent + 1) child
-    | Tp_join { kind; algorithm; parallelism; sanitize; theta; left; right } ->
-        line "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s)"
+    | Tp_join
+        { kind; algorithm; parallelism; sanitize; prob_cache; theta; left; right }
+      ->
+        line "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s%s)"
           (kind_string kind)
           (algorithm_string algorithm)
           (Theta.to_string ~left:(schema left) ~right:(schema right) theta)
           (jobs_string parallelism)
-          (sanitize_string sanitize);
+          (sanitize_string sanitize)
+          (prob_cache_string prob_cache);
         render (indent + 1) left;
         render (indent + 1) right
     | Aggregate { spec; child; _ } ->

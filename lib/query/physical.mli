@@ -27,6 +27,8 @@ type t =
           (** partition count of the domain-parallel sweep; 1 = sequential *)
       sanitize : bool;
           (** run the TPSan window-invariant checks during execution *)
+      prob_cache : bool;
+          (** memoize output probabilities ({!Tpdb_joins.Nj.options}) *)
       theta : Theta.t;
       left : t;
       right : t;

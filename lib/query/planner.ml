@@ -126,7 +126,7 @@ let join_kind : Ast.join_kind -> Nj.join_kind = function
   | Ast.Full -> Nj.Full
   | Ast.Anti -> Nj.Anti
 
-let plan_select ~parallelism ~sanitize catalog (s : Ast.select) : Physical.t =
+let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Physical.t =
   let lookup name =
     match Catalog.find catalog name with
     | Some r -> r
@@ -157,6 +157,7 @@ let plan_select ~parallelism ~sanitize catalog (s : Ast.select) : Physical.t =
             algorithm;
             parallelism;
             sanitize;
+            prob_cache;
             theta;
             left = acc;
             right = Physical.Scan right;
@@ -271,7 +272,7 @@ let plan_select ~parallelism ~sanitize catalog (s : Ast.select) : Physical.t =
         Physical.Distinct_project { columns = indices; schema; child = with_slice }
       else Physical.Project { columns = indices; schema; child = with_slice })
 
-let plan ?(parallelism = 1) ?sanitize catalog (query : Ast.t) =
+let plan ?(parallelism = 1) ?sanitize ?(prob_cache = true) catalog (query : Ast.t) =
   if parallelism < 1 then fail "parallelism must be at least 1";
   let sanitize =
     match sanitize with
@@ -280,7 +281,8 @@ let plan ?(parallelism = 1) ?sanitize catalog (query : Ast.t) =
   in
   let env = Catalog.env catalog in
   match query with
-  | Ast.Select s -> { plan = plan_select ~parallelism ~sanitize catalog s; env }
+  | Ast.Select s ->
+      { plan = plan_select ~parallelism ~sanitize ~prob_cache catalog s; env }
   | Ast.Set (kind, a, b) ->
       let kind =
         match kind with
@@ -293,8 +295,8 @@ let plan ?(parallelism = 1) ?sanitize catalog (query : Ast.t) =
           Physical.Set_op
             {
               kind;
-              left = plan_select ~parallelism ~sanitize catalog a;
-              right = plan_select ~parallelism ~sanitize catalog b;
+              left = plan_select ~parallelism ~sanitize ~prob_cache catalog a;
+              right = plan_select ~parallelism ~sanitize ~prob_cache catalog b;
             };
         env;
       }

@@ -14,14 +14,23 @@ exception Plan_error of string
 
 type t
 
-val plan : ?parallelism:int -> ?sanitize:bool -> Catalog.t -> Ast.t -> t
+val plan :
+  ?parallelism:int ->
+  ?sanitize:bool ->
+  ?prob_cache:bool ->
+  Catalog.t ->
+  Ast.t ->
+  t
 (** [parallelism] (default 1) is stored into every TP join node: the
     partition count of the domain-parallel window sweep (the CLI's
     [--jobs]). Joins whose θ has no equality atom ignore it and run
     sequentially. Raises {!Plan_error} when < 1. [sanitize] (default
     {!Tpdb_windows.Invariant.env_enabled}, i.e. the [TPDB_SANITIZE]
     environment variable — the CLI's [--sanitize]) turns on the TPSan
-    window-invariant checks in every TP join node. *)
+    window-invariant checks in every TP join node. [prob_cache] (default
+    [true], the CLI's [--no-prob-cache] turns it off) selects the
+    memoized probability path in every TP join node
+    ({!Tpdb_joins.Nj.options}). *)
 
 val explain : t -> string
 

@@ -1,0 +1,28 @@
+(* Hash tables keyed on (fact, lineage) pairs. The operators group output
+   tuples under this key in several places (coalescing, set operations,
+   the reference oracle); hash-consed formulas carry mutable memo fields,
+   so the polymorphic [Hashtbl.hash] is off the table — it would hash the
+   same formula differently before and after memoization. *)
+
+module Formula = Tpdb_lineage.Formula
+
+module Key = struct
+  type t = Fact.t * Formula.t
+
+  let equal (f1, l1) (f2, l2) = Fact.equal f1 f2 && Formula.equal l1 l2
+  let hash (f, l) = ((Fact.hash f * 31) + Formula.hash l) land max_int
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type key = Key.t
+type 'a t = 'a Tbl.t
+
+let create = Tbl.create
+let find_opt = Tbl.find_opt
+let find = Tbl.find
+let add = Tbl.add
+let replace = Tbl.replace
+let mem = Tbl.mem
+let fold = Tbl.fold
+let length = Tbl.length

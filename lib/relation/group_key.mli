@@ -1,0 +1,19 @@
+(** Hash tables keyed on (fact, lineage) pairs.
+
+    The grouping key used when merging operator output: {!Fact.hash}
+    combined with the hash-consed {!Tpdb_lineage.Formula.hash}, with
+    structural equality on both components. The polymorphic
+    [Hashtbl.hash] must not be used on formulas — their mutable memo
+    fields would make the hash drift. *)
+
+type key = Fact.t * Tpdb_lineage.Formula.t
+type 'a t
+
+val create : int -> 'a t
+val find_opt : 'a t -> key -> 'a option
+val find : 'a t -> key -> 'a
+val add : 'a t -> key -> 'a -> unit
+val replace : 'a t -> key -> 'a -> unit
+val mem : 'a t -> key -> bool
+val fold : (key -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+val length : 'a t -> int

@@ -44,7 +44,7 @@ let prob_env relations =
     (fun r ->
       Array.iter
         (fun tp ->
-          match Tuple.lineage tp with
+          match Formula.view (Tuple.lineage tp) with
           | Formula.Var v -> Hashtbl.replace table v (Tuple.p tp)
           | _ -> ())
         r.tuples)
@@ -84,7 +84,7 @@ let sorted_by_fact_start r =
 
 let coalesce r =
   (* Group by (fact, normalized lineage), then merge joinable intervals. *)
-  let groups = Hashtbl.create (Array.length r.tuples) in
+  let groups = Group_key.create (Array.length r.tuples) in
   let order = ref [] in
   Array.iter
     (fun tp ->
@@ -92,16 +92,16 @@ let coalesce r =
         ( Tuple.fact tp,
           Formula.normalize (Tuple.lineage tp) )
       in
-      (match Hashtbl.find_opt groups key with
-      | Some existing -> Hashtbl.replace groups key (tp :: existing)
+      (match Group_key.find_opt groups key with
+      | Some existing -> Group_key.replace groups key (tp :: existing)
       | None ->
           order := key :: !order;
-          Hashtbl.add groups key [ tp ]))
+          Group_key.add groups key [ tp ]))
     r.tuples;
   let merged =
     List.concat_map
       (fun key ->
-        let group = List.rev (Hashtbl.find groups key) in
+        let group = List.rev (Group_key.find groups key) in
         let fact, lineage = key in
         let p = Tuple.p (List.hd group) in
         Timeline.coalesce (List.map Tuple.iv group)

@@ -26,6 +26,19 @@ the result is byte-identical to the sequential run:
   $ ../../bin/tpdb_cli.exe query --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File" | tail -n +5 > par.out
   $ cmp seq.out par.out
 
+--no-prob-cache is recorded in the header and the join node, and the
+result is byte-identical to the default memoized run:
+
+  $ ../../bin/tpdb_cli.exe query --explain --no-prob-cache -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
+  -- sanitize: off; trace: off; stats: off; prob-cache: off
+  Project (File)
+    TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; prob-cache: off)
+      Scan wk_r (50 tuples)
+      Scan wk_s (50 tuples)
+
+  $ ../../bin/tpdb_cli.exe query --no-prob-cache -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File" | tail -n +5 > nocache.out
+  $ cmp seq.out nocache.out
+
 An unknown column is a plan error:
 
   $ ../../bin/tpdb_cli.exe query -t wk_r.csv "SELECT Nope FROM wk_r"

@@ -127,6 +127,7 @@ let hand_join theta =
       algorithm = `Hash;
       parallelism = 1;
       sanitize = false;
+      prob_cache = true;
       theta;
       left = Physical.Scan (Fixtures.relation_a ());
       right = Physical.Scan (Fixtures.relation_b ());

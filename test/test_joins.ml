@@ -33,11 +33,12 @@ let test_concat_functions () =
   Alcotest.(check string) "andNot" "a1 & !(b1 | b2)"
     (Formula.to_string_ascii (Concat.output_lineage negw));
   let env _ = 0.5 in
-  let padded = Concat.tuple_of_window ~env ~side:Concat.Left ~pad:2 unm in
+  let prob = Prob.compute env in
+  let padded = Concat.tuple_of_window ~prob ~side:Concat.Left ~pad:2 unm in
   Alcotest.(check int) "null padding" 3 (Fact.arity (Tuple.fact padded));
   Alcotest.(check bool) "padding is null" true
     (Value.is_null (Fact.get (Tuple.fact padded) 2));
-  (match Concat.tuple_of_window_no_fs ~env overl with
+  (match Concat.tuple_of_window_no_fs ~prob overl with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "anti-join formation accepted a pair window")
 
@@ -337,6 +338,36 @@ let prop_parallel_equals_sequential =
             [ 2; 4 ])
         all_kinds)
 
+let prop_cached_equals_uncached =
+  (* The probability cache is invisible: for every join kind and
+     partition count, the memoized run returns the uncached run's output
+     tuple for tuple — including bit-identical probability floats, which
+     the [Float.equal] on top of [Tuple.equal]'s 1e-9 tolerance pins. *)
+  Test.make ~name:"cached join = uncached (all kinds, jobs 1/2/4)" ~count:100
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      List.for_all
+        (fun kind ->
+          List.for_all
+            (fun jobs ->
+              let uncached =
+                Nj.join
+                  ~options:(Nj.options ~parallelism:jobs ~prob_cache:false ())
+                  ~kind ~theta r s
+              in
+              let cached =
+                Nj.join
+                  ~options:(Nj.options ~parallelism:jobs ~prob_cache:true ())
+                  ~kind ~theta r s
+              in
+              List.equal
+                (fun a b ->
+                  Tuple.equal a b && Float.equal (Tuple.p a) (Tuple.p b))
+                (Relation.tuples uncached) (Relation.tuples cached))
+            [ 1; 2; 4 ])
+        all_kinds)
+
 let prop_sanitized_equals_unsanitized =
   (* TPSan is a pure observer: with checking on, every join kind at every
      partition count returns the identical relation — and no lemma
@@ -404,5 +435,6 @@ let suite =
     qtest prop_full_contains_left_and_right_parts;
     qtest prop_anti_probability_decomposes;
     qtest prop_parallel_equals_sequential;
+    qtest prop_cached_equals_uncached;
     qtest prop_composed_joins_match_oracle;
   ]

@@ -95,6 +95,36 @@ let test_substitute () =
     (f "b1 & b2 & !a2")
     (Formula.substitute lookup (f "a1 & !a2"))
 
+(* --- hash-consing --- *)
+
+let test_hash_consing () =
+  Alcotest.(check bool) "same-domain structural duplicates are shared" true
+    (f "a1 & b2 | !c3" == f "a1 & b2 | !c3");
+  Alcotest.(check bool) "shared nodes share ids" true
+    (Formula.id (f "a1 & b2") = Formula.id (f "a1 & b2"));
+  Alcotest.(check bool) "distinct formulas get distinct ids" true
+    (Formula.id (f "a1 & b2") <> Formula.id (f "a1 | b2"));
+  Alcotest.(check int) "hash is structural" (Formula.hash (f "a1 & b2"))
+    (Formula.hash (f "a1 & b2"));
+  Alcotest.(check bool) "constants are singletons" true
+    (f "T" == Formula.true_ && f "F" == Formula.false_);
+  (* the sub-formula is shared between the two parents *)
+  match (Formula.view (f "(a1 & b2) | c3"), Formula.view (f "!(a1 & b2)")) with
+  | Formula.Or [ x; _ ], Formula.Not y ->
+      Alcotest.(check bool) "subterm sharing" true (x == y)
+  | _ -> Alcotest.fail "unexpected view shape"
+
+(* The reference structural equality the hash-consed one must agree
+   with, written over [view] with no physical shortcuts. *)
+let rec structural_equal a b =
+  match (Formula.view a, Formula.view b) with
+  | Formula.True, Formula.True | Formula.False, Formula.False -> true
+  | Formula.Var x, Formula.Var y -> Var.equal x y
+  | Formula.Not x, Formula.Not y -> structural_equal x y
+  | Formula.And xs, Formula.And ys | Formula.Or xs, Formula.Or ys ->
+      List.length xs = List.length ys && List.for_all2 structural_equal xs ys
+  | _ -> false
+
 (* --- BDD --- *)
 
 let test_bdd_basics () =
@@ -281,6 +311,39 @@ let prop_monte_carlo_converges =
       (* binomial std-dev bound: 0.5/sqrt(n); allow 5 sigma *)
       Float.abs (estimate -. exact) <= 5.0 *. 0.5 /. sqrt (float_of_int samples))
 
+let prop_equal_is_structural =
+  Test.make ~name:"hash-consed equal = structural equality" ~count:500
+    ~print:(fun (a, b) -> print_formula a ^ " ; " ^ print_formula b)
+    (Gen.pair formula_gen formula_gen)
+    (fun (f1, f2) ->
+      Formula.equal f1 f2 = structural_equal f1 f2
+      && Formula.equal f1 f1
+      && (Formula.compare f1 f2 = 0) = Formula.equal f1 f2)
+
+let prop_cached_equals_uncached_prob =
+  Test.make ~name:"Prob.Cache.compute = Prob.compute (exact floats)"
+    ~count:300
+    ~print:(fun fs -> String.concat " ; " (List.map print_formula fs))
+    (Gen.list_size (Gen.int_range 1 8) formula_gen)
+    (fun formulas ->
+      (* One fresh cache and one env closure across the batch, so later
+         formulas exercise result hits, BDD reuse and manager rebuilds. *)
+      let cache = Prob.Cache.create () in
+      let env = env_idx in
+      List.for_all
+        (fun formula ->
+          Float.equal
+            (Prob.Cache.compute cache env formula)
+            (Prob.compute env formula))
+        formulas
+      (* and replay: every second pass must hit and return the same floats *)
+      && List.for_all
+           (fun formula ->
+             Float.equal
+               (Prob.Cache.compute cache env formula)
+               (Prob.compute env formula))
+           formulas)
+
 let prop_negation_complements =
   Test.make ~name:"P(f) + P(!f) = 1" ~count:300 ~print:print_formula
     formula_gen (fun formula ->
@@ -298,6 +361,7 @@ let suite =
     Alcotest.test_case "eval / vars / size" `Quick test_eval_vars;
     Alcotest.test_case "normalize" `Quick test_normalize;
     Alcotest.test_case "substitute" `Quick test_substitute;
+    Alcotest.test_case "hash-consing" `Quick test_hash_consing;
     Alcotest.test_case "bdd basics" `Quick test_bdd_basics;
     Alcotest.test_case "bdd equivalence" `Quick test_bdd_equivalence;
     Alcotest.test_case "bdd counting" `Quick test_bdd_counting;
@@ -313,4 +377,6 @@ let suite =
     qcheck prop_chain_rule;
     qcheck prop_monte_carlo_converges;
     qcheck prop_negation_complements;
+    qcheck prop_equal_is_structural;
+    qcheck prop_cached_equals_uncached_prob;
   ]

@@ -410,7 +410,13 @@ let test_metrics_json () =
       "prob_evals";
       "partition_sweeps";
       "sanitizer_checks";
+      "prob_cache_hits";
+      "prob_cache_misses";
+      "prob_cache_resets";
     ];
+  (match member "prob_cache_lookup_ns" (member "distributions" doc) with
+  | Obj _ -> ()
+  | _ -> Alcotest.fail "prob_cache_lookup_ns distribution missing");
   match member "partition_size" (member "distributions" doc) with
   | Obj _ as d -> (
       match (member "count" d, member "mean" d) with
@@ -431,6 +437,7 @@ let test_analyze_window_annotations () =
         algorithm = `Hash;
         parallelism = 1;
         sanitize = false;
+        prob_cache = true;
         theta = Fixtures.theta_loc;
         left = Physical.Scan r;
         right = Physical.Scan s;
@@ -443,6 +450,8 @@ let test_analyze_window_annotations () =
     (contains report "[windows: WO=2 WU=2 WN=3]");
   Alcotest.(check bool) "scan nodes carry no window annotation" true
     (not (contains report "Scan a (2 tuples)  [rows=2, 0.0 ms] [windows"));
+  Alcotest.(check bool) "join node annotated with prob-cache traffic" true
+    (contains report "[prob-cache: ");
   Alcotest.(check bool) "analyze leaves no sink behind" true
     (not (Metrics.enabled ()))
 

@@ -23,6 +23,7 @@ let join kind =
       algorithm = `Hash;
       parallelism = 1;
       sanitize = false;
+      prob_cache = true;
       theta = Fixtures.theta_loc;
       left = scan_a ();
       right = scan_b ();
