@@ -375,6 +375,105 @@ let render_cmd =
              timeline (cf. the paper's Fig. 2).")
     Term.(const render $ tables $ db_dir $ left $ right $ on $ width)
 
+(* --- fuzz: differential oracle fuzzing --- *)
+
+(* Runs random TP scenarios through Oracle.check — the snapshot-semantics
+   ground truth diffed against Nj.join under every shipped execution
+   configuration — until the time budget runs out. Each case derives its
+   own seed from the base seed, so any failure reproduces with
+   [--seed CASE_SEED --seconds 0] regardless of how long the original
+   run was. Failing cases are written to the artifact directory as
+   loadable CSV pairs plus a divergence report. *)
+let fuzz oracle seconds seed out trace_out stats_out =
+  ignore (oracle : bool) (* the oracle is the only — and default — mode *);
+  let budget_ns = int_of_float (seconds *. 1e9) in
+  (if not (Sys.file_exists out) then
+     try Sys.mkdir out 0o755
+     with Sys_error msg ->
+       prerr_endline ("cannot create artifact directory: " ^ msg);
+       exit 1);
+  let failures = ref 0 and cases = ref 0 in
+  let run_case case_seed =
+    incr cases;
+    let rand = Random.State.make [| case_seed |] in
+    let theta, r, s = QCheck2.Gen.generate1 ~rand (Tp_gen.scenario_gen ()) in
+    match Tpdb.Oracle.check ~theta r s with
+    | [] -> ()
+    | divergences ->
+        incr failures;
+        let path name = Filename.concat out name in
+        let prefix = Printf.sprintf "seed-%d" case_seed in
+        Tpdb.Csv.save (path (prefix ^ "-r.csv")) r;
+        Tpdb.Csv.save (path (prefix ^ "-s.csv")) s;
+        let report =
+          String.concat "\n"
+            (Printf.sprintf "case seed: %d" case_seed
+            :: List.map (Tpdb.Oracle.report ~theta) divergences)
+          ^ "\n\n" ^ Tpdb.Oracle.repro ~theta r s
+        in
+        let oc = open_out (path (prefix ^ "-report.txt")) in
+        output_string oc report;
+        close_out oc;
+        Printf.eprintf "DIVERGENCE (seed %d): %d configuration(s) disagree; \
+                        artifacts in %s/%s-*\n%!"
+          case_seed (List.length divergences) out prefix
+  in
+  with_observability ~trace_out ~stats_out (fun () ->
+      (* Always run the base seed itself, even with --seconds 0: that is
+         how a failing seed from a previous run is replayed. *)
+      run_case seed;
+      let start = Tpdb.Obs_clock.now_ns () in
+      let elapsed () = Tpdb.Obs_clock.now_ns () - start in
+      let i = ref 1 in
+      while elapsed () < budget_ns do
+        run_case (seed + !i);
+        incr i
+      done);
+  Printf.printf "fuzz: %d case(s), %d divergence(s)%s\n" !cases !failures
+    (if !failures = 0 then "" else "; artifacts in " ^ out);
+  if !failures > 0 then exit 1
+
+let fuzz_cmd =
+  let oracle =
+    Arg.(value & flag & info [ "oracle" ]
+           ~doc:"Differential-oracle mode: evaluate each random scenario \
+                 point by point from the paper's snapshot semantics (exact \
+                 BDD probabilities) and diff every join kind against the \
+                 optimized pipeline across all execution configurations \
+                 (parallelism, probability cache, sanitizer, join \
+                 algorithm, LAWAN schedule). This is the default and \
+                 currently only mode.")
+  and seconds =
+    Arg.(value & opt float 5.0 & info [ "seconds" ] ~docv:"N"
+           ~doc:"Time budget; generates fresh cases until it is spent. 0 \
+                 runs exactly one case (the base seed) — use with --seed \
+                 to replay a failure.")
+  and seed =
+    Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Base seed; case $(i)i$(b,) uses SEED+i, so any failure is \
+                 reproducible from the seed printed in its report alone.")
+  and out =
+    Arg.(value & opt string "fuzz-artifacts" & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory for failing-case artifacts: the two input \
+                 relations as loadable CSV files plus a divergence report \
+                 per failing seed.")
+  and trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file covering the whole \
+                 fuzzing run (oracle evaluations show as \"oracle\" spans).")
+  and stats_out =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the run's metrics as JSON, including the \
+                 oracle_evals / oracle_comparisons / oracle_mismatches \
+                 counters and the oracle_eval_ns distribution.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz the TP join pipeline against the differential \
+             snapshot-semantics oracle; non-zero exit and CSV artifacts on \
+             any divergence.")
+    Term.(const fuzz $ oracle $ seconds $ seed $ out $ trace_out $ stats_out)
+
 (* --- store: CSV -> database directory --- *)
 
 let store db_dir csvs =
@@ -407,4 +506,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ generate_cmd; query_cmd; check_cmd; store_cmd; render_cmd;
-         experiment_cmd ]))
+         experiment_cmd; fuzz_cmd ]))

@@ -16,6 +16,10 @@
     - {!Spec}: the Table I definitions, executable (test oracle).
     - {!Nj}: TP inner/outer/anti joins over windows.
     - {!Reference}: timepoint-at-a-time oracle.
+    - {!Oracle}: the differential snapshot-semantics oracle — ground
+      truth evaluated point by point and diffed against {!Nj.join}
+      across every execution configuration (behind the qcheck
+      differential suite and [tpdb_cli fuzz --oracle]).
 
     {1 Baseline and extensions}
     - {!Align}, {!Ta}: the Temporal Alignment baseline.
@@ -66,6 +70,7 @@ module Render = Tpdb_windows.Render
 module Concat = Tpdb_joins.Concat
 module Nj = Tpdb_joins.Nj
 module Reference = Tpdb_joins.Reference
+module Oracle = Tpdb_oracle.Oracle
 module Align = Tpdb_alignment.Align
 module Ta = Tpdb_alignment.Ta
 module Set_ops = Tpdb_setops.Set_ops

@@ -307,6 +307,8 @@ let exec_full_outer ~options ~prob ~theta r s =
 
 type join_kind = Inner | Anti | Left | Right | Full
 
+let all_kinds = [ Inner; Anti; Left; Right; Full ]
+
 let kind_name = function
   | Inner -> "inner"
   | Anti -> "anti"

@@ -86,6 +86,11 @@ val effective_parallelism : options -> Theta.t -> int
 
 type join_kind = Inner | Anti | Left | Right | Full
 
+val all_kinds : join_kind list
+(** Every operator of Table II, in declaration order: [Inner; Anti;
+    Left; Right; Full]. The differential oracle and the fuzzer sweep
+    this list. *)
+
 val kind_name : join_kind -> string
 (** Lowercase name used in trace span labels and stats output:
     ["inner"], ["anti"], ["left-outer"], ["right-outer"],

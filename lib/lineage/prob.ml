@@ -1,12 +1,34 @@
 type env = Var.t -> float
 
+exception Unbound_variable of Var.t
+
+exception Vanishing_evidence of { p_given : float; epsilon : float }
+
+let evidence_epsilon = 1e-12
+
+let () =
+  Printexc.register_printer (function
+    | Unbound_variable v ->
+        Some
+          (Printf.sprintf
+             "Prob.Unbound_variable: lineage variable %s has no marginal \
+              probability in the environment"
+             (Var.to_string v))
+    | Vanishing_evidence { p_given; epsilon } ->
+        Some
+          (Printf.sprintf
+             "Prob.Vanishing_evidence: evidence probability %g is below \
+              epsilon %g — conditioning would divide by (near) zero"
+             p_given epsilon)
+    | _ -> None)
+
 let env_of_alist alist =
   let table = Hashtbl.create (List.length alist) in
   List.iter (fun (v, p) -> Hashtbl.replace table v p) alist;
   fun v ->
     match Hashtbl.find_opt table v with
     | Some p -> p
-    | None -> raise Not_found
+    | None -> raise (Unbound_variable v)
 
 let exact env f =
   let m = Bdd.manager ~order:(Formula.vars f) () in
@@ -40,8 +62,11 @@ let conditional env ~given f =
   let m = Bdd.manager ~order () in
   let given_bdd = Bdd.of_formula m given in
   let p_given = Bdd.probability m env given_bdd in
-  if p_given <= 0.0 then
-    invalid_arg "Prob.conditional: evidence has probability 0";
+  (* Dividing by a denormal-small [p_given] silently amplifies WMC
+     rounding error into garbage quotients; refuse anything below
+     [evidence_epsilon] (which also covers the exact-zero case). *)
+  if p_given < evidence_epsilon then
+    raise (Vanishing_evidence { p_given; epsilon = evidence_epsilon });
   let joint = Bdd.conj m (Bdd.of_formula m f) given_bdd in
   Bdd.probability m env joint /. p_given
 

@@ -7,8 +7,22 @@
 
 type env = Var.t -> float
 
+exception Unbound_variable of Var.t
+(** A lineage variable has no marginal probability in the environment —
+    typically a derived relation joined without passing an explicit
+    [env] covering its base variables. Raised lazily, at the first
+    probability computation touching the variable. *)
+
+exception Vanishing_evidence of { p_given : float; epsilon : float }
+(** Raised by {!conditional} when the evidence probability falls below
+    {!evidence_epsilon}: dividing by a (near-)zero weighted model count
+    turns rounding noise into arbitrary quotients. *)
+
+val evidence_epsilon : float
+(** [1e-12] — the smallest evidence probability {!conditional} accepts. *)
+
 val env_of_alist : (Var.t * float) list -> env
-(** Lookup raising [Not_found] for unbound variables. *)
+(** Lookup raising {!Unbound_variable} for unbound variables. *)
 
 val exact : env -> Formula.t -> float
 (** Exact probability via BDD-based weighted model counting. Worst-case
@@ -66,7 +80,8 @@ val conditional : env -> given:Formula.t -> Formula.t -> float
 (** [conditional env ~given f] is P(f | given) = P(f ∧ given) / P(given),
     computed exactly on one shared BDD. Conditioning on observed evidence
     is the standard query refinement in probabilistic databases. Raises
-    [Invalid_argument] when the evidence has probability 0. *)
+    {!Vanishing_evidence} when the evidence probability is below
+    {!evidence_epsilon} (in particular when it is exactly 0). *)
 
 val monte_carlo : ?seed:int -> samples:int -> env -> Formula.t -> float
 (** Monte-Carlo estimate: draws independent assignments from the

@@ -12,12 +12,16 @@ type counter =
   | Prob_cache_hits
   | Prob_cache_misses
   | Prob_cache_resets
+  | Oracle_evals
+  | Oracle_comparisons
+  | Oracle_mismatches
 
 type dist =
   | Partition_size
   | Domain_busy_ns
   | Sanitizer_ns
   | Prob_cache_lookup_ns
+  | Oracle_eval_ns
 
 let counters =
   [
@@ -34,9 +38,14 @@ let counters =
     Prob_cache_hits;
     Prob_cache_misses;
     Prob_cache_resets;
+    Oracle_evals;
+    Oracle_comparisons;
+    Oracle_mismatches;
   ]
 
-let dists = [ Partition_size; Domain_busy_ns; Sanitizer_ns; Prob_cache_lookup_ns ]
+let dists =
+  [ Partition_size; Domain_busy_ns; Sanitizer_ns; Prob_cache_lookup_ns;
+    Oracle_eval_ns ]
 
 let counter_index = function
   | Tuples_in -> 0
@@ -52,12 +61,16 @@ let counter_index = function
   | Prob_cache_hits -> 10
   | Prob_cache_misses -> 11
   | Prob_cache_resets -> 12
+  | Oracle_evals -> 13
+  | Oracle_comparisons -> 14
+  | Oracle_mismatches -> 15
 
 let dist_index = function
   | Partition_size -> 0
   | Domain_busy_ns -> 1
   | Sanitizer_ns -> 2
   | Prob_cache_lookup_ns -> 3
+  | Oracle_eval_ns -> 4
 
 let counter_name = function
   | Tuples_in -> "tuples_in"
@@ -73,12 +86,16 @@ let counter_name = function
   | Prob_cache_hits -> "prob_cache_hits"
   | Prob_cache_misses -> "prob_cache_misses"
   | Prob_cache_resets -> "prob_cache_resets"
+  | Oracle_evals -> "oracle_evals"
+  | Oracle_comparisons -> "oracle_comparisons"
+  | Oracle_mismatches -> "oracle_mismatches"
 
 let dist_name = function
   | Partition_size -> "partition_size"
   | Domain_busy_ns -> "domain_busy_ns"
   | Sanitizer_ns -> "sanitizer_ns"
   | Prob_cache_lookup_ns -> "prob_cache_lookup_ns"
+  | Oracle_eval_ns -> "oracle_eval_ns"
 
 type t = {
   c : int Atomic.t array;  (** indexed by [counter_index] *)

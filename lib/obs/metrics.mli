@@ -41,6 +41,14 @@ type counter =
   | Prob_cache_resets
       (** cache generation bumps: a cache saw a new environment and
           dropped its memoized results *)
+  | Oracle_evals
+      (** snapshot-semantics evaluations run by {!Tpdb_oracle.Oracle} *)
+  | Oracle_comparisons
+      (** (kind, configuration) diffs of [Nj.join] output against the
+          oracle's ground truth *)
+  | Oracle_mismatches
+      (** individual tuple-level mismatches found by those diffs — 0 on
+          a healthy pipeline *)
 
 type dist =
   | Partition_size  (** tuples (both sides) per parallel partition *)
@@ -48,6 +56,8 @@ type dist =
   | Sanitizer_ns  (** wall time spent inside TPSan checks *)
   | Prob_cache_lookup_ns
       (** wall time of each [Prob.Cache.compute] call, hit or miss *)
+  | Oracle_eval_ns
+      (** wall time of each snapshot-semantics oracle evaluation *)
 
 type t
 (** A metrics registry. Create one per measured run; reuse reads

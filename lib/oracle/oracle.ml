@@ -1,0 +1,323 @@
+module Interval = Tpdb_interval.Interval
+module Timeline = Tpdb_interval.Timeline
+module Formula = Tpdb_lineage.Formula
+module Bdd = Tpdb_lineage.Bdd
+module Prob = Tpdb_lineage.Prob
+module Relation = Tpdb_relation.Relation
+module Schema = Tpdb_relation.Schema
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Csv = Tpdb_relation.Csv
+module Theta = Tpdb_windows.Theta
+module Nj = Tpdb_joins.Nj
+module Metrics = Tpdb_obs.Metrics
+module Trace = Tpdb_obs.Trace
+
+let prob_tolerance = 1e-12
+
+(* --- ground truth: §I snapshot semantics, evaluated point by point ---
+
+   Everything below is written from the paper's definitions, not from
+   the sweep: validity is interval membership, matching is θ over the
+   snapshot, lineages are the three Table I concatenations, and maximal
+   intervals are re-derived by gluing runs of identical rows. *)
+
+let valid_at rel t =
+  List.filter (fun tp -> Tuple.valid_at tp t) (Relation.tuples rel)
+
+let matches theta r_tuple s_tuples =
+  List.filter
+    (fun s_tuple ->
+      Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple))
+    s_tuples
+
+(* λ ∧ ¬(∨ λ_matches); plain λ when nothing matches (Table I). *)
+let negation lineage = function
+  | [] -> lineage
+  | ms -> Formula.and_not lineage (Formula.disj (List.map Tuple.lineage ms))
+
+(* The output rows of one snapshot: (fact, lineage) pairs. *)
+let snapshot_rows ~kind ~theta r s t =
+  let r_valid = valid_at r t and s_valid = valid_at s t in
+  let pad_r = Schema.arity (Relation.schema r)
+  and pad_s = Schema.arity (Relation.schema s) in
+  let pair r_tuple s_tuple =
+    ( Fact.concat (Tuple.fact r_tuple) (Tuple.fact s_tuple),
+      Formula.( &&& ) (Tuple.lineage r_tuple) (Tuple.lineage s_tuple) )
+  in
+  let inner_rows () =
+    List.concat_map
+      (fun rt -> List.map (pair rt) (matches theta rt s_valid))
+      r_valid
+  in
+  (* One null-padded row per valid left tuple, always: λr when nothing
+     matches, λr ∧ ¬(∨ λs) when something does. *)
+  let left_null_rows () =
+    List.map
+      (fun rt ->
+        ( Fact.concat (Tuple.fact rt) (Fact.nulls pad_s),
+          negation (Tuple.lineage rt) (matches theta rt s_valid) ))
+      r_valid
+  in
+  let right_null_rows () =
+    let swapped = Theta.swap theta in
+    List.map
+      (fun st ->
+        ( Fact.concat (Fact.nulls pad_r) (Tuple.fact st),
+          negation (Tuple.lineage st) (matches swapped st r_valid) ))
+      s_valid
+  in
+  let anti_rows () =
+    List.map
+      (fun rt ->
+        (Tuple.fact rt, negation (Tuple.lineage rt) (matches theta rt s_valid)))
+      r_valid
+  in
+  match kind with
+  | Nj.Inner -> inner_rows ()
+  | Nj.Anti -> anti_rows ()
+  | Nj.Left -> inner_rows () @ left_null_rows ()
+  | Nj.Right -> inner_rows () @ right_null_rows ()
+  | Nj.Full -> inner_rows () @ left_null_rows () @ right_null_rows ()
+
+(* Same schema conventions as Nj.join. *)
+let output_schema ~kind r s =
+  match kind with
+  | Nj.Anti ->
+      Schema.rename
+        (Relation.name r ^ "_anti_" ^ Relation.name s)
+        (Relation.schema r)
+  | Nj.Inner | Nj.Left | Nj.Right | Nj.Full ->
+      Schema.join (Relation.schema r) (Relation.schema s)
+
+module Row_key = struct
+  type t = Fact.t * Formula.t
+
+  let compare (fa, la) (fb, lb) =
+    let c = Fact.compare fa fb in
+    if c <> 0 then c else Formula.compare la lb
+end
+
+module Row_map = Map.Make (Row_key)
+
+let eval ?env ~kind ~theta r s =
+  let env = match env with Some e -> e | None -> Relation.prob_env [ r; s ] in
+  Metrics.incr Metrics.Oracle_evals;
+  let run () =
+    Metrics.time Metrics.Oracle_eval_ns @@ fun () ->
+    let domain =
+      Timeline.span (List.map Tuple.iv (Relation.tuples r @ Relation.tuples s))
+    in
+    let points =
+      match domain with
+      | None -> Seq.empty
+      | Some span -> Interval.points span
+    in
+    (* Rows keyed by (fact, normalized lineage), each holding the time
+       points at which the snapshot semantics emits the row. *)
+    let by_row =
+      Seq.fold_left
+        (fun acc t ->
+          List.fold_left
+            (fun acc (fact, lineage) ->
+              let key = (fact, Formula.normalize lineage) in
+              let sofar = Option.value (Row_map.find_opt key acc) ~default:[] in
+              Row_map.add key (t :: sofar) acc)
+            acc
+            (snapshot_rows ~kind ~theta r s t))
+        Row_map.empty points
+    in
+    let tuples =
+      Row_map.fold
+        (fun (fact, lineage) points acc ->
+          (* Glue maximal runs of time points back into intervals; the
+             probability is the exact weighted model count — no
+             read-once shortcut, no cache. *)
+          let intervals =
+            Timeline.coalesce (List.map (fun t -> Interval.make t (t + 1)) points)
+          in
+          let p = Prob.exact env lineage in
+          List.fold_left
+            (fun acc iv -> Tuple.make ~fact ~lineage ~iv ~p :: acc)
+            acc intervals)
+        by_row []
+    in
+    Relation.of_tuples (output_schema ~kind r s) (List.rev tuples)
+  in
+  if Trace.enabled () then
+    Trace.with_span ~cat:"oracle" ("oracle-" ^ Nj.kind_name kind) run
+  else run ()
+
+(* --- configurations -------------------------------------------------- *)
+
+type config = {
+  jobs : int;
+  prob_cache : bool;
+  sanitize : bool;
+  algorithm : Tpdb_windows.Overlap.algorithm;
+  schedule : [ `Heap | `Scan ];
+}
+
+let config ?(jobs = 1) ?(prob_cache = true) ?(sanitize = false)
+    ?(algorithm = `Hash) ?(schedule = `Heap) () =
+  { jobs; prob_cache; sanitize; algorithm; schedule }
+
+let config_name c =
+  let parts =
+    (if c.jobs <> 1 then [ "jobs" ^ string_of_int c.jobs ] else [])
+    @ (if not c.prob_cache then [ "nocache" ] else [])
+    @ (if c.sanitize then [ "sanitize" ] else [])
+    @ (match c.algorithm with
+      | `Hash -> []
+      | `Merge -> [ "merge" ]
+      | `Index -> [ "index" ]
+      | `Nested_loop -> [ "nested-loop" ])
+    @ match c.schedule with `Heap -> [] | `Scan -> [ "scan" ]
+  in
+  match parts with [] -> "default" | _ -> String.concat "+" parts
+
+let options_of c =
+  Nj.options ~algorithm:c.algorithm ~schedule:c.schedule ~parallelism:c.jobs
+    ~sanitize:c.sanitize ~prob_cache:c.prob_cache ()
+
+let default_configs =
+  List.concat_map
+    (fun jobs -> [ config ~jobs (); config ~jobs ~prob_cache:false () ])
+    [ 1; 2; 4 ]
+  @ [
+      config ~sanitize:true ();
+      config ~jobs:2 ~sanitize:true ();
+      config ~algorithm:`Merge ();
+      config ~algorithm:`Index ();
+      config ~schedule:`Scan ();
+    ]
+
+(* --- diffing ---------------------------------------------------------- *)
+
+type mismatch =
+  | Missing of Tuple.t
+  | Unexpected of Tuple.t
+  | Lineage of { expected : Tuple.t; actual : Tuple.t }
+  | Probability of { expected : Tuple.t; actual : Tuple.t; delta : float }
+  | Schema of { expected : string list; actual : string list }
+
+type divergence = {
+  kind : Nj.join_kind;
+  config : config;
+  mismatches : mismatch list;
+}
+
+(* (fact, interval) as a hashable key: facts print unambiguously and the
+   interval pins the temporal extent, so two tuples share a key iff they
+   agree on everything but lineage and probability. *)
+let tuple_key tp =
+  Printf.sprintf "%s@%s"
+    (Fact.to_string (Tuple.fact tp))
+    (Interval.to_string (Tuple.iv tp))
+
+let diff ~expected ~actual =
+  let schema_mismatches =
+    let ec = Schema.columns (Relation.schema expected)
+    and ac = Schema.columns (Relation.schema actual) in
+    if ec <> ac then [ Schema { expected = ec; actual = ac } ] else []
+  in
+  let pending : (string, Tuple.t list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun tp ->
+      let k = tuple_key tp in
+      Hashtbl.replace pending k
+        (tp :: Option.value (Hashtbl.find_opt pending k) ~default:[]))
+    (Relation.tuples expected);
+  let mismatches = ref [] in
+  let emit m = mismatches := m :: !mismatches in
+  List.iter
+    (fun a ->
+      let k = tuple_key a in
+      match Option.value (Hashtbl.find_opt pending k) ~default:[] with
+      | [] -> emit (Unexpected a)
+      | candidates -> (
+          (* Prefer a ground-truth tuple with an equivalent lineage; a
+             leftover candidate then means a lineage divergence. *)
+          let equivalent e =
+            Bdd.equivalent (Tuple.lineage e) (Tuple.lineage a)
+          in
+          let rec take seen = function
+            | [] -> None
+            | e :: rest when equivalent e -> Some (e, List.rev_append seen rest)
+            | e :: rest -> take (e :: seen) rest
+          in
+          match take [] candidates with
+          | Some (e, rest) ->
+              Hashtbl.replace pending k rest;
+              let delta = Float.abs (Tuple.p e -. Tuple.p a) in
+              if delta > prob_tolerance then
+                emit (Probability { expected = e; actual = a; delta })
+          | None ->
+              let e, rest = (List.hd candidates, List.tl candidates) in
+              Hashtbl.replace pending k rest;
+              emit (Lineage { expected = e; actual = a })))
+    (Relation.tuples actual);
+  Hashtbl.iter
+    (fun _ leftovers -> List.iter (fun e -> emit (Missing e)) leftovers)
+    pending;
+  schema_mismatches @ List.rev !mismatches
+
+let check ?(configs = default_configs) ?(kinds = Nj.all_kinds) ?env ~theta r s
+    =
+  let env = match env with Some e -> e | None -> Relation.prob_env [ r; s ] in
+  List.concat_map
+    (fun kind ->
+      let expected = eval ~env ~kind ~theta r s in
+      List.filter_map
+        (fun config ->
+          let actual =
+            Nj.join ~options:(options_of config) ~env ~kind ~theta r s
+          in
+          Metrics.incr Metrics.Oracle_comparisons;
+          match diff ~expected ~actual with
+          | [] -> None
+          | mismatches ->
+              Metrics.add Metrics.Oracle_mismatches (List.length mismatches);
+              Some { kind; config; mismatches })
+        configs)
+    kinds
+
+(* --- reporting -------------------------------------------------------- *)
+
+let mismatch_to_string = function
+  | Missing tp ->
+      "missing (required by the snapshot semantics): " ^ Tuple.to_string tp
+  | Unexpected tp ->
+      "unexpected (not in the snapshot semantics): " ^ Tuple.to_string tp
+  | Lineage { expected; actual } ->
+      Printf.sprintf "lineage not equivalent at %s %s: expected %s, got %s"
+        (Fact.to_string (Tuple.fact expected))
+        (Interval.to_string (Tuple.iv expected))
+        (Formula.to_string_ascii (Tuple.lineage expected))
+        (Formula.to_string_ascii (Tuple.lineage actual))
+  | Probability { expected; actual; delta } ->
+      Printf.sprintf
+        "probability off by %.3g at %s %s: expected %.17g, got %.17g" delta
+        (Fact.to_string (Tuple.fact expected))
+        (Interval.to_string (Tuple.iv expected))
+        (Tuple.p expected) (Tuple.p actual)
+  | Schema { expected; actual } ->
+      Printf.sprintf "schema mismatch: expected [%s], got [%s]"
+        (String.concat "; " expected)
+        (String.concat "; " actual)
+
+let report ~theta d =
+  String.concat "\n"
+    (Printf.sprintf "divergence: %s join, config %s, theta %s (%d mismatches)"
+       (Nj.kind_name d.kind) (config_name d.config) (Theta.to_string theta)
+       (List.length d.mismatches)
+    :: List.map (fun m -> "  " ^ mismatch_to_string m) d.mismatches)
+
+let repro ~theta r s =
+  String.concat "\n"
+    [
+      "theta: " ^ Theta.to_string theta;
+      "--- r.csv";
+      Csv.to_string r ^ "--- s.csv";
+      Csv.to_string s ^ "---";
+    ]

@@ -1,0 +1,153 @@
+(** The differential snapshot-semantics oracle.
+
+    The paper defines every TP join point-wise: at each time point [t]
+    the output contains a row iff the §I snapshot semantics says so,
+    with the Table I lineage. The optimized LAWAU/LAWAN pipelines never
+    evaluate that definition directly — they sweep intervals — and
+    TPSan re-derives the same lemmas with the same interval bookkeeping,
+    so a misconception shared between the sweep and the sanitizer passes
+    both silently. This module is the independent check: a deliberately
+    naive, obviously-correct evaluator that
+
+    - materializes both inputs point by point over the active timeline,
+    - computes each snapshot's output rows from first principles (match
+      rows with [λr ∧ λs], negation rows with [λr ∧ ¬(∨ λs)], unmatched
+      rows with [λr] — §I / Table I),
+    - re-coalesces maximal intervals from the per-point rows, and
+    - computes every probability by exact weighted model counting on the
+      BDD ({!Tpdb_lineage.Prob.exact}), bypassing the read-once fast
+      path and the probability cache the pipeline uses.
+
+    {!diff} then compares an optimized result against that ground truth:
+    facts and intervals exactly, lineages up to {e logical equivalence}
+    (BDD equality, not syntax), probabilities within {!prob_tolerance}.
+    {!check} sweeps the comparison across every execution-configuration
+    axis the repo ships (parallelism, probability cache, sanitizer, join
+    algorithm, LAWAN schedule).
+
+    Deliberately quadratic in active-domain size — an oracle, not an
+    operator. It shares only {!Tpdb_interval.Interval} arithmetic and
+    the lineage constructors with the pipeline under test; none of the
+    window machinery ({!Tpdb_windows.Overlap}/[Lawau]/[Lawan]), the
+    sweep bookkeeping, or {!Tpdb_joins.Concat}.
+
+    With a {!Tpdb_obs.Metrics} sink installed, oracle work shows up as
+    the [oracle_evals] / [oracle_comparisons] / [oracle_mismatches]
+    counters and the [oracle_eval_ns] distribution; with a trace sink,
+    each evaluation is an ["oracle"]-category span. *)
+
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Prob = Tpdb_lineage.Prob
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Theta = Tpdb_windows.Theta
+module Nj = Tpdb_joins.Nj
+
+(** {2 Ground truth} *)
+
+val eval :
+  ?env:Prob.env ->
+  kind:Nj.join_kind ->
+  theta:Theta.t ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t
+(** The snapshot-semantics ground truth for [kind]: same schema
+    conventions as {!Nj.join} (joined schema, null padding for the outer
+    parts, renamed [r] schema for the anti join), maximal intervals,
+    exact-WMC probabilities. [env] defaults to
+    [Relation.prob_env [r; s]]. *)
+
+(** {2 Configurations} *)
+
+type config = {
+  jobs : int;
+  prob_cache : bool;
+  sanitize : bool;
+  algorithm : Tpdb_windows.Overlap.algorithm;
+  schedule : [ `Heap | `Scan ];
+}
+(** One point of the execution-configuration space of {!Nj.options}. *)
+
+val config :
+  ?jobs:int ->
+  ?prob_cache:bool ->
+  ?sanitize:bool ->
+  ?algorithm:Tpdb_windows.Overlap.algorithm ->
+  ?schedule:[ `Heap | `Scan ] ->
+  unit ->
+  config
+(** Defaults mirror {!Nj.options}: [jobs 1], [prob_cache true],
+    [sanitize false], [algorithm `Hash], [schedule `Heap]. *)
+
+val config_name : config -> string
+(** Compact label, e.g. ["jobs2+nocache+sanitize"]; ["default"] for the
+    all-defaults configuration. *)
+
+val options_of : config -> Nj.options
+
+val default_configs : config list
+(** The shipped sweep: jobs 1/2/4 × prob-cache on/off (the six axes the
+    acceptance criteria name), plus one variant each for the sanitizer,
+    the [`Merge] and [`Index] overlap algorithms, and the [`Scan] LAWAN
+    schedule. *)
+
+(** {2 Diffing} *)
+
+val prob_tolerance : float
+(** [1e-12]: the oracle computes probabilities by exact BDD WMC while
+    the pipeline may use the read-once factorization — equal up to a few
+    ulps, never more. *)
+
+type mismatch =
+  | Missing of Tuple.t
+      (** required by the snapshot semantics, absent from the output *)
+  | Unexpected of Tuple.t  (** present in the output, not in the truth *)
+  | Lineage of { expected : Tuple.t; actual : Tuple.t }
+      (** same fact and interval, lineages not logically equivalent *)
+  | Probability of { expected : Tuple.t; actual : Tuple.t; delta : float }
+      (** lineages equivalent, probabilities differ by more than
+          {!prob_tolerance} *)
+  | Schema of { expected : string list; actual : string list }
+      (** output column lists differ *)
+
+type divergence = {
+  kind : Nj.join_kind;
+  config : config;
+  mismatches : mismatch list;  (** non-empty *)
+}
+
+val diff : expected:Relation.t -> actual:Relation.t -> mismatch list
+(** Tuple-level comparison of an optimized output against ground truth.
+    Tuples are matched on (fact, interval) exactly — both sides emit
+    maximal intervals, so a split or widened interval is a real
+    divergence — then lineage (BDD equivalence), then probability
+    (within {!prob_tolerance}). Empty iff the relations agree. *)
+
+val check :
+  ?configs:config list ->
+  ?kinds:Nj.join_kind list ->
+  ?env:Prob.env ->
+  theta:Theta.t ->
+  Relation.t ->
+  Relation.t ->
+  divergence list
+(** Evaluates the oracle once per [kind] (default {!Nj.all_kinds}) and
+    diffs [Nj.join] under every [config] (default {!default_configs})
+    against it. Empty iff every configuration of every kind agrees with
+    the snapshot semantics. *)
+
+(** {2 Reporting} *)
+
+val mismatch_to_string : mismatch -> string
+
+val report : theta:Theta.t -> divergence -> string
+(** Multi-line human-readable account of one divergence: kind, config,
+    θ, and every mismatch. *)
+
+val repro : theta:Theta.t -> Relation.t -> Relation.t -> string
+(** A self-contained reproduction block: θ plus both inputs as CSV
+    documents (the {!Tpdb_relation.Csv} format, loadable with
+    [tpdb_cli]). Printed by the qcheck suite on shrunk counterexamples
+    and written as artifacts by [tpdb_cli fuzz --oracle]. *)

@@ -7,6 +7,8 @@ module Csv = Tpdb_relation.Csv
 module Theta = Tpdb_windows.Theta
 module Invariant = Tpdb_windows.Invariant
 module Nj = Tpdb_joins.Nj
+module Prob = Tpdb_lineage.Prob
+module Var = Tpdb_lineage.Var
 
 type severity = Error | Warning
 
@@ -47,6 +49,22 @@ let diagnostic_of_exn = function
         (diagnostic ~severity:Error ~code:"tpsan-violation"
            ~path:(Printf.sprintf "group %s, interval %s" group interval)
            (Printf.sprintf "lemma %S broken: %s" lemma detail))
+  | Prob.Unbound_variable v ->
+      Some
+        (diagnostic ~severity:Error ~code:"unbound-variable"
+           ~path:(Var.to_string v)
+           (Printf.sprintf
+              "lineage variable %s has no marginal probability in the \
+               environment — pass an env covering every base variable when \
+               joining derived relations"
+              (Var.to_string v)))
+  | Prob.Vanishing_evidence { p_given; epsilon } ->
+      Some
+        (diagnostic ~severity:Error ~code:"vanishing-evidence"
+           (Printf.sprintf
+              "evidence probability %g is below epsilon %g — conditioning \
+               would divide by (near) zero"
+              p_given epsilon))
   | Parser.Parse_error msg ->
       Some (diagnostic ~severity:Error ~code:"parse" msg)
   | Lexer.Lex_error (msg, pos) ->

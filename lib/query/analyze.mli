@@ -53,6 +53,8 @@ val report : diagnostic list -> string
 val diagnostic_of_exn : exn -> diagnostic option
 (** Maps the library's typed failures — {!Tpdb_relation.Csv.Error},
     {!Tpdb_relation.Value.Type_error},
-    {!Tpdb_windows.Invariant.Violation} — onto diagnostics, so the CLI
-    renders load-time and run-time failures like static ones. Returns
-    [None] for other exceptions. *)
+    {!Tpdb_windows.Invariant.Violation},
+    {!Tpdb_lineage.Prob.Unbound_variable},
+    {!Tpdb_lineage.Prob.Vanishing_evidence} — onto diagnostics, so the
+    CLI renders load-time and run-time failures like static ones.
+    Returns [None] for other exceptions. *)

@@ -15,28 +15,34 @@ let () =
 let error ~path ?line fmt =
   Printf.ksprintf (fun message -> raise (Error { path; line; message })) fmt
 
-let to_channel oc r =
+let lines r =
   let cols = Schema.columns (Relation.schema r) in
-  output_string oc (String.concat "," (cols @ [ "lineage"; "ts"; "te"; "p" ]));
-  output_char oc '\n';
+  String.concat "," (cols @ [ "lineage"; "ts"; "te"; "p" ])
+  :: List.map
+       (fun tp ->
+         let fact = Tuple.fact tp in
+         let values =
+           List.init (Fact.arity fact) (fun i ->
+               Value.to_string (Fact.get fact i))
+         in
+         String.concat ","
+           (values
+           @ [
+               Formula.to_string_ascii (Tuple.lineage tp);
+               string_of_int (Interval.ts (Tuple.iv tp));
+               string_of_int (Interval.te (Tuple.iv tp));
+               Printf.sprintf "%.12g" (Tuple.p tp);
+             ]))
+       (Relation.tuples r)
+
+let to_string r = String.concat "" (List.map (fun l -> l ^ "\n") (lines r))
+
+let to_channel oc r =
   List.iter
-    (fun tp ->
-      let fact = Tuple.fact tp in
-      let values =
-        List.init (Fact.arity fact) (fun i -> Value.to_string (Fact.get fact i))
-      in
-      let row =
-        values
-        @ [
-            Formula.to_string_ascii (Tuple.lineage tp);
-            string_of_int (Interval.ts (Tuple.iv tp));
-            string_of_int (Interval.te (Tuple.iv tp));
-            Printf.sprintf "%.12g" (Tuple.p tp);
-          ]
-      in
-      output_string oc (String.concat "," row);
+    (fun l ->
+      output_string oc l;
       output_char oc '\n')
-    (Relation.tuples r)
+    (lines r)
 
 let save path r =
   let oc = open_out path in
@@ -84,9 +90,18 @@ let of_lines ~name ?(path = "<csv>") lines =
                   fail "empty interval [%d,%d): ts must be below te" a b
             in
             let p =
+              (* [float_of_string_opt] happily parses nan, inf and any
+                 sign/magnitude; only finite values in [0,1] are valid
+                 marginals — anything else would poison downstream
+                 weighted model counting. *)
               match float_of_string_opt (String.trim p) with
-              | Some p -> p
               | None -> fail "probability is not a number: '%s'" p
+              | Some v when Float.is_nan v -> fail "probability is NaN: '%s'" p
+              | Some v when not (Float.is_finite v) ->
+                  fail "probability is infinite: '%s'" p
+              | Some v when v < 0.0 || v > 1.0 ->
+                  fail "probability %g out of [0,1]" v
+              | Some v -> v
             in
             Tuple.make ~fact:(Fact.of_strings values) ~lineage ~iv ~p
         | _ -> fail "wrong field count: expected %d, got %d" (ncols + 4)

@@ -18,5 +18,10 @@ val load : name:string -> string -> Relation.t
 
 val to_channel : out_channel -> Relation.t -> unit
 
+val to_string : Relation.t -> string
+(** The full CSV document (header + rows) as a string — what {!save}
+    writes. Used to embed reproducible inputs in fuzzer and qcheck
+    counterexample reports. *)
+
 val of_lines : name:string -> ?path:string -> string list -> Relation.t
 (** [path] (default ["<csv>"]) is only used in {!Error} diagnostics. *)

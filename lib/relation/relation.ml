@@ -52,7 +52,7 @@ let prob_env relations =
   fun v ->
     match Hashtbl.find_opt table v with
     | Some p -> p
-    | None -> raise Not_found
+    | None -> raise (Tpdb_lineage.Prob.Unbound_variable v)
 
 let is_duplicate_free r =
   let by_fact = Hashtbl.create (Array.length r.tuples) in

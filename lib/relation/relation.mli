@@ -31,7 +31,8 @@ val to_array : t -> Tuple.t array
 
 val prob_env : t list -> Tpdb_lineage.Prob.env
 (** Marginals of every base variable appearing as a whole-tuple lineage in
-    the given relations. Unknown variables raise [Not_found]. *)
+    the given relations. Unknown variables raise
+    {!Tpdb_lineage.Prob.Unbound_variable}. *)
 
 val is_duplicate_free : t -> bool
 (** No two tuples with the same fact have overlapping intervals — the

@@ -1,0 +1,49 @@
+CSV loading validates the probability column: any parseable float used
+to be accepted, so nan, inf, negative and > 1.0 values silently
+poisoned downstream weighted model counting. Each now fails fast with
+a typed diagnostic naming the file and line.
+
+  $ cat > bad_nan.csv <<EOF
+  > A,lineage,ts,te,p
+  > x,a1,0,3,nan
+  > EOF
+  $ ../../bin/tpdb_cli.exe query -t bad_nan.csv "SELECT * FROM bad_nan"
+  error[csv-load] at bad_nan.csv:2: probability is NaN: 'nan'
+  [1]
+
+  $ cat > bad_inf.csv <<EOF
+  > A,lineage,ts,te,p
+  > x,a1,0,3,inf
+  > EOF
+  $ ../../bin/tpdb_cli.exe query -t bad_inf.csv "SELECT * FROM bad_inf"
+  error[csv-load] at bad_inf.csv:2: probability is infinite: 'inf'
+  [1]
+
+  $ cat > bad_neg.csv <<EOF
+  > A,lineage,ts,te,p
+  > x,a1,0,3,-0.25
+  > EOF
+  $ ../../bin/tpdb_cli.exe query -t bad_neg.csv "SELECT * FROM bad_neg"
+  error[csv-load] at bad_neg.csv:2: probability -0.25 out of [0,1]
+  [1]
+
+  $ cat > bad_big.csv <<EOF
+  > A,lineage,ts,te,p
+  > x,a1,0,3,1.5
+  > EOF
+  $ ../../bin/tpdb_cli.exe query -t bad_big.csv "SELECT * FROM bad_big"
+  error[csv-load] at bad_big.csv:2: probability 1.5 out of [0,1]
+  [1]
+
+The boundaries 0 and 1 stay loadable:
+
+  $ cat > edge.csv <<EOF
+  > A,lineage,ts,te,p
+  > x,a1,0,3,0
+  > y,a2,1,4,1
+  > EOF
+  $ ../../bin/tpdb_cli.exe query -t edge.csv "SELECT * FROM edge" | tail -n +4
+  edge (2 tuples)
+  A | lineage | T | p
+  x | a1 | [0,3) | 0
+  y | a2 | [1,4) | 1

@@ -170,6 +170,85 @@ let prop_gaps_complement =
           in_gap = (inside && not covered))
         (List.init 40 Fun.id))
 
+(* The thirteen Allen relations, each defined independently from the
+   endpoint orderings (Allen 1983), so the test does not trust any of the
+   library's own interval predicates. Exactly one must hold for any pair,
+   and it must be the one [Interval.allen] reports. *)
+let prop_allen_exclusive =
+  Test.make
+    ~name:"allen: exactly one of the 13 relations holds, and it's allen's"
+    ~count:500
+    (Gen.pair Tp_gen.interval Tp_gen.interval)
+    (fun (a, b) ->
+      let ats = Interval.ts a and ate = Interval.te a in
+      let bts = Interval.ts b and bte = Interval.te b in
+      let defs =
+        [
+          (Interval.Before, ate < bts);
+          (Interval.Meets, ate = bts);
+          (Interval.Overlaps, ats < bts && bts < ate && ate < bte);
+          (Interval.Starts, ats = bts && ate < bte);
+          (Interval.During, bts < ats && ate < bte);
+          (Interval.Finishes, bts < ats && ate = bte);
+          (Interval.Equals, ats = bts && ate = bte);
+          (Interval.Finished_by, ats < bts && ate = bte);
+          (Interval.Contains, ats < bts && bte < ate);
+          (Interval.Started_by, ats = bts && bte < ate);
+          (Interval.Overlapped_by, bts < ats && ats < bte && bte < ate);
+          (Interval.Met_by, bte = ats);
+          (Interval.After, bte < ats);
+        ]
+      in
+      let holding = List.filter (fun (_, holds) -> holds) defs in
+      match holding with
+      | [ (rel, _) ] -> Interval.allen a b = rel
+      | _ -> false)
+
+(* [minus a b] and [intersect a b] partition [a]: together they cover
+   exactly the points of [a], without overlap, and no piece is empty. *)
+let prop_minus_intersect_partition =
+  Test.make ~name:"minus + intersect partition the left interval" ~count:500
+    (Gen.pair Tp_gen.interval Tp_gen.interval)
+    (fun (a, b) ->
+      let diff = Interval.minus a b in
+      let inter =
+        match Interval.intersect a b with None -> [] | Some i -> [ i ]
+      in
+      let pieces = diff @ inter in
+      List.for_all (fun i -> Interval.duration i > 0) pieces
+      && List.for_all
+           (fun t ->
+             let covering =
+               List.length (List.filter (fun i -> Interval.contains i t) pieces)
+             in
+             covering = if Interval.contains a t then 1 else 0)
+           (List.init 40 Fun.id))
+
+(* [union_if_joinable] round-trip: when it joins, the union covers
+   exactly the points of both sides and subtracting one side gives back
+   (a sub-cover of) the other; when it refuses, the intervals are
+   neither overlapping nor adjacent. *)
+let prop_union_round_trip =
+  Test.make ~name:"union_if_joinable round-trips with minus" ~count:500
+    (Gen.pair Tp_gen.interval Tp_gen.interval)
+    (fun (a, b) ->
+      match Interval.union_if_joinable a b with
+      | None ->
+          (not (Interval.overlaps a b)) && not (Interval.adjacent a b)
+      | Some u ->
+          let point_ok t =
+            Interval.contains u t
+            = (Interval.contains a t || Interval.contains b t)
+          in
+          let remainder = Interval.minus u a in
+          List.for_all (fun i -> Interval.duration i > 0) remainder
+          && List.for_all
+               (fun i ->
+                 List.of_seq (Interval.points i)
+                 |> List.for_all (Interval.contains b))
+               remainder
+          && List.for_all point_ok (List.init 40 Fun.id))
+
 let prop_allen_total =
   Test.make ~name:"allen relations are mutually exclusive and mirror" ~count:200
     (Gen.pair Tp_gen.interval Tp_gen.interval) (fun (a, b) ->
@@ -209,4 +288,7 @@ let suite =
     qcheck prop_segments_partition;
     qcheck prop_gaps_complement;
     qcheck prop_allen_total;
+    qcheck prop_allen_exclusive;
+    qcheck prop_minus_intersect_partition;
+    qcheck prop_union_round_trip;
   ]

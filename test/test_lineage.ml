@@ -201,8 +201,34 @@ let test_conditional () =
   Alcotest.(check (float 1e-9)) "independent evidence" 0.7
     (Prob.conditional env ~given:(f "b2") (f "a1"));
   match Prob.conditional env ~given:Formula.false_ (f "a1") with
-  | exception Invalid_argument _ -> ()
+  | exception Prob.Vanishing_evidence { p_given = 0.0; _ } -> ()
+  | exception Prob.Vanishing_evidence _ ->
+      Alcotest.fail "impossible evidence reported a nonzero probability"
   | _ -> Alcotest.fail "conditioning on impossible evidence accepted"
+
+(* Regression: [conditional] used to guard only [p_given <= 0.0] and
+   happily divided by denormal-small evidence probabilities; it must now
+   raise the typed error for anything below [Prob.evidence_epsilon]. *)
+let test_conditional_denormal_evidence () =
+  let env = Prob.env_of_alist [ (Var.make "a" 1, 1e-300); (Var.make "b" 2, 0.5) ] in
+  (match Prob.conditional env ~given:(f "a1") (f "b2") with
+  | exception Prob.Vanishing_evidence { p_given; epsilon } ->
+      Alcotest.(check (float 0.0)) "p_given carried" 1e-300 p_given;
+      Alcotest.(check (float 0.0)) "epsilon carried" Prob.evidence_epsilon epsilon
+  | p -> Alcotest.failf "denormal evidence accepted, returned %g" p);
+  (* Just above the threshold still works. *)
+  let env = Prob.env_of_alist [ (Var.make "a" 1, 1e-9); (Var.make "b" 2, 0.5) ] in
+  Alcotest.(check (float 1e-12)) "small but sound evidence" 0.5
+    (Prob.conditional env ~given:(f "a1") (f "b2"))
+
+(* Regression: [env_of_alist] used to raise a bare [Not_found] for a
+   variable missing from the environment. *)
+let test_env_unbound_variable () =
+  let env = Prob.env_of_alist [ (Var.make "a" 1, 0.5) ] in
+  match Prob.compute env (f "a1 & q7") with
+  | exception Prob.Unbound_variable v ->
+      Alcotest.(check string) "names the variable" "q7" (Var.to_string v)
+  | p -> Alcotest.failf "unbound variable computed to %g" p
 
 let test_monte_carlo () =
   let env =
@@ -368,6 +394,10 @@ let suite =
     Alcotest.test_case "paper probabilities" `Quick test_probability_example;
     Alcotest.test_case "read-once detection" `Quick test_read_once;
     Alcotest.test_case "conditional probability" `Quick test_conditional;
+    Alcotest.test_case "conditional rejects denormal evidence" `Quick
+      test_conditional_denormal_evidence;
+    Alcotest.test_case "unbound variable is typed" `Quick
+      test_env_unbound_variable;
     Alcotest.test_case "monte carlo" `Quick test_monte_carlo;
     Alcotest.test_case "enumerate guard" `Quick test_enumerate_guard;
     qcheck prop_exact_matches_enumeration;

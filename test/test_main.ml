@@ -8,6 +8,7 @@ let () =
       ("storage", Test_storage.suite);
       ("windows", Test_windows.suite);
       ("joins", Test_joins.suite);
+      ("oracle", Test_oracle.suite);
       ("alignment", Test_alignment.suite);
       ("setops", Test_setops.suite);
       ("projection", Test_projection.suite);

@@ -1,0 +1,202 @@
+(* The differential snapshot-semantics oracle (lib/oracle).
+
+   Two halves: unit tests that the oracle itself is trustworthy (it
+   reproduces the paper example and its diff catches seeded defects of
+   every class), and the differential qcheck suite — random scenarios,
+   all five join kinds, every shipped configuration axis — where
+   QCheck2's integrated shrinking minimizes any divergence and the
+   printer renders it as a reproducible CSV pair. *)
+
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Prob = Tpdb_lineage.Prob
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Theta = Tpdb_windows.Theta
+module Nj = Tpdb_joins.Nj
+module Reference = Tpdb_joins.Reference
+module Oracle = Tpdb_oracle.Oracle
+module Metrics = Tpdb_obs.Metrics
+
+(* --- the oracle itself is right on the paper example --- *)
+
+let test_paper_example () =
+  let a = Fixtures.relation_a () and b = Fixtures.relation_b () in
+  let theta = Fixtures.theta_loc in
+  List.iter
+    (fun (name, kind, reference) ->
+      let want = reference ?env:None ~theta a b in
+      let got = Oracle.eval ~kind ~theta a b in
+      if not (Relation.equal_as_sets want got) then
+        Alcotest.failf "%s: oracle disagrees with Reference:\n%s\nvs\n%s" name
+          (Format.asprintf "%a" Relation.pp want)
+          (Format.asprintf "%a" Relation.pp got))
+    [
+      ("inner", Nj.Inner, Reference.inner);
+      ("anti", Nj.Anti, Reference.anti);
+      ("left", Nj.Left, Reference.left_outer);
+      ("right", Nj.Right, Reference.right_outer);
+      ("full", Nj.Full, Reference.full_outer);
+    ]
+
+(* --- the diff catches seeded defects of every class --- *)
+
+let classify = function
+  | Oracle.Missing _ -> "missing"
+  | Oracle.Unexpected _ -> "unexpected"
+  | Oracle.Lineage _ -> "lineage"
+  | Oracle.Probability _ -> "probability"
+  | Oracle.Schema _ -> "schema"
+
+let test_diff_classification () =
+  let a = Fixtures.relation_a () and b = Fixtures.relation_b () in
+  let theta = Fixtures.theta_loc in
+  let truth = Oracle.eval ~kind:Nj.Left ~theta a b in
+  Alcotest.(check (list string)) "clean diff" []
+    (List.map classify (Oracle.diff ~expected:truth ~actual:truth));
+  let seed f =
+    Relation.of_tuples (Relation.schema truth) (f (Relation.tuples truth))
+  in
+  let check_classes what expected_classes seeded =
+    let got =
+      List.sort_uniq compare
+        (List.map classify (Oracle.diff ~expected:truth ~actual:seeded))
+    in
+    Alcotest.(check (list string)) what expected_classes got
+  in
+  (* Dropping a tuple → missing. *)
+  check_classes "dropped tuple" [ "missing" ]
+    (seed (function _ :: rest -> rest | [] -> []));
+  (* Duplicating a tuple → unexpected (the copy finds no partner). *)
+  check_classes "duplicated tuple" [ "unexpected" ]
+    (seed (function t :: rest -> t :: t :: rest | [] -> []));
+  (* Shifting an interval → one missing, one unexpected. *)
+  check_classes "shifted interval" [ "missing"; "unexpected" ]
+    (seed (function
+      | t :: rest ->
+          Tuple.make ~fact:(Tuple.fact t) ~lineage:(Tuple.lineage t)
+            ~iv:(Interval.shift 1 (Tuple.iv t))
+            ~p:(Tuple.p t)
+          :: rest
+      | [] -> []));
+  (* Rewriting a lineage to something inequivalent → lineage. *)
+  check_classes "wrong lineage" [ "lineage" ]
+    (seed (function
+      | t :: rest ->
+          Tuple.make ~fact:(Tuple.fact t)
+            ~lineage:(Formula.var (Tpdb_lineage.Var.make "z" 99))
+            ~iv:(Tuple.iv t) ~p:(Tuple.p t)
+          :: rest
+      | [] -> []));
+  (* Perturbing a probability beyond 1e-12 → probability. *)
+  check_classes "wrong probability" [ "probability" ]
+    (seed (function
+      | t :: rest ->
+          let p = Tuple.p t in
+          let p = if p > 0.5 then p -. 1e-6 else p +. 1e-6 in
+          Tuple.make ~fact:(Tuple.fact t) ~lineage:(Tuple.lineage t)
+            ~iv:(Tuple.iv t) ~p
+          :: rest
+      | [] -> []));
+  (* An equivalent-but-not-identical lineage is NOT a mismatch. *)
+  check_classes "equivalent lineage accepted" []
+    (seed
+       (List.map (fun t ->
+            Tuple.make ~fact:(Tuple.fact t)
+              ~lineage:
+                (Formula.( &&& ) (Tuple.lineage t) (Tuple.lineage t)
+                |> Formula.normalize)
+              ~iv:(Tuple.iv t) ~p:(Tuple.p t))))
+
+(* Oracle runs are visible in metrics. *)
+let test_metrics () =
+  let a = Fixtures.relation_a () and b = Fixtures.relation_b () in
+  let m = Metrics.create () in
+  Metrics.with_sink m (fun () ->
+      match
+        Oracle.check ~configs:[ Oracle.config () ] ~kinds:[ Nj.Left; Nj.Anti ]
+          ~theta:Fixtures.theta_loc a b
+      with
+      | [] -> ()
+      | ds ->
+          Alcotest.failf "paper example diverged:\n%s"
+            (String.concat "\n"
+               (List.map (Oracle.report ~theta:Fixtures.theta_loc) ds)));
+  Alcotest.(check int) "oracle_evals" 2 (Metrics.get m Metrics.Oracle_evals);
+  Alcotest.(check int) "oracle_comparisons" 2
+    (Metrics.get m Metrics.Oracle_comparisons);
+  Alcotest.(check int) "oracle_mismatches" 0
+    (Metrics.get m Metrics.Oracle_mismatches);
+  Alcotest.(check bool) "oracle_eval_ns observed" true
+    ((Metrics.dist_stats m Metrics.Oracle_eval_ns).count = 2)
+
+(* --- the differential suite ------------------------------------------ *)
+
+module Test = QCheck2.Test
+
+let qtest = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+(* The acceptance axes: jobs 1/2/4 × prob-cache on/off. *)
+let axis_configs =
+  List.concat_map
+    (fun jobs ->
+      [ Oracle.config ~jobs (); Oracle.config ~jobs ~prob_cache:false () ])
+    [ 1; 2; 4 ]
+
+let print_scenario (theta, r, s) = Oracle.repro ~theta r s
+
+let differential ?(configs = axis_configs) ?(count = 120) kind =
+  Test.make
+    ~name:
+      (Printf.sprintf "differential: %s join = snapshot semantics on %d axes"
+         (Nj.kind_name kind) (List.length configs))
+    ~count ~print:print_scenario
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      match Oracle.check ~configs ~kinds:[ kind ] ~theta r s with
+      | [] -> true
+      | ds ->
+          Test.fail_report
+            (String.concat "\n\n"
+               (List.map (Oracle.report ~theta) ds
+               @ [ print_scenario (theta, r, s) ])))
+
+(* The remaining shipped axes (sanitizer, merge/index algorithms, scan
+   schedule) at a lower count, all kinds per case. *)
+let differential_full_matrix =
+  let configs =
+    [
+      Oracle.config ~sanitize:true ();
+      Oracle.config ~jobs:2 ~sanitize:true ();
+      Oracle.config ~algorithm:`Merge ();
+      Oracle.config ~algorithm:`Index ();
+      Oracle.config ~schedule:`Scan ();
+    ]
+  in
+  Test.make ~name:"differential: all kinds under sanitize/merge/index/scan"
+    ~count:40 ~print:print_scenario
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      match Oracle.check ~configs ~theta r s with
+      | [] -> true
+      | ds ->
+          Test.fail_report
+            (String.concat "\n\n"
+               (List.map (Oracle.report ~theta) ds
+               @ [ print_scenario (theta, r, s) ])))
+
+let suite =
+  [
+    Alcotest.test_case "oracle reproduces the paper example" `Quick
+      test_paper_example;
+    Alcotest.test_case "diff classifies seeded defects" `Quick
+      test_diff_classification;
+    Alcotest.test_case "oracle runs are measured" `Quick test_metrics;
+    qtest (differential Nj.Inner);
+    qtest (differential Nj.Anti);
+    qtest (differential Nj.Left);
+    qtest (differential Nj.Right);
+    qtest (differential Nj.Full);
+    qtest differential_full_matrix;
+  ]

@@ -93,7 +93,8 @@ let test_of_rows_lineage () =
   let env = Relation.prob_env [ r ] in
   Alcotest.(check (float 1e-9)) "env binds p" 0.6 (env (Var.make "r" 2));
   (match env (Var.make "r" 9) with
-  | exception Not_found -> ()
+  | exception Tpdb_lineage.Prob.Unbound_variable v ->
+      Alcotest.(check string) "names the variable" "r9" (Var.to_string v)
   | _ -> Alcotest.fail "unknown var bound")
 
 let test_duplicate_free () =
@@ -251,6 +252,42 @@ let test_csv_malformed () =
   | exception Csv.Error { path = "p.csv"; line = Some 2; _ } -> ()
   | _ -> Alcotest.fail "empty interval accepted"
 
+(* Regression: any parseable float used to be accepted as the tuple
+   probability — nan, inf, negative and > 1.0 loaded silently (or
+   crashed later with a raw [Invalid_argument] from [Tuple.make]) and
+   poisoned downstream weighted model counting. All four must be typed
+   CSV errors naming the line. *)
+let test_csv_bad_probability () =
+  let load p =
+    Csv.of_lines ~name:"x" ~path:"p.csv"
+      [ "A,lineage,ts,te,p"; Printf.sprintf "v,a1,0,3,%s" p ]
+  in
+  let expect_error what p =
+    match load p with
+    | exception Csv.Error { path = "p.csv"; line = Some 2; message } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s message mentions probability (%s)" what message)
+          true
+          (String.length message >= 11
+          && String.sub message 0 11 = "probability")
+    | exception exn ->
+        Alcotest.failf "%s: untyped failure %s" what (Printexc.to_string exn)
+    | _ -> Alcotest.failf "%s accepted as a probability" what
+  in
+  expect_error "nan" "nan";
+  expect_error "+inf" "inf";
+  expect_error "-inf" "-inf";
+  expect_error "negative" "-0.25";
+  expect_error "above one" "1.5";
+  (* The boundaries stay loadable. *)
+  List.iter
+    (fun p ->
+      match load p with
+      | r -> Alcotest.(check int) (p ^ " loads") 1 (Relation.cardinality r)
+      | exception exn ->
+          Alcotest.failf "%s rejected: %s" p (Printexc.to_string exn))
+    [ "0"; "1"; "0.5" ]
+
 (* --- properties --- *)
 
 open QCheck2
@@ -300,6 +337,8 @@ let suite =
     Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
     Alcotest.test_case "csv derived lineage" `Quick test_csv_derived_lineage;
     Alcotest.test_case "csv malformed" `Quick test_csv_malformed;
+    Alcotest.test_case "csv rejects non-probability p" `Quick
+      test_csv_bad_probability;
     qcheck prop_generated_duplicate_free;
     qcheck prop_coalesce_idempotent;
     qcheck prop_csv_roundtrip;
