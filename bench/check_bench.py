@@ -2,7 +2,7 @@
 """Benchmark regression gate.
 
 Compares a freshly generated bench JSON report (bench/main.exe --json)
-against the committed baseline (BENCH_4.json at the repo root). Timings
+against the committed baseline (BENCH_6.json at the repo root). Timings
 are machine-dependent and ignored; everything the pipeline counts
 deterministically must match the baseline exactly:
 
@@ -12,12 +12,25 @@ deterministically must match the baseline exactly:
     lineage nodes, prob evals, prob-cache hits/misses/resets, ...)
   - partition counts and sizes of the domain-parallel sweeps
 
-On top of the exact checks, the prob-cache hit rate on the
-lineage-heavy series must stay above a floor (the cache memoizes
-whole-formula probabilities; a hit-rate collapse means hash-consing or
-generation invalidation regressed even if outputs are still right).
+On top of the exact checks, three machine-independent performance
+invariants of the CURRENT report:
+
+  - the prob-cache hit rate on the lineage-heavy series must stay
+    above a floor (the cache memoizes whole-formula probabilities; a
+    hit-rate collapse means hash-consing or generation invalidation
+    regressed even if outputs are still right);
+  - the flat sweep core must stay >= --sweep-ratio-floor (default 5x)
+    faster than the legacy Seq-of-records chain at the "Flat scale"
+    sweep's ratio size — both sides are measured in the same process
+    on the same machine, so the ratio is a property of the code;
+  - minor-heap allocation (the minor_alloc_words counter, summed over
+    every sweep point) may not grow more than --alloc-tolerance
+    (default 15%) over the baseline. It is near-deterministic but not
+    exactly so (domain scheduling moves worker allocations off the
+    recording domain), hence a tolerance instead of an exact match.
 
 Usage: check_bench.py BASELINE CURRENT [--hit-rate-floor F]
+                      [--sweep-ratio-floor F] [--alloc-tolerance F]
 Exits non-zero on the first class of failure, printing every diff.
 """
 
@@ -44,6 +57,24 @@ DETERMINISTIC_COUNTERS = [
 ]
 
 
+def flat_sweep_ratio(doc):
+    """legacy ms / flat-kernel ms at the smallest common size of the
+    "Flat scale" sweep; None if the sweep or either series is absent."""
+    for sweep in doc["sweeps"]:
+        if not sweep["name"].startswith("Flat scale"):
+            continue
+        by_series = {}
+        for point in sweep["points"]:
+            by_series.setdefault(point["series"], {})[point["size"]] = point["ms"]
+        common = sorted(
+            set(by_series.get("legacy", {})) & set(by_series.get("flat-kernel", {}))
+        )
+        if common:
+            size = common[0]
+            return by_series["legacy"][size] / by_series["flat-kernel"][size]
+    return None
+
+
 def sweep_points(doc):
     return {
         (sweep["name"], point["series"], point["size"]): point["output"]
@@ -57,6 +88,8 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--hit-rate-floor", type=float, default=0.25)
+    parser.add_argument("--sweep-ratio-floor", type=float, default=5.0)
+    parser.add_argument("--alloc-tolerance", type=float, default=0.15)
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -105,6 +138,26 @@ def main():
             f"prob_cache.hit_rate {hit_rate:.3f} below floor {args.hit_rate_floor}"
         )
 
+    sweep_ratio = flat_sweep_ratio(current)
+    if sweep_ratio is None:
+        failures.append('no "Flat scale" sweep with legacy + flat-kernel points')
+    elif sweep_ratio < args.sweep_ratio_floor:
+        failures.append(
+            f"flat sweep-throughput ratio {sweep_ratio:.2f}x below floor "
+            f"{args.sweep_ratio_floor}x (legacy ms / flat-kernel ms)"
+        )
+
+    alloc_base = base_counters.get("minor_alloc_words")
+    alloc_cur = cur_counters.get("minor_alloc_words")
+    if alloc_base and alloc_cur is not None:
+        growth = alloc_cur / alloc_base - 1.0
+        if growth > args.alloc_tolerance:
+            failures.append(
+                f"minor_alloc_words grew {100 * growth:.1f}% "
+                f"(baseline {alloc_base}, current {alloc_cur}, "
+                f"tolerance {100 * args.alloc_tolerance:.0f}%)"
+            )
+
     if failures:
         print(f"bench regression check FAILED ({len(failures)} diffs):")
         for failure in failures:
@@ -114,6 +167,7 @@ def main():
     print(
         "bench regression check passed: "
         f"{len(cur_points)} sweep points, hit rate {hit_rate:.3f}, "
+        f"flat sweep ratio {sweep_ratio:.2f}x, "
         f"speedup {json.dumps(pc_cur.get('speedup', {}))}"
     )
 

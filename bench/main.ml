@@ -119,8 +119,8 @@ let run_sweeps scale =
         (Printf.sprintf "Ablation (%s): overlap join algorithm (NJ WUO)" d)
         (E.ablation_join_algorithm ~scale dataset);
       emit
-        (Printf.sprintf "Ablation (%s): LAWAN schedule (heap vs rescan)" d)
-        (E.ablation_lawan_schedule ~scale dataset);
+        (Printf.sprintf "Ablation (%s): sweep engine (flat vs legacy)" d)
+        (E.ablation_sweep_engine ~scale dataset);
       emit
         (Printf.sprintf "Ablation (%s): pipelined vs materialized stages" d)
         (E.ablation_pipelining ~scale dataset);
@@ -156,6 +156,12 @@ let run_prob_cache_sweep metrics scale =
   if h + m > 0 then Printf.printf "prob-cache hit rate: %.3f\n" rate;
   flush stdout;
   prob_cache_report := Some (h, m, rate, speedups)
+
+(* Fixed sizes regardless of --quick: the committed baseline must carry
+   the million-tuple points (see Experiments.flat_scale_sweep). *)
+let run_flat_scale () =
+  emit "Flat scale: WUON pipeline, 125K-1M tuples per input"
+    (E.flat_scale_sweep ())
 
 let run_extra_sweeps () =
   emit "Extra: selectivity sweep (distinct keys; size column = keys)"
@@ -246,6 +252,7 @@ let () =
   if not (has "--no-sweep") then begin
     run_sweeps scale;
     run_prob_cache_sweep metrics scale;
+    run_flat_scale ();
     if scale <> E.Quick then run_extra_sweeps ()
   end;
   if has "--paper" then run_paper_scale ();

@@ -289,7 +289,7 @@ let experiment figure dataset scale =
     | "fig7" -> E.fig7 ~scale dataset
     | "nj-paper" -> E.nj_paper_scale dataset
     | "ablation-join" -> E.ablation_join_algorithm ~scale dataset
-    | "ablation-lawan" -> E.ablation_lawan_schedule ~scale dataset
+    | "ablation-sweep" -> E.ablation_sweep_engine ~scale dataset
     | "ablation-pipeline" -> E.ablation_pipelining ~scale dataset
     | "selectivity" -> E.selectivity_sweep ()
     | "skew" -> E.skew_sweep ()
@@ -306,7 +306,7 @@ let experiment_cmd =
   let figure =
     Arg.(value & opt string "fig7" & info [ "figure" ] ~docv:"FIG"
            ~doc:"fig5 | fig6 | fig7 | nj-paper | ablation-join | \
-                 ablation-lawan | ablation-pipeline | selectivity | skew | \
+                 ablation-sweep | ablation-pipeline | selectivity | skew | \
                  parallel.")
   and dataset =
     Arg.(value & opt dataset_conv E.Webkit & info [ "dataset" ] ~docv:"NAME"
@@ -440,8 +440,8 @@ let fuzz_cmd =
                  point by point from the paper's snapshot semantics (exact \
                  BDD probabilities) and diff every join kind against the \
                  optimized pipeline across all execution configurations \
-                 (parallelism, probability cache, sanitizer, join \
-                 algorithm, LAWAN schedule). This is the default and \
+                 (parallelism, probability cache, sanitizer, sweep \
+                 engine and join algorithm). This is the default and \
                  currently only mode.")
   and seconds =
     Arg.(value & opt float 5.0 & info [ "seconds" ] ~docv:"N"

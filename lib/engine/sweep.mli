@@ -1,22 +1,38 @@
 (** The generic interval sweep underlying LAWAN and the TP projection
     operator.
 
-    Given items carrying an interval and a payload, the sweep visits the
-    start and end points in temporal order and emits one segment per
-    maximal run of time points whose set of covering items is constant and
-    non-empty. Payloads are listed in arrival (start) order — the order
-    the paper's examples use for lineage disjunctions like [b3 ∨ b2].
+    Input is a {!Source.t} — endpoints unboxed into start-sorted int
+    arrays with payloads in a parallel array, the same flat layout as
+    {!Flat}. The sweep visits the start and end points in temporal order
+    and emits one segment per maximal run of time points whose set of
+    covering items is constant and non-empty. Payloads are listed in
+    arrival (start) order — the order the paper's examples use for
+    lineage disjunctions like [b3 ∨ b2]. Upcoming ending points are
+    scheduled with a priority queue, as in the paper.
 
-    [`Heap] schedules upcoming ending points with a priority queue (the
-    paper's choice); [`Scan] finds the minimum by rescanning the active
-    list (ablation baseline). Both produce identical output. *)
+    Start-sortedness is the constructor's precondition. {!Source.of_list}
+    always asserts it (the list is being copied anyway) and raises
+    [Invalid_argument] on unsorted input; the zero-copy
+    {!Source.of_arrays} asserts it only under [TPDB_SANITIZE=1], keeping
+    the hot path branch-free by default. *)
 
 module Interval = Tpdb_interval.Interval
 
-val constant_segments :
-  ?schedule:[ `Heap | `Scan ] ->
-  (Interval.t * 'a) list ->
-  (Interval.t * 'a list) list
-(** Input must be sorted by interval start. Output segments are disjoint,
-    in temporal order, and their union is exactly the union of the input
-    intervals. *)
+module Source : sig
+  type 'a t
+
+  val of_list : (Interval.t * 'a) list -> 'a t
+  (** Must be sorted by interval start; raises [Invalid_argument]
+      otherwise. *)
+
+  val of_arrays : ts:int array -> te:int array -> payload:'a array -> len:int -> 'a t
+  (** Wraps the first [len] elements of three parallel arrays without
+      copying; [ts] must be ascending (asserted under
+      [TPDB_SANITIZE=1]). *)
+
+  val length : 'a t -> int
+end
+
+val constant_segments : 'a Source.t -> (Interval.t * 'a list) list
+(** Output segments are disjoint, in temporal order, and their union is
+    exactly the union of the input intervals. *)

@@ -6,6 +6,7 @@ module Nj = Tpdb_joins.Nj
 module Ta = Tpdb_alignment.Ta
 module Align = Tpdb_alignment.Align
 module Datasets = Tpdb_workload.Datasets
+module Metrics = Tpdb_obs.Metrics
 
 type dataset = Webkit | Meteo
 
@@ -59,11 +60,16 @@ let pair ?(scale = Default) dataset ~size =
 
 type point = { series : string; size : int; ms : float; output : int }
 
+(* Every sweep point is also an allocation extent: with a metrics sink
+   installed (bench --json) the minor words the measuring domain
+   allocates while producing the point accumulate in
+   [Minor_alloc_words], which the bench regression gate bounds. *)
 let timed f =
-  let t0 = Unix.gettimeofday () in
-  let output = f () in
-  let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
-  (ms, output)
+  Metrics.count_alloc Metrics.Minor_alloc_words (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let output = f () in
+      let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      (ms, output))
 
 let point series size f =
   let ms, output = timed f in
@@ -136,6 +142,7 @@ let ablation_join_algorithm ?scale dataset =
   in
   sweep ?scale dataset
     [
+      series "flat" `Flat;
       series "hash" `Hash;
       series "merge" `Merge;
       series "index" `Index;
@@ -160,18 +167,62 @@ let parallel_sweep ?scale dataset =
                   ~theta r s) ))
        parallel_jobs)
 
-let ablation_lawan_schedule ?(scale = Default) dataset =
-  let theta = theta dataset in
+(* The flat struct-of-arrays sweep core against the legacy Seq-of-records
+   chain (hash probe + LAWAU + LAWAN), full WUON pipeline on both sides.
+   The bench regression gate asserts a throughput-ratio floor between
+   these two series, which keeps the check machine-independent. *)
+let ablation_sweep_engine ?scale dataset =
+  let run algorithm ~theta r s =
+    seq_length (Nj.windows_wuon ~options:(Nj.options ~algorithm ()) ~theta r s)
+  in
+  sweep ?scale dataset
+    [ ("flat", run `Flat); ("legacy", run `Hash) ]
+
+(* The flat core at headline scale: a 10^6-tuples-per-input series on
+   the generic uniform generator. Sizes are fixed rather than derived
+   from [?scale] so the committed BENCH_6.json baseline always carries
+   the million-tuple points. ~1000-entry key groups put the series in
+   the regime the flat layout is built for: candidate scans long enough
+   that per-candidate cost — a raw endpoint-array read vs a Seq closure
+   plus a record — dominates.
+
+   Three series. [flat-kernel] is {!Tpdb_windows.Flat_join.count}, the
+   sweep core counting every WUON window straight off the endpoint
+   buffers with nothing materialized; it runs at every size. [flat] and
+   [legacy] enumerate the same windows through the materializing
+   pipeline and run only at {!flat_scale_ratio_size} (the legacy chain
+   at 10^6 would dominate CI time); legacy-over-kernel ms at that size
+   is the machine-independent sweep-throughput ratio the bench
+   regression gate holds ≥5x. *)
+let flat_scale_sizes = [ 125_000; 250_000; 500_000; 1_000_000 ]
+let flat_scale_ratio_size = List.hd flat_scale_sizes
+
+let flat_scale_sweep () =
+  let module Flat_join = Tpdb_windows.Flat_join in
+  let theta = Theta.eq 0 0 in
+  let run algorithm r s =
+    seq_length
+      (Nj.windows_wuon ~options:(Nj.options ~algorithm ()) ~theta r s)
+  in
   List.concat_map
     (fun size ->
-      let r, s = pair ~scale dataset ~size in
-      let wuo = List.of_seq (Nj.windows_wuo ~theta r s) in
-      List.map
-        (fun (series, schedule) ->
-          point series size (fun () ->
-              seq_length (Lawan.extend ~schedule (List.to_seq wuo))))
-        [ ("heap", `Heap); ("scan", `Scan) ])
-    (sizes dataset scale)
+      let make name seed =
+        Datasets.Uniform.relation ~name ~seed:(seed + size)
+          ~keys:(max 1 (size / 1024)) ~horizon:12_800 ~mean_duration:50 size
+      in
+      let r = make "r" 500 and s = make "s" 600 in
+      let kernel =
+        point "flat-kernel" size (fun () ->
+            Flat_join.count ~stage:`Wuon ~theta r s)
+      in
+      if size = flat_scale_ratio_size then
+        [
+          kernel;
+          point "flat" size (fun () -> run `Flat r s);
+          point "legacy" size (fun () -> run `Hash r s);
+        ]
+      else [ kernel ])
+    flat_scale_sizes
 
 let ablation_pipelining ?scale dataset =
   let module Overlap = Tpdb_windows.Overlap in

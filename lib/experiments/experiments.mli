@@ -58,12 +58,31 @@ val nj_paper_scale : dataset -> point list
     size — see EXPERIMENTS.md). *)
 
 val ablation_join_algorithm : ?scale:scale -> dataset -> point list
-(** NJ's WUO stage with hash vs nested-loop overlap join (why TA's plan
-    choice hurts, paper §IV). *)
+(** NJ's WUO stage across every probe algorithm — the flat core plus the
+    legacy hash/merge/index/nested-loop paths (why TA's plan choice
+    hurts, paper §IV). *)
 
-val ablation_lawan_schedule : ?scale:scale -> dataset -> point list
-(** LAWAN with the paper's priority queue vs linear rescan of the active
-    list. *)
+val ablation_sweep_engine : ?scale:scale -> dataset -> point list
+(** Full WUON pipeline: the flat struct-of-arrays core ([`Flat]) vs the
+    legacy Seq-of-records chain ([`Hash] + LAWAU + LAWAN). The series
+    ratio is the machine-independent throughput floor the bench
+    regression gate asserts. *)
+
+val flat_scale_sizes : int list
+(** The input sizes of {!flat_scale_sweep}: 125K to 10^6 tuples per
+    side. *)
+
+val flat_scale_ratio_size : int
+(** The one size at which {!flat_scale_sweep} also runs the two
+    materializing pipelines; legacy-over-kernel ms at this size is the
+    ≥5x sweep-throughput floor bench/check_bench.py asserts. *)
+
+val flat_scale_sweep : unit -> point list
+(** The flat sweep core at fixed sizes up to 10^6 tuples per input
+    (uniform generator, ~1000-entry key groups). Series [flat-kernel]
+    ({!Tpdb_windows.Flat_join.count}, nothing materialized) at every
+    size; series [flat] and [legacy] (the materializing WUON pipelines)
+    at {!flat_scale_ratio_size} only. *)
 
 val ablation_pipelining : ?scale:scale -> dataset -> point list
 (** End-to-end lazy window pipeline vs forcing a materialization at every

@@ -78,6 +78,78 @@ let allen a b =
   else if a.ts < b.ts then Overlaps
   else Overlapped_by
 
+let all_allen =
+  [
+    Before;
+    Meets;
+    Overlaps;
+    Starts;
+    During;
+    Finishes;
+    Equals;
+    Finished_by;
+    Contains;
+    Started_by;
+    Overlapped_by;
+    Met_by;
+    After;
+  ]
+
+let allen_inverse = function
+  | Before -> After
+  | After -> Before
+  | Meets -> Met_by
+  | Met_by -> Meets
+  | Overlaps -> Overlapped_by
+  | Overlapped_by -> Overlaps
+  | Starts -> Started_by
+  | Started_by -> Starts
+  | During -> Contains
+  | Contains -> During
+  | Finishes -> Finished_by
+  | Finished_by -> Finishes
+  | Equals -> Equals
+
+let allen_name = function
+  | Before -> "before"
+  | Meets -> "meets"
+  | Overlaps -> "overlaps"
+  | Starts -> "starts"
+  | During -> "during"
+  | Finishes -> "finishes"
+  | Equals -> "equals"
+  | Finished_by -> "finished_by"
+  | Contains -> "contains"
+  | Started_by -> "started_by"
+  | Overlapped_by -> "overlapped_by"
+  | Met_by -> "met_by"
+  | After -> "after"
+
+let allen_of_name s =
+  match String.lowercase_ascii s with
+  | "before" -> Some Before
+  | "meets" -> Some Meets
+  | "overlaps" -> Some Overlaps
+  | "starts" -> Some Starts
+  | "during" -> Some During
+  | "finishes" -> Some Finishes
+  | "equals" -> Some Equals
+  | "finished_by" -> Some Finished_by
+  | "contains" -> Some Contains
+  | "started_by" -> Some Started_by
+  | "overlapped_by" -> Some Overlapped_by
+  | "met_by" -> Some Met_by
+  | "after" -> Some After
+  | _ -> None
+
+(* Disjoint relations: allen a b = rel implies a and b share no time
+   point, so such a pair never θ-matches at any snapshot. *)
+let allen_disjoint = function
+  | Before | Meets | Met_by | After -> true
+  | Overlaps | Starts | During | Finishes | Equals | Finished_by | Contains
+  | Started_by | Overlapped_by ->
+      false
+
 let points i =
   let rec loop t () = if t >= i.te then Seq.Nil else Seq.Cons (t, loop (t + 1)) in
   loop i.ts

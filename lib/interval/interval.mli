@@ -83,6 +83,25 @@ type allen =
 
 val allen : t -> t -> allen
 
+val all_allen : allen list
+(** All thirteen relations, in declaration order. *)
+
+val allen_inverse : allen -> allen
+(** [allen (allen_inverse rel) b a = rel] iff [allen rel a b = rel]:
+    the converse relation ([Before] ↔ [After], [Equals] to itself …). *)
+
+val allen_name : allen -> string
+(** Lowercase name as used in query syntax and EXPLAIN output:
+    ["before"], ["finished_by"], … *)
+
+val allen_of_name : string -> allen option
+(** Inverse of {!allen_name}, case-insensitive. *)
+
+val allen_disjoint : allen -> bool
+(** Whether the relation implies the two intervals share no time point
+    ([Before], [Meets], [Met_by], [After]). A θ with such a temporal
+    predicate can never produce overlapping windows. *)
+
 val points : t -> time Seq.t
 (** All time points of the interval, ascending. *)
 

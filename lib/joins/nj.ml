@@ -8,6 +8,7 @@ module Window = Tpdb_windows.Window
 module Overlap = Tpdb_windows.Overlap
 module Lawau = Tpdb_windows.Lawau
 module Lawan = Tpdb_windows.Lawan
+module Flat_join = Tpdb_windows.Flat_join
 module Invariant = Tpdb_windows.Invariant
 module Pool = Tpdb_engine.Pool
 module Parallel = Tpdb_engine.Parallel
@@ -16,24 +17,22 @@ module Trace = Tpdb_obs.Trace
 
 type options = {
   algorithm : Overlap.algorithm;
-  schedule : [ `Heap | `Scan ];
   parallelism : int;
   sanitize : bool;
   prob_cache : bool;
 }
 
-let options ?(algorithm = `Hash) ?(schedule = `Heap) ?(parallelism = 1)
-    ?sanitize ?(prob_cache = true) () =
+let options ?(algorithm = `Flat) ?(parallelism = 1) ?sanitize
+    ?(prob_cache = true) () =
   if parallelism < 1 then
     invalid_arg "Nj.options: parallelism must be at least 1";
   let sanitize =
     match sanitize with Some b -> b | None -> Invariant.env_enabled ()
   in
-  { algorithm; schedule; parallelism; sanitize; prob_cache }
+  { algorithm; parallelism; sanitize; prob_cache }
 
 let default_options = options ()
 let algorithm o = o.algorithm
-let schedule o = o.schedule
 let parallelism o = o.parallelism
 let sanitize o = o.sanitize
 let prob_cache o = o.prob_cache
@@ -113,19 +112,43 @@ let traced name stream =
         List.to_seq (List.of_seq stream))
   else stream
 
+(* The default [`Flat] executor computes each stage's windows in one
+   fused pass over the flat endpoint arrays (Flat_join); the legacy
+   algorithms chain the three Seq stages. The flat pass still opens the
+   same nested spans as the legacy chain ("lawan" > "lawau" > "overlap",
+   with the fused work attributed to the innermost), so EXPLAIN ANALYZE
+   and the Chrome traces stay comparable across executors. *)
 let overlap_stage ~options ~theta r s =
   traced "overlap"
-    (Overlap.left ~algorithm:options.algorithm ~sanitize:options.sanitize
-       ~theta r s)
+    (match options.algorithm with
+    | `Flat ->
+        Flat_join.left ~stage:`Wo ~sanitize:options.sanitize ~theta r s
+    | (`Hash | `Merge | `Index | `Nested_loop) as algorithm ->
+        Overlap.left ~algorithm ~sanitize:options.sanitize ~theta r s)
 
 let wuo_stage ~options ~theta r s =
-  traced "lawau"
-    (Lawau.extend ~sanitize:options.sanitize (overlap_stage ~options ~theta r s))
+  match options.algorithm with
+  | `Flat ->
+      traced "lawau"
+        (traced "overlap"
+           (Flat_join.left ~stage:`Wuo ~sanitize:options.sanitize ~theta r s))
+  | `Hash | `Merge | `Index | `Nested_loop ->
+      traced "lawau"
+        (Lawau.extend ~sanitize:options.sanitize
+           (overlap_stage ~options ~theta r s))
 
 let wuon_stage ~options ~theta r s =
-  traced "lawan"
-    (Lawan.extend ~schedule:options.schedule ~sanitize:options.sanitize
-       (wuo_stage ~options ~theta r s))
+  match options.algorithm with
+  | `Flat ->
+      traced "lawan"
+        (traced "lawau"
+           (traced "overlap"
+              (Flat_join.left ~stage:`Wuon ~sanitize:options.sanitize ~theta r
+                 s)))
+  | `Hash | `Merge | `Index | `Nested_loop ->
+      traced "lawan"
+        (Lawan.extend ~sanitize:options.sanitize
+           (wuo_stage ~options ~theta r s))
 
 (* A left-side window stream, parallel when options and θ allow. *)
 let windows_with ~options ~theta stage r s =
@@ -165,7 +188,7 @@ let prob_fn ~options ~env =
    tuple; LAWAU/LAWAN then find the s side's unmatched and negating
    windows (the overlapping copies are dropped — the left pass emits
    them already). *)
-let right_side_windows ~schedule ~sanitize windows =
+let right_side_windows ~sanitize windows =
   windows
   |> Seq.filter (fun w -> Window.kind w = Window.Overlapping)
   |> Seq.map Window.mirror
@@ -173,7 +196,7 @@ let right_side_windows ~schedule ~sanitize windows =
   |> List.sort Window.compare_group_start
   |> List.to_seq
   |> Lawau.extend ~sanitize
-  |> Lawan.extend ~schedule ~sanitize
+  |> Lawan.extend ~sanitize
   |> Seq.filter (fun w -> Window.kind w <> Window.Overlapping)
 
 (* One partition (or the whole input, when sequential) of a right/full
@@ -183,42 +206,77 @@ let right_side_windows ~schedule ~sanitize windows =
    the spanning windows of the never-matched s tuples. *)
 let tracked_sweep ~options ~extend_left ~theta r s =
   let sanitize = options.sanitize in
-  let stream, tracker =
-    Overlap.left_tracking ~algorithm:options.algorithm ~sanitize ~theta r s
-  in
-  let raw =
-    if Trace.enabled () then
-      Trace.with_span ~cat:"sweep" "overlap" (fun () -> List.of_seq stream)
-    else List.of_seq stream
-  in
-  let left =
-    if extend_left then
-      if Trace.enabled () then
-        let wuo =
-          Trace.with_span ~cat:"sweep" "lawau" (fun () ->
-              List.of_seq (Lawau.extend ~sanitize (List.to_seq raw)))
+  match options.algorithm with
+  | `Flat ->
+      (* One flat pass produces the fully extended left stream (or the
+         conventional-join stream when the left side needs no
+         extension); the raw overlapping windows for the mirrored
+         right-side sweep are a filter away. *)
+      let stage = if extend_left then `Wuon else `Wo in
+      let stream, tracker =
+        Flat_join.left_tracking ~stage ~sanitize ~theta r s
+      in
+      let all =
+        if Trace.enabled () then
+          if extend_left then
+            Trace.with_span ~cat:"sweep" "lawan" (fun () ->
+                Trace.with_span ~cat:"sweep" "lawau" (fun () ->
+                    Trace.with_span ~cat:"sweep" "overlap" (fun () ->
+                        List.of_seq stream)))
+          else
+            Trace.with_span ~cat:"sweep" "overlap" (fun () ->
+                List.of_seq stream)
+        else List.of_seq stream
+      in
+      let left =
+        if extend_left then all
+        else List.filter (fun w -> Window.kind w = Window.Overlapping) all
+      in
+      let gaps =
+        let run () =
+          List.of_seq (right_side_windows ~sanitize (List.to_seq all))
         in
-        Trace.with_span ~cat:"sweep" "lawan" (fun () ->
+        if Trace.enabled () then
+          Trace.with_span ~cat:"sweep" "right-sweep" run
+        else run ()
+      in
+      let spanning = List.of_seq (Flat_join.unmatched_right tracker) in
+      (left, gaps, spanning)
+  | (`Hash | `Merge | `Index | `Nested_loop) as algorithm ->
+      let stream, tracker =
+        Overlap.left_tracking ~algorithm ~sanitize ~theta r s
+      in
+      let raw =
+        if Trace.enabled () then
+          Trace.with_span ~cat:"sweep" "overlap" (fun () ->
+              List.of_seq stream)
+        else List.of_seq stream
+      in
+      let left =
+        if extend_left then
+          if Trace.enabled () then
+            let wuo =
+              Trace.with_span ~cat:"sweep" "lawau" (fun () ->
+                  List.of_seq (Lawau.extend ~sanitize (List.to_seq raw)))
+            in
+            Trace.with_span ~cat:"sweep" "lawan" (fun () ->
+                List.of_seq (Lawan.extend ~sanitize (List.to_seq wuo)))
+          else
             List.of_seq
-              (Lawan.extend ~schedule:options.schedule ~sanitize
-                 (List.to_seq wuo)))
-      else
-        List.of_seq
-          (Lawan.extend ~schedule:options.schedule ~sanitize
-             (Lawau.extend ~sanitize (List.to_seq raw)))
-    else List.filter (fun w -> Window.kind w = Window.Overlapping) raw
-  in
-  let gaps =
-    let run () =
-      List.of_seq
-        (right_side_windows ~schedule:options.schedule ~sanitize
-           (List.to_seq raw))
-    in
-    if Trace.enabled () then Trace.with_span ~cat:"sweep" "right-sweep" run
-    else run ()
-  in
-  let spanning = List.of_seq (Overlap.unmatched_right tracker) in
-  (left, gaps, spanning)
+              (Lawan.extend ~sanitize
+                 (Lawau.extend ~sanitize (List.to_seq raw)))
+        else List.filter (fun w -> Window.kind w = Window.Overlapping) raw
+      in
+      let gaps =
+        let run () =
+          List.of_seq (right_side_windows ~sanitize (List.to_seq raw))
+        in
+        if Trace.enabled () then
+          Trace.with_span ~cat:"sweep" "right-sweep" run
+        else run ()
+      in
+      let spanning = List.of_seq (Overlap.unmatched_right tracker) in
+      (left, gaps, spanning)
 
 let tracked_join ~options ~extend_left ~theta r s =
   let p = effective_parallelism options theta in

@@ -9,10 +9,13 @@
 
     All five are served by the single entry point {!join}, selected by
     {!join_kind}; the named operators remain as one-line wrappers. The
-    pipeline is {!Tpdb_windows.Overlap.left} → {!Tpdb_windows.Lawau} →
-    {!Tpdb_windows.Lawan} → output formation ({!Concat}); the full outer
-    join additionally mirrors the overlapping windows to sweep the [s]
-    side without executing the join a second time.
+    default pipeline is the flat struct-of-arrays sweep
+    ({!Tpdb_windows.Flat_join}) → output formation ({!Concat}); the
+    legacy {!Tpdb_windows.Overlap.left} → {!Tpdb_windows.Lawau} →
+    {!Tpdb_windows.Lawan} chain is selectable per {!options} as the
+    ablation baseline. The full outer join additionally mirrors the
+    overlapping windows to sweep the [s] side without executing the join
+    a second time.
 
     {2 Parallel execution}
 
@@ -47,15 +50,18 @@ type options
 
 val options :
   ?algorithm:Overlap.algorithm ->
-  ?schedule:[ `Heap | `Scan ] ->
   ?parallelism:int ->
   ?sanitize:bool ->
   ?prob_cache:bool ->
   unit ->
   options
 (** Builder, with today's defaults spelled out:
-    - [algorithm] (default [`Hash]): join algorithm for the WUO stage;
-    - [schedule] (default [`Heap]): LAWAN end-point scheduling;
+    - [algorithm] (default [`Flat]): sweep executor. [`Flat] runs the
+      struct-of-arrays pipeline ({!Tpdb_windows.Flat_join}) that computes
+      all requested window classes in one pass over flat endpoint arrays;
+      the other variants select the legacy [Overlap] → [Lawau] → [Lawan]
+      Seq chain with the corresponding WO probe algorithm, kept as
+      ablation baselines and oracle configurations;
     - [parallelism] (default [1] = sequential): partition count of the
       domain-parallel sweep; raises [Invalid_argument] when < 1;
     - [sanitize] (default {!Tpdb_windows.Invariant.env_enabled}, i.e.
@@ -74,7 +80,6 @@ val default_options : options
 (** [options ()]. *)
 
 val algorithm : options -> Overlap.algorithm
-val schedule : options -> [ `Heap | `Scan ]
 val parallelism : options -> int
 val sanitize : options -> bool
 val prob_cache : options -> bool

@@ -52,9 +52,15 @@ let materialize ~env ~schema rows_at domain =
 let snapshot r t =
   List.filter (fun tp -> Tuple.valid_at tp t) (Relation.tuples r)
 
+(* Snapshot matching: fact atoms over the facts, and — when θ carries an
+   [`Allen] temporal component — the relation over the tuples' full
+   intervals. [`Overlap] always holds between two tuples valid at the
+   same time point. *)
 let matches_of theta r_tuple s_valid =
   List.filter
-    (fun s_tuple -> Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple))
+    (fun s_tuple ->
+      Theta.temporal_matches theta (Tuple.iv r_tuple) (Tuple.iv s_tuple)
+      && Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple))
     s_valid
 
 let negation_lineage r_tuple matches =

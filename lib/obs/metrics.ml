@@ -15,6 +15,7 @@ type counter =
   | Oracle_evals
   | Oracle_comparisons
   | Oracle_mismatches
+  | Minor_alloc_words
 
 type dist =
   | Partition_size
@@ -41,6 +42,7 @@ let counters =
     Oracle_evals;
     Oracle_comparisons;
     Oracle_mismatches;
+    Minor_alloc_words;
   ]
 
 let dists =
@@ -64,6 +66,7 @@ let counter_index = function
   | Oracle_evals -> 13
   | Oracle_comparisons -> 14
   | Oracle_mismatches -> 15
+  | Minor_alloc_words -> 16
 
 let dist_index = function
   | Partition_size -> 0
@@ -89,6 +92,7 @@ let counter_name = function
   | Oracle_evals -> "oracle_evals"
   | Oracle_comparisons -> "oracle_comparisons"
   | Oracle_mismatches -> "oracle_mismatches"
+  | Minor_alloc_words -> "minor_alloc_words"
 
 let dist_name = function
   | Partition_size -> "partition_size"
@@ -166,6 +170,16 @@ let time dist f =
       let t0 = Clock.now_ns () in
       Fun.protect
         ~finally:(fun () -> observe_in t dist (Clock.now_ns () - t0))
+        f
+
+let count_alloc counter f =
+  match Atomic.get sink with
+  | None -> f ()
+  | Some t ->
+      let w0 = Gc.minor_words () in
+      Fun.protect
+        ~finally:(fun () ->
+          add_to t counter (int_of_float (Gc.minor_words () -. w0)))
         f
 
 (* --- reading --- *)

@@ -49,6 +49,13 @@ type counter =
   | Oracle_mismatches
       (** individual tuple-level mismatches found by those diffs — 0 on
           a healthy pipeline *)
+  | Minor_alloc_words
+      (** words allocated on the recording domain's minor heap inside
+          {!count_alloc} extents ([Gc.minor_words] deltas) — the bench
+          harness wraps every sweep point, so the bench regression gate
+          can bound allocation growth of the sweep pipeline. New
+          counters must be appended at the end: snapshots and the
+          [counter_index] layout are positional. *)
 
 type dist =
   | Partition_size  (** tuples (both sides) per parallel partition *)
@@ -95,6 +102,12 @@ val observe : dist -> int -> unit
 val time : dist -> (unit -> 'a) -> 'a
 (** Runs the thunk; with a sink installed, additionally observes its
     wall-clock duration in nanoseconds into [dist]. *)
+
+val count_alloc : counter -> (unit -> 'a) -> 'a
+(** Runs the thunk; with a sink installed, additionally adds the minor
+    words the current domain allocated during it (the [Gc.minor_words]
+    delta, rounded to an int) to [counter]. Allocations made by other
+    domains — e.g. the partitioned sweep's workers — are not counted. *)
 
 (** {2 Reading} *)
 

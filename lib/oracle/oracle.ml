@@ -25,10 +25,14 @@ let prob_tolerance = 1e-12
 let valid_at rel t =
   List.filter (fun tp -> Tuple.valid_at tp t) (Relation.tuples rel)
 
+(* A pair matches at a snapshot iff the facts satisfy θ's atoms and the
+   full tuple intervals stand in θ's temporal relation ([`Overlap] always
+   holds here: both tuples are valid at the snapshot's time point). *)
 let matches theta r_tuple s_tuples =
   List.filter
     (fun s_tuple ->
-      Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple))
+      Theta.temporal_matches theta (Tuple.iv r_tuple) (Tuple.iv s_tuple)
+      && Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple))
     s_tuples
 
 (* λ ∧ ¬(∨ λ_matches); plain λ when nothing matches (Table I). *)
@@ -155,30 +159,30 @@ type config = {
   prob_cache : bool;
   sanitize : bool;
   algorithm : Tpdb_windows.Overlap.algorithm;
-  schedule : [ `Heap | `Scan ];
 }
 
 let config ?(jobs = 1) ?(prob_cache = true) ?(sanitize = false)
-    ?(algorithm = `Hash) ?(schedule = `Heap) () =
-  { jobs; prob_cache; sanitize; algorithm; schedule }
+    ?(algorithm = `Flat) () =
+  { jobs; prob_cache; sanitize; algorithm }
 
 let config_name c =
   let parts =
     (if c.jobs <> 1 then [ "jobs" ^ string_of_int c.jobs ] else [])
     @ (if not c.prob_cache then [ "nocache" ] else [])
     @ (if c.sanitize then [ "sanitize" ] else [])
-    @ (match c.algorithm with
-      | `Hash -> []
-      | `Merge -> [ "merge" ]
-      | `Index -> [ "index" ]
-      | `Nested_loop -> [ "nested-loop" ])
-    @ match c.schedule with `Heap -> [] | `Scan -> [ "scan" ]
+    @
+    match c.algorithm with
+    | `Flat -> []
+    | `Hash -> [ "hash" ]
+    | `Merge -> [ "merge" ]
+    | `Index -> [ "index" ]
+    | `Nested_loop -> [ "nested-loop" ]
   in
   match parts with [] -> "default" | _ -> String.concat "+" parts
 
 let options_of c =
-  Nj.options ~algorithm:c.algorithm ~schedule:c.schedule ~parallelism:c.jobs
-    ~sanitize:c.sanitize ~prob_cache:c.prob_cache ()
+  Nj.options ~algorithm:c.algorithm ~parallelism:c.jobs ~sanitize:c.sanitize
+    ~prob_cache:c.prob_cache ()
 
 let default_configs =
   List.concat_map
@@ -187,9 +191,9 @@ let default_configs =
   @ [
       config ~sanitize:true ();
       config ~jobs:2 ~sanitize:true ();
+      config ~algorithm:`Hash ();
       config ~algorithm:`Merge ();
       config ~algorithm:`Index ();
-      config ~schedule:`Scan ();
     ]
 
 (* --- diffing ---------------------------------------------------------- *)

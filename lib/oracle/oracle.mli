@@ -22,8 +22,9 @@
     facts and intervals exactly, lineages up to {e logical equivalence}
     (BDD equality, not syntax), probabilities within {!prob_tolerance}.
     {!check} sweeps the comparison across every execution-configuration
-    axis the repo ships (parallelism, probability cache, sanitizer, join
-    algorithm, LAWAN schedule).
+    axis the repo ships (parallelism, probability cache, sanitizer, and
+    sweep executor — the flat struct-of-arrays core plus every legacy
+    join algorithm).
 
     Deliberately quadratic in active-domain size — an oracle, not an
     operator. It shares only {!Tpdb_interval.Interval} arithmetic and
@@ -66,7 +67,6 @@ type config = {
   prob_cache : bool;
   sanitize : bool;
   algorithm : Tpdb_windows.Overlap.algorithm;
-  schedule : [ `Heap | `Scan ];
 }
 (** One point of the execution-configuration space of {!Nj.options}. *)
 
@@ -75,7 +75,6 @@ val config :
   ?prob_cache:bool ->
   ?sanitize:bool ->
   ?algorithm:Tpdb_windows.Overlap.algorithm ->
-  ?schedule:[ `Heap | `Scan ] ->
   unit ->
   config
 (** Defaults mirror {!Nj.options}: [jobs 1], [prob_cache true],

@@ -315,10 +315,20 @@ let check_theta ~emit ~left_schema ~right_schema ~left_types ~right_types
        cartesian product; quadratic in the overlap)";
   if parallelism > 1 && Theta.equi_keys theta = None then
     emit Warning "sequential-fallback"
-      (Printf.sprintf
-         "jobs=%d requested, but \xce\xb8 has no equality atom between the \
-          two sides to shard on — the join runs sequentially"
-         parallelism)
+      (match Theta.temporal theta with
+      | `Allen rel ->
+          Printf.sprintf
+            "jobs=%d requested, but \xce\xb8 is a residual-only temporal \
+             predicate (%s) with no equality atom to shard on — Allen \
+             relations constrain intervals, not fact keys, so the join \
+             runs sequentially"
+            parallelism
+            (Tpdb_interval.Interval.allen_name rel)
+      | `Overlap ->
+          Printf.sprintf
+            "jobs=%d requested, but \xce\xb8 has no equality atom between \
+             the two sides to shard on — the join runs sequentially"
+            parallelism)
 
 (* --- the walk --------------------------------------------------------- *)
 

@@ -6,9 +6,20 @@ type operand =
 
 type atom = { op : comparison; lhs : operand; rhs : operand }
 
+type temporal_atom = {
+  t_lhs : string;
+  t_rel : Tpdb_interval.Interval.allen;
+  t_rhs : string;
+}
+
 type join_kind = Inner | Left | Right | Full | Anti
 
-type join = { kind : join_kind; rel : string; on : atom list }
+type join = {
+  kind : join_kind;
+  rel : string;
+  on : atom list;
+  on_temporal : temporal_atom list;
+}
 
 type slice =
   | At of int
@@ -34,6 +45,7 @@ type select = {
   from : string;
   joins : join list;
   where : atom list;
+  where_temporal : temporal_atom list;
   slice : slice option;
   order_by : (order_key * direction) option;
   limit : int option;
@@ -65,7 +77,16 @@ let atom_string a =
   Printf.sprintf "%s %s %s" (operand_string a.lhs)
     (comparison_string a.op) (operand_string a.rhs)
 
+let temporal_atom_string ta =
+  Printf.sprintf "%s.T %s %s.T" ta.t_lhs
+    (String.uppercase_ascii (Tpdb_interval.Interval.allen_name ta.t_rel))
+    ta.t_rhs
+
 let conj_string atoms = String.concat " AND " (List.map atom_string atoms)
+
+let full_conj_string atoms temporals =
+  String.concat " AND "
+    (List.map atom_string atoms @ List.map temporal_atom_string temporals)
 
 let join_kind_string = function
   | Inner -> "INNER TPJOIN"
@@ -89,11 +110,13 @@ let select_string s =
       (List.map
          (fun j ->
            Printf.sprintf " %s %s ON %s" (join_kind_string j.kind) j.rel
-             (conj_string j.on))
+             (full_conj_string j.on j.on_temporal))
          s.joins)
   in
   let where =
-    match s.where with [] -> "" | atoms -> " WHERE " ^ conj_string atoms
+    match (s.where, s.where_temporal) with
+    | [], [] -> ""
+    | atoms, temporals -> " WHERE " ^ full_conj_string atoms temporals
   in
   let group =
     match s.group_by with

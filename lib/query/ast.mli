@@ -11,8 +11,13 @@
                | column (, column)*
     join     ::= (INNER | LEFT | RIGHT | FULL) TPJOIN rel ON conj
                | ANTIJOIN rel ON conj
-    conj     ::= atom (AND atom)*
+    conj     ::= element (AND element)*
+    element  ::= atom | temporal
     atom     ::= operand (= | <> | < | <= | > | >=) operand
+    temporal ::= ident.T ALLEN ident.T
+    ALLEN    ::= BEFORE | MEETS | OVERLAPS | STARTS | STARTED_BY
+               | FINISHES | FINISHED_BY | DURING | CONTAINS | EQUALS
+               | AFTER | MET_BY | OVERLAPPED_BY
     operand  ::= ident | ident.ident | 'string' | number
     v}
 
@@ -27,9 +32,23 @@ type operand =
 
 type atom = { op : comparison; lhs : operand; rhs : operand }
 
+type temporal_atom = {
+  t_lhs : string;  (** relation name of the left [.T] operand *)
+  t_rel : Tpdb_interval.Interval.allen;
+  t_rhs : string;  (** relation name of the right [.T] operand *)
+}
+(** [x.T BEFORE y.T]-style predicate over the tuples' full intervals.
+    The planner folds it into the join's θ as its temporal component
+    ({!Tpdb_windows.Theta.with_temporal}). *)
+
 type join_kind = Inner | Left | Right | Full | Anti
 
-type join = { kind : join_kind; rel : string; on : atom list }
+type join = {
+  kind : join_kind;
+  rel : string;
+  on : atom list;
+  on_temporal : temporal_atom list;
+}
 
 type slice =
   | At of int  (** [AT t]: snapshot at one time point *)
@@ -57,6 +76,9 @@ type select = {
   from : string;
   joins : join list;  (** left-deep chain, in source order *)
   where : atom list;
+  where_temporal : temporal_atom list;
+      (** temporal predicates in WHERE; the planner attaches each to the
+          join whose sides it names *)
   slice : slice option;
   order_by : (order_key * direction) option;
   limit : int option;
@@ -71,7 +93,13 @@ type t =
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val operand_string : operand -> string
 val atom_string : atom -> string
+val temporal_atom_string : temporal_atom -> string
 val conj_string : atom list -> string
+
+(** [full_conj_string atoms temporals]: both kinds of conjuncts, atoms
+    first, joined with [AND]. *)
+val full_conj_string : atom list -> temporal_atom list -> string
 val join_kind_string : join_kind -> string
 val set_kind_string : set_kind -> string

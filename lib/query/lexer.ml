@@ -18,6 +18,11 @@ let keywords =
     "SELECT"; "FROM"; "WHERE"; "ON"; "AND"; "TPJOIN"; "ANTIJOIN"; "INNER";
     "LEFT"; "RIGHT"; "FULL"; "UNION"; "INTERSECT"; "EXCEPT"; "AS"; "DISTINCT";
     "AT"; "DURING"; "COUNT"; "SUM"; "AVG"; "GROUP"; "BY"; "ORDER"; "LIMIT"; "ASC"; "DESC";
+    (* Allen-relation keywords for temporal predicates (x.T BEFORE y.T);
+       DURING above doubles as both the timeslice clause and the Allen
+       relation — the parser disambiguates by position. *)
+    "BEFORE"; "MEETS"; "OVERLAPS"; "STARTS"; "STARTED_BY"; "FINISHES";
+    "FINISHED_BY"; "CONTAINS"; "EQUALS"; "AFTER"; "MET_BY"; "OVERLAPPED_BY";
   ]
 
 let is_ident_start c =

@@ -40,25 +40,54 @@ let operand st : Ast.operand =
   | Lexer.Num x -> Ast.Const (Tpdb_relation.Value.of_string_guess x)
   | t -> fail (Printf.sprintf "expected operand, got %s" (Lexer.token_string t))
 
-let atom st : Ast.atom =
+let allen_of_kw kw =
+  Tpdb_interval.Interval.allen_of_name (String.lowercase_ascii kw)
+
+(* One conjunct: either a fact atom (operand OP operand) or a temporal
+   predicate (x.T ALLEN y.T). The lexer turns [x.T] into [Qualified
+   (x, "T")]; an Allen keyword after the first operand selects the
+   temporal form. *)
+let conj_element st =
   let lhs = operand st in
-  let op =
-    match advance st with
-    | Lexer.Op o -> comparison_of_op o
-    | t -> fail (Printf.sprintf "expected comparison, got %s" (Lexer.token_string t))
-  in
-  let rhs = operand st in
-  { Ast.op; lhs; rhs }
+  match peek st with
+  | Some (Lexer.Kw kw) when allen_of_kw kw <> None ->
+      ignore (advance st);
+      let rel = Option.get (allen_of_kw kw) in
+      let side name = function
+        | Ast.Column (Some r, "T") -> r
+        | other ->
+            fail
+              (Printf.sprintf "%s side of %s must be a rel.T reference, got %s"
+                 name kw (Ast.operand_string other))
+      in
+      let t_lhs = side "left" lhs in
+      let t_rhs = side "right" (operand st) in
+      `Temporal { Ast.t_lhs; t_rel = rel; t_rhs }
+  | _ ->
+      let op =
+        match advance st with
+        | Lexer.Op o -> comparison_of_op o
+        | t ->
+            fail
+              (Printf.sprintf "expected comparison, got %s"
+                 (Lexer.token_string t))
+      in
+      let rhs = operand st in
+      `Atom { Ast.op; lhs; rhs }
 
 let conj st =
   let rec more acc =
     match peek st with
     | Some (Lexer.Kw "AND") ->
         ignore (advance st);
-        more (atom st :: acc)
+        more (conj_element st :: acc)
     | _ -> List.rev acc
   in
-  more [ atom st ]
+  let elements = more [ conj_element st ] in
+  ( List.filter_map (function `Atom a -> Some a | `Temporal _ -> None) elements,
+    List.filter_map
+      (function `Temporal ta -> Some ta | `Atom _ -> None)
+      elements )
 
 let projection st =
   match peek st with
@@ -88,7 +117,8 @@ let join_opt st : Ast.join option =
     if tpjoin_follows then expect_kw st "TPJOIN";
     let rel = ident st in
     expect_kw st "ON";
-    Some { Ast.kind; rel; on = conj st }
+    let on, on_temporal = conj st in
+    Some { Ast.kind; rel; on; on_temporal }
   in
   match peek st with
   | Some (Lexer.Kw "INNER") -> joined ~tpjoin_follows:true Ast.Inner
@@ -228,12 +258,12 @@ let select st : Ast.select =
     match join_opt st with Some j -> joins (j :: acc) | None -> List.rev acc
   in
   let joins = joins [] in
-  let where =
+  let where, where_temporal =
     match peek st with
     | Some (Lexer.Kw "WHERE") ->
         ignore (advance st);
         conj st
-    | _ -> []
+    | _ -> ([], [])
   in
   let group_by = group_by_opt st in
   if group_by <> [] && aggregate = None then
@@ -249,6 +279,7 @@ let select st : Ast.select =
     from;
     joins;
     where;
+    where_temporal;
     slice;
     order_by;
     limit;

@@ -149,6 +149,7 @@ let rec execute ~env plan =
       fun () -> Relation.to_seq (to_relation ~env plan) ()
 
 let algorithm_string : Overlap.algorithm -> string = function
+  | `Flat -> "flat"
   | `Hash -> "hash"
   | `Nested_loop -> "nested loop"
   | `Merge -> "merge"

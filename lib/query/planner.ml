@@ -119,6 +119,21 @@ let projection_indices schema columns =
       | None -> fail "unknown column %s in SELECT" name)
     columns
 
+(* A temporal predicate x.T REL y.T resolves at the join whose right
+   side is one of the named relations and whose accumulated left chain
+   contains the other; when the right side is the predicate's LEFT
+   operand the relation is inverted ([s.T AFTER r.T] seen from [r] is
+   BEFORE). *)
+let resolve_temporal ~left_names ~right_name (ta : Ast.temporal_atom) =
+  if String.equal ta.t_lhs ta.t_rhs then
+    fail "temporal predicate %s relates a relation to itself"
+      (Ast.temporal_atom_string ta);
+  let in_left name = List.exists (String.equal name) left_names in
+  if in_left ta.t_lhs && String.equal ta.t_rhs right_name then Some ta.t_rel
+  else if String.equal ta.t_lhs right_name && in_left ta.t_rhs then
+    Some (Interval.allen_inverse ta.t_rel)
+  else None
+
 let join_kind : Ast.join_kind -> Nj.join_kind = function
   | Ast.Inner -> Nj.Inner
   | Ast.Left -> Nj.Left
@@ -132,12 +147,15 @@ let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Ph
     | Some r -> r
     | None -> fail "unknown relation %s" name
   in
-  let base =
-    (* Left-deep chain in source order. The optimizer's per-join choice:
-       hash on an equality atom, nested loop otherwise — the same split
-       PostgreSQL makes for θo ∧ θ. *)
+  let base, _, leftover_temporals =
+    (* Left-deep chain in source order. Every join runs on the flat
+       struct-of-arrays sweep core, which hash-partitions on an equality
+       atom itself and degrades to the single-bucket probe otherwise —
+       the same split the legacy hash/nested-loop pair used to make.
+       WHERE-level temporal predicates are folded into the join whose
+       sides they name. *)
     List.fold_left
-      (fun acc (j : Ast.join) ->
+      (fun (acc, left_names, pending) (j : Ast.join) ->
         let right = lookup j.rel in
         let theta =
           Theta.of_atoms
@@ -146,25 +164,43 @@ let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Ph
                   ~right:(Relation.schema right))
                j.on)
         in
-        let algorithm : Tpdb_windows.Overlap.algorithm =
-          match Theta.equi_keys theta with
-          | Some _ -> `Hash
-          | None -> `Nested_loop
+        let resolved, pending =
+          List.partition_map
+            (fun ta ->
+              match resolve_temporal ~left_names ~right_name:j.rel ta with
+              | Some rel -> Either.Left rel
+              | None -> Either.Right ta)
+            (j.on_temporal @ pending)
         in
-        Physical.Tp_join
-          {
-            kind = join_kind j.kind;
-            algorithm;
-            parallelism;
-            sanitize;
-            prob_cache;
-            theta;
-            left = acc;
-            right = Physical.Scan right;
-          })
-      (Physical.Scan (lookup s.from))
+        let theta =
+          match List.sort_uniq compare resolved with
+          | [] -> theta
+          | [ rel ] -> Theta.with_temporal (`Allen rel) theta
+          | _ :: _ :: _ ->
+              fail "join with %s has more than one temporal predicate" j.rel
+        in
+        let algorithm : Tpdb_windows.Overlap.algorithm = `Flat in
+        ( Physical.Tp_join
+            {
+              kind = join_kind j.kind;
+              algorithm;
+              parallelism;
+              sanitize;
+              prob_cache;
+              theta;
+              left = acc;
+              right = Physical.Scan right;
+            },
+          j.rel :: left_names,
+          pending ))
+      (Physical.Scan (lookup s.from), [ s.from ], s.where_temporal)
       s.joins
   in
+  (match leftover_temporals with
+  | [] -> ()
+  | ta :: _ ->
+      fail "temporal predicate %s does not match any join's sides"
+        (Ast.temporal_atom_string ta));
   let with_where =
     match s.where with
     | [] -> base

@@ -78,7 +78,10 @@ let sequenced ?env ~group_by spec r =
             members
         in
         Sweep.constant_segments
-          (List.map (fun tp -> (Tuple.iv tp, contribution ~env spec tp)) sorted)
+          (Sweep.Source.of_list
+             (List.map
+                (fun tp -> (Tuple.iv tp, contribution ~env spec tp))
+                sorted))
         |> List.map (fun (iv, witnesses) ->
                let value = combine spec witnesses in
                Tuple.make

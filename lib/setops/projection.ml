@@ -44,7 +44,8 @@ let project ?env ~columns r =
             members
         in
         Sweep.constant_segments
-          (List.map (fun tp -> (Tuple.iv tp, Tuple.lineage tp)) sorted)
+          (Sweep.Source.of_list
+             (List.map (fun tp -> (Tuple.iv tp, Tuple.lineage tp)) sorted))
         |> List.map (fun (iv, lineages) ->
                let lineage = Formula.disj lineages in
                Tuple.make ~fact ~lineage ~iv ~p:(Prob.compute env lineage)))

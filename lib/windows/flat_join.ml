@@ -1,0 +1,460 @@
+(* The flat struct-of-arrays window pipeline: WO + WU + WN of each group
+   derived in one pass over endpoint arrays (Tpdb_engine.Flat), with
+   Window.t records materialized only at the group boundary the merge
+   layer consumes. Output is window-for-window identical to the legacy
+   Overlap.left → Lawau.extend → Lawan.extend chain (a qcheck property
+   asserts it); the difference is the inner loop: index arithmetic over
+   unboxed int arrays instead of a Seq-of-records closure chain. *)
+
+module Interval = Tpdb_interval.Interval
+module Formula = Tpdb_lineage.Formula
+module Relation = Tpdb_relation.Relation
+module Tuple = Tpdb_relation.Tuple
+module Fact = Tpdb_relation.Fact
+module Value = Tpdb_relation.Value
+module Flat = Tpdb_engine.Flat
+module Buf = Tpdb_engine.Flat.Buf
+module Hash_partition = Tpdb_engine.Hash_partition
+module Metrics = Tpdb_obs.Metrics
+
+type stage = [ `Wo | `Wuo | `Wuon ]
+
+(* --- per-domain reusable scratch buffers ----------------------------- *)
+
+type scratch = {
+  m_ts : Buf.t;  (* match intersection starts, collection order *)
+  m_te : Buf.t;  (* match intersection ends *)
+  m_j : Buf.t;  (* bucket position of the matched s tuple *)
+  ord : Buf.t;  (* sort permutation over the matches *)
+  w_ts : Buf.t;  (* matches in window order (iv, then tuple) *)
+  w_te : Buf.t;
+  w_j : Buf.t;
+}
+
+(* Each domain of the pool gets its own buffers, so parallel partition
+   sweeps never contend and never allocate per probe. *)
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        m_ts = Buf.create ();
+        m_te = Buf.create ();
+        m_j = Buf.create ();
+        ord = Buf.create ();
+        w_ts = Buf.create ();
+        w_te = Buf.create ();
+        w_j = Buf.create ();
+      })
+
+let scratch () = Domain.DLS.get scratch_key
+
+(* --- the build side --------------------------------------------------- *)
+
+type bucket = {
+  b_tuples : Tuple.t array;  (* sorted by (interval, original position) *)
+  b_orig : int array;  (* original s position, for right-side tracking *)
+  b_flat : Flat.t;  (* their endpoints, start-sorted *)
+}
+
+type ctx = {
+  lookup : Tuple.t -> bucket option;
+  temporal : Flat.temporal;
+  matches_residual : Fact.t -> Fact.t -> bool;
+  residual_trivial : bool;  (* no fact atoms beyond the equi key *)
+}
+
+let bucket_of_entries entries =
+  let arr = Array.of_list entries in
+  Array.sort
+    (fun (i, a) (j, b) ->
+      let c = Interval.compare (Tuple.iv a) (Tuple.iv b) in
+      if c <> 0 then c else Int.compare i j)
+    arr;
+  {
+    b_tuples = Array.map snd arr;
+    b_orig = Array.map fst arr;
+    b_flat = Flat.of_sorted (fun (_, tp) -> Tuple.iv tp) arr;
+  }
+
+module Value_table = Hashtbl.Make (struct
+  type t = Value.t
+
+  let hash = Value.hash
+  let equal = Value.equal
+end)
+
+(* Single-column equi keys probe a [Value.t]-keyed table directly: no
+   per-probe key-fact allocation, no multi-column hash loop. Null-keyed
+   s tuples are left out of the table — a null never equals anything, so
+   they could not match; they still surface as unmatched right-side
+   windows through the tracker. *)
+let residual_trivial residual = Theta.atoms residual = []
+
+let build_single_key ~temporal ~residual ~lcol ~rcol s =
+  let by_key = Value_table.create 1024 in
+  List.iteri
+    (fun i tp ->
+      let v = Fact.get (Tuple.fact tp) rcol in
+      if not (Value.is_null v) then
+        match Value_table.find_opt by_key v with
+        | Some entries -> entries := (i, tp) :: !entries
+        | None -> Value_table.add by_key v (ref [ (i, tp) ]))
+    (Relation.tuples s);
+  let buckets = Value_table.create (Value_table.length by_key) in
+  Value_table.iter
+    (fun v entries ->
+      Value_table.add buckets v (bucket_of_entries (List.rev !entries)))
+    by_key;
+  {
+    lookup =
+      (fun r_tuple ->
+        let v = Fact.get (Tuple.fact r_tuple) lcol in
+        if Value.is_null v then None else Value_table.find_opt buckets v);
+    temporal;
+    matches_residual = Theta.matches residual;
+    residual_trivial = residual_trivial residual;
+  }
+
+let build ~theta s =
+  let temporal = (Theta.temporal theta :> Flat.temporal) in
+  match Theta.equi_keys theta with
+  | Some ([ lcol ], [ rcol ]) ->
+      build_single_key ~temporal ~residual:(Theta.residual theta) ~lcol ~rcol s
+  | equi -> (
+      let s_indexed = List.mapi (fun i tp -> (i, tp)) (Relation.tuples s) in
+      match equi with
+      | Some ([ _ ], [ _ ]) -> assert false (* handled above *)
+      | Some (left_cols, right_cols) ->
+      let partition =
+        Hash_partition.build
+          ~key:(fun (_, tp) -> Fact.key right_cols (Tuple.fact tp))
+          ~hash:Fact.hash ~equal:Fact.equal s_indexed
+      in
+      let buckets =
+        Hash_partition.build
+          ~key:(fun (key, _) -> key)
+          ~hash:Fact.hash ~equal:Fact.equal
+          (List.map
+             (fun (key, entries) -> (key, bucket_of_entries entries))
+             (Hash_partition.buckets partition))
+      in
+      let residual = Theta.residual theta in
+      {
+        lookup =
+          (fun r_tuple ->
+            let key = Fact.key left_cols (Tuple.fact r_tuple) in
+            if Array.exists Value.is_null key then None
+            else
+              match Hash_partition.probe buckets key with
+              | [] -> None
+              | (_, bucket) :: _ -> Some bucket);
+        temporal;
+        matches_residual = Theta.matches residual;
+        residual_trivial = residual_trivial residual;
+      }
+      | None ->
+          let bucket = bucket_of_entries s_indexed in
+          {
+            lookup =
+              (fun _ ->
+                if Array.length bucket.b_tuples = 0 then None else Some bucket);
+            temporal;
+            matches_residual = Theta.matches theta;
+            residual_trivial = residual_trivial theta;
+          })
+
+(* --- the probe-side group pipeline ------------------------------------ *)
+
+let unmatched_group ~fr ~lr ~rspan =
+  Metrics.incr Metrics.Windows_unmatched;
+  [ Window.unmatched ~fr ~iv:rspan ~lr ~rspan ]
+
+(* One r tuple: collect its matches into the scratch arrays, order them,
+   and emit the group's windows for the requested stage. *)
+let group ctx scr ~stage ~mark r_tuple =
+  let fr = Tuple.fact r_tuple
+  and lr = Tuple.lineage r_tuple
+  and rspan = Tuple.iv r_tuple in
+  let rts = Interval.ts rspan and rte = Interval.te rspan in
+  match ctx.lookup r_tuple with
+  | None -> unmatched_group ~fr ~lr ~rspan
+  | Some b ->
+      Buf.clear scr.m_ts;
+      Buf.clear scr.m_te;
+      Buf.clear scr.m_j;
+      let lo, hi = Flat.window_range b.b_flat ctx.temporal ~rts ~rte in
+      for j = lo to hi - 1 do
+        let tev = Flat.te b.b_flat j in
+        if
+          Flat.end_matches ctx.temporal ~rts ~rte tev
+          && ctx.matches_residual fr (Tuple.fact b.b_tuples.(j))
+        then begin
+          mark b.b_orig.(j);
+          Buf.push scr.m_ts (max rts (Flat.ts b.b_flat j));
+          Buf.push scr.m_te (min rte tev);
+          Buf.push scr.m_j j
+        end
+      done;
+      let k = Buf.length scr.m_ts in
+      if k = 0 then unmatched_group ~fr ~lr ~rspan
+      else begin
+        (* Window order within the group: intersection interval, then
+           the s tuple — the order the legacy probe sorts into. *)
+        Buf.clear scr.ord;
+        for x = 0 to k - 1 do
+          Buf.push scr.ord x
+        done;
+        Buf.sort scr.ord (fun x y ->
+            let c = Int.compare (Buf.get scr.m_ts x) (Buf.get scr.m_ts y) in
+            if c <> 0 then c
+            else
+              let c = Int.compare (Buf.get scr.m_te x) (Buf.get scr.m_te y) in
+              if c <> 0 then c
+              else
+                Tuple.compare_fact_start
+                  b.b_tuples.(Buf.get scr.m_j x)
+                  b.b_tuples.(Buf.get scr.m_j y));
+        Buf.clear scr.w_ts;
+        Buf.clear scr.w_te;
+        Buf.clear scr.w_j;
+        for x = 0 to k - 1 do
+          let o = Buf.get scr.ord x in
+          Buf.push scr.w_ts (Buf.get scr.m_ts o);
+          Buf.push scr.w_te (Buf.get scr.m_te o);
+          Buf.push scr.w_j (Buf.get scr.m_j o)
+        done;
+        let wts x = Buf.get scr.w_ts x
+        and wte x = Buf.get scr.w_te x
+        and wtuple x = b.b_tuples.(Buf.get scr.w_j x) in
+        let wo =
+          Array.init k (fun x ->
+              Metrics.incr Metrics.Windows_overlapping;
+              let s_tuple = wtuple x in
+              Window.overlapping ~fr ~fs:(Tuple.fact s_tuple)
+                ~iv:(Interval.make (wts x) (wte x))
+                ~lr
+                ~ls:(Tuple.lineage s_tuple)
+                ~rspan ~sspan:(Tuple.iv s_tuple))
+        in
+        match stage with
+        | `Wo -> Array.to_list wo
+        | (`Wuo | `Wuon) as stage ->
+            (* LAWAU: cursor sweep for the uncovered gaps, interleaved
+               before the window that bounds them. *)
+            let acc = ref [] in
+            let cursor = ref rts in
+            let gap upto =
+              match Interval.make_opt !cursor upto with
+              | Some iv ->
+                  Metrics.incr Metrics.Windows_unmatched;
+                  acc := Window.unmatched ~fr ~iv ~lr ~rspan :: !acc
+              | None -> ()
+            in
+            for x = 0 to k - 1 do
+              gap (wts x);
+              acc := wo.(x) :: !acc;
+              cursor := max !cursor (wte x)
+            done;
+            gap rte;
+            let wuo = List.rev !acc in
+            if stage = `Wuo then wuo
+            else begin
+              (* LAWAN: maximal constant-coverage segments of the match
+                 intervals, λs in arrival order. *)
+              let negs = ref [] in
+              let x = ref 0 in
+              let pos = ref 0 in
+              let active = ref [] in
+              let admit t =
+                while !x < k && wts !x = t do
+                  active := (wte !x, !x) :: !active;
+                  incr x
+                done
+              in
+              while !x < k || !active <> [] do
+                if !active = [] then begin
+                  pos := wts !x;
+                  admit !pos
+                end
+                else begin
+                  let next_start = if !x < k then wts !x else max_int in
+                  let min_end =
+                    List.fold_left (fun m (e, _) -> min m e) max_int !active
+                  in
+                  let t = min min_end next_start in
+                  if t > !pos then begin
+                    Metrics.incr Metrics.Sweep_segments;
+                    Metrics.incr Metrics.Windows_negating;
+                    let ls =
+                      Formula.disj
+                        (List.rev_map
+                           (fun (_, y) -> Tuple.lineage (wtuple y))
+                           !active)
+                    in
+                    negs :=
+                      Window.negating ~fr ~iv:(Interval.make !pos t) ~lr ~ls
+                        ~rspan
+                      :: !negs
+                  end;
+                  active := List.filter (fun (e, _) -> e > t) !active;
+                  admit t;
+                  pos := t
+                end
+              done;
+              List.merge
+                (fun a b ->
+                  Interval.compare_start (Window.iv a) (Window.iv b))
+                wuo (List.rev !negs)
+            end
+      end
+
+(* Counting kernel: derive every window boundary of the group on the
+   int buffers alone — no [Window.t], no lineage, no match permutation.
+   Counts are invariant to probe order and to the within-group window
+   order, so the r side is not sorted and matches only need their starts
+   and ends sorted independently: gaps (LAWAU) are the uncovered
+   intervals of the union coverage, negating segments (LAWAN) the spans
+   between consecutive event points with non-empty coverage, and one
+   ascending event sweep over the two sorted endpoint buffers yields
+   both. *)
+let count_group ctx scr ~stage r_tuple =
+  let fr = Tuple.fact r_tuple in
+  let rspan = Tuple.iv r_tuple in
+  let rts = Interval.ts rspan and rte = Interval.te rspan in
+  match ctx.lookup r_tuple with
+  | None -> 1 (* spanning unmatched *)
+  | Some b ->
+      Buf.clear scr.m_ts;
+      Buf.clear scr.m_te;
+      let lo, hi = Flat.window_range b.b_flat ctx.temporal ~rts ~rte in
+      (* The one loop the whole bench leans on: for the common case —
+         [`Overlap] with a pure equi θ — dispatch and the residual
+         closure are hoisted out and the endpoint arrays are walked
+         raw ([lo, hi) is in bounds by construction). *)
+      (if ctx.residual_trivial && ctx.temporal = `Overlap then begin
+         let ts_a = Flat.starts b.b_flat and te_a = Flat.ends b.b_flat in
+         for j = lo to hi - 1 do
+           let tev = Array.unsafe_get te_a j in
+           if tev > rts then begin
+             Buf.push scr.m_ts (max rts (Array.unsafe_get ts_a j));
+             Buf.push scr.m_te (min rte tev)
+           end
+         done
+       end
+       else
+         for j = lo to hi - 1 do
+           let tev = Flat.te b.b_flat j in
+           if
+             Flat.end_matches ctx.temporal ~rts ~rte tev
+             && ctx.matches_residual fr (Tuple.fact b.b_tuples.(j))
+           then begin
+             Buf.push scr.m_ts (max rts (Flat.ts b.b_flat j));
+             Buf.push scr.m_te (min rte tev)
+           end
+         done);
+      let k = Buf.length scr.m_ts in
+      if k = 0 then 1
+      else if stage = `Wo then k
+      else begin
+        Buf.sort scr.m_ts Int.compare;
+        Buf.sort scr.m_te Int.compare;
+        let gaps = ref 0 and segments = ref 0 in
+        let i = ref 0 (* next start *) and j = ref 0 (* next end *) in
+        let active = ref 0 and pos = ref rts in
+        while !j < k do
+          let t =
+            if !i < k && Buf.get scr.m_ts !i <= Buf.get scr.m_te !j then
+              Buf.get scr.m_ts !i
+            else Buf.get scr.m_te !j
+          in
+          if t > !pos then
+            if !active > 0 then incr segments else incr gaps;
+          while !i < k && Buf.get scr.m_ts !i = t do
+            incr active;
+            incr i
+          done;
+          while !j < k && Buf.get scr.m_te !j = t do
+            decr active;
+            incr j
+          done;
+          pos := t
+        done;
+        if rte > !pos then incr gaps;
+        let segments = if stage = `Wuon then !segments else 0 in
+        k + !gaps + segments
+      end
+
+(* --- entry points ------------------------------------------------------ *)
+
+let invariant_stage : stage -> Invariant.stage = function
+  | `Wo -> Invariant.Overlap
+  | `Wuo -> Invariant.Wuo
+  | `Wuon -> Invariant.Wuon
+
+let left_with ~stage ~theta ~mark r s =
+  let ctx = build ~theta s in
+  let r_sorted = Relation.sorted_by_fact_start r in
+  Seq.concat_map
+    (fun r_tuple ->
+      List.to_seq (group ctx (scratch ()) ~stage ~mark r_tuple))
+    (List.to_seq r_sorted)
+
+let checked ~stage ~sanitize ~theta stream =
+  if sanitize then Invariant.wrap ~stage:(invariant_stage stage) ~theta stream
+  else stream
+
+let left ?(stage = `Wuon) ?(sanitize = false) ~theta r s =
+  checked ~stage ~sanitize ~theta (left_with ~stage ~theta ~mark:ignore r s)
+
+let count ?(stage = `Wuon) ~theta r s =
+  let ctx = build ~theta s in
+  let scr = scratch () in
+  List.fold_left
+    (fun n r_tuple -> n + count_group ctx scr ~stage r_tuple)
+    0 (Relation.tuples r)
+
+type right_tracker = {
+  s_tuples : Tuple.t array;
+  matched : bool array;
+  mutable drained : bool;
+}
+
+let left_tracking ?(stage = `Wuon) ?(sanitize = false) ~theta r s =
+  let s_tuples = Relation.to_array s in
+  let tracker =
+    {
+      s_tuples;
+      matched = Array.make (Array.length s_tuples) false;
+      drained = false;
+    }
+  in
+  let stream =
+    let body =
+      checked ~stage ~sanitize ~theta
+        (left_with ~stage ~theta
+           ~mark:(fun i -> tracker.matched.(i) <- true)
+           r s)
+    in
+    Seq.append body
+      (fun () ->
+        tracker.drained <- true;
+        Seq.Nil)
+  in
+  (stream, tracker)
+
+let unmatched_right tracker =
+  if not tracker.drained then
+    invalid_arg "Flat_join.unmatched_right: main stream not yet drained";
+  let unmatched =
+    List.filter_map
+      (fun i ->
+        if tracker.matched.(i) then None
+        else begin
+          Metrics.incr Metrics.Windows_unmatched;
+          let tp = tracker.s_tuples.(i) in
+          Some
+            (Window.unmatched ~fr:(Tuple.fact tp) ~iv:(Tuple.iv tp)
+               ~lr:(Tuple.lineage tp) ~rspan:(Tuple.iv tp))
+        end)
+      (List.init (Array.length tracker.s_tuples) Fun.id)
+  in
+  List.to_seq (List.sort Window.compare_group_start unmatched)

@@ -1,0 +1,62 @@
+(** The flat struct-of-arrays window pipeline (the default executor).
+
+    Computes, per group (one [r] tuple), the overlapping windows plus —
+    depending on [stage] — the unmatched gaps (LAWAU) and the negating
+    constant-coverage segments (LAWAN), all derived from the same
+    start-sorted endpoint arrays ({!Tpdb_engine.Flat}) with index
+    arithmetic. [Window.t] records are materialized only at the group
+    boundary. The probe kernel supports the full temporal component of θ:
+    the classic [`Overlap] and all 13 [`Allen] relations
+    ({!Tpdb_engine.Flat.window_range}).
+
+    Output is window-for-window identical (content and order) to the
+    legacy [Overlap.left] → [Lawau.extend] → [Lawan.extend] chain at the
+    corresponding stage; the legacy chain remains available through
+    {!Tpdb_joins.Nj.options} as the ablation baseline the bench suite
+    measures the flat core against.
+
+    Scratch buffers are per-domain ([Domain.DLS]), so the parallel
+    executor's partition sweeps each get their own flat buffers. *)
+
+module Relation = Tpdb_relation.Relation
+
+type stage = [ `Wo | `Wuo | `Wuon ]
+(** How far to extend each group: overlapping/spanning-unmatched only
+    ([`Wo], the conventional outer join), plus gap windows ([`Wuo]), plus
+    negating windows ([`Wuon]). *)
+
+val left :
+  ?stage:stage ->
+  ?sanitize:bool ->
+  theta:Theta.t ->
+  Relation.t ->
+  Relation.t ->
+  Window.t Seq.t
+(** The stream is recomputed on every traversal. [stage] defaults to
+    [`Wuon]; with [~sanitize:true] the stream is wrapped in
+    {!Invariant.wrap} at the matching stage. *)
+
+val count : ?stage:stage -> theta:Theta.t -> Relation.t -> Relation.t -> int
+(** [count ~stage ~theta r s] is [Seq.length (left ~stage ~theta r s)]
+    computed entirely on the flat endpoint buffers: no [Window.t]
+    records, no lineage, no probe-order sort — the windows of each group
+    are only {e counted} from one ascending event sweep over the match
+    endpoints. This is the sweep core's raw throughput (the quantity the
+    bench regression gate holds ≥5x over the legacy chain) and the fast
+    path for count-only consumers. *)
+
+type right_tracker
+(** Same contract as {!Overlap.right_tracker}: remembers which [s]
+    tuples matched at least once. *)
+
+val left_tracking :
+  ?stage:stage ->
+  ?sanitize:bool ->
+  theta:Theta.t ->
+  Relation.t ->
+  Relation.t ->
+  Window.t Seq.t * right_tracker
+
+val unmatched_right : right_tracker -> Window.t Seq.t
+(** Spanning unmatched windows of the never-matched [s] tuples; raises
+    [Invalid_argument] before the main stream has been drained. *)

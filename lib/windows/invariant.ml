@@ -193,7 +193,19 @@ let check_group ~stage ?theta group =
                   ~group:g ~interval:(Interval.to_string iv)
                   "facts ('%s', '%s') do not \xce\xb8-match"
                   (Fact.to_string (Window.fr w))
-                  (Fact.to_string fs)
+                  (Fact.to_string fs);
+              (match w.Window.sspan with
+              | Some sspan
+                when not (Theta.temporal_matches theta rspan sspan) ->
+                  violation
+                    ~lemma:
+                      "WO pairs satisfy \xce\xb8's temporal component \
+                       (Table I)"
+                    ~group:g ~interval:(Interval.to_string iv)
+                    "intervals (%s, %s) do not satisfy the temporal \
+                     predicate"
+                    (Interval.to_string rspan) (Interval.to_string sspan)
+              | Some _ | None -> ())
           | _ -> ())
         os;
       (* Lineage shape per class (Table II's concatenation inputs). *)

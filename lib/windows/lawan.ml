@@ -3,13 +3,13 @@ module Formula = Tpdb_lineage.Formula
 module Grouping = Tpdb_engine.Grouping
 module Sweep = Tpdb_engine.Sweep
 
-type schedule = [ `Heap | `Scan ]
-
 (* The sweep over one group's overlapping windows: every maximal segment
    with a constant, non-empty set of valid matching s tuples becomes a
    negating window whose λs lists the lineages in arrival order, matching
-   the paper's examples (b3 ∨ b2 in Fig. 1b). *)
-let negating_of_group schedule group =
+   the paper's examples (b3 ∨ b2 in Fig. 1b). The group's windows are
+   start-sorted, so the Sweep.Source start-order precondition holds by
+   construction. *)
+let negating_of_group group =
   let overlapping =
     List.filter_map
       (fun w ->
@@ -24,19 +24,19 @@ let negating_of_group schedule group =
       let fr = Window.fr first
       and lr = Window.lr first
       and rspan = Window.rspan first in
-      Sweep.constant_segments ~schedule overlapping
+      Sweep.constant_segments (Sweep.Source.of_list overlapping)
       |> List.map (fun (iv, lineages) ->
              Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Windows_negating;
              Window.negating ~fr ~iv ~lr ~ls:(Formula.disj lineages) ~rspan)
 
-let extend_group ?(schedule = `Heap) group =
-  let negs = negating_of_group schedule group in
+let extend_group group =
+  let negs = negating_of_group group in
   List.merge
     (fun a b -> Interval.compare_start (Window.iv a) (Window.iv b))
     group negs
 
-let extend ?schedule ?(sanitize = false) stream =
+let extend ?(sanitize = false) stream =
   let extended =
-    Grouping.map_runs ~same:Window.same_group (extend_group ?schedule) stream
+    Grouping.map_runs ~same:Window.same_group extend_group stream
   in
   if sanitize then Invariant.wrap ~stage:Invariant.Wuon extended else extended

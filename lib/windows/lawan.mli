@@ -8,20 +8,20 @@
     event points with at least one valid matching [s] tuple it emits a
     negating window whose [λs] is the disjunction of the lineages of the
     tuples valid over that segment (in order of their appearance, matching
-    the paper's [b3 ∨ b2] in Fig. 1b). A priority queue of ending points
-    schedules the sweep, as in the paper; [`Scan] recomputes the minimum
-    by scanning the active list instead (ablation baseline, same output).
+    the paper's [b3 ∨ b2] in Fig. 1b). The sweep runs on the flat
+    endpoint arrays of {!Tpdb_engine.Sweep.Source}, with ending points
+    scheduled by a priority queue as in the paper.
 
     Unmatched and overlapping windows are copied through; copies and
-    negating windows alternate in start order. *)
+    negating windows alternate in start order.
 
-type schedule = [ `Heap | `Scan ]
+    This is the group-at-a-time legacy path; the default executor fuses
+    the same derivation into {!Flat_join}. *)
 
-val extend :
-  ?schedule:schedule -> ?sanitize:bool -> Window.t Seq.t -> Window.t Seq.t
+val extend : ?sanitize:bool -> Window.t Seq.t -> Window.t Seq.t
 (** Input grouped by {!Window.same_group}, start-sorted within groups
     (LAWAU's output order). With [~sanitize:true] the output is wrapped
     in {!Invariant.wrap} at stage {!Invariant.Wuon} (default [false]). *)
 
-val extend_group : ?schedule:schedule -> Window.t list -> Window.t list
+val extend_group : Window.t list -> Window.t list
 (** One group at a time; exposed for tests and for the ablation bench. *)

@@ -5,7 +5,7 @@ module Fact = Tpdb_relation.Fact
 module Hash_partition = Tpdb_engine.Hash_partition
 module Metrics = Tpdb_obs.Metrics
 
-type algorithm = [ `Hash | `Merge | `Index | `Nested_loop ]
+type algorithm = [ `Flat | `Hash | `Merge | `Index | `Nested_loop ]
 
 type right_tracker = {
   s_tuples : Tuple.t array;
@@ -51,12 +51,17 @@ let probe_fn ?(algorithm = `Hash) ~theta s_indexed =
       ~key:(fun (_, tp) -> Fact.key right_cols (Tuple.fact tp))
       ~hash:Fact.hash ~equal:Fact.equal s_indexed
   in
+  (* A pair forms a window iff it shares a time point, satisfies θ's
+     temporal component over the full tuple intervals, and fact-matches
+     the residual atoms. [residual] keeps the temporal component of the
+     θ it was derived from, so one value carries both checks. *)
+  let pair_matches residual r_tuple s_tuple =
+    Interval.overlaps (Tuple.iv r_tuple) (Tuple.iv s_tuple)
+    && Theta.temporal_matches residual (Tuple.iv r_tuple) (Tuple.iv s_tuple)
+    && Theta.matches residual (Tuple.fact r_tuple) (Tuple.fact s_tuple)
+  in
   let overlap_filter residual r_tuple candidates =
-    List.filter
-      (fun (_, s_tuple) ->
-        Interval.overlaps (Tuple.iv r_tuple) (Tuple.iv s_tuple)
-        && Theta.matches residual (Tuple.fact r_tuple) (Tuple.fact s_tuple))
-      candidates
+    List.filter (fun (_, s_tuple) -> pair_matches residual r_tuple s_tuple) candidates
   in
   (* [`Merge]: candidates sorted by start; stop at the first candidate
      starting at or after the probe's end point. *)
@@ -67,11 +72,10 @@ let probe_fn ?(algorithm = `Hash) ~theta s_indexed =
       | ((_, s_tuple) as entry) :: rest ->
           if Interval.ts (Tuple.iv s_tuple) >= rte then List.rev acc
           else
-            let keep =
-              Interval.overlaps (Tuple.iv r_tuple) (Tuple.iv s_tuple)
-              && Theta.matches residual (Tuple.fact r_tuple) (Tuple.fact s_tuple)
-            in
-            scan (if keep then entry :: acc else acc) rest
+            scan
+              (if pair_matches residual r_tuple s_tuple then entry :: acc
+               else acc)
+              rest
     in
     scan [] candidates
   in
@@ -81,7 +85,9 @@ let probe_fn ?(algorithm = `Hash) ~theta s_indexed =
       entries
   in
   match (algorithm, Theta.equi_keys theta) with
-  | `Hash, Some (left_cols, right_cols) ->
+  (* [`Flat] is dispatched to Flat_join by Nj before reaching here; a
+     direct caller (the TA baseline) gets the hash-partitioned probe. *)
+  | (`Hash | `Flat), Some (left_cols, right_cols) ->
       let partition = build_partition right_cols in
       let residual = Theta.residual theta in
       fun r_tuple ->
@@ -125,8 +131,10 @@ let probe_fn ?(algorithm = `Hash) ~theta s_indexed =
           | (_, tree) :: _ ->
               Tpdb_engine.Interval_tree.overlapping tree (Tuple.iv r_tuple)
               |> List.filter (fun (_, s_tuple) ->
-                     Theta.matches residual (Tuple.fact r_tuple)
-                       (Tuple.fact s_tuple)))
+                     Theta.temporal_matches residual (Tuple.iv r_tuple)
+                       (Tuple.iv s_tuple)
+                     && Theta.matches residual (Tuple.fact r_tuple)
+                          (Tuple.fact s_tuple)))
   | `Index, None ->
       let tree =
         Tpdb_engine.Interval_tree.build (fun (_, tp) -> Tuple.iv tp) s_indexed
@@ -134,8 +142,11 @@ let probe_fn ?(algorithm = `Hash) ~theta s_indexed =
       fun r_tuple ->
         Tpdb_engine.Interval_tree.overlapping tree (Tuple.iv r_tuple)
         |> List.filter (fun (_, s_tuple) ->
-               Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple))
-  | (`Nested_loop | `Hash), _ ->
+               Theta.temporal_matches theta (Tuple.iv r_tuple)
+                 (Tuple.iv s_tuple)
+               && Theta.matches theta (Tuple.fact r_tuple)
+                    (Tuple.fact s_tuple))
+  | (`Nested_loop | `Hash | `Flat), _ ->
       fun r_tuple -> overlap_filter theta r_tuple s_indexed
 
 let prober ?algorithm ~theta s =

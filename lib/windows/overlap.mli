@@ -18,7 +18,12 @@
     the ablation bench and by the TA baseline's cost model). All four
     produce identical window streams. *)
 
-type algorithm = [ `Hash | `Merge | `Index | `Nested_loop ]
+type algorithm = [ `Flat | `Hash | `Merge | `Index | `Nested_loop ]
+(** [`Flat] selects the struct-of-arrays pipeline ({!Flat_join}) — the
+    default; {!Tpdb_joins.Nj} dispatches it before this module is
+    reached. Passed directly to this module (the TA baseline does), it
+    behaves like [`Hash]. The other four are the legacy Seq-of-records
+    paths, kept as ablation baselines and oracle configurations. *)
 
 val left :
   ?algorithm:algorithm ->

@@ -4,11 +4,23 @@ module Relation = Tpdb_relation.Relation
 module Tuple = Tpdb_relation.Tuple
 module Fact = Tpdb_relation.Fact
 
-let lambda_s_theta ~theta ~s rfact t =
+(* Pair-level temporal component of θ, evaluated against the spanning
+   tuple's full interval. [`Overlap] needs no extra check here: λ is only
+   consulted for time points where both tuples are valid, which implies a
+   shared point. *)
+let temporal_ok theta riv siv =
+  match Theta.temporal theta with
+  | `Overlap -> true
+  | `Allen rel -> Interval.allen riv siv = rel
+
+let lambda_s_theta ~theta ~s ~riv rfact t =
   let lineages =
     List.filter_map
       (fun s_tuple ->
-        if Tuple.valid_at s_tuple t && Theta.matches theta rfact (Tuple.fact s_tuple)
+        if
+          Tuple.valid_at s_tuple t
+          && Theta.matches theta rfact (Tuple.fact s_tuple)
+          && temporal_ok theta riv (Tuple.iv s_tuple)
         then Some (Tuple.lineage s_tuple)
         else None)
       (Relation.tuples s)
@@ -27,7 +39,8 @@ let runs_of_tuple ~theta ~s r_tuple =
   let states =
     List.of_seq
       (Seq.map
-         (fun t -> (t, lambda_s_theta ~theta ~s (Tuple.fact r_tuple) t))
+         (fun t ->
+           (t, lambda_s_theta ~theta ~s ~riv:rspan (Tuple.fact r_tuple) t))
          (Interval.points rspan))
   in
   let rec group = function
@@ -62,7 +75,10 @@ let overlapping_windows ~theta r s =
     (fun r_tuple ->
       List.filter_map
         (fun s_tuple ->
-          if Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple) then
+          if
+            Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple)
+            && temporal_ok theta (Tuple.iv r_tuple) (Tuple.iv s_tuple)
+          then
             Interval.intersect (Tuple.iv r_tuple) (Tuple.iv s_tuple)
             |> Option.map (fun iv ->
                    Window.overlapping ~fr:(Tuple.fact r_tuple)
@@ -113,6 +129,7 @@ let is_overlapping_window ~theta r s w =
                    | Some ls -> lineage_matches (Tuple.lineage s_tuple) ls
                    | None -> false)
                 && Theta.matches theta (Tuple.fact r_tuple) (Tuple.fact s_tuple)
+                && temporal_ok theta (Tuple.iv r_tuple) (Tuple.iv s_tuple)
                 && Interval.intersect (Tuple.iv r_tuple) (Tuple.iv s_tuple)
                    = Some (Window.iv w))
               (Relation.tuples s))
@@ -124,7 +141,7 @@ let boundary_fails ~theta r s w expected_state t' =
   (not (valid_spanning_at r w t'))
   || not
        (formula_opt_equal expected_state
-          (lambda_s_theta ~theta ~s (Window.fr w) t'))
+          (lambda_s_theta ~theta ~s ~riv:(Window.rspan w) (Window.fr w) t'))
 
 let is_unmatched_window ~theta r s w =
   Window.kind w = Window.Unmatched
@@ -133,7 +150,8 @@ let is_unmatched_window ~theta r s w =
   && Seq.for_all
        (fun t ->
          valid_spanning_at r w t
-         && lambda_s_theta ~theta ~s (Window.fr w) t = None)
+         && lambda_s_theta ~theta ~s ~riv:(Window.rspan w) (Window.fr w) t
+            = None)
        (Interval.points (Window.iv w))
   && boundary_fails ~theta r s w None (Interval.ts (Window.iv w) - 1)
   && boundary_fails ~theta r s w None (Interval.te (Window.iv w))
@@ -149,7 +167,9 @@ let is_negating_window ~theta r s w =
         (fun t ->
           valid_spanning_at r w t
           &&
-          match lambda_s_theta ~theta ~s (Window.fr w) t with
+          match
+            lambda_s_theta ~theta ~s ~riv:(Window.rspan w) (Window.fr w) t
+          with
           | Some actual -> lineage_matches ls actual
           | None -> false)
         (Interval.points (Window.iv w))

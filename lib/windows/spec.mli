@@ -11,9 +11,16 @@ module Relation = Tpdb_relation.Relation
 module Fact = Tpdb_relation.Fact
 
 val lambda_s_theta :
-  theta:Theta.t -> s:Relation.t -> Fact.t -> Interval.time -> Formula.t option
+  theta:Theta.t ->
+  s:Relation.t ->
+  riv:Interval.t ->
+  Fact.t ->
+  Interval.time ->
+  Formula.t option
 (** [λ^{s,θ}_t] of Table I: the disjunction of the lineages of the [s]
-    tuples valid at [t] whose facts θ-match the given [r] fact, in the
+    tuples valid at [t] whose facts θ-match the given [r] fact — and, when
+    θ carries an [`Allen] temporal component, whose full interval stands
+    in that relation to [riv] (the [r] tuple's interval) — in the
     relation's tuple order; [None] when no tuple matches. *)
 
 val windows : theta:Theta.t -> Relation.t -> Relation.t -> Window.t list

@@ -1,6 +1,7 @@
 module Fact = Tpdb_relation.Fact
 module Value = Tpdb_relation.Value
 module Schema = Tpdb_relation.Schema
+module Interval = Tpdb_interval.Interval
 
 type op = [ `Eq | `Lt | `Le | `Gt | `Ge | `Ne ]
 
@@ -9,17 +10,46 @@ type atom =
   | Left_const of op * int * Value.t
   | Right_const of op * int * Value.t
 
-type t = atom list
+type temporal = [ `Overlap | `Allen of Interval.allen ]
 
-let always = []
+type t = { temporal : temporal; atoms : atom list }
 
-let of_atoms atoms = atoms
+let always = { temporal = `Overlap; atoms = [] }
 
-let eq i j = [ Cols (`Eq, i, j) ]
+let of_atoms atoms = { temporal = `Overlap; atoms }
 
-let conj a b = a @ b
+let eq i j = { temporal = `Overlap; atoms = [ Cols (`Eq, i, j) ] }
 
-let atoms t = t
+let conj a b =
+  let temporal =
+    match (a.temporal, b.temporal) with
+    | `Overlap, t | t, `Overlap -> t
+    | (`Allen ra as t), `Allen rb ->
+        if ra = rb then t
+        else
+          invalid_arg
+            (Printf.sprintf
+               "Theta.conj: conflicting temporal predicates (%s vs %s)"
+               (Interval.allen_name ra) (Interval.allen_name rb))
+  in
+  { temporal; atoms = a.atoms @ b.atoms }
+
+let atoms t = t.atoms
+
+let temporal t = t.temporal
+
+let with_temporal temporal t = { t with temporal }
+
+let allen rel = { temporal = `Allen rel; atoms = [] }
+
+(* The temporal predicate over the two tuples' full intervals. [`Overlap]
+   is the classic condition θo; [`Allen rel] holds iff the pair stands in
+   exactly that relation. Windows additionally require a shared time
+   point, so a disjoint Allen relation yields only unmatched windows. *)
+let temporal_matches t a b =
+  match t.temporal with
+  | `Overlap -> Interval.overlaps a b
+  | `Allen rel -> Interval.allen a b = rel
 
 let apply_op op a b =
   if Value.is_null a || Value.is_null b then false
@@ -38,18 +68,24 @@ let matches_atom fr fs = function
   | Left_const (op, i, v) -> apply_op op (Fact.get fr i) v
   | Right_const (op, j, v) -> apply_op op (Fact.get fs j) v
 
-let matches t fr fs = List.for_all (matches_atom fr fs) t
+let matches t fr fs = List.for_all (matches_atom fr fs) t.atoms
 
 let equi_keys t =
   let keys =
-    List.filter_map (function Cols (`Eq, i, j) -> Some (i, j) | _ -> None) t
+    List.filter_map
+      (function Cols (`Eq, i, j) -> Some (i, j) | _ -> None)
+      t.atoms
   in
   match keys with
   | [] -> None
   | _ -> Some (List.map fst keys, List.map snd keys)
 
 let residual t =
-  List.filter (function Cols (`Eq, _, _) -> false | _ -> true) t
+  {
+    t with
+    atoms =
+      List.filter (function Cols (`Eq, _, _) -> false | _ -> true) t.atoms;
+  }
 
 let swap_op : op -> op = function
   | `Eq -> `Eq
@@ -60,12 +96,19 @@ let swap_op : op -> op = function
   | `Ge -> `Le
 
 let swap t =
-  List.map
-    (function
-      | Cols (op, i, j) -> Cols (swap_op op, j, i)
-      | Left_const (op, i, v) -> Right_const (op, i, v)
-      | Right_const (op, j, v) -> Left_const (op, j, v))
-    t
+  {
+    temporal =
+      (match t.temporal with
+      | `Overlap -> `Overlap
+      | `Allen rel -> `Allen (Interval.allen_inverse rel));
+    atoms =
+      List.map
+        (function
+          | Cols (op, i, j) -> Cols (swap_op op, j, i)
+          | Left_const (op, i, v) -> Right_const (op, i, v)
+          | Right_const (op, j, v) -> Left_const (op, j, v))
+        t.atoms;
+  }
 
 let op_string : op -> string = function
   | `Eq -> "="
@@ -83,22 +126,35 @@ let column schema side i =
       | None -> Printf.sprintf "%s#%d" side i)
   | None -> Printf.sprintf "%s#%d" side i
 
+let side_name schema fallback =
+  match schema with Some s -> Schema.name s | None -> fallback
+
 let to_string ?left ?right t =
-  match t with
+  let temporal_part =
+    match t.temporal with
+    | `Overlap -> []
+    | `Allen rel ->
+        [
+          Printf.sprintf "%s.T %s %s.T" (side_name left "l")
+            (Interval.allen_name rel) (side_name right "r");
+        ]
+  in
+  let atom_parts =
+    List.map
+      (function
+        | Cols (op, i, j) ->
+            Printf.sprintf "%s %s %s" (column left "l" i) (op_string op)
+              (column right "r" j)
+        | Left_const (op, i, v) ->
+            Printf.sprintf "%s %s %s" (column left "l" i) (op_string op)
+              (Value.to_string v)
+        | Right_const (op, j, v) ->
+            Printf.sprintf "%s %s %s" (column right "r" j) (op_string op)
+              (Value.to_string v))
+      t.atoms
+  in
+  match temporal_part @ atom_parts with
   | [] -> "true"
-  | _ ->
-      String.concat " and "
-        (List.map
-           (function
-             | Cols (op, i, j) ->
-                 Printf.sprintf "%s %s %s" (column left "l" i) (op_string op)
-                   (column right "r" j)
-             | Left_const (op, i, v) ->
-                 Printf.sprintf "%s %s %s" (column left "l" i) (op_string op)
-                   (Value.to_string v)
-             | Right_const (op, j, v) ->
-                 Printf.sprintf "%s %s %s" (column right "r" j) (op_string op)
-                   (Value.to_string v))
-           t)
+  | parts -> String.concat " and " parts
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,10 +1,18 @@
-(** Join conditions θ over the non-temporal attributes of two facts.
+(** Join conditions θ: a temporal predicate over the two tuples'
+    intervals plus a conjunction of atoms over the non-temporal
+    attributes of the two facts.
 
-    θ is a conjunction of atoms comparing a column of the left fact with a
-    column of the right fact (or with a constant). Equality atoms are
-    recognized so the executor can hash-partition on them; everything else
-    is evaluated as a residual predicate — exactly the split PostgreSQL's
-    planner performs between hash clauses and join filters. *)
+    The temporal component is [`Overlap] — the paper's θo, satisfied by
+    any pair sharing a time point — or [`Allen rel], satisfied exactly
+    when the pair stands in that one Allen relation. Every constructor
+    below builds [`Overlap] thetas, so call sites predating the temporal
+    component are unaffected; {!with_temporal} and {!allen} opt in.
+
+    Atoms compare a column of the left fact with a column of the right
+    fact (or with a constant). Equality atoms are recognized so the
+    executor can hash-partition on them; everything else is evaluated as
+    a residual predicate — exactly the split PostgreSQL's planner
+    performs between hash clauses and join filters. *)
 
 type op = [ `Eq | `Lt | `Le | `Gt | `Ge | `Ne ]
 
@@ -12,6 +20,8 @@ type atom =
   | Cols of op * int * int  (** left column ⋈ right column *)
   | Left_const of op * int * Tpdb_relation.Value.t
   | Right_const of op * int * Tpdb_relation.Value.t
+
+type temporal = [ `Overlap | `Allen of Tpdb_interval.Interval.allen ]
 
 type t
 
@@ -24,8 +34,27 @@ val eq : int -> int -> t
 (** [eq i j] : left column [i] = right column [j]. *)
 
 val conj : t -> t -> t
+(** Conjunction of atoms. Temporal components combine by keeping the
+    non-[`Overlap] side; two different [`Allen] components raise
+    [Invalid_argument] (a pair of intervals stands in exactly one Allen
+    relation, so such a θ would be unsatisfiable). *)
 
 val atoms : t -> atom list
+
+val temporal : t -> temporal
+
+val with_temporal : temporal -> t -> t
+
+val allen : Tpdb_interval.Interval.allen -> t
+(** [allen rel] = [with_temporal (`Allen rel) always]. *)
+
+val temporal_matches : t -> Tpdb_interval.Interval.t -> Tpdb_interval.Interval.t -> bool
+(** Whether the temporal component holds for a (left, right) pair of
+    tuple intervals: interval overlap for [`Overlap], exact relation
+    equality for [`Allen rel]. Note that window formation additionally
+    requires a shared time point, so a disjoint Allen relation
+    ({!Tpdb_interval.Interval.allen_disjoint}) admits no overlapping
+    window. *)
 
 val matches : t -> Tpdb_relation.Fact.t -> Tpdb_relation.Fact.t -> bool
 (** Comparisons involving [Null] never match (SQL semantics). *)
@@ -41,7 +70,10 @@ val residual : t -> t
 
 val swap : t -> t
 (** θ with the two sides exchanged:
-    [matches (swap t) fs fr = matches t fr fs]. *)
+    [matches (swap t) fs fr = matches t fr fs], and the temporal
+    component replaced by its converse
+    ({!Tpdb_interval.Interval.allen_inverse}), so
+    [temporal_matches (swap t) b a = temporal_matches t a b]. *)
 
 val to_string :
   ?left:Tpdb_relation.Schema.t -> ?right:Tpdb_relation.Schema.t -> t -> string

@@ -9,7 +9,7 @@ window classes and counters are deterministic for a fixed seed.
   $ sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/g' analyze.out | head -5
   -- sanitize: off; trace: trace.json; stats: stats.json
   Project (File)  [rows=52, _ ms]
-    TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: an_r.File = an_s.File)  [rows=52, _ ms] [windows: WO=22 WU=30 WN=22] [prob-cache: 0 hits, 52 misses]
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: an_r.File = an_s.File)  [rows=52, _ ms] [windows: WO=22 WU=30 WN=22] [prob-cache: 0 hits, 52 misses]
       Scan an_r (40 tuples)  [rows=40, _ ms]
       Scan an_s (40 tuples)  [rows=40, _ ms]
 

@@ -35,7 +35,7 @@ The full TP-SQL dialect on the booking scenario:
   > SELECT Name FROM a ANTIJOIN b ON a.Loc = b.Loc AT 5
   Project (Name)
     Timeslice ([5,6))
-      TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc)
+      TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc)
         Scan a (3 tuples)
         Scan b (3 tuples)
   a_anti_b (2 tuples)
@@ -47,7 +47,7 @@ The full TP-SQL dialect on the booking scenario:
   Project (Name, Hotel)
     Timeslice ([4,8))
       Filter (Name <> 'Jim')
-        TP Left Outer Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc)
+        TP Left Outer Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc)
           Scan a (3 tuples)
           Scan b (3 tuples)
   a_b (9 tuples)

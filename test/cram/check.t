@@ -57,7 +57,7 @@ So does a malformed CSV, with file and line:
 
   $ ../../bin/tpdb_cli.exe query --explain --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File <> wk_s.File"
   -- sanitize: off; trace: off; stats: off
-  TP Left Outer Join (NJ pipeline: overlap[nested loop] -> LAWAU -> LAWAN; θ: wk_r.File <> wk_s.File; jobs: 2)
+  TP Left Outer Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File <> wk_s.File; jobs: 2)
     Scan wk_r (50 tuples)
     Scan wk_s (50 tuples)
   
@@ -69,3 +69,32 @@ plan records it and the query still returns its rows:
   $ ../../bin/tpdb_cli.exe query --sanitize -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File" | head -2
   -- sanitize: on; trace: off; stats: off
   Project (File)
+
+θ's temporal component: an Allen predicate alone cannot shard on a key
+either — the fallback warning explains the distinction:
+
+  $ ../../bin/tpdb_cli.exe check --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.T BEFORE wk_s.T"
+  warning[cartesian] at TP Left Outer Join: θ has no atoms: every overlapping pair matches (a temporal cartesian product; quadratic in the overlap)
+  warning[sequential-fallback] at TP Left Outer Join: jobs=2 requested, but θ is a residual-only temporal predicate (before) with no equality atom to shard on — Allen relations constrain intervals, not fact keys, so the join runs sequentially
+  0 error(s), 2 warning(s)
+
+With an equality atom alongside, the Allen predicate folds into the
+join's θ and the plan parallelizes; EXPLAIN renders it as part of the
+join condition:
+
+  $ ../../bin/tpdb_cli.exe check --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File AND wk_r.T MEETS wk_s.T"
+  ok: no issues found
+
+  $ ../../bin/tpdb_cli.exe query --explain -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File AND wk_r.T MEETS wk_s.T"
+  -- sanitize: off; trace: off; stats: off
+  Project (File)
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.T meets wk_s.T and wk_r.File = wk_s.File)
+      Scan wk_r (50 tuples)
+      Scan wk_s (50 tuples)
+
+A WHERE-placed temporal predicate that names a relation outside the
+join chain is a plan error:
+
+  $ ../../bin/tpdb_cli.exe check -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File WHERE wk_r.T AFTER zzz.T"
+  error[plan] at -: temporal predicate wk_r.T AFTER zzz.T does not match any join's sides
+  [1]

@@ -8,7 +8,7 @@ Plan a TP anti join over the generated CSVs:
   $ ../../bin/tpdb_cli.exe query --explain -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
   -- sanitize: off; trace: off; stats: off
   Project (File)
-    TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File)
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File)
       Scan wk_r (50 tuples)
       Scan wk_s (50 tuples)
 
@@ -18,7 +18,7 @@ the result is byte-identical to the sequential run:
   $ ../../bin/tpdb_cli.exe query --explain --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
   -- sanitize: off; trace: off; stats: off
   Project (File)
-    TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; jobs: 2)
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; jobs: 2)
       Scan wk_r (50 tuples)
       Scan wk_s (50 tuples)
 
@@ -32,7 +32,7 @@ result is byte-identical to the default memoized run:
   $ ../../bin/tpdb_cli.exe query --explain --no-prob-cache -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
   -- sanitize: off; trace: off; stats: off; prob-cache: off
   Project (File)
-    TP Anti Join (NJ pipeline: overlap[hash] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; prob-cache: off)
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; prob-cache: off)
       Scan wk_r (50 tuples)
       Scan wk_s (50 tuples)
 

@@ -162,19 +162,19 @@ let differential ?(configs = axis_configs) ?(count = 120) kind =
                (List.map (Oracle.report ~theta) ds
                @ [ print_scenario (theta, r, s) ])))
 
-(* The remaining shipped axes (sanitizer, merge/index algorithms, scan
-   schedule) at a lower count, all kinds per case. *)
+(* The remaining shipped axes (sanitizer, legacy hash/merge/index
+   algorithms) at a lower count, all kinds per case. *)
 let differential_full_matrix =
   let configs =
     [
       Oracle.config ~sanitize:true ();
       Oracle.config ~jobs:2 ~sanitize:true ();
+      Oracle.config ~algorithm:`Hash ();
       Oracle.config ~algorithm:`Merge ();
       Oracle.config ~algorithm:`Index ();
-      Oracle.config ~schedule:`Scan ();
     ]
   in
-  Test.make ~name:"differential: all kinds under sanitize/merge/index/scan"
+  Test.make ~name:"differential: all kinds under sanitize/hash/merge/index"
     ~count:40 ~print:print_scenario
     (Tp_gen.scenario_gen ())
     (fun (theta, r, s) ->
@@ -186,10 +186,39 @@ let differential_full_matrix =
                (List.map (Oracle.report ~theta) ds
                @ [ print_scenario (theta, r, s) ])))
 
+(* Every Allen relation as θ's temporal component, on the paper example,
+   across all five join kinds and jobs 1/2/4 — the deterministic
+   end-to-end matrix the flat Allen kernels are gated on. Sequential and
+   parallel configs must both diff clean against the snapshot
+   semantics. *)
+let test_allen_matrix () =
+  let a = Fixtures.relation_a () and b = Fixtures.relation_b () in
+  let configs = List.map (fun jobs -> Oracle.config ~jobs ()) [ 1; 2; 4 ] in
+  List.iter
+    (fun rel ->
+      List.iter
+        (fun theta ->
+          match Oracle.check ~configs ~theta a b with
+          | [] -> ()
+          | ds ->
+              Alcotest.failf "Allen %s diverges:
+%s"
+                (Interval.allen_name rel)
+                (String.concat "
+
+" (List.map (Oracle.report ~theta) ds)))
+        [
+          Theta.allen rel;
+          Theta.with_temporal (`Allen rel) Fixtures.theta_loc;
+        ])
+    Interval.all_allen
+
 let suite =
   [
     Alcotest.test_case "oracle reproduces the paper example" `Quick
       test_paper_example;
+    Alcotest.test_case "Allen matrix: 13 relations x 5 kinds x jobs" `Quick
+      test_allen_matrix;
     Alcotest.test_case "diff classifies seeded defects" `Quick
       test_diff_classification;
     Alcotest.test_case "oracle runs are measured" `Quick test_metrics;

@@ -73,7 +73,7 @@ let test_identity_projection () =
 let test_sweep_segments () =
   let segments =
     Sweep.constant_segments
-      [ (iv 0 4, "a"); (iv 2 6, "b"); (iv 8 9, "c") ]
+      (Sweep.Source.of_list [ (iv 0 4, "a"); (iv 2 6, "b"); (iv 8 9, "c") ])
   in
   Alcotest.(check (list (pair string (list string))))
     "maximal constant-coverage segments"
@@ -87,13 +87,26 @@ let test_sweep_segments () =
        (fun (seg, payloads) -> (Interval.to_string seg, payloads))
        segments);
   Alcotest.(check int) "empty input" 0
-    (List.length (Sweep.constant_segments ([] : (Interval.t * unit) list)))
+    (List.length
+       (Sweep.constant_segments
+          (Sweep.Source.of_list ([] : (Interval.t * unit) list))))
 
-let test_sweep_schedules_agree () =
-  let items = [ (iv 0 5, 1); (iv 1 3, 2); (iv 3 8, 3); (iv 9 11, 4) ] in
-  Alcotest.(check bool) "heap = scan" true
-    (Sweep.constant_segments ~schedule:`Heap items
-    = Sweep.constant_segments ~schedule:`Scan items)
+let test_sweep_source_rejects_unsorted () =
+  match Sweep.Source.of_list [ (iv 4 6, "b"); (iv 0 2, "a") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsorted source accepted"
+
+let test_sweep_source_of_arrays () =
+  let source =
+    Sweep.Source.of_arrays ~ts:[| 0; 2 |] ~te:[| 4; 6 |]
+      ~payload:[| "a"; "b" |] ~len:2
+  in
+  Alcotest.(check (list (pair string (list string))))
+    "segments from raw arrays"
+    [ ("[0,2)", [ "a" ]); ("[2,4)", [ "a"; "b" ]); ("[4,6)", [ "b" ]) ]
+    (List.map
+       (fun (seg, payloads) -> (Interval.to_string seg, payloads))
+       (Sweep.constant_segments source))
 
 (* --- properties --- *)
 
@@ -140,7 +153,10 @@ let suite =
     Alcotest.test_case "by-name and errors" `Quick test_project_names_and_errors;
     Alcotest.test_case "identity projection" `Quick test_identity_projection;
     Alcotest.test_case "sweep segments" `Quick test_sweep_segments;
-    Alcotest.test_case "sweep schedules agree" `Quick test_sweep_schedules_agree;
+    Alcotest.test_case "sweep source rejects unsorted" `Quick
+      test_sweep_source_rejects_unsorted;
+    Alcotest.test_case "sweep source of arrays" `Quick
+      test_sweep_source_of_arrays;
     qtest prop_project_matches_oracle;
     qtest prop_project_idempotent;
     qtest prop_project_covers_input;

@@ -170,16 +170,17 @@ let test_sql_set_operation () =
 let test_planner_algorithm_choice () =
   let c = catalog () in
   let explain sql = Planner.explain (Planner.plan c (Parser.parse sql)) in
-  let hash = explain "SELECT * FROM a TPJOIN b ON a.Loc = b.Loc" in
+  let equi = explain "SELECT * FROM a TPJOIN b ON a.Loc = b.Loc" in
   let contains needle haystack =
     let nl = String.length needle and hl = String.length haystack in
     let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
     at 0
   in
-  Alcotest.(check bool) "hash plan" true (contains "overlap[hash]" hash);
+  Alcotest.(check bool) "equi-join runs on the flat core" true
+    (contains "overlap[flat]" equi);
   let nested = explain "SELECT * FROM a TPJOIN b ON a.Name <> b.Hotel" in
-  Alcotest.(check bool) "inequality -> nested loop" true
-    (contains "overlap[nested loop]" nested)
+  Alcotest.(check bool) "inequality also runs on the flat core" true
+    (contains "overlap[flat]" nested)
 
 let test_sql_distinct () =
   (* DISTINCT Loc over relation a: one tuple per location per maximal
@@ -226,6 +227,96 @@ let test_sql_roundtrip_new_syntax () =
       "SELECT DISTINCT * FROM a LEFT TPJOIN b ON a.Loc = b.Loc DURING [2,9)";
     ]
 
+(* --- Allen temporal predicates end-to-end --- *)
+
+let test_allen_syntax_end_to_end () =
+  let c = catalog () in
+  (* ON-clause temporal atom: θ carries the Allen component and the flat
+     sweep produces the same relation as the API with the same θ. *)
+  let via_sql =
+    Planner.run_string c
+      "SELECT * FROM a TPJOIN b ON a.Loc = b.Loc AND a.T OVERLAPS b.T"
+  in
+  let theta =
+    Tpdb_windows.Theta.with_temporal
+      (`Allen Tpdb_interval.Interval.Overlaps)
+      Fixtures.theta_loc
+  in
+  let via_api =
+    Nj.inner ~theta (Fixtures.relation_a ()) (Fixtures.relation_b ())
+  in
+  Fixtures.check_relation "ON temporal = api" via_api via_sql;
+  (* WHERE placement folds into the same join. *)
+  let via_where =
+    Planner.run_string c
+      "SELECT * FROM a TPJOIN b ON a.Loc = b.Loc WHERE a.T OVERLAPS b.T"
+  in
+  Fixtures.check_relation "WHERE temporal = ON temporal" via_sql via_where;
+  (* Reversed operands invert the relation. *)
+  let via_reversed =
+    Planner.run_string c
+      "SELECT * FROM a TPJOIN b ON a.Loc = b.Loc AND b.T OVERLAPPED_BY a.T"
+  in
+  Fixtures.check_relation "reversed operands invert" via_sql via_reversed;
+  (* A disjoint relation yields no inner-join rows on the paper example
+     (every matching pair there shares a time point). *)
+  let disjoint =
+    Planner.run_string c
+      "SELECT * FROM a TPJOIN b ON a.Loc = b.Loc AND a.T BEFORE b.T"
+  in
+  Alcotest.(check int) "BEFORE: no overlapping pairs" 0
+    (Relation.cardinality disjoint)
+
+let test_allen_explain_and_roundtrip () =
+  let c = catalog () in
+  let explain sql = Planner.explain (Planner.plan c (Parser.parse sql)) in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec at i =
+      i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1))
+    in
+    at 0
+  in
+  Alcotest.(check bool) "EXPLAIN renders the Allen predicate" true
+    (contains "a.T overlaps b.T"
+       (explain "SELECT * FROM a TPJOIN b ON a.Loc = b.Loc AND a.T OVERLAPS b.T"));
+  (* Every Allen keyword parses in ON and round-trips through
+     Ast.to_string. DURING doubles as the timeslice clause, so it gets an
+     explicit slice after it to prove the parser disambiguates. *)
+  List.iter
+    (fun kw ->
+      let sql =
+        Printf.sprintf "SELECT * FROM a INNER TPJOIN b ON a.T %s b.T" kw
+      in
+      Alcotest.(check string) sql sql (Ast.to_string (Parser.parse sql)))
+    [
+      "BEFORE"; "MEETS"; "OVERLAPS"; "STARTS"; "STARTED_BY"; "FINISHES";
+      "FINISHED_BY"; "DURING"; "CONTAINS"; "EQUALS"; "AFTER"; "MET_BY";
+      "OVERLAPPED_BY";
+    ];
+  let both = "SELECT * FROM a INNER TPJOIN b ON a.T DURING b.T DURING [2,9)" in
+  Alcotest.(check string) "DURING as relation and slice" both
+    (Ast.to_string (Parser.parse both))
+
+let test_allen_planner_errors () =
+  let c = catalog () in
+  List.iter
+    (fun sql ->
+      match Planner.run_string c sql with
+      | exception Planner.Plan_error _ -> ()
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "planned %S" sql)
+    [
+      (* two temporal predicates on one join *)
+      "SELECT * FROM a TPJOIN b ON a.T BEFORE b.T AND a.T AFTER b.T";
+      (* relates a relation to itself *)
+      "SELECT * FROM a TPJOIN b ON a.T BEFORE a.T";
+      (* names a relation outside the join chain *)
+      "SELECT * FROM a TPJOIN b ON a.Loc = b.Loc WHERE a.T BEFORE zzz.T";
+      (* left operand is not a .T reference *)
+      "SELECT * FROM a TPJOIN b ON a.Loc BEFORE b.T";
+    ]
+
 let test_planner_stream_matches_run () =
   let c = catalog () in
   let plan =
@@ -262,7 +353,7 @@ let test_explain_tree () =
       "Timeslice ([2,9))";
       "Filter (Hotel <> 'x')";
       "TP Left Outer Join";
-      "overlap[hash]";
+      "overlap[flat]";
       "Scan a (2 tuples)";
       "Scan b (3 tuples)";
     ]
@@ -435,6 +526,9 @@ let suite =
     Alcotest.test_case "sql distinct" `Quick test_sql_distinct;
     Alcotest.test_case "sql slices (AT / DURING)" `Quick test_sql_slices;
     Alcotest.test_case "round-trip new syntax" `Quick test_sql_roundtrip_new_syntax;
+    Alcotest.test_case "allen syntax end-to-end" `Quick test_allen_syntax_end_to_end;
+    Alcotest.test_case "allen explain + round-trip" `Quick test_allen_explain_and_roundtrip;
+    Alcotest.test_case "allen planner errors" `Quick test_allen_planner_errors;
     Alcotest.test_case "stream = run" `Quick test_planner_stream_matches_run;
     Alcotest.test_case "explain tree" `Quick test_explain_tree;
     Alcotest.test_case "sql aggregate (COUNT GROUP BY)" `Quick test_sql_aggregate;

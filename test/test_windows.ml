@@ -7,6 +7,7 @@ module Window = Tpdb_windows.Window
 module Overlap = Tpdb_windows.Overlap
 module Lawau = Tpdb_windows.Lawau
 module Lawan = Tpdb_windows.Lawan
+module Flat_join = Tpdb_windows.Flat_join
 module Spec = Tpdb_windows.Spec
 
 let iv = Interval.make
@@ -177,18 +178,20 @@ let test_lawan_clipped_by_r =
   (* s extends beyond r: negating windows stay inside the r tuple. *)
   lawan_case ~s_rows:[ iv 5 20 ] ~expected:[ ("[5,10)", "s1") ]
 
-let test_lawan_schedules_agree () =
+let test_flat_equals_legacy_unit () =
   let r = rel "r" [ ([ "x" ], iv 0 12, 0.5) ] in
   let s =
     rel "s" [ ([ "x" ], iv 1 5, 0.5); ([ "x" ], iv 6 9, 0.4) ]
   in
-  let run schedule =
-    List.of_seq
-      (Lawan.extend ~schedule (Lawau.extend (Overlap.left ~theta:theta_k r s)))
+  let legacy =
+    List.of_seq (Lawan.extend (Lawau.extend (Overlap.left ~theta:theta_k r s)))
   in
-  let heap = run `Heap and scan = run `Scan in
-  Alcotest.(check int) "same count" (List.length heap) (List.length scan);
-  Alcotest.(check bool) "same windows" true (List.for_all2 Window.equal heap scan)
+  let flat =
+    List.of_seq (Flat_join.left ~stage:`Wuon ~theta:theta_k r s)
+  in
+  Alcotest.(check int) "same count" (List.length legacy) (List.length flat);
+  Alcotest.(check bool) "same windows" true
+    (List.for_all2 Window.equal legacy flat)
 
 (* --- Render --- *)
 
@@ -238,7 +241,9 @@ let test_spec_lambda () =
   let b = Fixtures.relation_b () in
   let ann = Fact.of_strings [ "Ann"; "ZAK" ] in
   let lambda t =
-    match Spec.lambda_s_theta ~theta:Fixtures.theta_loc ~s:b ann t with
+    match
+      Spec.lambda_s_theta ~theta:Fixtures.theta_loc ~s:b ~riv:(iv 2 8) ann t
+    with
     | Some f -> Formula.to_string_ascii (Formula.normalize f)
     | None -> "null"
   in
@@ -322,16 +327,36 @@ let prop_hash_equals_nested_loop =
       && windows_equal hash (run `Merge)
       && windows_equal hash (run `Index))
 
-let prop_lawan_schedules_agree =
-  Test.make ~name:"heap and rescan schedules agree" ~count:150
+(* The tentpole equivalence: the one-pass flat struct-of-arrays pipeline
+   produces the same window stream — content AND order — as the legacy
+   three-stage Seq chain, at every stage depth. *)
+let prop_flat_equals_legacy =
+  Test.make ~name:"flat pipeline = legacy chain at every stage" ~count:150
     ~print:Tp_gen.print_triple
     (Tp_gen.scenario_gen ())
     (fun (theta, r, s) ->
-      let run schedule =
-        List.of_seq
-          (Lawan.extend ~schedule (Lawau.extend (Overlap.left ~theta r s)))
+      let legacy_wo = List.of_seq (Overlap.left ~theta r s) in
+      let legacy_wuo =
+        List.of_seq (Lawau.extend (List.to_seq legacy_wo))
       in
-      windows_equal (run `Heap) (run `Scan))
+      let legacy_wuon =
+        List.of_seq (Lawan.extend (List.to_seq legacy_wuo))
+      in
+      let flat stage = List.of_seq (Flat_join.left ~stage ~theta r s) in
+      windows_equal legacy_wo (flat `Wo)
+      && windows_equal legacy_wuo (flat `Wuo)
+      && windows_equal legacy_wuon (flat `Wuon))
+
+let prop_flat_count_equals_length =
+  Test.make ~name:"flat counting kernel = window count at every stage"
+    ~count:200 ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      List.for_all
+        (fun stage ->
+          Flat_join.count ~stage ~theta r s
+          = Seq.length (Flat_join.left ~stage ~theta r s))
+        [ `Wo; `Wuo; `Wuon ])
 
 let suite =
   [
@@ -352,7 +377,7 @@ let suite =
     Alcotest.test_case "LAWAN: meeting tuples" `Quick test_lawan_meets;
     Alcotest.test_case "LAWAN: nested validity" `Quick test_lawan_nested;
     Alcotest.test_case "LAWAN: clipped by r" `Quick test_lawan_clipped_by_r;
-    Alcotest.test_case "LAWAN: schedules agree" `Quick test_lawan_schedules_agree;
+    Alcotest.test_case "flat = legacy (unit)" `Quick test_flat_equals_legacy_unit;
     Alcotest.test_case "Spec lambda_s_theta" `Quick test_spec_lambda;
     Alcotest.test_case "render join picture" `Quick test_render_picture;
     Alcotest.test_case "render scaling" `Quick test_render_scaling;
@@ -360,5 +385,6 @@ let suite =
     qtest prop_each_window_satisfies_definition;
     qtest prop_group_partition;
     qtest prop_hash_equals_nested_loop;
-    qtest prop_lawan_schedules_agree;
+    qtest prop_flat_equals_legacy;
+    qtest prop_flat_count_equals_length;
   ]

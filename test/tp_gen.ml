@@ -64,9 +64,9 @@ let pair_gen ?keys ?max_facts () : (Relation.t * Relation.t) Gen.t =
     (relation_gen ?keys ?max_facts ~name:"s" ())
 
 (* θs worth testing: key equality (hashable), full fact equality, an
-   inequality (no equi-key: exercises the nested-loop path), and the
+   inequality (no equi-key: exercises the single-bucket path), and the
    always-true condition. *)
-let theta_gen : Theta.t Gen.t =
+let fact_theta_gen : Theta.t Gen.t =
   Gen.oneofl
     [
       Theta.eq 0 0;
@@ -75,6 +75,17 @@ let theta_gen : Theta.t Gen.t =
       Theta.of_atoms [ Theta.Cols (`Le, 0, 0) ];
       Theta.always;
     ]
+
+(* The full θ space: every fact condition, possibly strengthened with an
+   Allen temporal component (each of the 13 relations equally likely
+   next to the plain overlap condition). *)
+let theta_gen : Theta.t Gen.t =
+  let open Gen in
+  let* theta = fact_theta_gen in
+  let* temporal =
+    oneofl (`Overlap :: List.map (fun a -> `Allen a) Interval.all_allen)
+  in
+  return (Theta.with_temporal temporal theta)
 
 let print_relation r = Format.asprintf "%a" Relation.pp r
 
