@@ -98,6 +98,8 @@ let load_catalog tables db_dir =
      | None -> ()
      | Some dir ->
          let db = Tpdb.Db.open_ dir in
+         (* pick up statistics persisted by [tpdb_cli stats --db DIR] *)
+         Tpdb.Catalog.set_stats_dir catalog dir;
          List.iter
            (fun name -> Tpdb.Catalog.register catalog (Tpdb.Db.load db name))
            (Tpdb.Db.list db));
@@ -194,15 +196,29 @@ let query tables db_dir explain_only analyze jobs sanitize no_prob_cache
     end
   with Tpdb.Invariant.Violation _ as exn -> fail_exn exn
 
-let check tables db_dir jobs sql =
+let check tables db_dir jobs deep format sql =
   let catalog = load_catalog tables db_dir in
   let plan = plan_or_fail catalog jobs sql in
-  let diags = Tpdb.Planner.check plan in
-  print_diagnostics diags;
+  let diags =
+    if deep then Tpdb.Planner.check_deep plan else Tpdb.Planner.check plan
+  in
   let errors = List.length (Tpdb.Analyze.errors diags) in
-  let warnings = List.length diags - errors in
-  if diags = [] then print_endline "ok: no issues found"
-  else Printf.printf "%d error(s), %d warning(s)\n" errors warnings;
+  (match format with
+  | `Json -> print_endline (Tpdb.Analyze.to_json diags)
+  | `Text ->
+      print_diagnostics diags;
+      let count severity =
+        List.length
+          (List.filter
+             (fun d -> d.Tpdb.Analyze.severity = severity)
+             diags)
+      in
+      let warnings = count Tpdb.Analyze.Warning in
+      let notes = count Tpdb.Analyze.Note in
+      if diags = [] then print_endline "ok: no issues found"
+      else
+        Printf.printf "%d error(s), %d warning(s)%s\n" errors warnings
+          (if notes > 0 then Printf.sprintf ", %d note(s)" notes else ""));
   if errors > 0 then exit 1
 
 let query_cmd =
@@ -267,6 +283,20 @@ let check_cmd =
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
            ~doc:"Intended parallelism; the analyzer warns when a join \
                  cannot use it.")
+  and deep =
+    Arg.(value & flag & info [ "deep" ]
+           ~doc:"Also run the statistics-driven deep passes: abstract \
+                 temporal/probability bounds, the static safe-plan \
+                 classification, applied planner rewrites (\xce\xb8 folds, \
+                 empty-subplan prunes, join reorders) and cost estimates. \
+                 Adds note-severity diagnostics; the exit status still \
+                 reflects errors only.")
+  and format =
+    let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt fmt `Text & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: text (one line per diagnostic plus a \
+                 summary) or json (an array of objects with stable \
+                 severity/code/path/message fields).")
   and sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
            ~doc:"TP-SQL query text.")
@@ -277,7 +307,65 @@ let check_cmd =
              infer column types, and report \xce\xb8 type errors, \
              unsatisfiable conditions and suspicious plan shapes. Exits \
              non-zero when an error-severity diagnostic is found.")
-    Term.(const check $ tables $ db_dir $ jobs $ sql)
+    Term.(const check $ tables $ db_dir $ jobs $ deep $ format $ sql)
+
+(* --- stats: compute and persist per-relation statistics --- *)
+
+let stats_run tables db_dir out =
+  let catalog = load_catalog tables db_dir in
+  let names = Tpdb.Catalog.names catalog in
+  if names = [] then begin
+    prerr_endline "no relations registered; pass --table and/or --db";
+    exit 1
+  end;
+  (* Where to persist: --out wins, else the database directory. CSV-only
+     invocations without --out just print. *)
+  let out_dir = match out with Some _ -> out | None -> db_dir in
+  (match out_dir with
+  | Some dir when not (Sys.file_exists dir) -> (
+      try Sys.mkdir dir 0o755
+      with Sys_error msg ->
+        prerr_endline ("cannot create stats directory: " ^ msg);
+        exit 1)
+  | _ -> ());
+  List.iteri
+    (fun i name ->
+      if i > 0 then print_endline "";
+      (* always recompute from the registered data — the whole point of
+         the command is refreshing stale persisted statistics *)
+      let s = Tpdb.Stats.of_relation (Tpdb.Catalog.find_exn catalog name) in
+      print_endline (Tpdb.Stats.to_string s);
+      match out_dir with
+      | None -> ()
+      | Some dir ->
+          let path = Tpdb.Stats.file ~dir name in
+          Tpdb.Stats.save s path;
+          Printf.printf "wrote %s\n" path)
+    names
+
+let stats_cmd =
+  let tables =
+    Arg.(value & opt_all file [] & info [ "table"; "t" ] ~docv:"CSV"
+           ~doc:"TP relation to profile (repeatable); its name is the file \
+                 basename.")
+  and db_dir =
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
+           ~doc:"Profile every relation of a database directory; statistics \
+                 are persisted there (NAME.stats) unless --out overrides.")
+  and out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory to write NAME.stats files into (created if \
+                 missing). Without --out or --db, statistics are printed \
+                 but not persisted.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Compute per-relation statistics — cardinality, per-column \
+             distinct counts, interval histograms and sample, probability \
+             moments, duplicate-freeness — and persist them for the \
+             planner's cost model (EXPLAIN est rows/cost, join ordering, \
+             check --deep).")
+    Term.(const stats_run $ tables $ db_dir $ out)
 
 (* --- experiment --- *)
 
@@ -505,5 +593,5 @@ let () =
       ~doc:"Temporal-probabilistic outer and anti joins (ICDE 2019 reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ generate_cmd; query_cmd; check_cmd; store_cmd; render_cmd;
-         experiment_cmd; fuzz_cmd ]))
+       [ generate_cmd; query_cmd; check_cmd; stats_cmd; store_cmd;
+         render_cmd; experiment_cmd; fuzz_cmd ]))

@@ -1,0 +1,1 @@
+SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File

@@ -1,0 +1,1 @@
+SELECT * FROM wk_r FULL TPJOIN wk_s ON wk_r.File = wk_s.File

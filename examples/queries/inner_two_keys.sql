@@ -1,0 +1,1 @@
+SELECT * FROM wk_r TPJOIN wk_s ON wk_r.File = wk_s.File AND wk_r.Rev = wk_s.Rev

@@ -33,8 +33,12 @@
     - {!Rng}, {!Datasets}: reproducible workload generation.
     - {!Ast}, {!Parser}, {!Catalog}, {!Planner}: the TP-SQL front end.
     - {!Analyze}, {!Invariant}: TPSan — the static plan analyzer behind
-      [tpdb_cli check] and the runtime window-invariant sanitizer behind
+      [tpdb_cli check] (with the deep statistics-driven passes behind
+      [check --deep]) and the runtime window-invariant sanitizer behind
       [--sanitize] / [TPDB_SANITIZE=1].
+    - {!Stats}, {!Cost}: per-relation statistics ([tpdb_cli stats]) and
+      the cardinality/cost model feeding EXPLAIN's estimate columns and
+      the planner's join ordering.
     - {!Metrics}, {!Trace}, {!Obs_clock}: the observability layer —
       atomic pipeline counters ([--stats-json], [bench --json]),
       span-based tracing with a Chrome trace-event exporter
@@ -89,6 +93,8 @@ module Catalog = Tpdb_query.Catalog
 module Physical = Tpdb_query.Physical
 module Planner = Tpdb_query.Planner
 module Analyze = Tpdb_query.Analyze
+module Stats = Tpdb_query.Stats
+module Cost = Tpdb_query.Cost
 module Invariant = Tpdb_windows.Invariant
 module Metrics = Tpdb_obs.Metrics
 module Trace = Tpdb_obs.Trace

@@ -20,22 +20,24 @@ type options = {
   parallelism : int;
   sanitize : bool;
   prob_cache : bool;
+  static_safe : bool;
 }
 
 let options ?(algorithm = `Flat) ?(parallelism = 1) ?sanitize
-    ?(prob_cache = true) () =
+    ?(prob_cache = true) ?(static_safe = false) () =
   if parallelism < 1 then
     invalid_arg "Nj.options: parallelism must be at least 1";
   let sanitize =
     match sanitize with Some b -> b | None -> Invariant.env_enabled ()
   in
-  { algorithm; parallelism; sanitize; prob_cache }
+  { algorithm; parallelism; sanitize; prob_cache; static_safe }
 
 let default_options = options ()
 let algorithm o = o.algorithm
 let parallelism o = o.parallelism
 let sanitize o = o.sanitize
 let prob_cache o = o.prob_cache
+let static_safe o = o.static_safe
 
 let effective_parallelism o theta =
   if o.parallelism <= 1 then 1
@@ -175,13 +177,19 @@ let env_default env r s =
 
 (* The probability function output formation runs through: memoized on
    the calling domain's long-lived cache (keyed on hash-consed formula
-   ids, reset when [env] changes) unless the option turns it off. *)
+   ids, reset when [env] changes) unless the option turns it off. On a
+   statically safe plan ([static_safe], set from the planner's read-once
+   classification) misses go through [Prob.factorize] — no per-formula
+   read-once check, no BDD fallback; the sanitizer's output check
+   cross-validates against [Prob.compute], so a misclassified plan fails
+   loudly under TPDB_SANITIZE=1. *)
 let prob_fn ~options ~env =
+  let base = if options.static_safe then Prob.factorize else Prob.compute in
   if options.prob_cache then begin
     let cache = Prob.Cache.domain () in
-    fun lineage -> Prob.Cache.compute cache env lineage
+    fun lineage -> Prob.Cache.compute_with cache env ~miss:base lineage
   end
-  else fun lineage -> Prob.compute env lineage
+  else fun lineage -> base env lineage
 
 (* The right-hand sweep of right/full outer joins: the overlapping
    windows arrive mirrored and re-sorted so they are grouped by the s

@@ -53,6 +53,7 @@ val options :
   ?parallelism:int ->
   ?sanitize:bool ->
   ?prob_cache:bool ->
+  ?static_safe:bool ->
   unit ->
   options
 (** Builder, with today's defaults spelled out:
@@ -83,6 +84,14 @@ val algorithm : options -> Overlap.algorithm
 val parallelism : options -> int
 val sanitize : options -> bool
 val prob_cache : options -> bool
+
+val static_safe : options -> bool
+(** Whether the planner proved every output lineage of this join
+    read-once (default [false]). When set, probabilities are computed by
+    {!Prob.factorize} — no per-formula read-once check and no BDD
+    fallback. Only set it from a proof such as the static safe-plan
+    classification in {!Tpdb_query.Analyze}; the sanitizer's output
+    check cross-validates each probability against {!Prob.compute}. *)
 
 val effective_parallelism : options -> Theta.t -> int
 (** The partition count {!join} will actually use: [parallelism options]

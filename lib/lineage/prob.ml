@@ -37,6 +37,7 @@ let exact env f =
 exception Repeated_variable
 
 let read_once env f =
+  Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Prob_readonce_checks;
   (* One shared seen-set suffices: a formula is read-once iff no variable
      occurs twice anywhere, and sub-formula independence then follows. *)
   let seen = Hashtbl.create 16 in
@@ -72,7 +73,34 @@ let conditional env ~given f =
 
 let compute env f =
   Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Prob_evals;
-  match read_once env f with Some p -> p | None -> exact env f
+  match read_once env f with
+  | Some p -> p
+  | None ->
+      Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Prob_bdd_fallbacks;
+      exact env f
+
+(* The static safe-plan fast path: factorized evaluation with no
+   repeated-variable check and no BDD fallback. Sound exactly when the
+   caller has proven the formula read-once — the planner's safe-plan
+   classification tags TP join nodes whose every output lineage is
+   (joins over duplicate-free base inputs appearing on one side only).
+   Under the sanitizer, [Nj] cross-checks the output probabilities
+   against [compute], so a misclassification surfaces as an
+   {!Tpdb_windows.Invariant.Violation} rather than silent garbage. *)
+let factorize env f =
+  Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Prob_evals;
+  Tpdb_obs.Metrics.incr Tpdb_obs.Metrics.Analysis_static_prob_evals;
+  let rec go f =
+    match Formula.view f with
+    | True -> 1.0
+    | False -> 0.0
+    | Var v -> env v
+    | Not g -> 1.0 -. go g
+    | And gs -> List.fold_left (fun acc g -> acc *. go g) 1.0 gs
+    | Or gs ->
+        1.0 -. List.fold_left (fun acc g -> acc *. (1.0 -. go g)) 1.0 gs
+  in
+  go f
 
 (* Memoized probability computation over hash-consed formulas.
 
@@ -119,7 +147,7 @@ module Cache = struct
     t.resets <- t.resets + 1;
     M.incr M.Prob_cache_resets
 
-  let compute t env f =
+  let compute_with t env ~miss f =
     M.time M.Prob_cache_lookup_ns @@ fun () ->
     (match t.env with
     | Some e when e == env -> ()
@@ -132,9 +160,11 @@ module Cache = struct
     | None ->
         t.misses <- t.misses + 1;
         M.incr M.Prob_cache_misses;
-        let p = compute env f in
+        let p = miss env f in
         Hashtbl.add t.results (Formula.id f) p;
         p
+
+  let compute t env f = compute_with t env ~miss:compute f
 
   let stats t =
     {

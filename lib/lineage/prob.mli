@@ -37,7 +37,21 @@ val read_once : env -> Formula.t -> float option
 
 val compute : env -> Formula.t -> float
 (** {!read_once} when it applies, otherwise {!exact}. This is what the
-    join operators call when the probability cache is off. *)
+    join operators call when the probability cache is off. Records the
+    [prob_readonce_checks] and (on BDD fallback) [prob_bdd_fallbacks]
+    counters in {!Tpdb_obs.Metrics}. *)
+
+val factorize : env -> Formula.t -> float
+(** The static safe-plan fast path: factorized evaluation over the
+    connectives with {e no} repeated-variable check and {e no} BDD
+    fallback — sound exactly for read-once formulas, where it returns
+    bit-for-bit what {!read_once} returns. Callers must hold a proof of
+    read-once-ness; the planner's static safe-plan classification
+    ({!Tpdb_query.Analyze}) provides one for TP joins over
+    duplicate-free base inputs with disjoint base relations per side.
+    Under [TPDB_SANITIZE=1] the join operators cross-check these
+    probabilities against {!compute}. Records
+    [analysis_static_prob_evals]. *)
 
 (** Memoized probability computation over hash-consed formulas.
 
@@ -70,6 +84,13 @@ module Cache : sig
   (** Memoized {!compute}. Also records [prob_cache_hits]/[misses]/
       [resets] counters and the [prob_cache_lookup_ns] distribution in
       {!Tpdb_obs.Metrics}. *)
+
+  val compute_with :
+    t -> env -> miss:(env -> Formula.t -> float) -> Formula.t -> float
+  (** {!compute} with a caller-chosen miss path — how statically safe
+      plans memoize {!Tpdb_lineage.Prob.factorize} results through the
+      same per-domain cache. The caller must pass a [miss] that computes
+      the same value {!compute} would (the cache does not key on it). *)
 
   val stats : t -> stats
   (** Lifetime totals for this cache instance; [entries] is the current

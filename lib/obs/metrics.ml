@@ -16,6 +16,13 @@ type counter =
   | Oracle_comparisons
   | Oracle_mismatches
   | Minor_alloc_words
+  | Analysis_deep_passes
+  | Analysis_pruned_subplans
+  | Analysis_folded_atoms
+  | Analysis_safe_joins
+  | Analysis_static_prob_evals
+  | Prob_readonce_checks
+  | Prob_bdd_fallbacks
 
 type dist =
   | Partition_size
@@ -23,6 +30,7 @@ type dist =
   | Sanitizer_ns
   | Prob_cache_lookup_ns
   | Oracle_eval_ns
+  | Analysis_ns
 
 let counters =
   [
@@ -43,11 +51,18 @@ let counters =
     Oracle_comparisons;
     Oracle_mismatches;
     Minor_alloc_words;
+    Analysis_deep_passes;
+    Analysis_pruned_subplans;
+    Analysis_folded_atoms;
+    Analysis_safe_joins;
+    Analysis_static_prob_evals;
+    Prob_readonce_checks;
+    Prob_bdd_fallbacks;
   ]
 
 let dists =
   [ Partition_size; Domain_busy_ns; Sanitizer_ns; Prob_cache_lookup_ns;
-    Oracle_eval_ns ]
+    Oracle_eval_ns; Analysis_ns ]
 
 let counter_index = function
   | Tuples_in -> 0
@@ -67,6 +82,13 @@ let counter_index = function
   | Oracle_comparisons -> 14
   | Oracle_mismatches -> 15
   | Minor_alloc_words -> 16
+  | Analysis_deep_passes -> 17
+  | Analysis_pruned_subplans -> 18
+  | Analysis_folded_atoms -> 19
+  | Analysis_safe_joins -> 20
+  | Analysis_static_prob_evals -> 21
+  | Prob_readonce_checks -> 22
+  | Prob_bdd_fallbacks -> 23
 
 let dist_index = function
   | Partition_size -> 0
@@ -74,6 +96,7 @@ let dist_index = function
   | Sanitizer_ns -> 2
   | Prob_cache_lookup_ns -> 3
   | Oracle_eval_ns -> 4
+  | Analysis_ns -> 5
 
 let counter_name = function
   | Tuples_in -> "tuples_in"
@@ -93,6 +116,13 @@ let counter_name = function
   | Oracle_comparisons -> "oracle_comparisons"
   | Oracle_mismatches -> "oracle_mismatches"
   | Minor_alloc_words -> "minor_alloc_words"
+  | Analysis_deep_passes -> "analysis_deep_passes"
+  | Analysis_pruned_subplans -> "analysis_pruned_subplans"
+  | Analysis_folded_atoms -> "analysis_folded_atoms"
+  | Analysis_safe_joins -> "analysis_safe_joins"
+  | Analysis_static_prob_evals -> "analysis_static_prob_evals"
+  | Prob_readonce_checks -> "prob_readonce_checks"
+  | Prob_bdd_fallbacks -> "prob_bdd_fallbacks"
 
 let dist_name = function
   | Partition_size -> "partition_size"
@@ -100,6 +130,7 @@ let dist_name = function
   | Sanitizer_ns -> "sanitizer_ns"
   | Prob_cache_lookup_ns -> "prob_cache_lookup_ns"
   | Oracle_eval_ns -> "oracle_eval_ns"
+  | Analysis_ns -> "analysis_ns"
 
 type t = {
   c : int Atomic.t array;  (** indexed by [counter_index] *)

@@ -56,6 +56,25 @@ type counter =
           can bound allocation growth of the sweep pipeline. New
           counters must be appended at the end: snapshots and the
           [counter_index] layout are positional. *)
+  | Analysis_deep_passes
+      (** deep static-analysis runs ({!Tpdb_query.Analyze}'s
+          [check_deep]) *)
+  | Analysis_pruned_subplans
+      (** provably-empty subplans replaced by empty scans at plan time *)
+  | Analysis_folded_atoms
+      (** duplicate/subsumed θ atoms folded away by [Theta.simplify] *)
+  | Analysis_safe_joins
+      (** TP join nodes statically classified read-once-safe and tagged
+          so probability computation skips the runtime read-once check *)
+  | Analysis_static_prob_evals
+      (** probability evaluations through the unchecked factorized fast
+          path ({!Tpdb_lineage.Prob.factorize}) on statically safe plans *)
+  | Prob_readonce_checks
+      (** runtime read-once checks performed ({!Tpdb_lineage.Prob.read_once}
+          entries) — 0 on a statically safe plan *)
+  | Prob_bdd_fallbacks
+      (** probability computations that fell back to exact BDD weighted
+          model counting (repeated-variable lineage) *)
 
 type dist =
   | Partition_size  (** tuples (both sides) per parallel partition *)
@@ -65,6 +84,8 @@ type dist =
       (** wall time of each [Prob.Cache.compute] call, hit or miss *)
   | Oracle_eval_ns
       (** wall time of each snapshot-semantics oracle evaluation *)
+  | Analysis_ns
+      (** wall time of each deep static-analysis pass over a plan *)
 
 type t
 (** A metrics registry. Create one per measured run; reuse reads

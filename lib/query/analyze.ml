@@ -9,8 +9,12 @@ module Invariant = Tpdb_windows.Invariant
 module Nj = Tpdb_joins.Nj
 module Prob = Tpdb_lineage.Prob
 module Var = Tpdb_lineage.Var
+module Formula = Tpdb_lineage.Formula
+module Interval = Tpdb_interval.Interval
+module Metrics = Tpdb_obs.Metrics
+module Json = Tpdb_obs.Json
 
-type severity = Error | Warning
+type severity = Error | Warning | Note
 
 type diagnostic = {
   severity : severity;
@@ -24,10 +28,14 @@ let diagnostic ~severity ~code ?(path = "-") message =
 
 let errors diags = List.filter (fun d -> d.severity = Error) diags
 
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
 let to_string d =
-  Printf.sprintf "%s[%s] at %s: %s"
-    (match d.severity with Error -> "error" | Warning -> "warning")
-    d.code d.path d.message
+  Printf.sprintf "%s[%s] at %s: %s" (severity_name d.severity) d.code d.path
+    d.message
 
 let report diags = String.concat "\n" (List.map to_string diags)
 
@@ -266,11 +274,11 @@ let check_theta ~emit ~left_schema ~right_schema ~left_types ~right_types
   let rec dups = function
     | [] -> ()
     | a :: rest ->
-        if List.mem a rest then
+        if List.exists (Theta.atom_equal a) rest then
           emit Warning "duplicate-atom"
             (Printf.sprintf "%s appears more than once in \xce\xb8"
                (atom_str a));
-        dups (List.filter (fun b -> b <> a) rest)
+        dups (List.filter (fun b -> not (Theta.atom_equal a b)) rest)
   in
   dups atoms;
   (* constant-constraint satisfiability per (side, column) *)
@@ -313,7 +321,25 @@ let check_theta ~emit ~left_schema ~right_schema ~left_types ~right_types
     emit Warning "cartesian"
       "\xce\xb8 has no atoms: every overlapping pair matches (a temporal \
        cartesian product; quadratic in the overlap)";
-  if parallelism > 1 && Theta.equi_keys theta = None then
+  if parallelism > 1 && Theta.equi_keys theta = None then begin
+    (* Suggest the concrete rewrite: an equality atom on a column the two
+       sides share by name, or — failing that — on any key pair. *)
+    let suggestion =
+      let shared =
+        List.filter
+          (fun c -> List.exists (String.equal c) (Schema.columns right_schema))
+          (Schema.columns left_schema)
+      in
+      match shared with
+      | c :: _ ->
+          Printf.sprintf
+            "add an equality atom on a shared key, e.g. ON %s.%s = %s.%s, to \
+             enable hash partitioning"
+            (Schema.name left_schema) c (Schema.name right_schema) c
+      | [] ->
+          "no column is shared by name; add an equality atom on a key pair \
+           (or drop --jobs) to avoid the sequential sweep"
+    in
     emit Warning "sequential-fallback"
       (match Theta.temporal theta with
       | `Allen rel ->
@@ -321,14 +347,16 @@ let check_theta ~emit ~left_schema ~right_schema ~left_types ~right_types
             "jobs=%d requested, but \xce\xb8 is a residual-only temporal \
              predicate (%s) with no equality atom to shard on — Allen \
              relations constrain intervals, not fact keys, so the join \
-             runs sequentially"
+             runs sequentially — %s"
             parallelism
             (Tpdb_interval.Interval.allen_name rel)
+            suggestion
       | `Overlap ->
           Printf.sprintf
             "jobs=%d requested, but \xce\xb8 has no equality atom between \
-             the two sides to shard on — the join runs sequentially"
-            parallelism)
+             the two sides to shard on — the join runs sequentially — %s"
+            parallelism suggestion)
+  end
 
 (* --- the walk --------------------------------------------------------- *)
 
@@ -455,3 +483,522 @@ let check plan =
   in
   ignore (walk [] plan);
   List.rev !diags
+
+(* --- stable diagnostic codes ------------------------------------------
+
+   Every code the analyzer (or [diagnostic_of_exn]) can emit, with its
+   default severity and a one-line description. The registry is the
+   contract behind [check --format json]: codes are stable identifiers
+   tools may match on, messages are prose that may change. A unit test
+   asserts every emitted code is registered. *)
+
+let codes : (string * severity * string) list =
+  [
+    ("csv-load", Error, "a CSV relation failed to load");
+    ("value-type", Error, "two values turned out not to be comparable");
+    ("tpsan-violation", Error, "a TPSan window invariant (paper lemma) broke");
+    ("unbound-variable", Error, "a lineage variable has no marginal probability");
+    ("vanishing-evidence", Error, "conditioning on (near-)zero-probability evidence");
+    ("parse", Error, "TP-SQL parse error");
+    ("lex", Error, "TP-SQL lexical error");
+    ("bad-column", Error, "\xce\xb8 references a column out of range");
+    ("type-mismatch", Error, "\xce\xb8 compares columns of incompatible types");
+    ("null-comparison", Error, "\xce\xb8 compares against NULL (never matches)");
+    ("unsatisfiable", Error, "constant constraints on one column admit no value");
+    ("arity-mismatch", Error, "set operation over inputs of different arity");
+    ("duplicate-atom", Warning, "a \xce\xb8 conjunct appears more than once");
+    ("cartesian", Warning, "\xce\xb8 has no atoms (temporal cartesian product)");
+    ("sequential-fallback", Warning, "parallelism requested but \xce\xb8 has no equality atom to shard on");
+    ("drops-join-key", Warning, "a plain projection drops join key columns");
+    ("hard-plan", Warning, "a base relation appears on both sides of a join: lineages can repeat variables and probability may fall back to BDD model counting");
+    ("zero-probability", Warning, "every output probability is provably 0");
+    ("cost-q-error", Warning, "a cost estimate is off by more than the q-error threshold");
+    ("stats-missing", Warning, "no statistics available for a scanned relation");
+    ("theta-fold", Note, "redundant \xce\xb8 conjuncts folded away");
+    ("pruned-empty", Note, "a provably-empty subplan was pruned");
+    ("safe-plan", Note, "a join's output lineages are statically read-once");
+    ("join-reordered", Note, "the planner reordered an equi-\xce\xb8 inner-join chain by estimated cost");
+    ("plan-bounds", Note, "abstract temporal/probability bounds of the plan");
+  ]
+
+let to_json diags =
+  Json.arr
+    (List.map
+       (fun d ->
+         Json.obj
+           [
+             ("severity", Json.str (severity_name d.severity));
+             ("code", Json.str d.code);
+             ("path", Json.str d.path);
+             ("message", Json.str d.message);
+           ])
+       diags)
+
+(* --- deep passes: abstract interpretation ------------------------------
+
+   A bottom-up pass over the plan computing, per node, a sound
+   over-approximation of its output: the temporal hull (None = provably
+   no output tuples) and a [lo, hi] range containing every output
+   probability. Scans read the exact hull and probability extrema off
+   the data; operators propagate conservatively (a filter keeps its
+   child's bounds — output is a subset — a join intersects or unions
+   hulls per kind). *)
+
+type bounds = { hull : Interval.t option; p_lo : float; p_hi : float }
+
+let hull_intersect a b =
+  match (a, b) with
+  | Some a, Some b -> Interval.intersect a b
+  | (Some _ | None), _ -> None
+
+let hull_union a b =
+  match (a, b) with
+  | Some a, Some b -> Some (Interval.hull a b)
+  | (Some _ as h), None | None, (Some _ as h) -> h
+  | None, None -> None
+
+let empty_bounds = { hull = None; p_lo = 0.0; p_hi = 0.0 }
+
+let rec plan_bounds node =
+  match (node : Physical.t) with
+  | Scan r ->
+      let p_lo, p_hi =
+        List.fold_left
+          (fun (lo, hi) tp -> (Float.min lo (Tuple.p tp), Float.max hi (Tuple.p tp)))
+          (1.0, 0.0) (Relation.tuples r)
+      in
+      (match Relation.active_domain r with
+      | None -> empty_bounds
+      | Some hull -> { hull = Some hull; p_lo; p_hi })
+  | Filter { child; _ } | Project { child; _ } | Sort_limit { child; _ } ->
+      plan_bounds child
+  | Timeslice { window; child } ->
+      let c = plan_bounds child in
+      let hull = hull_intersect c.hull (Some window) in
+      if hull = None then empty_bounds else { c with hull }
+  | Distinct_project { child; _ } ->
+      (* lineages of coinciding tuples are disjoined: probabilities can
+         only grow, up to 1 *)
+      let c = plan_bounds child in
+      if c.hull = None then empty_bounds else { c with p_hi = 1.0 }
+  | Aggregate { child; _ } ->
+      let c = plan_bounds child in
+      if c.hull = None then empty_bounds
+      else { c with p_lo = 0.0; p_hi = 1.0 }
+  | Tp_join { kind; theta; left; right; _ } -> (
+      let l = plan_bounds left and r = plan_bounds right in
+      let disjoint_allen =
+        match Theta.temporal theta with
+        | `Allen rel -> Interval.allen_disjoint rel
+        | `Overlap -> false
+      in
+      match (kind : Nj.join_kind) with
+      | Inner ->
+          let hull =
+            if disjoint_allen then None else hull_intersect l.hull r.hull
+          in
+          if hull = None then empty_bounds
+          else { hull; p_lo = l.p_lo *. r.p_lo; p_hi = l.p_hi *. r.p_hi }
+      | Left ->
+          if l.hull = None then empty_bounds
+          else { hull = l.hull; p_lo = 0.0; p_hi = l.p_hi }
+      | Anti ->
+          if l.hull = None then empty_bounds
+          else { hull = l.hull; p_lo = 0.0; p_hi = l.p_hi }
+      | Right ->
+          if r.hull = None then empty_bounds
+          else { hull = r.hull; p_lo = 0.0; p_hi = r.p_hi }
+      | Full ->
+          let hull = hull_union l.hull r.hull in
+          if hull = None then empty_bounds
+          else { hull; p_lo = 0.0; p_hi = Float.max l.p_hi r.p_hi })
+  | Set_op { kind; left; right } -> (
+      let l = plan_bounds left and r = plan_bounds right in
+      match kind with
+      | `Union ->
+          let hull = hull_union l.hull r.hull in
+          if hull = None then empty_bounds
+          else { hull; p_lo = Float.min l.p_lo r.p_lo; p_hi = 1.0 }
+      | `Intersect ->
+          let hull = hull_intersect l.hull r.hull in
+          if hull = None then empty_bounds
+          else { hull; p_lo = 0.0; p_hi = Float.min l.p_hi r.p_hi }
+      | `Except ->
+          if l.hull = None then empty_bounds
+          else { hull = l.hull; p_lo = 0.0; p_hi = l.p_hi })
+
+(* --- deep passes: planner rewrites -------------------------------------
+
+   Three plan-to-plan rewrites the planner applies after lowering, each
+   justified by a static proof and each reported through a Note-severity
+   diagnostic: θ-simplification (drop redundant conjuncts), empty-subplan
+   pruning (replace a provably-empty subtree by an empty scan), and
+   safe-plan tagging (mark joins whose output lineages are read-once). *)
+
+let empty_scan node =
+  let s = Physical.schema node in
+  Physical.Scan
+    (Relation.of_tuples
+       (Schema.rename ("pruned:" ^ Schema.name s) s)
+       [])
+
+let simplify_thetas plan =
+  let notes = ref [] in
+  let rec go rev_path node =
+    let rev_path' = node_label node :: rev_path in
+    match (node : Physical.t) with
+    | Scan _ -> node
+    | Filter f -> Filter { f with child = go rev_path' f.child }
+    | Project p -> Project { p with child = go rev_path' p.child }
+    | Distinct_project p ->
+        Distinct_project { p with child = go rev_path' p.child }
+    | Timeslice t -> Timeslice { t with child = go rev_path' t.child }
+    | Aggregate a -> Aggregate { a with child = go rev_path' a.child }
+    | Sort_limit s -> Sort_limit { s with child = go rev_path' s.child }
+    | Set_op s ->
+        Set_op
+          { s with left = go rev_path' s.left; right = go rev_path' s.right }
+    | Tp_join j ->
+        let left = go rev_path' j.left and right = go rev_path' j.right in
+        let theta, dropped = Theta.simplify j.theta in
+        if dropped <> [] then begin
+          Metrics.add Metrics.Analysis_folded_atoms (List.length dropped);
+          let atom_str =
+            atom_string
+              ~left:(Physical.schema j.left)
+              ~right:(Physical.schema j.right)
+          in
+          notes :=
+            {
+              severity = Note;
+              code = "theta-fold";
+              path = String.concat " > " (List.rev rev_path');
+              message =
+                Printf.sprintf
+                  "redundant \xce\xb8 conjunct(s) folded away: %s (duplicate \
+                   or implied by a stronger bound)"
+                  (String.concat ", " (List.map atom_str dropped));
+            }
+            :: !notes
+        end;
+        Tp_join { j with theta; left; right }
+  in
+  let plan = go [] plan in
+  (plan, List.rev !notes)
+
+let prune_empty plan =
+  let pruned = ref [] in
+  let prune rev_path node reason =
+    Metrics.incr Metrics.Analysis_pruned_subplans;
+    let note =
+      {
+        severity = Note;
+        code = "pruned-empty";
+        path = String.concat " > " (List.rev (node_label node :: rev_path));
+        message =
+          Printf.sprintf
+            "subplan is provably empty (%s) — replaced by an empty scan"
+            reason;
+      }
+    in
+    pruned := (node, note) :: !pruned;
+    empty_scan node
+  in
+  let is_empty node =
+    match (node : Physical.t) with
+    | Scan r -> Relation.cardinality r = 0
+    | _ -> (plan_bounds node).hull = None
+  in
+  let hull_str node =
+    match (plan_bounds node).hull with
+    | Some h -> Interval.to_string h
+    | None -> "empty"
+  in
+  let rec go rev_path node =
+    let rev_path' = node_label node :: rev_path in
+    match (node : Physical.t) with
+    | Scan _ -> node
+    | Filter f -> Filter { f with child = go rev_path' f.child }
+    | Project p -> Project { p with child = go rev_path' p.child }
+    | Distinct_project p ->
+        Distinct_project { p with child = go rev_path' p.child }
+    | Aggregate a -> Aggregate { a with child = go rev_path' a.child }
+    | Sort_limit s -> Sort_limit { s with child = go rev_path' s.child }
+    | Timeslice t ->
+        let child = go rev_path' t.child in
+        let node' = Physical.Timeslice { t with child } in
+        if (not (is_empty t.child)) && is_empty node' then
+          prune rev_path node
+            (Printf.sprintf
+               "the window %s does not intersect the input's temporal hull %s"
+               (Interval.to_string t.window) (hull_str t.child))
+        else node'
+    | Set_op s -> (
+        let left = go rev_path' s.left and right = go rev_path' s.right in
+        let node' = Physical.Set_op { s with left; right } in
+        match s.kind with
+        | `Intersect when is_empty s.left || is_empty s.right ->
+            prune rev_path node "one side of the intersection is empty"
+        | `Intersect when is_empty node' ->
+            prune rev_path node
+              (Printf.sprintf
+                 "the sides' temporal hulls %s and %s are disjoint"
+                 (hull_str s.left) (hull_str s.right))
+        | `Except when is_empty s.left ->
+            prune rev_path node "the left side of the difference is empty"
+        | `Union when is_empty s.left && is_empty s.right ->
+            prune rev_path node "both sides of the union are empty"
+        | `Union | `Intersect | `Except -> node')
+    | Tp_join j -> (
+        let left = go rev_path' j.left and right = go rev_path' j.right in
+        let node' = Physical.Tp_join { j with left; right } in
+        let disjoint_allen =
+          match Theta.temporal j.theta with
+          | `Allen rel -> Interval.allen_disjoint rel
+          | `Overlap -> false
+        in
+        match (j.kind : Nj.join_kind) with
+        | Inner when disjoint_allen ->
+            prune rev_path node
+              (Printf.sprintf
+                 "\xce\xb8's temporal component (%s) admits no shared time \
+                  point, so no overlapping window exists"
+                 (match Theta.temporal j.theta with
+                 | `Allen rel -> Interval.allen_name rel
+                 | `Overlap -> "overlaps"))
+        | Inner when is_empty j.left || is_empty j.right ->
+            prune rev_path node "one side of the inner join is empty"
+        | Inner when is_empty node' ->
+            prune rev_path node
+              (Printf.sprintf
+                 "the sides' temporal hulls %s and %s are disjoint"
+                 (hull_str j.left) (hull_str j.right))
+        | (Left | Anti) when is_empty j.left ->
+            prune rev_path node "the left (preserved) side is empty"
+        | Right when is_empty j.right ->
+            prune rev_path node "the right (preserved) side is empty"
+        | Full when is_empty j.left && is_empty j.right ->
+            prune rev_path node "both sides of the full outer join are empty"
+        | Inner | Left | Right | Full | Anti -> node')
+  in
+  let plan = go [] plan in
+  (plan, List.rev !pruned)
+
+(* --- deep passes: static safe-plan classification ----------------------
+
+   When is every output lineage of a TP join read-once? The windows
+   conjoin ONE tuple of the preserved side with the (negated) lineages
+   of SEVERAL tuples of the other side (WU/WN negate every matching
+   partner in the gap). So:
+
+   - the side contributing one lineage per output needs every individual
+     lineage read-once ("safe": any composition of safe joins);
+   - a side whose tuples are conjoined several-at-a-time needs pairwise
+     variable-disjoint tuple lineages ("scanlike": a chain of
+     lineage-preserving unaries over a duplicate-free base scan whose
+     lineages are distinct bare variables);
+   - and the two sides must draw on disjoint base relations (a self-join
+     repeats variables across the sides).
+
+   Inner joins build WO only (one tuple each side), so both sides may be
+   arbitrary safe subtrees; outer and anti joins constrain the side(s)
+   they negate. [false]/[Hard] is always sound — the runtime read-once
+   check simply stays on. *)
+
+type shape = Hard | Safe of { bases : string list; scanlike : bool }
+
+let scan_safe ~stats r =
+  let s =
+    match stats (Relation.name r) with
+    | Some s -> s
+    | None -> Stats.of_relation r
+  in
+  s.Stats.duplicate_free && s.Stats.lineage_safe
+
+let bases_disjoint l r =
+  not (List.exists (fun b -> List.exists (String.equal b) r) l)
+
+(* The side-disjointness check must see the {e lineage variables'}
+   relation tags, not the scan's name: a CSV loaded with an explicit
+   lineage column (or a copied database file) can reuse another
+   relation's variables under a fresh relation name, and a variable
+   shared across the two sides of a join breaks read-once factorization
+   regardless of what the scans are called. *)
+let scan_base_tags r =
+  List.filter_map
+    (fun tp ->
+      match Formula.view (Tuple.lineage tp) with
+      | Formula.Var v -> Some (Var.rel v)
+      | Formula.True | Formula.False | Formula.Not _ | Formula.And _
+      | Formula.Or _ ->
+          None)
+    (Relation.tuples r)
+  |> List.sort_uniq String.compare
+
+let rec plan_shape ~stats node =
+  match (node : Physical.t) with
+  | Scan r ->
+      if scan_safe ~stats r then Safe { bases = scan_base_tags r; scanlike = true }
+      else Hard
+  | Filter { child; _ }
+  | Timeslice { child; _ }
+  | Project { child; _ }
+  | Sort_limit { child; _ } ->
+      (* lineage-preserving and tuple-preserving: distinct tuples keep
+         distinct lineages *)
+      plan_shape ~stats child
+  | Tp_join { kind; left; right; _ } -> (
+      match (plan_shape ~stats left, plan_shape ~stats right) with
+      | Safe l, Safe r ->
+          let sides_ok =
+            match (kind : Nj.join_kind) with
+            | Inner -> true
+            | Left | Anti -> r.scanlike
+            | Right -> l.scanlike
+            | Full -> l.scanlike && r.scanlike
+          in
+          if sides_ok && bases_disjoint l.bases r.bases then
+            Safe { bases = l.bases @ r.bases; scanlike = false }
+          else Hard
+      | (Hard | Safe _), _ -> Hard)
+  | Distinct_project _ | Aggregate _ | Set_op _ ->
+      (* lineages are disjoined / rebuilt: not bare-variable shaped *)
+      Hard
+
+let read_once_safe ?(stats = fun _ -> None) node =
+  match plan_shape ~stats node with Safe _ -> true | Hard -> false
+
+let tag_safe ?(stats = fun _ -> None) plan =
+  let tagged = ref 0 in
+  let rec go node =
+    match (node : Physical.t) with
+    | Scan _ -> node
+    | Filter f -> Filter { f with child = go f.child }
+    | Project p -> Project { p with child = go p.child }
+    | Distinct_project p -> Distinct_project { p with child = go p.child }
+    | Timeslice t -> Timeslice { t with child = go t.child }
+    | Aggregate a -> Aggregate { a with child = go a.child }
+    | Sort_limit s -> Sort_limit { s with child = go s.child }
+    | Set_op s -> Set_op { s with left = go s.left; right = go s.right }
+    | Tp_join j ->
+        let safe = j.safe_lineage || read_once_safe ~stats node in
+        if safe && not j.safe_lineage then begin
+          incr tagged;
+          Metrics.incr Metrics.Analysis_safe_joins
+        end;
+        Tp_join
+          { j with safe_lineage = safe; left = go j.left; right = go j.right }
+  in
+  let plan = go plan in
+  (plan, !tagged)
+
+let optimize ?(stats = fun _ -> None) plan =
+  let plan, fold_notes = simplify_thetas plan in
+  let plan, prunes = prune_empty plan in
+  let plan, _ = tag_safe ~stats plan in
+  (plan, fold_notes @ List.map snd prunes)
+
+(* --- the deep check ---------------------------------------------------- *)
+
+(* Classification report: one diagnostic per TP join — a Note when its
+   output lineages are statically read-once, a Warning when the plan is
+   provably hard-shaped (a base relation on both sides). *)
+let classification_report ~stats plan =
+  let diags = ref [] in
+  let rec walk rev_path node =
+    let rev_path' = node_label node :: rev_path in
+    let path = String.concat " > " (List.rev rev_path') in
+    (match (node : Physical.t) with
+    | Tp_join { kind = _; left; right; safe_lineage; _ } -> (
+        match plan_shape ~stats node with
+        | Safe _ ->
+            diags :=
+              {
+                severity = Note;
+                code = "safe-plan";
+                path;
+                message =
+                  Printf.sprintf
+                    "every output lineage is read-once%s: probabilities \
+                     factorize over the connectives with no runtime \
+                     read-once check and no BDD fallback"
+                    (if safe_lineage then " (tagged)" else "");
+              }
+              :: !diags
+        | Hard -> (
+            (* provably hard only when both sides are safe-shaped but
+               share a base relation *)
+            match (plan_shape ~stats left, plan_shape ~stats right) with
+            | Safe l, Safe r when not (bases_disjoint l.bases r.bases) ->
+                let shared =
+                  List.filter
+                    (fun b -> List.exists (String.equal b) r.bases)
+                    l.bases
+                in
+                diags :=
+                  {
+                    severity = Warning;
+                    code = "hard-plan";
+                    path;
+                    message =
+                      Printf.sprintf
+                        "base relation(s) %s appear on both sides of the \
+                         join — output lineages can repeat their variables \
+                         and probability computation may fall back to exact \
+                         BDD model counting (#P-hard in general)"
+                        (String.concat ", " shared);
+                  }
+                  :: !diags
+            | _ -> ()))
+    | Scan _ | Filter _ | Project _ | Distinct_project _ | Timeslice _
+    | Aggregate _ | Sort_limit _ | Set_op _ ->
+        ());
+    List.iter (walk rev_path') (Physical.children node)
+  in
+  walk [] plan;
+  List.rev !diags
+
+let bounds_report plan =
+  let b = plan_bounds plan in
+  let root =
+    {
+      severity = Note;
+      code = "plan-bounds";
+      path = node_label plan;
+      message =
+        (match b.hull with
+        | None ->
+            "the plan's output is provably empty (temporal hull \xe2\x8a\xa5)"
+        | Some h ->
+            Printf.sprintf
+              "output lies within temporal hull %s; probabilities within \
+               [%.3f, %.3f]"
+              (Interval.to_string h) b.p_lo b.p_hi);
+    }
+  in
+  let zero =
+    if b.hull <> None && b.p_hi = 0.0 then
+      [
+        {
+          severity = Warning;
+          code = "zero-probability";
+          path = node_label plan;
+          message =
+            "every output probability is provably 0 — some input assigns \
+             probability 0 to all its tuples";
+        };
+      ]
+    else []
+  in
+  root :: zero
+
+let check_deep ?(stats = fun _ -> None) plan =
+  Metrics.incr Metrics.Analysis_deep_passes;
+  Metrics.time Metrics.Analysis_ns @@ fun () ->
+  let base = check plan in
+  let _, fold_notes = simplify_thetas plan in
+  let _, prunes = prune_empty plan in
+  base @ fold_notes
+  @ List.map snd prunes
+  @ classification_report ~stats plan
+  @ bounds_report plan

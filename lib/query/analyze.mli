@@ -20,9 +20,24 @@
       lineages instead).
 
     Diagnostics carry the path from the plan root to the offending node,
-    so [tpdb_cli check] and [explain] can point at the node. *)
+    so [tpdb_cli check] and [explain] can point at the node.
 
-type severity = Error | Warning
+    {2 Deep passes}
+
+    [check_deep] ([tpdb_cli check --deep]) layers statistics-driven
+    passes on top: a bottom-up abstract interpretation over a
+    temporal-bounds domain and a probability-range [[lo, hi]] domain
+    (reported as {b notes}, with provable emptiness and all-zero
+    probabilities flagged), a static {e safe-plan} classification
+    deciding from plan shape and per-relation statistics whether every
+    output lineage is read-once, and dry runs of the planner rewrites
+    ({!simplify_thetas}, {!prune_empty}) reporting what they would fold
+    or prune. The planner applies the rewrites for real via {!optimize}
+    and tags provably safe joins ({!tag_safe}) so probability
+    computation skips the runtime read-once check
+    ({!Tpdb_lineage.Prob.factorize}). *)
+
+type severity = Error | Warning | Note
 
 type diagnostic = {
   severity : severity;
@@ -40,6 +55,70 @@ val diagnostic :
 val check : Physical.t -> diagnostic list
 (** All diagnostics of the tree, in bottom-up execution order (a node's
     children report before the node itself). *)
+
+val check_deep :
+  ?stats:(string -> Stats.t option) -> Physical.t -> diagnostic list
+(** {!check} plus the deep passes: θ-fold and empty-subplan notes (dry
+    runs of {!simplify_thetas} and {!prune_empty} — on a plan the
+    planner already optimized they find nothing new), the safe-plan
+    classification report ([safe-plan] notes / [hard-plan] warnings),
+    and the root abstract-interpretation bounds ([plan-bounds] note,
+    [zero-probability] warning). [stats] resolves relation names to
+    statistics (pass {!Catalog.stats}); scans without stats compute
+    fresh ones from the data. Records the [analysis_deep_passes]
+    counter and the [analysis_ns] distribution. *)
+
+val codes : (string * severity * string) list
+(** Every stable diagnostic code with its default severity and a
+    one-line description — the contract behind [check --format json].
+    Codes are stable identifiers; messages are prose that may change. *)
+
+val to_json : diagnostic list -> string
+(** JSON array of [{"severity", "code", "path", "message"}] objects
+    ([tpdb_cli check --format json]). *)
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["note"]. *)
+
+(** {2 Planner rewrites} *)
+
+val simplify_thetas : Physical.t -> Physical.t * diagnostic list
+(** Folds redundant θ conjuncts of every join via
+    {!Tpdb_windows.Theta.simplify}, returning the rewritten plan and a
+    [theta-fold] note per changed join. Records [analysis_folded_atoms]. *)
+
+val prune_empty : Physical.t -> Physical.t * (Physical.t * diagnostic) list
+(** Replaces provably-empty subplans (empty preserved side, disjoint
+    temporal hulls, a disjoint Allen θ on an inner join, a timeslice
+    outside the input's hull) with an empty scan carrying a
+    [pruned:]-prefixed schema name. Returns the rewritten plan and, per
+    prune, the {e original} subplan (so tests can execute it and verify
+    it really yields no rows) with its [pruned-empty] note. Records
+    [analysis_pruned_subplans]. *)
+
+val read_once_safe :
+  ?stats:(string -> Stats.t option) -> Physical.t -> bool
+(** The static safe-plan classification: [true] when every output
+    lineage of the subtree is provably read-once — the subtree uses
+    only lineage-preserving operators over duplicate-free base scans
+    with distinct bare-variable lineages, sides negated several-at-a-time
+    are scan-like, and the base relations of the two sides of every
+    join are disjoint. [false] is always sound (the runtime check stays
+    on). *)
+
+val tag_safe :
+  ?stats:(string -> Stats.t option) -> Physical.t -> Physical.t * int
+(** Sets [safe_lineage] on every join {!read_once_safe} proves safe,
+    returning the count of newly tagged joins. Records
+    [analysis_safe_joins]. *)
+
+val optimize :
+  ?stats:(string -> Stats.t option) ->
+  Physical.t ->
+  Physical.t * diagnostic list
+(** The planner's rewrite pipeline: {!simplify_thetas}, then
+    {!prune_empty}, then {!tag_safe}. The returned notes describe the
+    applied θ-folds and prunes (tagging is visible on the plan itself). *)
 
 val errors : diagnostic list -> diagnostic list
 (** The [Error]-severity subset. *)

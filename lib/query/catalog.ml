@@ -1,21 +1,59 @@
 module Relation = Tpdb_relation.Relation
 module Prob = Tpdb_lineage.Prob
 
-type t = (string, Relation.t) Hashtbl.t
+type t = {
+  relations : (string, Relation.t) Hashtbl.t;
+  stats : (string, Stats.t) Hashtbl.t;  (* memo, invalidated per name *)
+  mutable stats_dir : string option;
+}
 
-let create () = Hashtbl.create 16
+let create () =
+  { relations = Hashtbl.create 16; stats = Hashtbl.create 16; stats_dir = None }
 
-let register t r = Hashtbl.replace t (Relation.name r) r
+let register t r =
+  let name = Relation.name r in
+  Hashtbl.replace t.relations name r;
+  (* the data changed; any memoized statistics are stale *)
+  Hashtbl.remove t.stats name
 
-let find t name = Hashtbl.find_opt t name
+let find t name = Hashtbl.find_opt t.relations name
 
 let find_exn t name =
   match find t name with Some r -> r | None -> raise Not_found
 
 let names t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t []
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.relations []
   |> List.sort String.compare
 
 let env t =
-  let relations = Hashtbl.fold (fun _ r acc -> r :: acc) t [] in
+  let relations = Hashtbl.fold (fun _ r acc -> r :: acc) t.relations [] in
   Relation.prob_env relations
+
+let set_stats_dir t dir = t.stats_dir <- Some dir
+
+(* Resolution order: memo, then a persisted [<dir>/<name>.stats] matching
+   the registered relation's name, then fresh computation from the data.
+   A persisted file whose [relation] field disagrees with its file name
+   (or that fails to parse) is ignored rather than trusted. *)
+let stats t name =
+  match Hashtbl.find_opt t.stats name with
+  | Some s -> Some s
+  | None ->
+      let loaded =
+        match t.stats_dir with
+        | None -> None
+        | Some dir -> (
+            let path = Stats.file ~dir name in
+            if Sys.file_exists path then
+              match Stats.load path with
+              | Ok s when s.Stats.relation = name -> Some s
+              | Ok _ | Error _ -> None
+            else None)
+      in
+      let computed =
+        match loaded with
+        | Some _ -> loaded
+        | None -> Option.map Stats.of_relation (find t name)
+      in
+      Option.iter (Hashtbl.replace t.stats name) computed;
+      computed

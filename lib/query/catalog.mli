@@ -20,3 +20,15 @@ val names : t -> string list
 
 val env : t -> Prob.env
 (** Marginals of every base variable of every registered relation. *)
+
+val set_stats_dir : t -> string -> unit
+(** Directory where persisted statistics ([<name>.stats], written by
+    [tpdb_cli stats]) are looked up before computing fresh ones. *)
+
+val stats : t -> string -> Stats.t option
+(** Statistics for a registered relation, memoized per catalog:
+    resolution order is memo → persisted file in the stats directory
+    (ignored if unparseable or describing a different relation) → fresh
+    {!Stats.of_relation} on the registered data. [None] only for names
+    that are not registered and have no stats file. {!register}
+    invalidates the memo for that name. *)

@@ -1,0 +1,63 @@
+(** Cardinality and cost estimation over physical plans.
+
+    One bottom-up pass ({!of_plan}) attaches to every plan node an
+    {!estimate}: expected output rows, per-column distinct counts, an
+    interval sample propagated through the operators, and a cumulative
+    cost in abstract work units (tuples touched, with an [n log n]
+    surcharge for sorts). Estimates are advisory — they feed the
+    EXPLAIN [est rows]/[est cost] columns, the [--analyze] q-error
+    comparison, and the planner's ordering of equi-θ join chains — and
+    never affect result correctness.
+
+    Selectivities come from {!Stats}:
+    - equality atoms use the classic [1 / max(distinct)] rule on the
+      joined columns' distinct counts;
+    - the temporal component ([`Overlap] or [`Allen rel]) is estimated
+      by direct pair counting over the two sides' interval samples — for
+      each sampled (left, right) pair, does θ's temporal predicate admit
+      an overlapping window? — which is robust for every Allen relation
+      where histogram convolution is only workable for [`Overlap];
+    - non-equality atoms fall back to a fixed 1/3.
+
+    Estimates are keyed by node {e physical identity} (plans contain
+    closures, so structural comparison is unavailable); hold on to the
+    same plan value you passed to {!of_plan}. *)
+
+type estimate = {
+  rows : float;  (** expected output cardinality *)
+  distinct : int array;  (** per output column, expected distinct values *)
+  sample : (int * int) array;  (** propagated interval sample *)
+  cost : float;  (** cumulative work units for the whole subtree *)
+}
+
+type t
+(** Estimates for every node of one plan. *)
+
+val of_plan : stats:(string -> Stats.t option) -> Physical.t -> t
+(** Bottom-up estimation. [stats] resolves a base-relation name to its
+    statistics (the catalog's memo, {!Catalog.stats}); scans without
+    stats fall back to statistics computed from the scanned relation
+    itself (exact for materialized scans). *)
+
+val find : t -> Physical.t -> estimate option
+(** The estimate of one node of the plan passed to {!of_plan}, by
+    physical identity. *)
+
+val rows : t -> Physical.t -> float option
+(** [Option.map (fun e -> e.rows) (find t node)] — the shape
+    {!Physical.analyze}'s [estimate] parameter wants. *)
+
+val root : t -> estimate
+(** The whole-plan estimate. *)
+
+val annotate : t -> Physical.t -> string
+(** [" [est rows=R cost=C]"] for a known node, [""] otherwise — an
+    [annotate] function for {!Physical.explain}. *)
+
+val temporal_selectivity :
+  Tpdb_windows.Theta.t -> (int * int) array -> (int * int) array -> float
+(** Fraction of sampled (left, right) interval pairs that both satisfy
+    θ's temporal predicate and share a time point (window formation
+    needs an overlap even under [`Allen] components — a disjoint
+    relation estimates 0). Falls back to 0.5 when either sample is
+    empty. Exposed for the cost-model tests. *)

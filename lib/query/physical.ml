@@ -22,6 +22,7 @@ type t =
       parallelism : int;
       sanitize : bool;
       prob_cache : bool;
+      safe_lineage : bool;
       theta : Theta.t;
       left : t;
       right : t;
@@ -98,19 +99,30 @@ and eval ~env plan =
       Projection.project ~env ~columns (to_relation ~env child)
   | Aggregate { group_by; spec; child } ->
       Aggregate.sequenced ~env ~group_by spec (to_relation ~env child)
-  | Sort_limit { compare; limit; child; _ } ->
+  | Sort_limit { compare = cmp; limit; child; _ } ->
       let input = to_relation ~env child in
-      let sorted = List.stable_sort compare (Relation.tuples input) in
+      let sorted = List.stable_sort cmp (Relation.tuples input) in
       let limited =
         match limit with
         | None -> sorted
         | Some n -> List.filteri (fun i _ -> i < n) sorted
       in
       Relation.of_tuples (Relation.schema input) limited
-  | Tp_join { kind; algorithm; parallelism; sanitize; prob_cache; theta; left; right }
-    ->
+  | Tp_join
+      {
+        kind;
+        algorithm;
+        parallelism;
+        sanitize;
+        prob_cache;
+        safe_lineage;
+        theta;
+        left;
+        right;
+      } ->
       let options =
-        Nj.options ~algorithm ~parallelism ~sanitize ~prob_cache ()
+        Nj.options ~algorithm ~parallelism ~sanitize ~prob_cache
+          ~static_safe:safe_lineage ()
       in
       Nj.join ~options ~env ~kind ~theta (to_relation ~env left)
         (to_relation ~env right)
@@ -184,8 +196,17 @@ let describe ~child_schema plan =
       Printf.sprintf "Distinct TP Project (%s; lineage disjunction)"
         (String.concat ", " (Schema.columns s))
   | Tp_join
-      { kind; algorithm; parallelism; sanitize; prob_cache; theta; left; right }
-    ->
+      {
+        kind;
+        algorithm;
+        parallelism;
+        sanitize;
+        prob_cache;
+        theta;
+        left;
+        right;
+        _;
+      } ->
       Printf.sprintf
         "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s%s)"
         (kind_string kind)
@@ -246,7 +267,17 @@ let with_children plan inputs =
    sink by before/after deltas — children run outside the parent's
    delta, so the numbers are exclusive, like the wall time. When the
    caller has no sink installed a private one is used for the run. *)
-let analyze ~env plan =
+(* q-error of an estimate against the observed row count: max of the two
+   ratios, with both sides floored at one row so empty results stay
+   finite. *)
+let q_error ~est ~actual =
+  let est = Float.max 1.0 est
+  and actual = Float.max 1.0 (float_of_int actual) in
+  Float.max (est /. actual) (actual /. est)
+
+let q_error_threshold = 16.0
+
+let analyze ?(estimate = fun _ -> None) ~env plan =
   let metrics, private_sink =
     match Metrics.active () with
     | Some m -> (m, false)
@@ -288,72 +319,50 @@ let analyze ~env plan =
       if hits + misses = 0 then ""
       else Printf.sprintf " [prob-cache: %d hits, %d misses]" hits misses
     in
+    let rows = Relation.cardinality result in
+    let est_column, est_warning =
+      match estimate plan with
+      | None -> ("", [])
+      | Some est ->
+          let q = q_error ~est ~actual:rows in
+          let column = Printf.sprintf " est=%.0f q=%.1f" est q in
+          let warning =
+            if q > q_error_threshold then
+              [
+                Printf.sprintf
+                  "%s!! cost-q-error: estimated %.0f row(s) but saw %d \
+                   (q-error %.1f > %.1f) — stats are stale or missing; \
+                   run `tpdb_cli stats`"
+                  (String.make ((2 * indent) + 2) ' ')
+                  est rows q q_error_threshold;
+              ]
+            else []
+          in
+          (column, warning)
+    in
     let line =
-      Printf.sprintf "%s%s  [rows=%d, %.1f ms]%s%s"
+      Printf.sprintf "%s%s  [rows=%d%s, %.1f ms]%s%s"
         (String.make (2 * indent) ' ')
         (describe ~child_schema:schema plan)
-        (Relation.cardinality result) ms windows cache
+        rows est_column ms windows cache
     in
-    let block = String.concat "\n" (line :: List.map (fun (_, _, b) -> b) child_results) in
+    let block =
+      String.concat "\n"
+        ((line :: est_warning) @ List.map (fun (_, _, b) -> b) child_results)
+    in
     (result, ms, block)
   in
   let result, _, block = run 0 plan in
   (result, block)
 
-let explain plan =
+let explain ?(annotate = fun _ -> "") plan =
   let buffer = Buffer.create 256 in
   let rec render indent plan =
-    let pad = String.make (2 * indent) ' ' in
-    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (pad ^ s ^ "\n")) fmt in
-    match plan with
-    | Scan r -> line "Scan %s (%d tuples)" (Relation.name r) (Relation.cardinality r)
-    | Filter { description; child; _ } ->
-        line "Filter (%s)" description;
-        render (indent + 1) child
-    | Timeslice { window; child } ->
-        line "Timeslice (%s)" (Tpdb_interval.Interval.to_string window);
-        render (indent + 1) child
-    | Project { schema = s; child; _ } ->
-        line "Project (%s)" (String.concat ", " (Schema.columns s));
-        render (indent + 1) child
-    | Distinct_project { schema = s; child; _ } ->
-        line "Distinct TP Project (%s; lineage disjunction)"
-          (String.concat ", " (Schema.columns s));
-        render (indent + 1) child
-    | Tp_join
-        { kind; algorithm; parallelism; sanitize; prob_cache; theta; left; right }
-      ->
-        line "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s%s)"
-          (kind_string kind)
-          (algorithm_string algorithm)
-          (Theta.to_string ~left:(schema left) ~right:(schema right) theta)
-          (jobs_string parallelism)
-          (sanitize_string sanitize)
-          (prob_cache_string prob_cache);
-        render (indent + 1) left;
-        render (indent + 1) right
-    | Aggregate { spec; child; _ } ->
-        line "Sequenced Aggregate (%s; expectation per witness-constant segment)"
-          (match spec with
-          | Aggregate.Count -> "COUNT(*)"
-          | Aggregate.Sum c -> Printf.sprintf "SUM(#%d)" c
-          | Aggregate.Avg c -> Printf.sprintf "AVG(#%d)" c);
-        render (indent + 1) child
-    | Sort_limit { description; limit; child; _ } ->
-        line "Sort%s (%s)"
-          (match limit with
-          | None -> ""
-          | Some n -> Printf.sprintf " + Limit %d" n)
-          description;
-        render (indent + 1) child
-    | Set_op { kind; left; right } ->
-        line "TP %s (windows)"
-          (match kind with
-          | `Union -> "Union"
-          | `Intersect -> "Intersect"
-          | `Except -> "Except");
-        render (indent + 1) left;
-        render (indent + 1) right
+    Buffer.add_string buffer
+      (String.make (2 * indent) ' '
+      ^ describe ~child_schema:schema plan
+      ^ annotate plan ^ "\n");
+    List.iter (render (indent + 1)) (children plan)
   in
   render 0 plan;
   (* drop the trailing newline *)

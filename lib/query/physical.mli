@@ -29,6 +29,12 @@ type t =
           (** run the TPSan window-invariant checks during execution *)
       prob_cache : bool;
           (** memoize output probabilities ({!Tpdb_joins.Nj.options}) *)
+      safe_lineage : bool;
+          (** statically proven read-once: probabilities go through
+              {!Tpdb_lineage.Prob.factorize} with no runtime read-once
+              check and no BDD fallback. Set by the planner from the
+              safe-plan classification ({!Analyze}); [false] is always
+              sound. *)
       theta : Theta.t;
       left : t;
       right : t;
@@ -53,16 +59,30 @@ type t =
 
 val schema : t -> Schema.t
 
+val children : t -> t list
+(** Direct child subplans, left before right; empty for scans. *)
+
 val execute : env:Prob.env -> t -> Tuple.t Seq.t
 (** Streams the plan's result. Recomputed on each traversal. *)
 
 val to_relation : env:Prob.env -> t -> Relation.t
 
-val explain : t -> string
+val explain : ?annotate:(t -> string) -> t -> string
 (** Multi-line tree rendering; join nodes name their algorithm
-    ([overlap[hash]] / [overlap[nested loop]]) and θ. *)
+    ([overlap[hash]] / [overlap[nested loop]]) and θ. [annotate] appends
+    a per-node suffix to each line — the CLI renders the cost model's
+    [[est rows=… cost=…]] columns this way — and defaults to nothing, so
+    plain [explain] output is byte-identical to previous releases. *)
 
-val analyze : env:Prob.env -> t -> Relation.t * string
+val q_error : est:float -> actual:int -> float
+(** [max (est/actual) (actual/est)], both sides floored at one row so
+    empty results stay finite. 1.0 is a perfect estimate. *)
+
+val q_error_threshold : float
+(** 16.0 — above this, {!analyze} flags the node's estimate as stale. *)
+
+val analyze :
+  ?estimate:(t -> float option) -> env:Prob.env -> t -> Relation.t * string
 (** EXPLAIN ANALYZE: executes the plan bottom-up, materializing at node
     granularity, and returns the result plus the explain tree annotated
     with per-node output cardinality, exclusive wall time, and — for
@@ -70,4 +90,10 @@ val analyze : env:Prob.env -> t -> Relation.t * string
     ([WO]/[WU]/[WN]) read as deltas from the {!Tpdb_obs.Metrics} sink
     (a private sink is installed for the run when the caller has none).
     With a {!Tpdb_obs.Trace} sink installed, every operator also records
-    an [operator]-category span. *)
+    an [operator]-category span.
+
+    [estimate] supplies the cost model's per-node row estimates
+    ({!Cost.rows}); nodes with an estimate additionally get an
+    [est=… q=…] column ({!q_error}), and a [cost-q-error] warning line
+    is emitted under any node whose q-error exceeds
+    {!q_error_threshold}. *)

@@ -11,7 +11,18 @@ exception Plan_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Plan_error msg)) fmt
 
-type t = { plan : Physical.t; env : Tpdb_lineage.Prob.env }
+type t = {
+  plan : Physical.t;  (* optimized: θ-folded, pruned, safe-tagged *)
+  raw : Physical.t;
+      (* as lowered (post-reorder, pre-rewrite): what [check] analyzes,
+         so diagnostics describe the query as written even when a
+         rewrite folds the offending construct away *)
+  env : Tpdb_lineage.Prob.env;
+  reorder_notes : Analyze.diagnostic list;
+  rewrite_notes : Analyze.diagnostic list;
+  stats : string -> Stats.t option;
+  mutable cost : Cost.t option;  (* estimates, computed on first use *)
+}
 
 type side = L of int | R of int
 
@@ -172,8 +183,11 @@ let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Ph
               | None -> Either.Right ta)
             (j.on_temporal @ pending)
         in
+        let allen_compare a b =
+          String.compare (Interval.allen_name a) (Interval.allen_name b)
+        in
         let theta =
-          match List.sort_uniq compare resolved with
+          match List.sort_uniq allen_compare resolved with
           | [] -> theta
           | [ rel ] -> Theta.with_temporal (`Allen rel) theta
           | _ :: _ :: _ ->
@@ -187,6 +201,7 @@ let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Ph
               parallelism;
               sanitize;
               prob_cache;
+              safe_lineage = false;
               theta;
               left = acc;
               right = Physical.Scan right;
@@ -308,6 +323,86 @@ let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Ph
         Physical.Distinct_project { columns = indices; schema; child = with_slice }
       else Physical.Project { columns = indices; schema; child = with_slice })
 
+(* --- cost-based ordering of inner equi-join chains ---------------------
+
+   A chain of INNER joins is order-independent as a result set (window
+   intersection is associative, lineage conjunction commutative), so the
+   planner is free to pick the cheapest left-deep order. Candidates are
+   permutations of the AST join list (the FROM relation stays leftmost);
+   a candidate only survives if it plans without error and produces the
+   same output columns as the source order — an explicit SELECT list
+   resolves each name against the candidate's join schema, and a name
+   whose qualification changed simply fails to resolve, discarding the
+   candidate. Scope: every join INNER with at least one equality atom,
+   an explicit projection, at most 4 joins (24 permutations). *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun rest -> x :: rest)
+            (permutations (List.filter (fun y -> y != x) l)))
+        l
+
+let reorderable (s : Ast.select) =
+  List.length s.joins >= 2
+  && List.length s.joins <= 4
+  && s.projection <> None
+  && List.for_all
+       (fun (j : Ast.join) ->
+         j.kind = Ast.Inner
+         && List.exists (fun (a : Ast.atom) -> a.op = `Eq) j.on)
+       s.joins
+
+let order_joins ~build ~stats (s : Ast.select) source_plan =
+  if not (reorderable s) then (source_plan, [])
+  else begin
+    let source_cost = (Cost.root (Cost.of_plan ~stats source_plan)).Cost.cost in
+    let source_columns =
+      Tpdb_relation.Schema.columns (Physical.schema source_plan)
+    in
+    let best =
+      List.fold_left
+        (fun best joins ->
+          match build { s with Ast.joins } with
+          | exception Plan_error _ -> best
+          | candidate ->
+              if
+                List.equal String.equal source_columns
+                  (Tpdb_relation.Schema.columns (Physical.schema candidate))
+              then
+                let cost =
+                  (Cost.root (Cost.of_plan ~stats candidate)).Cost.cost
+                in
+                match best with
+                | Some (_, _, best_cost) when best_cost <= cost -> best
+                | Some _ | None -> Some (candidate, joins, cost)
+              else best)
+        None
+        (List.tl (permutations s.joins))
+    in
+    match best with
+    | Some (candidate, joins, cost) when cost < source_cost ->
+        let order rels = String.concat " \xe2\x8b\x88 " rels in
+        ( candidate,
+          [
+            Analyze.diagnostic ~severity:Analyze.Note ~code:"join-reordered"
+              ~path:"plan"
+              (Printf.sprintf
+                 "inner equi-join chain reordered by estimated cost: %s \
+                  (est cost %.0f) instead of %s (est cost %.0f)"
+                 (order (s.from :: List.map (fun (j : Ast.join) -> j.rel) joins))
+                 cost
+                 (order
+                    (s.from
+                    :: List.map (fun (j : Ast.join) -> j.rel) s.joins))
+                 source_cost);
+          ] )
+    | Some _ | None -> (source_plan, [])
+  end
+
 let plan ?(parallelism = 1) ?sanitize ?(prob_cache = true) catalog (query : Ast.t) =
   if parallelism < 1 then fail "parallelism must be at least 1";
   let sanitize =
@@ -316,9 +411,17 @@ let plan ?(parallelism = 1) ?sanitize ?(prob_cache = true) catalog (query : Ast.
     | None -> Tpdb_windows.Invariant.env_enabled ()
   in
   let env = Catalog.env catalog in
+  let stats name = Catalog.stats catalog name in
+  let finish raw reorder_notes =
+    let plan, rewrite_notes = Analyze.optimize ~stats raw in
+    { plan; raw; env; reorder_notes; rewrite_notes; stats; cost = None }
+  in
   match query with
   | Ast.Select s ->
-      { plan = plan_select ~parallelism ~sanitize ~prob_cache catalog s; env }
+      let build s = plan_select ~parallelism ~sanitize ~prob_cache catalog s in
+      let source = build s in
+      let chosen, reorder_notes = order_joins ~build ~stats s source in
+      finish chosen reorder_notes
   | Ast.Set (kind, a, b) ->
       let kind =
         match kind with
@@ -326,20 +429,44 @@ let plan ?(parallelism = 1) ?sanitize ?(prob_cache = true) catalog (query : Ast.
         | Ast.Intersect -> `Intersect
         | Ast.Except -> `Except
       in
-      {
-        plan =
-          Physical.Set_op
-            {
-              kind;
-              left = plan_select ~parallelism ~sanitize ~prob_cache catalog a;
-              right = plan_select ~parallelism ~sanitize ~prob_cache catalog b;
-            };
-        env;
-      }
+      finish
+        (Physical.Set_op
+           {
+             kind;
+             left = plan_select ~parallelism ~sanitize ~prob_cache catalog a;
+             right = plan_select ~parallelism ~sanitize ~prob_cache catalog b;
+           })
+        []
 
-let explain t = Physical.explain t.plan
-let check t = Analyze.check t.plan
-let run_analyze t = Physical.analyze ~env:t.env t.plan
+let estimates t =
+  match t.cost with
+  | Some c -> c
+  | None ->
+      let c = Cost.of_plan ~stats:t.stats t.plan in
+      t.cost <- Some c;
+      c
+
+let annotate t node =
+  let est = Cost.annotate (estimates t) node in
+  match node with
+  | Physical.Tp_join { safe_lineage = true; _ } ->
+      est ^ " [lineage: read-once]"
+  | _ -> est
+
+let explain t = Physical.explain ~annotate:(annotate t) t.plan
+let check t = Analyze.check t.raw
+
+(* Deep analysis runs on the raw plan: the dry fold/prune passes inside
+   [Analyze.check_deep] then rederive exactly the rewrites [optimize]
+   applied, so the report covers them without double-counting stored
+   notes, and base diagnostics still describe the query as written. *)
+let check_deep t =
+  t.reorder_notes @ Analyze.check_deep ~stats:t.stats t.raw
+
+let notes t = t.reorder_notes @ t.rewrite_notes
+
+let run_analyze t =
+  Physical.analyze ~estimate:(Cost.rows (estimates t)) ~env:t.env t.plan
 let run t = Physical.to_relation ~env:t.env t.plan
 let stream t = Physical.execute ~env:t.env t.plan
 

@@ -4,7 +4,17 @@
     column references, splits each join condition into hashable equality
     atoms and a residual predicate, picks the join algorithm (hash when an
     equality atom exists, nested loop otherwise) and wires the pipelined
-    NJ operators. [explain] renders the chosen plan. *)
+    NJ operators. [explain] renders the chosen plan.
+
+    After lowering, the planner runs the analyzer's rewrite pipeline
+    ({!Analyze.optimize}): redundant θ conjuncts are folded, provably
+    empty subplans are pruned to empty scans, and joins whose output
+    lineages are statically read-once are tagged so probability
+    computation skips the runtime read-once check. Chains of inner
+    equi-joins are additionally ordered by the cost model
+    ({!Cost.of_plan}) over per-relation statistics ({!Catalog.stats}).
+    Every rewrite is reported as a Note-severity diagnostic ({!notes},
+    surfaced by [tpdb_cli check --deep]). *)
 
 module Relation = Tpdb_relation.Relation
 
@@ -33,11 +43,31 @@ val plan :
     ({!Tpdb_joins.Nj.options}). *)
 
 val explain : t -> string
+(** The plan tree with the cost model's per-node [[est rows=… cost=…]]
+    columns, and a [[lineage: read-once]] marker on statically safe
+    joins. *)
 
 val check : t -> Analyze.diagnostic list
 (** Static analysis of the planned tree ({!Analyze.check}): type checks
     on θ, unsatisfiable/tautological atoms, sequential-fallback and
     cartesian-shape warnings, projections that drop join keys. *)
+
+val check_deep : t -> Analyze.diagnostic list
+(** The plan-time rewrite notes ({!notes}) followed by
+    {!Analyze.check_deep} on the optimized plan: abstract
+    temporal/probability bounds, safe-plan classification, and the base
+    {!check} diagnostics. Behind [tpdb_cli check --deep]. *)
+
+val notes : t -> Analyze.diagnostic list
+(** Note-severity diagnostics for the rewrites the planner applied while
+    building this plan: cost-based join reorders ([join-reordered]),
+    folded θ conjuncts ([theta-fold]), pruned provably-empty subplans
+    ([pruned-empty]). *)
+
+val estimates : t -> Cost.t
+(** The cost model over the optimized plan, computed on first use and
+    memoized. Statistics come from the catalog the plan was built
+    against ({!Catalog.stats}). *)
 
 val run : t -> Relation.t
 

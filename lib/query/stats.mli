@@ -1,0 +1,61 @@
+(** Per-relation statistics for the deep analyzer and the cost model.
+
+    A {!t} summarizes one TP relation: cardinality, per-column distinct
+    counts, the temporal hull with equi-width start/end histograms and a
+    deterministic interval sample, probability moments, and the two
+    structural flags the static safe-plan classification needs
+    ([duplicate_free], [lineage_safe]).
+
+    Statistics are computed by {!of_relation} (one pass plus a sort per
+    column), persisted next to the data as [<name>.stats] in a
+    line-oriented text format ({!save}/{!load}), and memoized per
+    catalog by {!Tpdb_query.Catalog.stats}. The planner treats them as
+    advisory: a missing or stale stats file only degrades estimate
+    quality, never correctness. *)
+
+val buckets : int
+(** Number of equi-width histogram buckets (16). *)
+
+val sample_size : int
+(** Maximum interval-sample size (256). The sample is systematic (every
+    k-th tuple in fact/start order), so it is deterministic for a given
+    relation. *)
+
+type t = {
+  relation : string;  (** relation name the stats describe *)
+  cardinality : int;
+  distinct : int array;  (** per fact column, distinct value count *)
+  tmin : int;  (** hull start; [0] when the relation is empty *)
+  tmax : int;  (** hull end (exclusive); [0] when empty *)
+  mean_span : float;  (** mean interval duration *)
+  start_hist : int array;  (** interval starts per bucket over the hull *)
+  end_hist : int array;  (** interval ends per bucket over the hull *)
+  sample : (int * int) array;  (** (ts, te) interval sample, ≤ {!sample_size} *)
+  p_min : float;
+  p_max : float;
+  p_mean : float;
+  duplicate_free : bool;
+      (** {!Tpdb_relation.Relation.is_duplicate_free} at stats time *)
+  lineage_safe : bool;
+      (** every tuple lineage is a bare variable and no variable repeats
+          — the base-relation shape the safe-plan rule requires (CSV
+          loads with explicit lineage columns can violate it) *)
+}
+
+val of_relation : Tpdb_relation.Relation.t -> t
+(** Computes fresh statistics. Deterministic: same relation, same
+    stats. *)
+
+val save : t -> string -> unit
+(** Writes the line-oriented text rendering to a file. *)
+
+val load : string -> (t, string) result
+(** Parses a file written by {!save}. [Error] carries a one-line reason
+    (missing file, version mismatch, malformed line). *)
+
+val file : dir:string -> string -> string
+(** [file ~dir name] is ["<dir>/<name>.stats"] — where {!save} output
+    for relation [name] lives by convention. *)
+
+val to_string : t -> string
+(** Human-readable multi-line summary, printed by [tpdb_cli stats]. *)

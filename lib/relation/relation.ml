@@ -123,7 +123,7 @@ let equal_as_sets a b =
         let c = Tuple.compare_fact_start x y in
         if c <> 0 then c
         else if Tuple.equal x y then 0
-        else Stdlib.compare (Tuple.p x) (Tuple.p y))
+        else Float.compare (Tuple.p x) (Tuple.p y))
       (List.map
          (fun tp ->
            Tuple.make ~fact:(Tuple.fact tp)

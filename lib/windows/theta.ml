@@ -80,6 +80,78 @@ let equi_keys t =
   | [] -> None
   | _ -> Some (List.map fst keys, List.map snd keys)
 
+let op_rank : op -> int = function
+  | `Eq -> 0
+  | `Ne -> 1
+  | `Lt -> 2
+  | `Le -> 3
+  | `Gt -> 4
+  | `Ge -> 5
+
+(* Explicit structural equality: atoms embed [Value.t], whose floats and
+   strings must go through [Value.compare], not the polymorphic [=]. *)
+let atom_equal a b =
+  match (a, b) with
+  | Cols (o1, i1, j1), Cols (o2, i2, j2) ->
+      op_rank o1 = op_rank o2 && i1 = i2 && j1 = j2
+  | Left_const (o1, i1, v1), Left_const (o2, i2, v2)
+  | Right_const (o1, i1, v1), Right_const (o2, i2, v2) ->
+      op_rank o1 = op_rank o2 && i1 = i2 && Value.compare v1 v2 = 0
+  | (Cols _ | Left_const _ | Right_const _), _ -> false
+
+(* [implies a b]: every fact pair satisfying atom [a] also satisfies
+   atom [b] — the subsumption order used by [simplify]. Only constant
+   bounds on the same column are compared; everything else is
+   incomparable. *)
+let implies a b =
+  if atom_equal a b then true
+  else
+    let bound = function
+      | Left_const (op, i, v) -> Some (`L, op, i, v)
+      | Right_const (op, i, v) -> Some (`R, op, i, v)
+      | Cols _ -> None
+    in
+    match (bound a, bound b) with
+    | Some (sa, oa, ia, va), Some (sb, ob, ib, vb)
+      when sa = sb && ia = ib && not (Value.is_null va)
+           && not (Value.is_null vb) -> (
+        let c = Value.compare va vb in
+        match (oa, ob) with
+        (* x = v implies any bound v satisfies *)
+        | `Eq, _ -> apply_op ob va vb
+        (* strict bound implies its non-strict version and any weaker
+           bound of the same direction *)
+        | `Lt, `Lt | `Le, `Le -> c <= 0
+        | `Lt, `Le -> c <= 0
+        | `Le, `Lt -> c < 0
+        | `Gt, `Gt | `Ge, `Ge -> c >= 0
+        | `Gt, `Ge -> c >= 0
+        | `Ge, `Gt -> c > 0
+        | `Lt, `Ne -> c <= 0
+        | `Gt, `Ne -> c >= 0
+        | _ -> false)
+    | _ -> false
+
+(* Folds away redundant conjuncts: duplicates, and atoms implied by a
+   stronger atom on the same column. Returns the simplified θ plus the
+   dropped atoms (for the analyzer's [theta-folded] note). Contradictory
+   atoms are deliberately left in place — the analyzer reports those as
+   [unsatisfiable] errors rather than silently rewriting them. *)
+let simplify t =
+  let rec keep kept dropped = function
+    | [] -> (List.rev kept, List.rev dropped)
+    | a :: rest ->
+        let subsumed =
+          List.exists (fun b -> (not (atom_equal a b)) && implies b a) kept
+          || List.exists (fun b -> implies b a) rest
+          || List.exists (atom_equal a) kept
+        in
+        if subsumed then keep kept (a :: dropped) rest
+        else keep (a :: kept) dropped rest
+  in
+  let kept, dropped = keep [] [] t.atoms in
+  ({ t with atoms = kept }, dropped)
+
 let residual t =
   {
     t with

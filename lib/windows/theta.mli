@@ -63,6 +63,20 @@ val equi_keys : t -> (int list * int list) option
 (** Columns of the column-equality atoms, left and right, positionally
     paired; [None] when there is no equality atom to hash on. *)
 
+val atom_equal : atom -> atom -> bool
+(** Structural equality, comparing embedded constants with
+    {!Tpdb_relation.Value.compare} (the polymorphic [=] is banned on
+    values — see the poly-compare lint). *)
+
+val simplify : t -> t * atom list
+(** Folds away redundant conjuncts — exact duplicates and constant
+    bounds implied by a stronger bound on the same column ([x > 5]
+    subsumes [x > 3]; [x = 5] subsumes [x >= 1]) — returning the
+    simplified θ and the dropped atoms. Contradictory atoms are {e not}
+    folded: the analyzer reports them as [unsatisfiable] errors instead
+    of silently rewriting the query. Satisfied pairs are unchanged:
+    [matches (fst (simplify t)) fr fs = matches t fr fs]. *)
+
 val residual : t -> t
 (** Everything but the column-equality atoms. [matches t fr fs] iff the
     {!equi_keys} columns are pairwise equal (and non-null) and

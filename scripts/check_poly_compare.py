@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Source lint: no polymorphic comparison or hashing on nominal types.
+
+Formula.t values are hash-consed and carry mutable memo fields, and
+Value.t mixes int and float payloads that must compare numerically —
+polymorphic `compare` / `=` / `Hashtbl.hash` on either is a silent
+correctness bug (PR 4 fixed a round of these by hand; this lint makes
+the rule permanent). Since a lexical lint cannot see types, it bans the
+dangerous spellings outright in lib/ and bin/ and keeps a short,
+reasoned whitelist for the few sites that are provably safe:
+
+  - `Hashtbl.hash` (polymorphic hash: follows mutable memo fields)
+  - `Stdlib.compare`, `Stdlib.(=)`, `Stdlib.(<>)` (explicit polymorphic
+    comparison; a bare `=` on a concrete scalar is fine and not matched)
+  - `Poly.` (any explicit polymorphic-comparison module use)
+  - a bare `compare` passed to sort/sort_uniq/stable_sort (almost always
+    the polymorphic one by accident)
+
+Comments and string literals are stripped before matching. Exits 1 with
+file:line per violation; stale whitelist entries are errors too, so the
+list cannot rot.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ["lib", "bin"]
+
+# (relative path, pattern name) -> reason the site is safe
+WHITELIST = {
+    ("lib/relation/value.ml", "Hashtbl.hash"):
+        "canonical Value hash: ints are hashed through float_of_int so "
+        "I 1 and F 1.0 collide as required by Value.equal",
+    ("lib/lineage/var.ml", "Hashtbl.hash"):
+        "hashes an immutable (string, int) pair, no formulas involved",
+    ("lib/lineage/formula.ml", "bare compare"):
+        "the file defines its own structural `compare` that shadows the "
+        "polymorphic one; recursive and sort_uniq uses resolve to it",
+    ("bin/tpdb_fuzz.ml", "bare compare"):
+        "sorts window keys whose every component is pre-rendered to a "
+        "string (Formula.to_string_ascii etc.)",
+}
+
+PATTERNS = [
+    ("Hashtbl.hash", re.compile(r"\bHashtbl\.hash\b")),
+    ("Stdlib.compare", re.compile(r"\bStdlib\.compare\b")),
+    ("Stdlib.(=)", re.compile(r"\bStdlib\.\(\s*(?:=|<>)\s*\)")),
+    ("Poly module", re.compile(r"\bPoly\.")),
+    ("bare compare",
+     re.compile(r"\b(?:sort_uniq|stable_sort|sort)\s+compare\b")),
+]
+
+
+def strip_comments_and_strings(text):
+    """Blank out OCaml comments (nested) and string literals, keeping
+    line numbers intact."""
+    out = []
+    i, n = 0, len(text)
+    depth = 0
+    in_string = False
+    while i < n:
+        c = text[i]
+        if in_string:
+            if c == "\\" and i + 1 < n:
+                out.append("  " if text[i + 1] != "\n" else " \n")
+                i += 2
+                continue
+            if c == '"':
+                in_string = False
+            out.append(c if c == "\n" else " ")
+            i += 1
+        elif depth > 0:
+            if text.startswith("(*", i):
+                depth += 1
+                i += 2
+                out.append("  ")
+            elif text.startswith("*)", i):
+                depth -= 1
+                i += 2
+                out.append("  ")
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:
+            if text.startswith("(*", i):
+                depth = 1
+                i += 2
+                out.append("  ")
+            elif c == '"':
+                in_string = True
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+    return "".join(out)
+
+
+def main():
+    violations = []
+    used_whitelist = set()
+    for scan_dir in SCAN_DIRS:
+        for path in sorted((ROOT / scan_dir).rglob("*.ml")):
+            rel = path.relative_to(ROOT).as_posix()
+            code = strip_comments_and_strings(path.read_text())
+            for lineno, line in enumerate(code.splitlines(), 1):
+                for name, pattern in PATTERNS:
+                    if not pattern.search(line):
+                        continue
+                    key = (rel, name)
+                    if key in WHITELIST:
+                        used_whitelist.add(key)
+                    else:
+                        violations.append(f"{rel}:{lineno}: {name}")
+    for key in sorted(WHITELIST):
+        if key not in used_whitelist:
+            violations.append(
+                f"{key[0]}: stale whitelist entry for {key[1]!r} "
+                "(pattern no longer present; remove it)")
+    if violations:
+        print("polymorphic comparison/hash lint failed:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        print(
+            "\nUse Value.compare / Formula.compare / Var.hash (or add a "
+            "reasoned whitelist entry in scripts/check_poly_compare.py).",
+            file=sys.stderr)
+        return 1
+    print("poly-compare lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

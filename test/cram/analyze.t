@@ -8,10 +8,10 @@ window classes and counters are deterministic for a fixed seed.
   $ ../../bin/tpdb_cli.exe query --analyze --trace trace.json --stats-json stats.json -t an_r.csv -t an_s.csv "SELECT File FROM an_r ANTIJOIN an_s ON an_r.File = an_s.File" > analyze.out
   $ sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/g' analyze.out | head -5
   -- sanitize: off; trace: trace.json; stats: stats.json
-  Project (File)  [rows=52, _ ms]
-    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: an_r.File = an_s.File)  [rows=52, _ ms] [windows: WO=22 WU=30 WN=22] [prob-cache: 0 hits, 52 misses]
-      Scan an_r (40 tuples)  [rows=40, _ ms]
-      Scan an_s (40 tuples)  [rows=40, _ ms]
+  Project (File)  [rows=52 est=40 q=1.3, _ ms]
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: an_r.File = an_s.File)  [rows=52 est=40 q=1.3, _ ms] [windows: WO=22 WU=30 WN=22] [prob-cache: 0 hits, 52 misses]
+      Scan an_r (40 tuples)  [rows=40 est=40 q=1.0, _ ms]
+      Scan an_s (40 tuples)  [rows=40 est=40 q=1.0, _ ms]
 
 The EXPLAIN header reports the sink status:
 

@@ -3,8 +3,8 @@ The full TP-SQL dialect on the booking scenario:
   $ ../../examples/capacity_planning.exe
   
   > SELECT DISTINCT Loc FROM a
-  Distinct TP Project (Loc; lineage disjunction)
-    Scan a (3 tuples)
+  Distinct TP Project (Loc; lineage disjunction) [est rows=2 cost=6]
+    Scan a (3 tuples) [est rows=3 cost=3]
   a (4 tuples)
   Loc | lineage | T | p
   ZAK | a1 | [2,5) | 0.7
@@ -13,8 +13,8 @@ The full TP-SQL dialect on the booking scenario:
   WEN | a2 | [7,10) | 0.8
   
   > SELECT COUNT(*) FROM a GROUP BY Loc
-  Sequenced Aggregate (COUNT(*); expectation per witness-constant segment)
-    Scan a (3 tuples)
+  Sequenced Aggregate (COUNT(*); expectation per witness-constant segment) [est rows=2 cost=6]
+    Scan a (3 tuples) [est rows=3 cost=3]
   a_exp_count (4 tuples)
   Loc | exp_count | lineage | T | p
   ZAK | 0.7 | T | [2,5) | 1
@@ -23,9 +23,9 @@ The full TP-SQL dialect on the booking scenario:
   WEN | 0.8 | T | [7,10) | 1
   
   > SELECT COUNT(*) FROM b GROUP BY Loc DURING [4,7)
-  Sequenced Aggregate (COUNT(*); expectation per witness-constant segment)
-    Timeslice ([4,7))
-      Scan b (3 tuples)
+  Sequenced Aggregate (COUNT(*); expectation per witness-constant segment) [est rows=2 cost=8]
+    Timeslice ([4,7)) [est rows=2 cost=6]
+      Scan b (3 tuples) [est rows=3 cost=3]
   b_exp_count (3 tuples)
   Loc | exp_count | lineage | T | p
   ZAK | 0.7 | T | [4,5) | 1
@@ -33,23 +33,23 @@ The full TP-SQL dialect on the booking scenario:
   ZAK | 0.6 | T | [6,7) | 1
   
   > SELECT Name FROM a ANTIJOIN b ON a.Loc = b.Loc AT 5
-  Project (Name)
-    Timeslice ([5,6))
-      TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc)
-        Scan a (3 tuples)
-        Scan b (3 tuples)
+  Project (Name) [est rows=2 cost=20]
+    Timeslice ([5,6)) [est rows=2 cost=18]
+      TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc) [est rows=3 cost=15] [lineage: read-once]
+        Scan a (3 tuples) [est rows=3 cost=3]
+        Scan b (3 tuples) [est rows=3 cost=3]
   a_anti_b (2 tuples)
   Name | lineage | T | p
   Ann | a1 ∧ ¬(b3 ∨ b2) | [5,6) | 0.084
   Lea | a3 ∧ ¬(b3 ∨ b2) | [5,6) | 0.108
   
   > SELECT Name, Hotel FROM a LEFT TPJOIN b ON a.Loc = b.Loc WHERE Name <> 'Jim' DURING [4,8)
-  Project (Name, Hotel)
-    Timeslice ([4,8))
-      Filter (Name <> 'Jim')
-        TP Left Outer Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc)
-          Scan a (3 tuples)
-          Scan b (3 tuples)
+  Project (Name, Hotel) [est rows=2 cost=25]
+    Timeslice ([4,8)) [est rows=2 cost=23]
+      Filter (Name <> 'Jim') [est rows=2 cost=21]
+        TP Left Outer Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: a.Loc = b.Loc) [est rows=6 cost=15] [lineage: read-once]
+          Scan a (3 tuples) [est rows=3 cost=3]
+          Scan b (3 tuples) [est rows=3 cost=3]
   a_b (9 tuples)
   Name | Hotel | lineage | T | p
   Ann | hotel1 | a1 ∧ b3 | [4,6) | 0.49

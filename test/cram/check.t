@@ -31,7 +31,7 @@ Requesting --jobs without an equality atom in θ: the analyzer explains
 why the join will run sequentially (a warning, exit 0):
 
   $ ../../bin/tpdb_cli.exe check --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File <> wk_s.File"
-  warning[sequential-fallback] at TP Left Outer Join: jobs=2 requested, but θ has no equality atom between the two sides to shard on — the join runs sequentially
+  warning[sequential-fallback] at TP Left Outer Join: jobs=2 requested, but θ has no equality atom between the two sides to shard on — the join runs sequentially — add an equality atom on a shared key, e.g. ON wk_r.File = wk_s.File, to enable hash partitioning
   0 error(s), 1 warning(s)
 
 A plain projection that drops the join key is flagged:
@@ -57,25 +57,25 @@ So does a malformed CSV, with file and line:
 
   $ ../../bin/tpdb_cli.exe query --explain --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File <> wk_s.File"
   -- sanitize: off; trace: off; stats: off
-  TP Left Outer Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File <> wk_s.File; jobs: 2)
-    Scan wk_r (50 tuples)
-    Scan wk_s (50 tuples)
+  TP Left Outer Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File <> wk_s.File; jobs: 2) [est rows=116 cost=266] [lineage: read-once]
+    Scan wk_r (50 tuples) [est rows=50 cost=50]
+    Scan wk_s (50 tuples) [est rows=50 cost=50]
   
-  warning[sequential-fallback] at TP Left Outer Join: jobs=2 requested, but θ has no equality atom between the two sides to shard on — the join runs sequentially
+  warning[sequential-fallback] at TP Left Outer Join: jobs=2 requested, but θ has no equality atom between the two sides to shard on — the join runs sequentially — add an equality atom on a shared key, e.g. ON wk_r.File = wk_s.File, to enable hash partitioning
 
 `query --sanitize` turns on the runtime window-invariant checks; the
 plan records it and the query still returns its rows:
 
   $ ../../bin/tpdb_cli.exe query --sanitize -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File" | head -2
   -- sanitize: on; trace: off; stats: off
-  Project (File)
+  Project (File) [est rows=50 cost=275]
 
 θ's temporal component: an Allen predicate alone cannot shard on a key
 either — the fallback warning explains the distinction:
 
   $ ../../bin/tpdb_cli.exe check --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.T BEFORE wk_s.T"
   warning[cartesian] at TP Left Outer Join: θ has no atoms: every overlapping pair matches (a temporal cartesian product; quadratic in the overlap)
-  warning[sequential-fallback] at TP Left Outer Join: jobs=2 requested, but θ is a residual-only temporal predicate (before) with no equality atom to shard on — Allen relations constrain intervals, not fact keys, so the join runs sequentially
+  warning[sequential-fallback] at TP Left Outer Join: jobs=2 requested, but θ is a residual-only temporal predicate (before) with no equality atom to shard on — Allen relations constrain intervals, not fact keys, so the join runs sequentially — add an equality atom on a shared key, e.g. ON wk_r.File = wk_s.File, to enable hash partitioning
   0 error(s), 2 warning(s)
 
 With an equality atom alongside, the Allen predicate folds into the
@@ -87,10 +87,10 @@ join condition:
 
   $ ../../bin/tpdb_cli.exe query --explain -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File AND wk_r.T MEETS wk_s.T"
   -- sanitize: off; trace: off; stats: off
-  Project (File)
-    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.T meets wk_s.T and wk_r.File = wk_s.File)
-      Scan wk_r (50 tuples)
-      Scan wk_s (50 tuples)
+  Project (File) [est rows=50 cost=250]
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.T meets wk_s.T and wk_r.File = wk_s.File) [est rows=50 cost=200] [lineage: read-once]
+      Scan wk_r (50 tuples) [est rows=50 cost=50]
+      Scan wk_s (50 tuples) [est rows=50 cost=50]
 
 A WHERE-placed temporal predicate that names a relation outside the
 join chain is a plan error:

@@ -7,20 +7,20 @@ Plan a TP anti join over the generated CSVs:
 
   $ ../../bin/tpdb_cli.exe query --explain -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
   -- sanitize: off; trace: off; stats: off
-  Project (File)
-    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File)
-      Scan wk_r (50 tuples)
-      Scan wk_s (50 tuples)
+  Project (File) [est rows=50 cost=275]
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File) [est rows=50 cost=225] [lineage: read-once]
+      Scan wk_r (50 tuples) [est rows=50 cost=50]
+      Scan wk_s (50 tuples) [est rows=50 cost=50]
 
 A parallel query (--jobs 2): the plan records the partition count and
 the result is byte-identical to the sequential run:
 
   $ ../../bin/tpdb_cli.exe query --explain --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
   -- sanitize: off; trace: off; stats: off
-  Project (File)
-    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; jobs: 2)
-      Scan wk_r (50 tuples)
-      Scan wk_s (50 tuples)
+  Project (File) [est rows=50 cost=275]
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; jobs: 2) [est rows=50 cost=225] [lineage: read-once]
+      Scan wk_r (50 tuples) [est rows=50 cost=50]
+      Scan wk_s (50 tuples) [est rows=50 cost=50]
 
   $ ../../bin/tpdb_cli.exe query -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File" | tail -n +5 > seq.out
   $ ../../bin/tpdb_cli.exe query --jobs 2 -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File" | tail -n +5 > par.out
@@ -31,10 +31,10 @@ result is byte-identical to the default memoized run:
 
   $ ../../bin/tpdb_cli.exe query --explain --no-prob-cache -t wk_r.csv -t wk_s.csv "SELECT File FROM wk_r ANTIJOIN wk_s ON wk_r.File = wk_s.File"
   -- sanitize: off; trace: off; stats: off; prob-cache: off
-  Project (File)
-    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; prob-cache: off)
-      Scan wk_r (50 tuples)
-      Scan wk_s (50 tuples)
+  Project (File) [est rows=50 cost=275]
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: wk_r.File = wk_s.File; prob-cache: off) [est rows=50 cost=225] [lineage: read-once]
+      Scan wk_r (50 tuples) [est rows=50 cost=50]
+      Scan wk_s (50 tuples) [est rows=50 cost=50]
 
   $ ../../bin/tpdb_cli.exe query --no-prob-cache -t wk_r.csv -t wk_s.csv "SELECT * FROM wk_r LEFT TPJOIN wk_s ON wk_r.File = wk_s.File" | tail -n +5 > nocache.out
   $ cmp seq.out nocache.out
@@ -55,9 +55,9 @@ Round-trip through the binary database directory:
   wk_s.tpr
   $ ../../bin/tpdb_cli.exe query --db warehouse --explain "SELECT DISTINCT File FROM wk_r DURING [0,500)"
   -- sanitize: off; trace: off; stats: off
-  Distinct TP Project (File; lineage disjunction)
-    Timeslice ([0,500))
-      Scan wk_r (50 tuples)
+  Distinct TP Project (File; lineage disjunction) [est rows=1 cost=102]
+    Timeslice ([0,500)) [est rows=2 cost=100]
+      Scan wk_r (50 tuples) [est rows=50 cost=50]
 
 Draw the join picture (paper Fig. 2 style):
 

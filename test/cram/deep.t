@@ -1,0 +1,84 @@
+Statistics, the cost model and the deep static analysis, end to end.
+
+Generate a deterministic pair into a database directory and profile it:
+
+  $ ../../bin/tpdb_cli.exe generate --dataset webkit --size 50 --seed 3 --db wh
+  stored r (50 tuples) and s (50 tuples) in wh
+
+  $ ../../bin/tpdb_cli.exe stats --db wh
+  relation r: 50 tuple(s)
+    temporal hull [130,1935), mean span 54.62
+    distinct per column: 8 14
+    probability min 0.532 max 0.992 mean 0.782
+    duplicate-free true, lineage-safe true, sample 50 interval(s)
+  wrote wh/r.stats
+  
+  relation s: 50 tuple(s)
+    temporal hull [255,1558), mean span 58.36
+    distinct per column: 7 13
+    probability min 0.517 max 0.993 mean 0.755
+    duplicate-free true, lineage-safe true, sample 50 interval(s)
+  wrote wh/s.stats
+
+  $ ls wh
+  r.stats
+  r.tpr
+  s.stats
+  s.tpr
+
+A safe-shaped anti join: the deep check classifies it, EXPLAIN carries
+the cost columns and the read-once tag, and EXPLAIN ANALYZE compares
+estimates against actuals:
+
+  $ ../../bin/tpdb_cli.exe check --deep --db wh "SELECT File FROM r ANTIJOIN s ON r.File = s.File"
+  note[safe-plan] at Project > TP Anti Join: every output lineage is read-once: probabilities factorize over the connectives with no runtime read-once check and no BDD fallback
+  note[plan-bounds] at Project: output lies within temporal hull [130,1935); probabilities within [0.000, 0.992]
+  0 error(s), 0 warning(s), 2 note(s)
+
+  $ ../../bin/tpdb_cli.exe check --deep --format json --db wh "SELECT File FROM r ANTIJOIN s ON r.File = s.File"
+  [{"severity": "note", "code": "safe-plan", "path": "Project > TP Anti Join", "message": "every output lineage is read-once: probabilities factorize over the connectives with no runtime read-once check and no BDD fallback"}, {"severity": "note", "code": "plan-bounds", "path": "Project", "message": "output lies within temporal hull [130,1935); probabilities within [0.000, 0.992]"}]
+
+A duplicated θ atom is folded by the planner (reported as a note), and a
+timeslice outside the data's hull is pruned to an empty scan:
+
+  $ ../../bin/tpdb_cli.exe check --deep --db wh "SELECT * FROM r TPJOIN s ON r.File = s.File AND r.File = s.File"
+  warning[duplicate-atom] at TP Inner Join: r.File = s.File appears more than once in θ
+  note[theta-fold] at TP Inner Join: redundant θ conjunct(s) folded away: r.File = s.File (duplicate or implied by a stronger bound)
+  note[safe-plan] at TP Inner Join: every output lineage is read-once: probabilities factorize over the connectives with no runtime read-once check and no BDD fallback
+  note[plan-bounds] at TP Inner Join: output lies within temporal hull [255,1558); probabilities within [0.275, 0.985]
+  0 error(s), 1 warning(s), 3 note(s)
+
+  $ ../../bin/tpdb_cli.exe query --explain --db wh "SELECT * FROM r DURING [9000000,9000100)"
+  -- sanitize: off; trace: off; stats: off
+  Scan pruned:r (0 tuples) [est rows=0 cost=0]
+
+The base check still reports the query as written — the duplicate atom
+warning survives even though the planner folds it:
+
+  $ ../../bin/tpdb_cli.exe check --db wh "SELECT * FROM r TPJOIN s ON r.File = s.File AND r.File = s.File"
+  warning[duplicate-atom] at TP Inner Join: r.File = s.File appears more than once in θ
+  0 error(s), 1 warning(s)
+
+A hard-shaped join is warned about: each relation is individually clean
+(duplicate-free, bare distinct lineage variables), but the sides share
+the variable x1, so read-once factorization is off the table and the
+runtime check stays on:
+
+  $ cat > h_r.csv <<EOF
+  > File,lineage,ts,te,p
+  > a,x1,0,10,0.5
+  > b,x2,2,12,0.5
+  > EOF
+  $ cat > h_s.csv <<EOF
+  > File,lineage,ts,te,p
+  > a,x1,1,8,0.7
+  > EOF
+  $ ../../bin/tpdb_cli.exe check --deep -t h_r.csv -t h_s.csv "SELECT * FROM h_r ANTIJOIN h_s ON h_r.File = h_s.File"
+  warning[hard-plan] at TP Anti Join: base relation(s) x appear on both sides of the join — output lineages can repeat their variables and probability computation may fall back to exact BDD model counting (#P-hard in general)
+  note[plan-bounds] at TP Anti Join: output lies within temporal hull [0,12); probabilities within [0.000, 0.500]
+  0 error(s), 1 warning(s), 1 note(s)
+
+The JSON output is machine-readable and the exit status still reflects
+errors only:
+
+  $ ../../bin/tpdb_cli.exe check --deep --format json --db wh "SELECT File FROM r ANTIJOIN s ON r.File = s.File" | python3 -m json.tool > /dev/null

@@ -128,6 +128,7 @@ let hand_join theta =
       parallelism = 1;
       sanitize = false;
       prob_cache = true;
+      safe_lineage = false;
       theta;
       left = Physical.Scan (Fixtures.relation_a ());
       right = Physical.Scan (Fixtures.relation_b ());

@@ -16,6 +16,7 @@ let () =
       ("query", Test_query.suite);
       ("physical", Test_physical.suite);
       ("analyze", Test_analyze.suite);
+      ("deep", Test_deep.suite);
       ("workload", Test_workload.suite);
       ("paper_example", Test_paper_example.suite);
       ("obs", Test_obs.suite);

@@ -438,6 +438,7 @@ let test_analyze_window_annotations () =
         parallelism = 1;
         sanitize = false;
         prob_cache = true;
+        safe_lineage = false;
         theta = Fixtures.theta_loc;
         left = Physical.Scan r;
         right = Physical.Scan s;

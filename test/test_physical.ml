@@ -24,6 +24,7 @@ let join kind =
       parallelism = 1;
       sanitize = false;
       prob_cache = true;
+      safe_lineage = false;
       theta = Fixtures.theta_loc;
       left = scan_a ();
       right = scan_b ();
