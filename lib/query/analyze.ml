@@ -559,6 +559,24 @@ let hull_union a b =
 
 let empty_bounds = { hull = None; p_lo = 0.0; p_hi = 0.0 }
 
+let bases_disjoint l r =
+  not (List.exists (fun b -> List.exists (String.equal b) r) l)
+
+(* Relation tags of every lineage variable reachable under the node:
+   output lineages are built by the connectives from the scans' tuple
+   lineages, so the union over the subtree's scans over-approximates
+   the variables any output formula can mention. *)
+let rec lineage_tags node =
+  match (node : Physical.t) with
+  | Scan r ->
+      List.concat_map
+        (fun tp -> List.map Var.rel (Formula.vars (Tuple.lineage tp)))
+        (Relation.tuples r)
+      |> List.sort_uniq String.compare
+  | _ ->
+      List.concat_map lineage_tags (Physical.children node)
+      |> List.sort_uniq String.compare
+
 let rec plan_bounds node =
   match (node : Physical.t) with
   | Scan r ->
@@ -598,7 +616,21 @@ let rec plan_bounds node =
             if disjoint_allen then None else hull_intersect l.hull r.hull
           in
           if hull = None then empty_bounds
-          else { hull; p_lo = l.p_lo *. r.p_lo; p_hi = l.p_hi *. r.p_hi }
+          else if bases_disjoint (lineage_tags left) (lineage_tags right)
+          then
+            (* variable-disjoint sides: the conjoined lineages are
+               independent and the probabilities multiply *)
+            { hull; p_lo = l.p_lo *. r.p_lo; p_hi = l.p_hi *. r.p_hi }
+          else
+            (* shared variables (e.g. a self-join): p(φl ∧ φr) need not
+               be the product — for v ∧ v it is p(v), above the product;
+               for v ∧ ¬v it is 0, below it — so only the Fréchet
+               bounds are sound *)
+            {
+              hull;
+              p_lo = Float.max 0.0 (l.p_lo +. r.p_lo -. 1.0);
+              p_hi = Float.min l.p_hi r.p_hi;
+            }
       | Left ->
           if l.hull = None then empty_bounds
           else { hull = l.hull; p_lo = 0.0; p_hi = l.p_hi }
@@ -814,9 +846,6 @@ let scan_safe ~stats r =
     | None -> Stats.of_relation r
   in
   s.Stats.duplicate_free && s.Stats.lineage_safe
-
-let bases_disjoint l r =
-  not (List.exists (fun b -> List.exists (String.equal b) r) l)
 
 (* The side-disjointness check must see the {e lineage variables'}
    relation tags, not the scan's name: a CSV loaded with an explicit

@@ -34,11 +34,21 @@ let set_stats_dir t dir = t.stats_dir <- Some dir
 (* Resolution order: memo, then a persisted [<dir>/<name>.stats] matching
    the registered relation's name, then fresh computation from the data.
    A persisted file whose [relation] field disagrees with its file name
-   (or that fails to parse) is ignored rather than trusted. *)
+   (or that fails to parse) is ignored rather than trusted.
+
+   Persisted files serve cost estimation only. The safety-critical flags
+   ([duplicate_free], [lineage_safe]) let the safe-plan tag route
+   probability computation around the runtime read-once check, so they
+   are always recomputed from the registered relation — a file written
+   before the data changed must not vouch for it. A file that disagrees
+   with the live data on cardinality or hull is discarded as stale
+   outright, and one for an unregistered name keeps its cost fields but
+   has both safety flags forced off (nothing to validate against). *)
 let stats t name =
   match Hashtbl.find_opt t.stats name with
   | Some s -> Some s
   | None ->
+      let live = find t name in
       let loaded =
         match t.stats_dir with
         | None -> None
@@ -51,9 +61,14 @@ let stats t name =
             else None)
       in
       let computed =
-        match loaded with
-        | Some _ -> loaded
-        | None -> Option.map Stats.of_relation (find t name)
+        match (loaded, live) with
+        | Some s, Some r ->
+            if Stats.describes s r then Some (Stats.refresh_safety s r)
+            else Some (Stats.of_relation r)
+        | Some s, None ->
+            Some { s with Stats.duplicate_free = false; lineage_safe = false }
+        | None, Some r -> Some (Stats.of_relation r)
+        | None, None -> None
       in
       Option.iter (Hashtbl.replace t.stats name) computed;
       computed

@@ -31,4 +31,11 @@ val stats : t -> string -> Stats.t option
     (ignored if unparseable or describing a different relation) → fresh
     {!Stats.of_relation} on the registered data. [None] only for names
     that are not registered and have no stats file. {!register}
-    invalidates the memo for that name. *)
+    invalidates the memo for that name.
+
+    Persisted files are advisory (cost estimation) only: the
+    safety-critical [duplicate_free]/[lineage_safe] flags are always
+    recomputed from the registered relation ({!Stats.refresh_safety});
+    a file that disagrees with the live data on cardinality or hull is
+    discarded as stale, and a file for an unregistered name has both
+    safety flags forced off. *)

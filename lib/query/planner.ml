@@ -16,7 +16,9 @@ type t = {
   raw : Physical.t;
       (* as lowered (post-reorder, pre-rewrite): what [check] analyzes,
          so diagnostics describe the query as written even when a
-         rewrite folds the offending construct away *)
+         rewrite folds the offending construct away; [check] prepends
+         [reorder_notes] so a path through a reordered chain is
+         explainable *)
   env : Tpdb_lineage.Prob.env;
   reorder_notes : Analyze.diagnostic list;
   rewrite_notes : Analyze.diagnostic list;
@@ -334,7 +336,13 @@ let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Ph
    resolves each name against the candidate's join schema, and a name
    whose qualification changed simply fails to resolve, discarding the
    candidate. Scope: every join INNER with at least one equality atom,
-   an explicit projection, at most 4 joins (24 permutations). *)
+   an explicit projection, at most 4 joins (24 permutations), and no
+   temporal predicate anywhere in the chain — an Allen atom resolves
+   against the *accumulated* left window at whichever join first sees
+   both its relations (and is inverted when its left operand is the
+   right side), so under a permutation the same atom can constrain a
+   different intersection window in a different direction, changing the
+   result. Only all-Overlap chains are provably order-independent. *)
 
 let rec permutations = function
   | [] -> [ [] ]
@@ -350,9 +358,11 @@ let reorderable (s : Ast.select) =
   List.length s.joins >= 2
   && List.length s.joins <= 4
   && s.projection <> None
+  && s.where_temporal = []
   && List.for_all
        (fun (j : Ast.join) ->
          j.kind = Ast.Inner
+         && j.on_temporal = []
          && List.exists (fun (a : Ast.atom) -> a.op = `Eq) j.on)
        s.joins
 
@@ -454,7 +464,11 @@ let annotate t node =
   | _ -> est
 
 let explain t = Physical.explain ~annotate:(annotate t) t.plan
-let check t = Analyze.check t.raw
+
+(* [raw] is the post-reorder lowering, so when the planner picked a
+   different join order the [join-reordered] note leads the report —
+   otherwise diagnostic paths could name a chain the user never wrote. *)
+let check t = t.reorder_notes @ Analyze.check t.raw
 
 (* Deep analysis runs on the raw plan: the dry fold/prune passes inside
    [Analyze.check_deep] then rederive exactly the rewrites [optimize]

@@ -50,7 +50,10 @@ val explain : t -> string
 val check : t -> Analyze.diagnostic list
 (** Static analysis of the planned tree ({!Analyze.check}): type checks
     on θ, unsatisfiable/tautological atoms, sequential-fallback and
-    cartesian-shape warnings, projections that drop join keys. *)
+    cartesian-shape warnings, projections that drop join keys. When the
+    planner reordered the join chain, the [join-reordered] note leads
+    the report so diagnostic paths through the reordered chain are
+    explainable. *)
 
 val check_deep : t -> Analyze.diagnostic list
 (** The plan-time rewrite notes ({!notes}) followed by

@@ -120,6 +120,29 @@ let of_relation r =
     lineage_safe = lineage_safe tuples;
   }
 
+(* The safe-plan rule routes probability computation around the runtime
+   read-once check on the word of [duplicate_free]/[lineage_safe], so
+   they must describe the data as loaded, never as it was when a stats
+   file was written: recompute both from the live relation. *)
+let refresh_safety t r =
+  {
+    t with
+    duplicate_free = Relation.is_duplicate_free r;
+    lineage_safe = lineage_safe (Relation.tuples r);
+  }
+
+(* Cheap staleness test of persisted stats against live data: the
+   cardinality and temporal hull must agree. Agreement does not prove
+   the file current — it gates only the advisory cost fields; the
+   safety flags go through [refresh_safety] regardless. *)
+let describes t r =
+  let tmin, tmax =
+    match Relation.active_domain r with
+    | Some hull -> (Interval.ts hull, Interval.te hull)
+    | None -> (0, 0)
+  in
+  t.cardinality = Relation.cardinality r && t.tmin = tmin && t.tmax = tmax
+
 (* {2 Persistence}
 
    A line-oriented text format — trivially parseable without a JSON

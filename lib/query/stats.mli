@@ -46,6 +46,19 @@ val of_relation : Tpdb_relation.Relation.t -> t
 (** Computes fresh statistics. Deterministic: same relation, same
     stats. *)
 
+val refresh_safety : t -> Tpdb_relation.Relation.t -> t
+(** Recomputes the safety-critical flags ([duplicate_free],
+    [lineage_safe]) from the live relation, keeping every other field.
+    The safe-plan classification skips the runtime read-once check on
+    the word of these flags, so they must never be trusted from a
+    persisted file — the data may have changed since it was written. *)
+
+val describes : t -> Tpdb_relation.Relation.t -> bool
+(** Cheap staleness test: do the stats agree with the live relation on
+    cardinality and temporal hull? Gates only the advisory cost fields
+    of a persisted file — agreement does not prove the file current,
+    which is why {!refresh_safety} applies regardless. *)
+
 val save : t -> string -> unit
 (** Writes the line-oriented text rendering to a file. *)
 

@@ -221,6 +221,154 @@ let test_cross_side_shared_variable_blocks_tag () =
   Alcotest.(check bool) "shared-variable sides are not tagged" false
     (contains (Planner.explain p) "[lineage: read-once]")
 
+(* A persisted stats file only ever serves cost estimation: the
+   safety-critical flags are recomputed from the registered relation, so
+   a file written before the data changed cannot vouch a plan safe. *)
+let test_stale_stats_never_vouch_safety () =
+  let dir = Filename.temp_file "tpdb_stats" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+  @@ fun () ->
+  (* same cardinality and hull as the later registration, so the file
+     passes the cheap staleness test — only the flag refresh defends *)
+  let once_safe =
+    Csv.of_lines ~name:"r" ~path:"r.csv"
+      [ "File,lineage,ts,te,p"; "a,x1,0,10,0.5"; "b,x2,2,12,0.5" ]
+  in
+  Stats.save (Stats.of_relation once_safe) (Stats.file ~dir "r");
+  let now_unsafe =
+    Csv.of_lines ~name:"r" ~path:"r.csv"
+      [ "File,lineage,ts,te,p"; "a,x1,0,10,0.5"; "b,x1,2,12,0.5" ]
+  in
+  let c = Catalog.create () in
+  Catalog.set_stats_dir c dir;
+  Catalog.register c now_unsafe;
+  (match Catalog.stats c "r" with
+  | None -> Alcotest.fail "no stats for a registered relation"
+  | Some s ->
+      Alcotest.(check bool) "lineage_safe reflects the live data" false
+        s.Stats.lineage_safe);
+  (* and the plan built on the stale file stays untagged *)
+  let s =
+    Csv.of_lines ~name:"s" ~path:"s.csv"
+      [ "File,lineage,ts,te,p"; "a,y1,1,8,0.7" ]
+  in
+  Catalog.register c s;
+  let p = plan_of c "SELECT * FROM r ANTIJOIN s ON r.File = s.File" in
+  Alcotest.(check bool) "stale file does not tag the plan" false
+    (contains (Planner.explain p) "[lineage: read-once]");
+  (* a file disagreeing on cardinality is discarded outright *)
+  Stats.save (Stats.of_relation s) (Stats.file ~dir "t");
+  let t3 =
+    Csv.of_lines ~name:"t" ~path:"t.csv"
+      [
+        "File,lineage,ts,te,p";
+        "a,z1,1,8,0.7";
+        "b,z2,2,9,0.6";
+        "c,z3,3,10,0.5";
+      ]
+  in
+  Catalog.register c t3;
+  match Catalog.stats c "t" with
+  | None -> Alcotest.fail "no stats for t"
+  | Some st ->
+      Alcotest.(check int) "stale cardinality recomputed" 3
+        st.Stats.cardinality
+
+(* Inner-join probability bounds with a variable shared across the
+   sides: the true output probability p(x1 ∧ x1) = 0.5 must lie inside
+   the reported range (the independence product [0.25, 0.25] excludes
+   it — only the Fréchet bounds are sound). *)
+let test_shared_variable_bounds_sound () =
+  let r =
+    Csv.of_lines ~name:"r" ~path:"r.csv"
+      [ "File,lineage,ts,te,p"; "a,x1,0,10,0.5" ]
+  in
+  let s =
+    Csv.of_lines ~name:"s" ~path:"s.csv"
+      [ "File,lineage,ts,te,p"; "a,x1,0,10,0.5" ]
+  in
+  let c = Catalog.create () in
+  Catalog.register c r;
+  Catalog.register c s;
+  let p = plan_of c "SELECT * FROM r TPJOIN s ON r.File = s.File" in
+  let out = Planner.run p in
+  List.iter
+    (fun tp ->
+      Alcotest.(check (float 1e-9)) "actual probability" 0.5
+        (Tpdb_relation.Tuple.p tp))
+    (Relation.tuples out);
+  match
+    List.find_opt
+      (fun d -> d.Analyze.code = "plan-bounds")
+      (Planner.check_deep p)
+  with
+  | None -> Alcotest.fail "no plan-bounds note"
+  | Some d ->
+      Alcotest.(check bool) "range admits the dependent conjunction" true
+        (contains d.Analyze.message "[0.000, 0.500]")
+
+(* A chain carrying an Allen predicate must never be reordered: the
+   atom binds to the accumulated left window at whichever join first
+   sees both its relations, so a permutation can change the result.
+   With a = [2,4), b = [1,5), c = [0,6), source order tests
+   (a ∩ b) = [2,4) DURING [0,6) (one row); the permutation joining c
+   first would test (a ∩ c) = [2,4) CONTAINS [1,5) (no rows). *)
+let test_temporal_chain_not_reordered () =
+  let c = Catalog.create () in
+  Catalog.register c
+    (Relation.of_rows ~name:"a" ~columns:[ "Ka" ] ~tag:"a"
+       [ ([ "k" ], iv 2 4, 0.9) ]);
+  Catalog.register c
+    (Relation.of_rows ~name:"b" ~columns:[ "Kb" ] ~tag:"b"
+       [ ([ "k" ], iv 1 5, 0.9) ]);
+  Catalog.register c
+    (Relation.of_rows ~name:"cc" ~columns:[ "Kc" ] ~tag:"cc"
+       [ ([ "k" ], iv 0 6, 0.9) ]);
+  let p =
+    plan_of c
+      "SELECT Ka, Kb, Kc FROM a TPJOIN b ON a.Ka = b.Kb TPJOIN cc ON a.Ka \
+       = cc.Kc WHERE b.T DURING cc.T"
+  in
+  Alcotest.(check bool) "temporal chain is never reordered" true
+    (List.for_all
+       (fun d -> d.Analyze.code <> "join-reordered")
+       (Planner.notes p));
+  Alcotest.(check int) "source-order semantics" 1
+    (Relation.cardinality (Planner.run p))
+
+(* When the planner does reorder, plain [check] leads with the
+   join-reordered note so diagnostic paths through the new chain are
+   explainable. *)
+let test_check_reports_reorder () =
+  let rows prefix n =
+    List.init n (fun i ->
+        ([ prefix ^ string_of_int (i mod 8) ], iv 0 10, 0.5))
+  in
+  let c = Catalog.create () in
+  Catalog.register c
+    (Relation.of_rows ~name:"a" ~columns:[ "Ka" ] ~tag:"a" (rows "k" 40));
+  Catalog.register c
+    (Relation.of_rows ~name:"b" ~columns:[ "Kb" ] ~tag:"b" (rows "k" 40));
+  Catalog.register c
+    (Relation.of_rows ~name:"cc" ~columns:[ "Kc" ] ~tag:"cc" (rows "k" 1));
+  let p =
+    plan_of c
+      "SELECT Ka, Kb, Kc FROM a TPJOIN b ON a.Ka = b.Kb TPJOIN cc ON a.Ka \
+       = cc.Kc"
+  in
+  let reordered =
+    List.exists (fun d -> d.Analyze.code = "join-reordered") (Planner.notes p)
+  in
+  Alcotest.(check bool) "cheap chain reorders" true reordered;
+  match Planner.check p with
+  | { Analyze.code = "join-reordered"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "check does not lead with the join-reordered note"
+
 (* --- qcheck properties -------------------------------------------------- *)
 
 module Gen = QCheck2.Gen
@@ -338,6 +486,14 @@ let suite =
       test_unsafe_plan_keeps_runtime_check;
     Alcotest.test_case "cross-side shared variable blocks the tag" `Quick
       test_cross_side_shared_variable_blocks_tag;
+    Alcotest.test_case "stale stats never vouch for safety" `Quick
+      test_stale_stats_never_vouch_safety;
+    Alcotest.test_case "shared-variable bounds stay sound" `Quick
+      test_shared_variable_bounds_sound;
+    Alcotest.test_case "temporal chain is not reordered" `Quick
+      test_temporal_chain_not_reordered;
+    Alcotest.test_case "check reports the reorder" `Quick
+      test_check_reports_reorder;
     qtest prop_pruned_subplans_empty;
     qtest prop_safe_plans_skip_readonce;
     qtest prop_q_error_finite;
