@@ -97,6 +97,11 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
+    # The meta block (git commit, OCaml version, host, timestamp, jobs)
+    # is provenance, not behavior: never part of the comparison.
+    baseline.pop("meta", None)
+    current.pop("meta", None)
+
     failures = []
 
     base_points = sweep_points(baseline)

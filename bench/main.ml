@@ -9,7 +9,11 @@
      --no-sweep    skip the sweeps
      --json FILE   additionally write every sweep point plus the
                    pipeline's metrics snapshot (windows per class,
-                   partition skew) as a JSON report *)
+                   partition skew, quantile distributions) as a JSON
+                   report, led by a self-describing meta block
+     --openmetrics FILE
+                   additionally write the metrics snapshot in the
+                   OpenMetrics (Prometheus) text format *)
 
 open Bechamel
 open Toolkit
@@ -180,6 +184,36 @@ let run_paper_scale () =
 
 (* --- the JSON report --- *)
 
+(* Self-describing provenance for committed BENCH_*.json files. Nothing
+   here is compared by check_bench.py (it pops "meta" before diffing) —
+   it exists so a baseline records which commit, compiler, host and
+   parallelism produced it. *)
+let meta_json () =
+  let git_commit =
+    try
+      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
+  let host = try Unix.gethostname () with _ -> "unknown" in
+  let timestamp =
+    let tm = Unix.gmtime (Unix.gettimeofday ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  J.obj
+    [
+      ("git_commit", J.str git_commit);
+      ("ocaml_version", J.str Sys.ocaml_version);
+      ("host", J.str host);
+      ("timestamp", J.str timestamp);
+      ("jobs", J.int (Domain.recommended_domain_count ()));
+    ]
+
 let json_report metrics =
   let point (p : E.point) =
     J.obj
@@ -199,6 +233,7 @@ let json_report metrics =
   let mean = Metrics.mean ps in
   J.obj
     [
+      ("meta", meta_json ());
       ("sweeps", J.arr (List.map sweep (List.rev !sweeps)));
       ( "windows",
         J.obj
@@ -217,6 +252,20 @@ let json_report metrics =
               J.float
                 (if mean > 0.0 then float_of_int ps.Metrics.max /. mean
                  else 0.0) );
+          ] );
+      (* allocation of the recording domain across every sweep point:
+         minor words plus the major/promoted split count_alloc now
+         reports ([minor_alloc_words] keeps its name and semantics, so
+         older baselines still compare) *)
+      ( "alloc",
+        J.obj
+          [
+            ( "minor_words",
+              J.int (Metrics.get metrics Metrics.Minor_alloc_words) );
+            ( "major_words",
+              J.int (Metrics.get metrics Metrics.Major_alloc_words) );
+            ( "promoted_words",
+              J.int (Metrics.get metrics Metrics.Promoted_words) );
           ] );
       ( "prob_cache",
         match !prob_cache_report with
@@ -245,8 +294,10 @@ let () =
   let flags = Array.to_list Sys.argv in
   let has f = List.mem f flags in
   let json_out = option_value "--json" flags in
+  let openmetrics_out = option_value "--openmetrics" flags in
   let metrics = Metrics.create () in
-  if Option.is_some json_out then Metrics.install metrics;
+  if Option.is_some json_out || Option.is_some openmetrics_out then
+    Metrics.install metrics;
   let scale = if has "--quick" then E.Quick else E.Default in
   if not (has "--no-bechamel") then run_bechamel ();
   if not (has "--no-sweep") then begin
@@ -256,13 +307,18 @@ let () =
     if scale <> E.Quick then run_extra_sweeps ()
   end;
   if has "--paper" then run_paper_scale ();
+  Metrics.uninstall ();
   (match json_out with
   | Some path ->
-      Metrics.uninstall ();
       let oc = open_out path in
       output_string oc (json_report metrics);
       output_char oc '\n';
       close_out oc;
       Printf.printf "\nwrote JSON report to %s\n" path
+  | None -> ());
+  (match openmetrics_out with
+  | Some path ->
+      Metrics.save_openmetrics metrics path;
+      Printf.printf "wrote OpenMetrics report to %s\n" path
   | None -> ());
   Printf.printf "\nbench: done\n"

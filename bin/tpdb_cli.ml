@@ -149,19 +149,39 @@ let with_observability ~trace_out ~stats_out f =
     f
 
 (* The execution settings that are not part of the plan tree, printed
-   above every EXPLAIN / EXPLAIN ANALYZE report. *)
-let explain_header ~sanitize ~prob_cache ~trace_out ~stats_out =
+   above every EXPLAIN / EXPLAIN ANALYZE report. The optional sinks
+   (openmetrics, qlog) only append a segment when requested, so existing
+   expectations stay byte-identical. *)
+let explain_header ~sanitize ~prob_cache ~trace_out ~stats_out ~openmetrics_out
+    ~qlog_out =
   let sink label = function Some path -> label ^ ": " ^ path | None -> label ^ ": off" in
-  Printf.sprintf "-- sanitize: %s; %s; %s%s"
+  let opt label = function None -> "" | Some path -> "; " ^ label ^ ": " ^ path in
+  Printf.sprintf "-- sanitize: %s; %s; %s%s%s%s"
     (if sanitize then "on" else "off")
     (sink "trace" trace_out)
     (sink "stats" stats_out)
+    (opt "openmetrics" openmetrics_out)
+    (opt "qlog" qlog_out)
     (* default-on: only worth a line when disabled, and the cram
        expectations of cache-on runs stay byte-identical *)
     (if prob_cache then "" else "; prob-cache: off")
 
+let iso_utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* --slow-ms wins over the environment, mirroring --sanitize. *)
+let slow_threshold = function
+  | Some ms -> Some ms
+  | None -> (
+      match Sys.getenv_opt "TPDB_SLOW_MS" with
+      | None -> None
+      | Some s -> float_of_string_opt s)
+
 let query tables db_dir explain_only analyze jobs sanitize no_prob_cache
-    trace_out stats_out sql =
+    trace_out stats_out openmetrics_out qlog_out slow_ms sql =
   let catalog = load_catalog tables db_dir in
   let sanitize_flag = if sanitize then Some true else None in
   let prob_cache = not no_prob_cache in
@@ -169,13 +189,129 @@ let query tables db_dir explain_only analyze jobs sanitize no_prob_cache
     plan_or_fail ?sanitize:sanitize_flag ~prob_cache catalog jobs sql
   in
   let sanitize_on = sanitize || Tpdb.Invariant.env_enabled () in
+  let slow_ms = slow_threshold slow_ms in
   let header =
     explain_header ~sanitize:sanitize_on ~prob_cache ~trace_out ~stats_out
+      ~openmetrics_out ~qlog_out
+  in
+  (* The query log and the slow-query dump need a trace (stage times,
+     the Chrome dump) and a metrics sink (counters) even when no --trace
+     or --stats-json file was asked for. *)
+  let want_trace = trace_out <> None || qlog_out <> None || slow_ms <> None in
+  let want_metrics =
+    stats_out <> None || openmetrics_out <> None || qlog_out <> None
+    || slow_ms <> None
+  in
+  let trace =
+    if want_trace then Some (Tpdb.Trace.create ~gc:true ()) else None
+  in
+  let metrics = if want_metrics then Some (Tpdb.Metrics.create ()) else None in
+  Option.iter Tpdb.Trace.install trace;
+  Option.iter Tpdb.Metrics.install metrics;
+  (* Accounts one executed query: wall time, counters, stage times from
+     the trace, GC deltas; appends the qlog record and dumps the Chrome
+     trace of a slow query. [rows] projects the run's output cardinality
+     out of whatever the runner returned. *)
+  let run_logged ~rows run =
+    (* Allocation words come from [Gc.minor_words]/[Gc.counters], which
+       stay current without a collection; [Gc.quick_stat] only supplies
+       collection counts and the heap high-water mark. *)
+    let _, promoted0, major0 = Gc.counters () in
+    let minor0 = Gc.minor_words () in
+    let collections0 = (Gc.quick_stat ()).Gc.major_collections in
+    let t0 = Unix.gettimeofday () in
+    let result = run () in
+    let total_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    (match (metrics, trace) with
+    | Some m, Some t when qlog_out <> None || slow_ms <> None ->
+        let minor1 = Gc.minor_words () in
+        let _, promoted1, major1 = Gc.counters () in
+        let gc1 = Gc.quick_stat () in
+        let slow =
+          match slow_ms with Some thr -> total_ms >= thr | None -> false
+        in
+        let fp = Tpdb.Planner.fingerprint plan in
+        let trace_file =
+          match trace_out with
+          | Some _ -> trace_out
+          | None when slow ->
+              let dir =
+                match qlog_out with
+                | Some p -> Filename.dirname p
+                | None -> Filename.current_dir_name
+              in
+              let path =
+                Filename.concat dir (Printf.sprintf "slow-%s.trace.json" fp)
+              in
+              Tpdb.Trace.save t path;
+              Printf.eprintf
+                "slow query: %.1f ms >= %.1f ms; trace written to %s\n%!"
+                total_ms (Option.get slow_ms) path;
+              Some path
+          | None -> None
+        in
+        (match qlog_out with
+        | None -> ()
+        | Some qpath ->
+            let words f1 f0 = int_of_float (f1 -. f0) in
+            let get c = Tpdb.Metrics.get m c in
+            let ms_of_ns ns = float_of_int ns /. 1e6 in
+            Tpdb.Qlog.append qpath
+              {
+                Tpdb.Qlog.ts = iso_utc ();
+                query = sql;
+                fingerprint = fp;
+                total_ms;
+                rows_in = get Tpdb.Metrics.Tuples_in;
+                rows_out = rows result;
+                wo = get Tpdb.Metrics.Windows_overlapping;
+                wu = get Tpdb.Metrics.Windows_unmatched;
+                wn = get Tpdb.Metrics.Windows_negating;
+                prob_cache_hits = get Tpdb.Metrics.Prob_cache_hits;
+                prob_cache_misses = get Tpdb.Metrics.Prob_cache_misses;
+                sanitizer_ms =
+                  ms_of_ns
+                    (Tpdb.Metrics.dist_stats m Tpdb.Metrics.Sanitizer_ns).sum;
+                stages =
+                  List.map
+                    (fun (_cat, name, ns) -> (name, ms_of_ns ns))
+                    (Tpdb.Trace.totals t);
+                gc =
+                  {
+                    Tpdb.Qlog.minor_words = words minor1 minor0;
+                    major_words = words major1 major0;
+                    promoted_words = words promoted1 promoted0;
+                    major_collections =
+                      gc1.Gc.major_collections - collections0;
+                    top_heap_words = gc1.Gc.top_heap_words;
+                  };
+                slow;
+                trace_file;
+              })
+        | _ -> ());
+    result
   in
   try
-    with_observability ~trace_out ~stats_out @@ fun () ->
+    Fun.protect
+      ~finally:(fun () ->
+        Tpdb.Trace.uninstall ();
+        Tpdb.Metrics.uninstall ();
+        (match (trace, trace_out) with
+        | Some t, Some path -> Tpdb.Trace.save t path
+        | _ -> ());
+        (match (metrics, stats_out) with
+        | Some m, Some path -> Tpdb.Metrics.save m path
+        | _ -> ());
+        match (metrics, openmetrics_out) with
+        | Some m, Some path -> Tpdb.Metrics.save_openmetrics m path
+        | _ -> ())
+    @@ fun () ->
     if analyze then begin
-      let result, report = Tpdb.Planner.run_analyze plan in
+      let result, report =
+        run_logged
+          ~rows:(fun (r, _) -> Tpdb.Relation.cardinality r)
+          (fun () -> Tpdb.Planner.run_analyze plan)
+      in
       print_endline header;
       print_endline report;
       print_endline "";
@@ -191,7 +327,9 @@ let query tables db_dir explain_only analyze jobs sanitize no_prob_cache
           print_diagnostics diags);
       if not explain_only then begin
         print_endline "";
-        Tpdb.Relation.print (Tpdb.Planner.run plan)
+        Tpdb.Relation.print
+          (run_logged ~rows:Tpdb.Relation.cardinality (fun () ->
+               Tpdb.Planner.run plan))
       end
     end
   with Tpdb.Invariant.Violation _ as exn -> fail_exn exn
@@ -260,7 +398,26 @@ let query_cmd =
     Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
            ~doc:"Collect the pipeline's runtime counters (tuples, windows \
                  per class, partition sizes, sanitizer work) and write \
-                 them as JSON.")
+                 them as JSON, distributions with p50/p90/p99 quantiles.")
+  and openmetrics_out =
+    Arg.(value & opt (some string) None
+           & info [ "stats-openmetrics" ] ~docv:"FILE"
+           ~doc:"Write the same runtime metrics in the OpenMetrics \
+                 (Prometheus) text format: counters as counter families, \
+                 distributions as summaries with 0.5/0.9/0.99 quantiles.")
+  and qlog_out =
+    Arg.(value & opt (some string) None & info [ "qlog" ] ~docv:"FILE"
+           ~doc:"Append one JSONL record for the executed query: plan \
+                 fingerprint, per-stage wall times, window-class counts, \
+                 rows in/out, prob-cache traffic, sanitizer time and GC \
+                 deltas. Summarize with $(b,tpdb_cli qlog FILE).")
+  and slow_ms =
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Slow-query threshold in milliseconds (also read from \
+                 TPDB_SLOW_MS; the flag wins). A query at or above it is \
+                 marked slow in the qlog and its full Chrome trace is \
+                 written next to the log (slow-FINGERPRINT.trace.json) \
+                 when no --trace file was given.")
   and sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
            ~doc:"TP-SQL query text.")
@@ -269,7 +426,37 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Run a TP-SQL query over CSV files and/or a database directory.")
     Term.(const query $ tables $ db_dir $ explain_only $ analyze $ jobs
-          $ sanitize $ no_prob_cache $ trace_out $ stats_out $ sql)
+          $ sanitize $ no_prob_cache $ trace_out $ stats_out
+          $ openmetrics_out $ qlog_out $ slow_ms $ sql)
+
+(* --- qlog: summarize a structured query log --- *)
+
+let qlog_run file top by =
+  let records = try Tpdb.Qlog.load file with Sys_error msg ->
+    prerr_endline msg;
+    exit 1
+  in
+  if records = [] then print_endline "empty query log"
+  else print_string (Tpdb.Qlog.summarize ~top ~by records)
+
+let qlog_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"A JSONL query log written by $(b,query --qlog).")
+  and top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+           ~doc:"Show the N heaviest plan groups (default 10).")
+  and by =
+    let order = Arg.enum [ ("total", `Total); ("mean", `Mean) ] in
+    Arg.(value & opt order `Total & info [ "by" ] ~docv:"ORDER"
+           ~doc:"Rank groups by total or mean wall time.")
+  in
+  Cmd.v
+    (Cmd.info "qlog"
+       ~doc:"Summarize a structured query log: queries grouped by plan \
+             fingerprint with runs, slow count, total/mean wall time and \
+             p50/p90/p99/max quantile columns.")
+    Term.(const qlog_run $ file $ top $ by)
 
 let check_cmd =
   let tables =
@@ -594,4 +781,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ generate_cmd; query_cmd; check_cmd; stats_cmd; store_cmd;
-         render_cmd; experiment_cmd; fuzz_cmd ]))
+         render_cmd; experiment_cmd; fuzz_cmd; qlog_cmd ]))

@@ -39,11 +39,14 @@
     - {!Stats}, {!Cost}: per-relation statistics ([tpdb_cli stats]) and
       the cardinality/cost model feeding EXPLAIN's estimate columns and
       the planner's join ordering.
-    - {!Metrics}, {!Trace}, {!Obs_clock}: the observability layer —
-      atomic pipeline counters ([--stats-json], [bench --json]),
-      span-based tracing with a Chrome trace-event exporter
-      ([--trace]), and the shared monotonic clock. Both are no-ops
-      until a sink is installed. *)
+    - {!Hist}, {!Metrics}, {!Trace}, {!Qlog}, {!Obs_clock}: the
+      observability layer — lock-free log-bucketed histograms, atomic
+      pipeline counters with quantile distributions ([--stats-json],
+      [--stats-openmetrics], [bench --json]), span-based tracing with a
+      Chrome trace-event exporter and optional per-span GC accounting
+      ([--trace]), the structured JSONL query log ([--qlog],
+      [tpdb_cli qlog]), and the shared monotonic clock. Metrics and
+      Trace are no-ops until a sink is installed. *)
 
 module Interval = Tpdb_interval.Interval
 module Timeline = Tpdb_interval.Timeline
@@ -96,6 +99,8 @@ module Analyze = Tpdb_query.Analyze
 module Stats = Tpdb_query.Stats
 module Cost = Tpdb_query.Cost
 module Invariant = Tpdb_windows.Invariant
+module Hist = Tpdb_obs.Hist
 module Metrics = Tpdb_obs.Metrics
 module Trace = Tpdb_obs.Trace
+module Qlog = Tpdb_obs.Qlog
 module Obs_clock = Tpdb_obs.Clock

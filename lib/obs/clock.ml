@@ -12,3 +12,10 @@ let now_ns () =
     else bump ()
   in
   bump ()
+
+let pp_ms ms =
+  if ms >= 1000.0 then Printf.sprintf "%.2f s" (ms /. 1000.0)
+  else if ms >= 1.0 then Printf.sprintf "%.1f ms" ms
+  else Printf.sprintf "%.0f \xc2\xb5s" (ms *. 1000.0)
+
+let pp_ns ns = pp_ms (float_of_int ns /. 1e6)

@@ -11,3 +11,10 @@
 val now_ns : unit -> int
 (** Nanoseconds since an arbitrary process-local epoch, monotonically
     non-decreasing across all domains. *)
+
+val pp_ms : float -> string
+(** A duration in milliseconds, human-scaled: ["870 µs"], ["12.3 ms"],
+    ["1.25 s"] — the unit picked so the number stays in [1, 1000). *)
+
+val pp_ns : int -> string
+(** {!pp_ms} over nanoseconds. *)

@@ -1,0 +1,128 @@
+let sub_bits = 3
+let sub_count = 1 lsl sub_bits
+
+(* floor log2, defined for v >= 1 *)
+let msb v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v =
+  if v < sub_count then if v < 0 then 0 else v
+  else
+    let shift = msb v - sub_bits in
+    ((shift + 1) * sub_count) + ((v lsr shift) land (sub_count - 1))
+
+let bucket_count = bucket_of max_int + 1
+
+let bucket_bounds i =
+  if i < sub_count then (i, i)
+  else
+    let shift = (i / sub_count) - 1 in
+    let lo = (sub_count + (i mod sub_count)) lsl shift in
+    (lo, lo + (1 lsl shift) - 1)
+
+type t = {
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  min : int Atomic.t;  (** [max_int] when empty *)
+  max : int Atomic.t;
+  buckets : int Atomic.t array;
+}
+
+let create () =
+  {
+    count = Atomic.make 0;
+    sum = Atomic.make 0;
+    min = Atomic.make max_int;
+    max = Atomic.make 0;
+    buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+  }
+
+let rec atomic_clamp ~keep cell v =
+  let prev = Atomic.get cell in
+  if keep prev v then ()
+  else if Atomic.compare_and_set cell prev v then ()
+  else atomic_clamp ~keep cell v
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  ignore (Atomic.fetch_and_add t.count 1);
+  ignore (Atomic.fetch_and_add t.sum v);
+  atomic_clamp ~keep:(fun prev v -> prev <= v) t.min v;
+  atomic_clamp ~keep:(fun prev v -> prev >= v) t.max v;
+  ignore (Atomic.fetch_and_add t.buckets.(bucket_of v) 1)
+
+let reset t =
+  Atomic.set t.count 0;
+  Atomic.set t.sum 0;
+  Atomic.set t.min max_int;
+  Atomic.set t.max 0;
+  Array.iter (fun b -> Atomic.set b 0) t.buckets
+
+type snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+let empty = { count = 0; sum = 0; min = 0; max = 0; buckets = [] }
+
+let snapshot (t : t) =
+  let count = Atomic.get t.count in
+  if count = 0 then empty
+  else
+    let buckets = ref [] in
+    for i = bucket_count - 1 downto 0 do
+      let c = Atomic.get t.buckets.(i) in
+      if c > 0 then buckets := (i, c) :: !buckets
+    done;
+    {
+      count;
+      sum = Atomic.get t.sum;
+      min = (let m = Atomic.get t.min in if m = max_int then 0 else m);
+      max = Atomic.get t.max;
+      buckets = !buckets;
+    }
+
+let rec merge_buckets a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (i, c) :: ta, (j, d) :: tb ->
+      if i = j then (i, c + d) :: merge_buckets ta tb
+      else if i < j then (i, c) :: merge_buckets ta b
+      else (j, d) :: merge_buckets a tb
+
+let merge a b =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else
+    {
+      count = a.count + b.count;
+      sum = a.sum + b.sum;
+      min = Stdlib.min a.min b.min;
+      max = Stdlib.max a.max b.max;
+      buckets = merge_buckets a.buckets b.buckets;
+    }
+
+let mean s = if s.count = 0 then 0.0 else float_of_int s.sum /. float_of_int s.count
+
+let quantile s q =
+  if s.count = 0 then 0
+  else
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = int_of_float (Float.ceil (q *. float_of_int s.count)) in
+    let rank = if rank < 1 then 1 else rank in
+    let rec go cumulative = function
+      | [] -> s.max
+      | (i, c) :: rest ->
+          if cumulative + c >= rank then
+            let lo, hi = bucket_bounds i in
+            (* the midpoint stays inside the exact order statistic's
+               bucket even after clamping: min <= stat <= max and both
+               clamps move toward the bucket holding the statistic *)
+            Stdlib.min s.max (Stdlib.max s.min (lo + ((hi - lo) / 2)))
+          else go (cumulative + c) rest
+    in
+    go 0 s.buckets

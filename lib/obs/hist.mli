@@ -1,0 +1,72 @@
+(** Lock-free log-bucketed histograms (HDR-style).
+
+    A {!t} counts non-negative integer observations in base-2 buckets
+    subdivided into {!sub_count} linear sub-buckets per octave, so any
+    recorded value lands in a bucket whose width is at most 1/8 of its
+    magnitude: reporting a bucket's midpoint is within ~6.25% relative
+    error of the true value. Values below {!sub_count} get exact
+    single-value buckets.
+
+    Recording is wait-free — one [fetch_and_add] per bucket plus
+    CAS-maxed/minned extrema — so multiple domains can record into the
+    same histogram concurrently without losing counts. Reads take a
+    {!snapshot} (a plain immutable value); snapshots merge exactly:
+    merging two snapshots equals snapshotting the merged streams.
+
+    This is the representation behind every {!Metrics} distribution:
+    count/sum/min/max are tracked exactly, quantiles (p50/p90/p99) come
+    from the buckets with the bounded relative error above. *)
+
+type t
+
+val sub_bits : int
+(** 3: each power-of-two octave splits into [2^sub_bits] sub-buckets. *)
+
+val sub_count : int
+(** [2^sub_bits] = 8. *)
+
+val bucket_count : int
+(** Total number of buckets covering [0, max_int]. *)
+
+val bucket_of : int -> int
+(** The bucket index a value lands in; negative values clamp to 0. *)
+
+val bucket_bounds : int -> int * int
+(** [(lo, hi)] inclusive value range of a bucket. Buckets tile
+    [0, max_int]: [bucket_bounds (bucket_of v)] always contains [v]. *)
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Wait-free; safe from any domain. Negative values clamp to 0. *)
+
+val reset : t -> unit
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when empty *)
+  max : int;
+  buckets : (int * int) list;
+      (** (bucket index, count), ascending index, zero counts omitted *)
+}
+
+val empty : snapshot
+
+val snapshot : t -> snapshot
+(** Consistent under concurrent recording in the sense that no count is
+    lost once the recording calls have returned. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Exact: [merge (snapshot a) (snapshot b)] equals the snapshot of a
+    histogram that recorded both streams. *)
+
+val mean : snapshot -> float
+(** [sum/count], 0 when empty. *)
+
+val quantile : snapshot -> float -> int
+(** [quantile s q] for q in [0,1]: the midpoint of the bucket holding
+    the rank-⌈q·count⌉ observation, clamped into [min, max] — always in
+    the same bucket as the exact order statistic. 0 when empty. *)

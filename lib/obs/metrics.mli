@@ -1,17 +1,24 @@
 (** Cheap runtime metrics for the sweeping-window pipeline.
 
-    A {!t} is a fixed set of atomic counters and value distributions
-    (count/sum/max) that the instrumented code updates through the
-    process-global {e sink}. With no sink installed every recording
-    entry point is a single flat check ([Atomic.get] + pattern match)
-    and touches nothing else, so instrumentation stays in the hot paths
-    permanently at near-zero cost; installing a sink (the CLI's
-    [--stats-json], [bench/main.exe --json], or [EXPLAIN ANALYZE])
-    turns the counters on for the extent of a run.
+    A {!t} is a fixed set of atomic counters and value distributions —
+    each distribution a lock-free log-bucketed histogram ({!Hist}) with
+    exact count/sum/min/max and p50/p90/p99 quantiles at ≤ ~6% relative
+    error — that the instrumented code updates through the process-global
+    {e sink}. With no sink installed every recording entry point is a
+    single flat check ([Atomic.get] + pattern match) and touches nothing
+    else, so instrumentation stays in the hot paths permanently at
+    near-zero cost; installing a sink (the CLI's [--stats-json],
+    [bench/main.exe --json], or [EXPLAIN ANALYZE]) turns the counters on
+    for the extent of a run.
 
-    Counter updates are atomic and therefore correct under the
-    domain-parallel partitioned executor; a counter's value is exact
+    Counter and histogram updates are atomic and therefore correct under
+    the domain-parallel partitioned executor; a counter's value is exact
     once the run being measured has completed.
+
+    Besides the fixed distributions there is a dynamic, labeled family
+    ({!observe_labeled}): per-span allocation histograms
+    ([alloc_minor_words]/[alloc_major_words] keyed by span name) that
+    {!Tpdb_obs.Trace} feeds when GC accounting is on.
 
     Naming: the snapshot/JSON key of a counter or distribution is its
     constructor name lower-cased ([Windows_overlapping] →
@@ -51,11 +58,11 @@ type counter =
           a healthy pipeline *)
   | Minor_alloc_words
       (** words allocated on the recording domain's minor heap inside
-          {!count_alloc} extents ([Gc.minor_words] deltas) — the bench
-          harness wraps every sweep point, so the bench regression gate
-          can bound allocation growth of the sweep pipeline. New
-          counters must be appended at the end: snapshots and the
-          [counter_index] layout are positional. *)
+          {!count_alloc} extents ([Gc.minor_words] deltas) —
+          the bench harness wraps every sweep point, so the bench
+          regression gate can bound allocation growth of the sweep
+          pipeline. New counters must be appended at the end: snapshots
+          and the [counter_index] layout are positional. *)
   | Analysis_deep_passes
       (** deep static-analysis runs ({!Tpdb_query.Analyze}'s
           [check_deep]) *)
@@ -75,6 +82,14 @@ type counter =
   | Prob_bdd_fallbacks
       (** probability computations that fell back to exact BDD weighted
           model counting (repeated-variable lineage) *)
+  | Major_alloc_words
+      (** words allocated directly on the major heap inside
+          {!count_alloc} extents ([Gc.counters] major-word deltas;
+          includes promoted words, per the [Gc] accounting) *)
+  | Promoted_words
+      (** minor-heap words that survived a minor collection inside
+          {!count_alloc} extents — the share of [Major_alloc_words] that
+          is promotion rather than direct major allocation *)
 
 type dist =
   | Partition_size  (** tuples (both sides) per parallel partition *)
@@ -91,11 +106,17 @@ type t
 (** A metrics registry. Create one per measured run; reuse reads
     accumulate. *)
 
-type dist_stats = { count : int; sum : int; max : int }
+type dist_stats = { count : int; sum : int; min : int; max : int }
+(** Exact moments of a distribution; [min] is 0 when empty. Quantiles
+    come from {!dist_snapshot}/{!quantile}. *)
 
 type snapshot = {
   counters : (string * int) list;  (** every counter, declaration order *)
-  dists : (string * dist_stats) list;  (** every distribution *)
+  dists : (string * Hist.snapshot) list;  (** every distribution *)
+  labeled : (string * string * Hist.snapshot) list;
+      (** (metric, label, histogram) of the dynamic labeled family,
+          sorted by metric then label — e.g.
+          [("alloc_minor_words", "nj-left-outer", …)] *)
 }
 
 val create : unit -> t
@@ -120,20 +141,37 @@ val incr : counter -> unit
 val add : counter -> int -> unit
 val observe : dist -> int -> unit
 
+val observe_labeled : metric:string -> label:string -> int -> unit
+(** Record into the dynamic labeled histogram family — [metric] names
+    the family (e.g. ["alloc_minor_words"]), [label] the member (e.g. a
+    span name). Creation of a new member takes a mutex; recording into
+    an existing one is the histogram's wait-free path plus the lookup.
+    Intended for span-close-granularity events, not sweep hot loops. *)
+
 val time : dist -> (unit -> 'a) -> 'a
 (** Runs the thunk; with a sink installed, additionally observes its
     wall-clock duration in nanoseconds into [dist]. *)
 
 val count_alloc : counter -> (unit -> 'a) -> 'a
-(** Runs the thunk; with a sink installed, additionally adds the minor
-    words the current domain allocated during it (the [Gc.minor_words]
-    delta, rounded to an int) to [counter]. Allocations made by other
-    domains — e.g. the partitioned sweep's workers — are not counted. *)
+(** Runs the thunk; with a sink installed, additionally adds the GC
+    allocation deltas of the current domain: minor words (from
+    [Gc.minor_words], exact without an intervening collection) into
+    [counter], major-heap words into {!Major_alloc_words} and promoted
+    words into {!Promoted_words} (both from [Gc.counters]). Allocations
+    made by other domains — e.g. the partitioned sweep's workers — are
+    not counted. *)
 
 (** {2 Reading} *)
 
 val get : t -> counter -> int
+
 val dist_stats : t -> dist -> dist_stats
+
+val dist_snapshot : t -> dist -> Hist.snapshot
+(** The full histogram snapshot behind a distribution. *)
+
+val quantile : t -> dist -> float -> int
+(** [quantile t d q] = [Hist.quantile (dist_snapshot t d) q]. *)
 
 val mean : dist_stats -> float
 (** [sum/count], 0 when empty. *)
@@ -147,7 +185,20 @@ val to_json : t -> string
 (** The machine-readable stats document behind [tpdb_cli query
     --stats-json] (embedded verbatim by the bench harness):
     [{"counters": {..}, "distributions": {"partition_size": {"count": n,
-    "sum": n, "max": n, "mean": x}, ..}}]. *)
+    "sum": n, "min": n, "max": n, "mean": x, "p50": n, "p90": n,
+    "p99": n}, ..}, "span_distributions": {"alloc_minor_words":
+    {"<span>": {..}}, ..}}]. *)
 
 val save : t -> string -> unit
 (** Writes {!to_json} (newline-terminated) to a file. *)
+
+val to_openmetrics : t -> string
+(** The OpenMetrics 1.0 text exposition of the registry, ready for a
+    Prometheus scrape endpoint: every counter as a [counter] family
+    ([tpdb_<name>_total]), every distribution as a [summary] family
+    (quantiles 0.5/0.9/0.99 plus [_count]/[_sum]) with a [_max] gauge,
+    and every labeled histogram as a summary family with a
+    [span="<label>"] label. Terminated by [# EOF]. *)
+
+val save_openmetrics : t -> string -> unit
+(** Writes {!to_openmetrics} to a file ([--stats-openmetrics]). *)

@@ -14,10 +14,11 @@ type t = {
   mutex : Mutex.t;
   mutable events : event list;  (** reverse completion order *)
   epoch_ns : int;
+  gc : bool;  (** capture per-span GC allocation deltas *)
 }
 
-let create () =
-  { mutex = Mutex.create (); events = []; epoch_ns = Clock.now_ns () }
+let create ?(gc = false) () =
+  { mutex = Mutex.create (); events = []; epoch_ns = Clock.now_ns (); gc }
 
 (* --- the global sink --- *)
 
@@ -39,20 +40,70 @@ let record t event =
   t.events <- event :: t.events;
   Mutex.unlock t.mutex
 
+(* GC deltas are per-domain, matching the span itself: a span's work
+   runs on the domain that opened it. [Gc.quick_stat]'s allocation
+   fields are only refreshed by collections, so a short span that
+   triggers no GC would read all-zero deltas from it; the minor delta
+   therefore comes from [Gc.minor_words] (which reads the domain's
+   allocation pointer exactly) and the major/promoted deltas from
+   [Gc.counters]. [Gc.quick_stat] still supplies the collection count.
+   The baseline reads minor last and the close reads it first, so the
+   bookkeeping allocations of the other probes stay out of the delta. *)
+type gc_baseline = {
+  minor0 : float;
+  promoted0 : float;
+  major0 : float;
+  collections0 : int;
+}
+
+let gc_baseline () =
+  let collections0 = (Gc.quick_stat ()).Gc.major_collections in
+  let _, promoted0, major0 = Gc.counters () in
+  { minor0 = Gc.minor_words (); promoted0; major0; collections0 }
+
+let gc_args b =
+  let minor = int_of_float (Gc.minor_words () -. b.minor0) in
+  let _, promoted1, major1 = Gc.counters () in
+  let major = int_of_float (major1 -. b.major0) in
+  ( minor,
+    major,
+    [
+      ("minor_words", string_of_int minor);
+      ("major_words", string_of_int major);
+      ( "promoted_words",
+        string_of_int (int_of_float (promoted1 -. b.promoted0)) );
+      ( "major_collections",
+        string_of_int
+          ((Gc.quick_stat ()).Gc.major_collections - b.collections0) );
+    ] )
+
 let with_span ?(cat = "tpdb") ?(args = []) name f =
   match Atomic.get sink with
   | None -> f ()
   | Some t ->
+      let gc0 = if t.gc then Some (gc_baseline ()) else None in
       let t0 = Clock.now_ns () in
       Fun.protect
         ~finally:(fun () ->
+          let dur_ns = Clock.now_ns () - t0 in
+          let args =
+            match gc0 with
+            | None -> args
+            | Some b0 ->
+                let minor, major, gc = gc_args b0 in
+                Metrics.observe_labeled ~metric:"alloc_minor_words"
+                  ~label:name minor;
+                Metrics.observe_labeled ~metric:"alloc_major_words"
+                  ~label:name major;
+                args @ gc
+          in
           record t
             {
               name;
               cat;
               phase = Complete;
               ts_ns = t0 - t.epoch_ns;
-              dur_ns = Clock.now_ns () - t0;
+              dur_ns;
               tid = (Domain.self () :> int);
               args;
             })
@@ -83,6 +134,25 @@ let spans t =
 
 let span_count t = List.length (spans t)
 let span_names t = List.map (fun e -> e.name) (spans t)
+
+let totals t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match e.phase with
+      | Instant -> ()
+      | Complete ->
+          let key = (e.cat, e.name) in
+          (match Hashtbl.find_opt tbl key with
+          | Some sum -> Hashtbl.replace tbl key (sum + e.dur_ns)
+          | None ->
+              order := key :: !order;
+              Hashtbl.add tbl key e.dur_ns))
+    (spans t);
+  List.rev_map
+    (fun ((cat, name) as key) -> (cat, name, Hashtbl.find tbl key))
+    !order
 
 let us ns = float_of_int ns /. 1e3
 

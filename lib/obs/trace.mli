@@ -11,11 +11,23 @@
 
     Spans are recorded at close from any domain (the buffer is
     mutex-protected), so the per-partition sweeps of the parallel
-    executor appear on their own tracks ([tid] = domain id). *)
+    executor appear on their own tracks ([tid] = domain id).
+
+    With [create ~gc:true], every span additionally captures the
+    recording domain's GC deltas — minor/major/promoted words (read
+    from [Gc.minor_words]/[Gc.counters], which stay exact without an
+    intervening collection) and major collections — exported as the
+    event's [args] (so
+    Perfetto shows allocation per stage) and fed into the
+    [alloc_minor_words]/[alloc_major_words] labeled histogram families
+    of the installed {!Metrics} sink, keyed by span name. *)
 
 type t
 
-val create : unit -> t
+val create : ?gc:bool -> unit -> t
+(** [gc] (default [false]) turns on per-span GC accounting. It costs a
+    handful of GC-counter probes per span, so leave it off for traces
+    of sweep-internal micro-spans. *)
 
 (** {2 The global sink} *)
 
@@ -46,6 +58,11 @@ val span_count : t -> int
 
 val span_names : t -> string list
 (** Names in completion order (earliest first). *)
+
+val totals : t -> (string * string * int) list
+(** [(cat, name, total duration in ns)] of every complete span name,
+    durations summed over all occurrences, in first-completion order.
+    The per-stage wall times {!Qlog} records. *)
 
 val to_json : t -> string
 (** The Chrome trace-event document:

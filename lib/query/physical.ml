@@ -11,6 +11,7 @@ module Projection = Tpdb_setops.Projection
 module Aggregate = Tpdb_setops.Aggregate
 module Metrics = Tpdb_obs.Metrics
 module Trace = Tpdb_obs.Trace
+module Clock = Tpdb_obs.Clock
 
 type t =
   | Scan of Relation.t
@@ -234,6 +235,70 @@ let describe ~child_schema plan =
         | `Intersect -> "Intersect"
         | `Except -> "Except")
 
+(* The canonical shape string behind [fingerprint]: the logical and
+   physical structure of the optimized plan — operators, relation names,
+   column lists, θ (rendered against the child schemas, so renames
+   matter), join kind and algorithm — but none of the runtime execution
+   knobs (parallelism, sanitize, prob_cache, safe_lineage): the same
+   optimized plan run with different jobs or checks is the same plan,
+   which is what the prepared-plan cache and the query log want to key
+   on. *)
+let rec shape plan =
+  match plan with
+  | Scan r -> Printf.sprintf "scan(%s)" (Relation.name r)
+  | Filter { description; child; _ } ->
+      Printf.sprintf "filter(%s;%s)" description (shape child)
+  | Project { columns; child; _ } ->
+      Printf.sprintf "project(%s;%s)"
+        (String.concat "," (List.map string_of_int columns))
+        (shape child)
+  | Distinct_project { columns; child; _ } ->
+      Printf.sprintf "distinct-project(%s;%s)"
+        (String.concat "," (List.map string_of_int columns))
+        (shape child)
+  | Timeslice { window; child } ->
+      Printf.sprintf "timeslice(%s;%s)"
+        (Tpdb_interval.Interval.to_string window)
+        (shape child)
+  | Aggregate { group_by; spec; child } ->
+      Printf.sprintf "aggregate(%s;%s;%s)"
+        (String.concat "," (List.map string_of_int group_by))
+        (match spec with
+        | Aggregate.Count -> "count"
+        | Aggregate.Sum c -> Printf.sprintf "sum:%d" c
+        | Aggregate.Avg c -> Printf.sprintf "avg:%d" c)
+        (shape child)
+  | Sort_limit { description; limit; child; _ } ->
+      Printf.sprintf "sort(%s;%s;%s)" description
+        (match limit with None -> "-" | Some n -> string_of_int n)
+        (shape child)
+  | Tp_join { kind; algorithm; theta; left; right; _ } ->
+      Printf.sprintf "tp-join(%s;%s;%s;%s;%s)" (Nj.kind_name kind)
+        (algorithm_string algorithm)
+        (Theta.to_string ~left:(schema left) ~right:(schema right) theta)
+        (shape left) (shape right)
+  | Set_op { kind; left; right } ->
+      Printf.sprintf "set-op(%s;%s;%s)"
+        (match kind with
+        | `Union -> "union"
+        | `Intersect -> "intersect"
+        | `Except -> "except")
+        (shape left) (shape right)
+
+(* FNV-1a 64-bit over the shape string: stable across runs and processes
+   (no functorial hashing, no randomization), cheap, and 16 hex digits
+   make a readable grouping key. *)
+let fingerprint plan =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    (shape plan);
+  Printf.sprintf "%016Lx" !h
+
 let children = function
   | Scan _ -> []
   | Filter { child; _ }
@@ -341,10 +406,10 @@ let analyze ?(estimate = fun _ -> None) ~env plan =
           (column, warning)
     in
     let line =
-      Printf.sprintf "%s%s  [rows=%d%s, %.1f ms]%s%s"
+      Printf.sprintf "%s%s  [rows=%d%s, %s]%s%s"
         (String.make (2 * indent) ' ')
         (describe ~child_schema:schema plan)
-        rows est_column ms windows cache
+        rows est_column (Clock.pp_ms ms) windows cache
     in
     let block =
       String.concat "\n"
@@ -353,7 +418,38 @@ let analyze ?(estimate = fun _ -> None) ~env plan =
     (result, ms, block)
   in
   let result, _, block = run 0 plan in
-  (result, block)
+  (* Quantile footer over the run's distributions: counts are exact,
+     p50/p90/p99 come from the log-bucketed histograms (≤ ~6% relative
+     error). Only the distributions this run touched are listed. *)
+  let footer =
+    let line (dist, render) =
+      let s = Metrics.dist_snapshot metrics dist in
+      if s.Tpdb_obs.Hist.count = 0 then None
+      else
+        Some
+          (Printf.sprintf "  %-22s n=%d p50=%s p90=%s p99=%s max=%s"
+             (Metrics.dist_name dist) s.Tpdb_obs.Hist.count
+             (render (Tpdb_obs.Hist.quantile s 0.5))
+             (render (Tpdb_obs.Hist.quantile s 0.9))
+             (render (Tpdb_obs.Hist.quantile s 0.99))
+             (render s.Tpdb_obs.Hist.max))
+    in
+    let plain = string_of_int in
+    match
+      List.filter_map line
+        [
+          (Metrics.Partition_size, plain);
+          (Metrics.Domain_busy_ns, Clock.pp_ns);
+          (Metrics.Sanitizer_ns, Clock.pp_ns);
+          (Metrics.Prob_cache_lookup_ns, Clock.pp_ns);
+          (Metrics.Oracle_eval_ns, Clock.pp_ns);
+          (Metrics.Analysis_ns, Clock.pp_ns);
+        ]
+    with
+    | [] -> []
+    | lines -> "Distributions:" :: lines
+  in
+  (result, String.concat "\n" (block :: footer))
 
 let explain ?(annotate = fun _ -> "") plan =
   let buffer = Buffer.create 256 in

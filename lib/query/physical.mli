@@ -62,6 +62,15 @@ val schema : t -> Schema.t
 val children : t -> t list
 (** Direct child subplans, left before right; empty for scans. *)
 
+val fingerprint : t -> string
+(** A 16-hex-digit normalized-plan fingerprint: FNV-1a 64 over the
+    plan's canonical shape — operators, relation names, column lists, θ,
+    join kind and algorithm — excluding the runtime execution knobs
+    ([parallelism]/[sanitize]/[prob_cache]/[safe_lineage]), so the same
+    optimized plan fingerprints identically however it is run. Stable
+    across runs and processes: the query log groups by it, and the
+    ROADMAP's prepared-plan cache will key on it. *)
+
 val execute : env:Prob.env -> t -> Tuple.t Seq.t
 (** Streams the plan's result. Recomputed on each traversal. *)
 
@@ -89,8 +98,10 @@ val analyze :
     nodes that sweep windows — the per-class window counts
     ([WO]/[WU]/[WN]) read as deltas from the {!Tpdb_obs.Metrics} sink
     (a private sink is installed for the run when the caller has none).
-    With a {!Tpdb_obs.Trace} sink installed, every operator also records
-    an [operator]-category span.
+    Wall times are human-scaled ([µs]/[ms]/[s], {!Tpdb_obs.Clock.pp_ms}),
+    and a [Distributions:] footer reports n/p50/p90/p99/max for every
+    distribution the run touched. With a {!Tpdb_obs.Trace} sink
+    installed, every operator also records an [operator]-category span.
 
     [estimate] supplies the cost model's per-node row estimates
     ({!Cost.rows}); nodes with an estimate additionally get an

@@ -464,6 +464,7 @@ let annotate t node =
   | _ -> est
 
 let explain t = Physical.explain ~annotate:(annotate t) t.plan
+let fingerprint t = Physical.fingerprint t.plan
 
 (* [raw] is the post-reorder lowering, so when the planner picked a
    different join order the [join-reordered] note leads the report —

@@ -47,6 +47,11 @@ val explain : t -> string
     columns, and a [[lineage: read-once]] marker on statically safe
     joins. *)
 
+val fingerprint : t -> string
+(** {!Physical.fingerprint} of the optimized plan: stable across runs of
+    the same query text, different for distinct plans. The query log's
+    grouping key. *)
+
 val check : t -> Analyze.diagnostic list
 (** Static analysis of the planned tree ({!Analyze.check}): type checks
     on θ, unsatisfiable/tautological atoms, sequential-fallback and

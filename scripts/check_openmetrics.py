@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Strict checker for the OpenMetrics text exposition produced by
+`tpdb_cli query --stats-openmetrics` / `bench/main.exe --openmetrics`.
+
+Validates the subset of the OpenMetrics 1.0 text format the exporter
+emits, strictly enough that a drifting exporter fails CI rather than a
+scrape pipeline:
+
+  - metadata lines are `# TYPE <family> <counter|gauge|summary>` (HELP
+    and UNIT are accepted too); a family's TYPE appears exactly once
+    and before any of its samples;
+  - every sample belongs to a declared family through a suffix that
+    type allows: counters expose only `<family>_total` (and
+    `<family>_created`), gauges only the bare name, summaries the bare
+    name with a `quantile` label in [0, 1] plus `<family>_count` and
+    `<family>_sum`;
+  - metric and label names match the spec grammar, label values are
+    double-quoted with only the \\\\, \\" and \\n escapes;
+  - sample values parse as numbers; counter totals, summary counts and
+    summary sums are non-negative;
+  - all samples of a family are contiguous (a family never reappears
+    after another family has started);
+  - the exposition ends with exactly one `# EOF` line and nothing after.
+
+Usage: check_openmetrics.py FILE...
+Exits non-zero listing every violation.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name, optional {labels}, value (exemplars/timestamps not emitted)
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+LABEL_PAIR = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"$')
+
+# suffixes a sample may add to its family name, per family type
+SUFFIXES = {
+    "counter": ["_total", "_created"],
+    "gauge": [""],
+    "summary": ["", "_count", "_sum"],
+}
+
+
+def split_labels(body, error):
+    """Parse the text between { and } into a dict; report via error()."""
+    labels = {}
+    if not body:
+        return labels
+    for pair in body.split(","):
+        m = LABEL_PAIR.match(pair)
+        if not m:
+            error(f"malformed label pair {pair!r}")
+            continue
+        name, value = m.group(1), m.group(2)
+        if name in labels:
+            error(f"duplicate label {name!r}")
+        labels[name] = value
+    return labels
+
+
+def owning_family(name, families):
+    """(family, suffix) whose declared type allows this sample name."""
+    for family, kind in families.items():
+        for suffix in SUFFIXES[kind]:
+            if name == family + suffix:
+                return family, suffix
+    return None, None
+
+
+def check_file(path):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+
+    if not text.endswith("# EOF\n"):
+        errors.append(f"{path}: missing terminal '# EOF' line")
+    if text.count("# EOF") != 1:
+        errors.append(f"{path}: '# EOF' must appear exactly once")
+
+    families = {}  # family name -> type
+    sampled = set()  # families that have emitted at least one sample
+    current = None  # family of the most recent sample
+    closed = set()  # families whose contiguous sample block has ended
+
+    lines = text.splitlines()
+    for i, line in enumerate(lines, start=1):
+        def error(msg):
+            errors.append(f"{path}:{i}: {msg}")
+
+        if line == "# EOF":
+            if i != len(lines):
+                error("content after '# EOF'")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in (
+                "TYPE",
+                "HELP",
+                "UNIT",
+            ):
+                error(f"malformed metadata line {line!r}")
+                continue
+            if parts[1] != "TYPE":
+                continue
+            if len(parts) != 4:
+                error(f"TYPE line needs '# TYPE <family> <type>': {line!r}")
+                continue
+            family, kind = parts[2], parts[3]
+            if not METRIC_NAME.match(family):
+                error(f"invalid family name {family!r}")
+            if kind not in SUFFIXES:
+                error(f"unsupported family type {kind!r}")
+                continue
+            if family in families:
+                error(f"family {family!r} declared twice")
+            families[family] = kind
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            error(f"unparseable sample line {line!r}")
+            continue
+        name, label_block, value = m.groups()
+        family, suffix = owning_family(name, families)
+        if family is None:
+            error(f"sample {name!r} has no preceding TYPE declaration")
+            continue
+        if family != current:
+            if current is not None:
+                closed.add(current)
+            if family in closed:
+                error(f"family {family!r} samples are not contiguous")
+            current = family
+        sampled.add(family)
+
+        labels = split_labels(label_block[1:-1] if label_block else "", error)
+        try:
+            number = float(value)
+        except ValueError:
+            error(f"sample value {value!r} is not a number")
+            continue
+
+        kind = families[family]
+        if kind == "summary" and suffix == "":
+            if "quantile" not in labels:
+                error(f"summary sample {name!r} lacks a quantile label")
+            else:
+                try:
+                    q = float(labels["quantile"])
+                except ValueError:
+                    q = -1.0
+                if not 0.0 <= q <= 1.0:
+                    error(
+                        f"quantile {labels['quantile']!r} outside [0, 1]"
+                    )
+        if (kind == "counter" or suffix in ("_count", "_sum")) and number < 0:
+            error(f"{name} must be non-negative, got {value}")
+
+    for family in families:
+        if family not in sampled:
+            errors.append(f"{path}: family {family!r} declared but never sampled")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    errors = []
+    for path in sys.argv[1:]:
+        errors.extend(check_file(path))
+    if errors:
+        print(f"OpenMetrics check FAILED ({len(errors)} violations):")
+        for e in errors:
+            print(f"  - {e}")
+        sys.exit(1)
+    print(f"OpenMetrics check passed: {len(sys.argv) - 1} file(s)")
+
+
+if __name__ == "__main__":
+    main()

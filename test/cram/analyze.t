@@ -6,12 +6,19 @@ window classes and counters are deterministic for a fixed seed.
   wrote an_r.csv (40 tuples) and an_s.csv (40 tuples)
 
   $ ../../bin/tpdb_cli.exe query --analyze --trace trace.json --stats-json stats.json -t an_r.csv -t an_s.csv "SELECT File FROM an_r ANTIJOIN an_s ON an_r.File = an_s.File" > analyze.out
-  $ sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/g' analyze.out | head -5
+
+Times are human-scaled (µs/ms/s) and machine-dependent, so the value
+and its unit are masked together; the plan tree ends with a quantile
+footer for every distribution the run populated:
+
+  $ sed -E 's/[0-9]+(\.[0-9]+)? (µs|ms|s)/_/g' analyze.out | head -7
   -- sanitize: off; trace: trace.json; stats: stats.json
-  Project (File)  [rows=52 est=40 q=1.3, _ ms]
-    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: an_r.File = an_s.File)  [rows=52 est=40 q=1.3, _ ms] [windows: WO=22 WU=30 WN=22] [prob-cache: 0 hits, 52 misses]
-      Scan an_r (40 tuples)  [rows=40 est=40 q=1.0, _ ms]
-      Scan an_s (40 tuples)  [rows=40 est=40 q=1.0, _ ms]
+  Project (File)  [rows=52 est=40 q=1.3, _]
+    TP Anti Join (NJ pipeline: overlap[flat] -> LAWAU -> LAWAN; θ: an_r.File = an_s.File)  [rows=52 est=40 q=1.3, _] [windows: WO=22 WU=30 WN=22] [prob-cache: 0 hits, 52 misses]
+      Scan an_r (40 tuples)  [rows=40 est=40 q=1.0, _]
+      Scan an_s (40 tuples)  [rows=40 est=40 q=1.0, _]
+  Distributions:
+    prob_cache_lookup_ns   n=52 p50=_ p90=_ p99=_ max=_
 
 The EXPLAIN header reports the sink status:
 

@@ -1,0 +1,141 @@
+(* The log-bucketed histogram: bucket geometry, the quantile error
+   bound, exact snapshot merging, and lossless concurrent recording. *)
+
+module Hist = Tpdb_obs.Hist
+
+(* --- bucket geometry ------------------------------------------------- *)
+
+(* The buckets must tile [0, max_int]: consecutive indices cover
+   adjacent, non-overlapping ranges, and every value maps to a bucket
+   containing it. *)
+let test_bucket_tiling () =
+  let rec go i expected_lo =
+    if i < Hist.bucket_count then begin
+      let lo, hi = Hist.bucket_bounds i in
+      Alcotest.(check int) (Printf.sprintf "bucket %d starts at %d" i expected_lo)
+        expected_lo lo;
+      Alcotest.(check bool) "lo <= hi" true (lo <= hi);
+      if hi < max_int then go (i + 1) (hi + 1)
+      else Alcotest.(check int) "last bucket is the last index"
+             (Hist.bucket_count - 1) i
+    end
+    else Alcotest.fail "ran off the bucket table before reaching max_int"
+  in
+  go 0 0
+
+let test_bucket_of_contains () =
+  List.iter
+    (fun v ->
+      let lo, hi = Hist.bucket_bounds (Hist.bucket_of v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d in [%d, %d]" v lo hi)
+        true
+        (lo <= v && v <= hi))
+    [ 0; 1; 7; 8; 9; 15; 16; 17; 63; 64; 100; 1000; 123_456_789; max_int ]
+
+(* Bucket width is at most 1/sub_count of the bucket's low bound, so the
+   midpoint is within ~6.25% of any member. *)
+let test_relative_error_bound () =
+  for i = Hist.sub_count to Hist.bucket_count - 1 do
+    let lo, hi = Hist.bucket_bounds i in
+    Alcotest.(check bool)
+      (Printf.sprintf "bucket %d width %d vs lo %d" i (hi - lo + 1) lo)
+      true
+      (hi - lo + 1 <= max 1 (lo / Hist.sub_count))
+  done
+
+(* --- unit behavior --------------------------------------------------- *)
+
+let test_empty () =
+  let h = Hist.create () in
+  let s = Hist.snapshot h in
+  Alcotest.(check int) "count" 0 s.Hist.count;
+  Alcotest.(check int) "min" 0 s.Hist.min;
+  Alcotest.(check int) "max" 0 s.Hist.max;
+  Alcotest.(check int) "quantile" 0 (Hist.quantile s 0.5);
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (Hist.mean s)
+
+let test_record_and_reset () =
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 5; 10; 1000; -3 ];
+  let s = Hist.snapshot h in
+  Alcotest.(check int) "count" 4 s.Hist.count;
+  Alcotest.(check int) "sum (negative clamps to 0)" 1015 s.Hist.sum;
+  Alcotest.(check int) "min" 0 s.Hist.min;
+  Alcotest.(check int) "max" 1000 s.Hist.max;
+  Hist.reset h;
+  Alcotest.(check int) "reset clears" 0 (Hist.snapshot h).Hist.count
+
+(* --- properties ------------------------------------------------------ *)
+
+module Test = QCheck2.Test
+module Gen = QCheck2.Gen
+
+let qtest = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+(* Values spanning many octaves, so buckets of every width get hit. *)
+let value_gen =
+  Gen.oneof
+    [
+      Gen.int_bound 7;
+      Gen.int_bound 1000;
+      Gen.int_bound 1_000_000;
+      Gen.map (fun v -> v * 1000) (Gen.int_bound 1_000_000);
+    ]
+
+let samples_gen = Gen.list_size (Gen.int_range 1 500) value_gen
+
+let snapshot_of values =
+  let h = Hist.create () in
+  List.iter (Hist.record h) values;
+  Hist.snapshot h
+
+(* quantile q lands in the same bucket as the exact order statistic. *)
+let prop_quantile_within_bucket =
+  Test.make ~name:"quantile is within one log-bucket of the order statistic"
+    ~count:300
+    Gen.(pair samples_gen (Gen.float_range 0.0 1.0))
+    (fun (values, q) ->
+      let s = snapshot_of values in
+      let sorted = List.sort compare values |> Array.of_list in
+      let n = Array.length sorted in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let exact = max 0 sorted.(rank - 1) in
+      Hist.bucket_of (Hist.quantile s q) = Hist.bucket_of exact)
+
+(* merge of snapshots = snapshot of the merged streams, exactly. *)
+let prop_merge_exact =
+  Test.make ~name:"merge of snapshots equals snapshot of merged streams"
+    ~count:300
+    Gen.(pair samples_gen samples_gen)
+    (fun (xs, ys) ->
+      Hist.merge (snapshot_of xs) (snapshot_of ys) = snapshot_of (xs @ ys))
+
+(* concurrent recording from 4 domains loses no counts and no sums. *)
+let prop_concurrent_lossless =
+  Test.make ~name:"concurrent recording from 4 domains loses no counts"
+    ~count:20 samples_gen
+    (fun values ->
+      let h = Hist.create () in
+      let domains =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () -> List.iter (Hist.record h) values))
+      in
+      List.iter Domain.join domains;
+      let s = Hist.snapshot h in
+      let expected = snapshot_of (List.concat (List.init 4 (fun _ -> values))) in
+      s = expected)
+
+let suite =
+  [
+    Alcotest.test_case "buckets tile [0, max_int]" `Quick test_bucket_tiling;
+    Alcotest.test_case "bucket_of lands in bucket_bounds" `Quick
+      test_bucket_of_contains;
+    Alcotest.test_case "bucket width bounds relative error" `Quick
+      test_relative_error_bound;
+    Alcotest.test_case "empty snapshot" `Quick test_empty;
+    Alcotest.test_case "record and reset" `Quick test_record_and_reset;
+    qtest prop_quantile_within_bucket;
+    qtest prop_merge_exact;
+    qtest prop_concurrent_lossless;
+  ]

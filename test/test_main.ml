@@ -19,5 +19,6 @@ let () =
       ("deep", Test_deep.suite);
       ("workload", Test_workload.suite);
       ("paper_example", Test_paper_example.suite);
+      ("hist", Test_hist.suite);
       ("obs", Test_obs.suite);
     ]

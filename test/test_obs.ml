@@ -301,10 +301,11 @@ let test_reset_and_snapshot () =
   Alcotest.(check int) "snapshot counter" 4
     (List.assoc "tuples_in" snap.Metrics.counters);
   let sizes = List.assoc "partition_size" snap.Metrics.dists in
-  Alcotest.(check int) "dist count" 2 sizes.Metrics.count;
-  Alcotest.(check int) "dist sum" 8 sizes.Metrics.sum;
-  Alcotest.(check int) "dist max" 5 sizes.Metrics.max;
-  Alcotest.(check (float 1e-9)) "dist mean" 4.0 (Metrics.mean sizes);
+  Alcotest.(check int) "dist count" 2 sizes.Tpdb_obs.Hist.count;
+  Alcotest.(check int) "dist sum" 8 sizes.Tpdb_obs.Hist.sum;
+  Alcotest.(check int) "dist min" 3 sizes.Tpdb_obs.Hist.min;
+  Alcotest.(check int) "dist max" 5 sizes.Tpdb_obs.Hist.max;
+  Alcotest.(check (float 1e-9)) "dist mean" 4.0 (Tpdb_obs.Hist.mean sizes);
   Metrics.reset m;
   Alcotest.(check int) "reset clears counters" 0 (Metrics.get m Metrics.Tuples_in);
   Alcotest.(check int) "reset clears dists" 0
@@ -419,12 +420,233 @@ let test_metrics_json () =
   | _ -> Alcotest.fail "prob_cache_lookup_ns distribution missing");
   match member "partition_size" (member "distributions" doc) with
   | Obj _ as d -> (
-      match (member "count" d, member "mean" d) with
-      | Num c, Num mean ->
+      (* the histogram rework: every distribution carries min and the
+         p50/p90/p99 quantiles besides the exact moments *)
+      List.iter
+        (fun k ->
+          match member k d with
+          | Num _ -> ()
+          | _ -> Alcotest.failf "distribution field %S not a number" k)
+        [ "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99" ];
+      match (member "count" d, member "mean" d, member "p90" d) with
+      | Num c, Num mean, Num p90 ->
           Alcotest.(check (float 1e-9)) "two samples" 2.0 c;
-          Alcotest.(check (float 1e-9)) "mean of the two partitions" 2.5 mean
-      | _ -> Alcotest.fail "count/mean not numbers")
+          Alcotest.(check (float 1e-9)) "mean of the two partitions" 2.5 mean;
+          Alcotest.(check (float 1e-9)) "p90 is the larger partition" 3.0 p90
+      | _ -> Alcotest.fail "count/mean/p90 not numbers")
   | _ -> Alcotest.fail "partition_size not an object"
+
+(* --- OpenMetrics export ------------------------------------------------ *)
+
+let test_openmetrics () =
+  let m = Metrics.create () in
+  ignore
+    (Metrics.with_sink m (fun () ->
+         Metrics.observe_labeled ~metric:"alloc_minor_words" ~label:"overlap"
+           512;
+         paper_join ~jobs:2 Nj.Left));
+  let text = Metrics.to_openmetrics m in
+  Alcotest.(check bool) "ends with # EOF" true
+    (let n = String.length text in
+     n >= 6 && String.sub text (n - 6) 6 = "# EOF\n");
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains text needle))
+    [
+      "# TYPE tpdb_tuples_in counter";
+      "tpdb_tuples_in_total 5";
+      "# TYPE tpdb_partition_size summary";
+      "tpdb_partition_size{quantile=\"0.5\"}";
+      "tpdb_partition_size_count 2";
+      "tpdb_partition_size_sum 5";
+      "# TYPE tpdb_partition_size_max gauge";
+      "# TYPE tpdb_alloc_minor_words summary";
+      "tpdb_alloc_minor_words{span=\"overlap\",quantile=\"0.5\"}";
+    ];
+  (* exactly one EOF marker, at the very end *)
+  let count_eof =
+    let rec go i acc =
+      if i + 5 > String.length text then acc
+      else
+        go (i + 1) (if String.sub text i 5 = "# EOF" then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "single EOF" 1 count_eof
+
+(* --- per-span GC accounting -------------------------------------------- *)
+
+let test_trace_gc_args () =
+  let m = Metrics.create () in
+  let t = Trace.create ~gc:true () in
+  ignore
+    (Metrics.with_sink m (fun () ->
+         Trace.with_sink t (fun () ->
+             Trace.with_span "alloc-heavy" (fun () ->
+                 (* small blocks: lands on the minor heap *)
+                 Sys.opaque_identity (List.init 1_000 (fun i -> Some i))))));
+  let doc = parse_json (Trace.to_json t) in
+  (match member "traceEvents" doc with
+  | Arr [ e ] ->
+      let args = member "args" e in
+      List.iter
+        (fun k ->
+          match member k args with
+          | Str s ->
+              Alcotest.(check bool) (k ^ " parses as int") true
+                (int_of_string_opt s <> None)
+          | _ -> Alcotest.failf "gc arg %S not a string" k)
+        [ "minor_words"; "major_words"; "promoted_words"; "major_collections" ];
+      (match member "minor_words" args with
+      | Str s ->
+          Alcotest.(check bool) "span allocated on the minor heap" true
+            (int_of_string s > 0)
+      | _ -> Alcotest.fail "minor_words missing")
+  | _ -> Alcotest.fail "expected exactly one event");
+  (* the span also fed the labeled per-span histograms *)
+  let labeled = (Metrics.snapshot m).Metrics.labeled in
+  let find metric =
+    List.exists
+      (fun (m', l, s) ->
+        m' = metric && l = "alloc-heavy" && s.Tpdb_obs.Hist.count = 1)
+      labeled
+  in
+  Alcotest.(check bool) "alloc_minor_words histogram" true
+    (find "alloc_minor_words");
+  Alcotest.(check bool) "alloc_major_words histogram" true
+    (find "alloc_major_words")
+
+let test_gc_off_no_args () =
+  let t = Trace.create () in
+  Trace.with_sink t (fun () -> Trace.with_span "quiet" (fun () -> ()));
+  Alcotest.(check bool) "no gc args without ~gc:true" true
+    (not (contains (Trace.to_json t) "minor_words"))
+
+let test_count_alloc_split () =
+  let m = Metrics.create () in
+  Metrics.with_sink m (fun () ->
+      Metrics.count_alloc Metrics.Minor_alloc_words (fun () ->
+          (* small blocks land on the minor heap ... *)
+          ignore (Sys.opaque_identity (List.init 1_000 (fun i -> Some i)));
+          (* ... a > 256-word array goes directly to the major heap *)
+          ignore (Sys.opaque_identity (Array.make 100_000 0))));
+  Alcotest.(check bool) "minor words counted" true
+    (Metrics.get m Metrics.Minor_alloc_words > 0);
+  Alcotest.(check bool) "major words counted" true
+    (Metrics.get m Metrics.Major_alloc_words > 0);
+  Alcotest.(check bool) "promoted words non-negative" true
+    (Metrics.get m Metrics.Promoted_words >= 0)
+
+(* --- plan fingerprints -------------------------------------------------- *)
+
+let paper_plan ?(kind = Nj.Left) ?(parallelism = 1) ?(sanitize = false) () =
+  Physical.Tp_join
+    {
+      kind;
+      algorithm = `Hash;
+      parallelism;
+      sanitize;
+      prob_cache = true;
+      safe_lineage = false;
+      theta = Fixtures.theta_loc;
+      left = Physical.Scan (Fixtures.relation_a ());
+      right = Physical.Scan (Fixtures.relation_b ());
+    }
+
+let test_fingerprint () =
+  let fp = Physical.fingerprint in
+  Alcotest.(check string) "stable across constructions"
+    (fp (paper_plan ()))
+    (fp (paper_plan ()));
+  Alcotest.(check bool) "16 hex digits" true
+    (String.length (fp (paper_plan ())) = 16
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         (fp (paper_plan ())));
+  Alcotest.(check bool) "join kind changes the fingerprint" true
+    (fp (paper_plan ()) <> fp (paper_plan ~kind:Nj.Full ()));
+  (* runtime knobs are not part of the plan shape *)
+  Alcotest.(check string) "parallelism is not part of the shape"
+    (fp (paper_plan ()))
+    (fp (paper_plan ~parallelism:4 ()));
+  Alcotest.(check string) "sanitize is not part of the shape"
+    (fp (paper_plan ()))
+    (fp (paper_plan ~sanitize:true ()))
+
+(* --- the structured query log ------------------------------------------- *)
+
+module Qlog = Tpdb_obs.Qlog
+
+let sample_record ?(fingerprint = "00000000deadbeef") ?(total_ms = 12.5)
+    ?(slow = false) () =
+  {
+    Qlog.ts = "2026-08-08T12:00:00Z";
+    query = "SELECT * FROM r LEFT TPJOIN s ON r.Loc = s.Loc";
+    fingerprint;
+    total_ms;
+    rows_in = 5;
+    rows_out = 7;
+    wo = 2;
+    wu = 2;
+    wn = 3;
+    prob_cache_hits = 4;
+    prob_cache_misses = 3;
+    sanitizer_ms = 0.25;
+    stages = [ ("overlap", 1.5); ("lawau", 0.5); ("lawan", 0.75) ];
+    gc =
+      {
+        Qlog.minor_words = 1000;
+        major_words = 200;
+        promoted_words = 50;
+        major_collections = 1;
+        top_heap_words = 4096;
+      };
+    slow;
+    trace_file = (if slow then Some "slow-00000000deadbeef.trace.json" else None);
+  }
+
+let test_qlog_roundtrip () =
+  let path = Filename.temp_file "tpdb-qlog" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let r1 = sample_record () in
+  let r2 = sample_record ~total_ms:99.0 ~slow:true () in
+  Qlog.append path r1;
+  Qlog.append path r2;
+  (* a foreign/corrupt line must not break loading *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "not json\n";
+  close_out oc;
+  match Qlog.load path with
+  | [ a; b ] ->
+      Alcotest.(check bool) "first record round-trips" true (a = r1);
+      Alcotest.(check bool) "second record round-trips" true (b = r2);
+      Alcotest.(check bool) "slow trace file kept" true
+        (b.Qlog.trace_file = Some "slow-00000000deadbeef.trace.json")
+  | records -> Alcotest.failf "expected 2 records, got %d" (List.length records)
+
+let test_qlog_summarize () =
+  let records =
+    [
+      sample_record ~fingerprint:"aaaaaaaaaaaaaaaa" ~total_ms:10.0 ();
+      sample_record ~fingerprint:"aaaaaaaaaaaaaaaa" ~total_ms:30.0 ();
+      sample_record ~fingerprint:"bbbbbbbbbbbbbbbb" ~total_ms:5.0 ~slow:true ();
+    ]
+  in
+  let summary = Qlog.summarize records in
+  Alcotest.(check bool) "header counts" true
+    (contains summary "3 queries, 2 distinct plans");
+  Alcotest.(check bool) "heaviest group first" true
+    (let a = String.index summary 'a' in
+     (* 'b' of the second fingerprint appears after group a's row *)
+     let rec find_b i =
+       if summary.[i] = 'b' then i else find_b (i + 1)
+     in
+     a < find_b a);
+  Alcotest.(check bool) "group of two runs" true (contains summary "    2 ");
+  (* by mean: the 20ms-mean group still leads the 5ms one *)
+  let by_mean = Qlog.summarize ~by:`Mean records in
+  Alcotest.(check bool) "mean ranking keeps group a first" true
+    (contains by_mean "aaaaaaaaaaaaaaaa")
 
 (* --- EXPLAIN ANALYZE annotations -------------------------------------- *)
 
@@ -450,7 +672,9 @@ let test_analyze_window_annotations () =
   Alcotest.(check bool) "join node annotated with per-class windows" true
     (contains report "[windows: WO=2 WU=2 WN=3]");
   Alcotest.(check bool) "scan nodes carry no window annotation" true
-    (not (contains report "Scan a (2 tuples)  [rows=2, 0.0 ms] [windows"));
+    (String.split_on_char '\n' report
+    |> List.for_all (fun line ->
+           (not (contains line "Scan ")) || not (contains line "[windows")));
   Alcotest.(check bool) "join node annotated with prob-cache traffic" true
     (contains report "[prob-cache: ");
   Alcotest.(check bool) "analyze leaves no sink behind" true
@@ -505,6 +729,15 @@ let suite =
     Alcotest.test_case "trace JSON escapes hostile strings" `Quick
       test_trace_escaping;
     Alcotest.test_case "metrics JSON document" `Quick test_metrics_json;
+    Alcotest.test_case "OpenMetrics export" `Quick test_openmetrics;
+    Alcotest.test_case "per-span GC args and labeled histograms" `Quick
+      test_trace_gc_args;
+    Alcotest.test_case "no GC args without ~gc:true" `Quick test_gc_off_no_args;
+    Alcotest.test_case "count_alloc splits minor/major/promoted" `Quick
+      test_count_alloc_split;
+    Alcotest.test_case "plan fingerprints" `Quick test_fingerprint;
+    Alcotest.test_case "qlog JSONL round-trip" `Quick test_qlog_roundtrip;
+    Alcotest.test_case "qlog summary" `Quick test_qlog_summarize;
     Alcotest.test_case "EXPLAIN ANALYZE window annotations" `Quick
       test_analyze_window_annotations;
     qtest prop_observed_equals_plain;

@@ -435,7 +435,8 @@ let test_run_analyze () =
   List.iter
     (fun needle ->
       Alcotest.(check bool) ("report mentions " ^ needle) true (contains needle))
-    [ "rows=3"; "Scan a (2 tuples)"; "TP Left Outer Join"; "ms]" ]
+    (* "s]" matches the human-scaled time suffix: "µs]", "ms]" or "s]" *)
+    [ "rows=3"; "Scan a (2 tuples)"; "TP Left Outer Join"; "s]" ]
 
 let test_sql_join_chain () =
   (* Three-way chain: clients ⟕ hotels ⟕ reviews, joined left-deep. *)
