@@ -7,6 +7,9 @@
      --paper       additionally run the NJ series at paper-scale sizes
      --no-bechamel skip the Bechamel micro-benchmarks
      --no-sweep    skip the sweeps
+     --no-spill    skip the out-of-core spill-scale series
+     --spill-only  run only the spill-scale series (the CI
+                   memory-ceiling job runs this under ulimit -v)
      --json FILE   additionally write every sweep point plus the
                    pipeline's metrics snapshot (windows per class,
                    partition skew, quantile distributions) as a JSON
@@ -137,6 +140,156 @@ let run_sweeps scale =
         (E.replication_report dataset ~size))
     [ E.Webkit; E.Meteo ]
 
+(* --- Spill scale: the out-of-core executor at 10^6–10^7 input tuples ---
+
+   The headline number of the spilling executor is flat peak memory
+   while the input grows 10x, so each point runs in a forked child and
+   reports its own VmHWM (the kernel's per-process peak resident set,
+   from /proc/self/status) over a pipe — a single process would carry
+   its high-water mark from one point to the next. The child streams
+   both inputs straight into [Nj.join_spilled] (they are never
+   materialized), joins under a fixed budget, and reports wall time,
+   output cardinality, peak RSS and its spill/pool counters; the parent
+   folds the counters into the bench metrics sink so the committed JSON
+   report (and the CI memory-ceiling job's --require-counter checks)
+   sees them.
+
+   Workload: r carries [size] unique keys 0..size-1, s is fixed at
+   [spill_s_rows] tuples over the first [spill_s_rows/2] keys (each
+   twice), every interval is [0,100) — so the equi inner join's output
+   is [spill_s_rows] windows at every size and only the spilled working
+   set grows. Lineage variables cycle through a small pool: distinct
+   formulas are hash-consed globally, and 10^7 distinct interned
+   variables would dominate the very peak RSS the series measures. *)
+
+let spill_budget_mb = 64
+let spill_s_rows = 100_000
+
+let spill_sizes quick =
+  if quick then [ 100_000; 1_000_000 ] else [ 1_000_000; 10_000_000 ]
+
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic -> (
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              String.to_seq line
+              |> Seq.filter (fun c -> c >= '0' && c <= '9')
+              |> String.of_seq |> int_of_string
+            else scan ()
+      in
+      try scan () with Failure _ -> 0)
+
+let spill_iv = Tpdb.Interval.make 0 100
+let spill_var rel i = Tpdb.Formula.var (Tpdb.Var.make rel (i land 0xFFF))
+
+let spill_left n =
+  ( Tpdb.Schema.make ~name:"r" [ "K" ],
+    Seq.init n (fun i ->
+        Tpdb.Tuple.make
+          ~fact:(Tpdb.Fact.of_values [ Tpdb.Value.I i ])
+          ~lineage:(spill_var "r" i) ~iv:spill_iv ~p:0.9) )
+
+let spill_right () =
+  ( Tpdb.Schema.make ~name:"s" [ "K"; "J" ],
+    Seq.init spill_s_rows (fun j ->
+        Tpdb.Tuple.make
+          ~fact:
+            (Tpdb.Fact.of_values
+               [ Tpdb.Value.I (j mod (spill_s_rows / 2)); Tpdb.Value.I j ])
+          ~lineage:(spill_var "s" j) ~iv:spill_iv ~p:0.8) )
+
+(* Runs one spilled join and prints the point's numbers as a single
+   line; in the forked setup stdout is the parent's pipe. *)
+let spill_child oc n =
+  let m = Metrics.create () in
+  Metrics.install m;
+  let options =
+    Nj.options
+      ~mem_budget:(spill_budget_mb * 1024 * 1024)
+      ~est_rows:(n, spill_s_rows) ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Nj.join_spilled ~options
+      ~env:(fun _ -> 0.5)
+      ~kind:Nj.Inner ~theta:(Tpdb.Theta.eq 0 0) ~left:(spill_left n)
+      ~right:(spill_right ()) ()
+  in
+  let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  let get c = Metrics.get m c in
+  Printf.fprintf oc "%f %d %d %d %d %d %d\n" ms
+    (Relation.cardinality result)
+    (vm_hwm_kb ())
+    (get Metrics.Spill_bytes)
+    (get Metrics.Spill_partitions)
+    (get Metrics.Pool_hits) (get Metrics.Pool_misses);
+  flush oc;
+  Metrics.uninstall ()
+
+let spill_point n =
+  let finish line =
+    Scanf.sscanf line "%f %d %d %d %d %d %d"
+      (fun ms output rss_kb bytes partitions hits misses ->
+        (* fold the child's spill counters into the parent's sink: the
+           JSON report's metrics block is the parent's *)
+        Metrics.add Metrics.Spill_bytes bytes;
+        Metrics.add Metrics.Spill_partitions partitions;
+        Metrics.add Metrics.Pool_hits hits;
+        Metrics.add Metrics.Pool_misses misses;
+        { E.series = "spill-" ^ string_of_int spill_budget_mb ^ "MB";
+          size = n; ms; output; rss_kb })
+  in
+  if not Sys.unix then begin
+    (* no fork: run in-process; a process-wide VmHWM would not be
+       per-point, so report no RSS *)
+    let tmp = Filename.temp_file "tpdb-spill-point" ".txt" in
+    Fun.protect ~finally:(fun () -> Sys.remove tmp) @@ fun () ->
+    let oc = open_out tmp in
+    spill_child oc n;
+    close_out oc;
+    let ic = open_in tmp in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    { (finish line) with E.rss_kb = 0 }
+  end
+  else begin
+    let rd, wr = Unix.pipe () in
+    match Unix.fork () with
+    | 0 -> (
+        Unix.close rd;
+        match spill_child (Unix.out_channel_of_descr wr) n with
+        | () -> Stdlib.exit 0
+        | exception e ->
+            prerr_endline ("spill bench child: " ^ Printexc.to_string e);
+            Stdlib.exit 1)
+    | pid ->
+        Unix.close wr;
+        let ic = Unix.in_channel_of_descr rd in
+        let line = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        let _, status = Unix.waitpid [] pid in
+        (match status with
+        | Unix.WEXITED 0 -> ()
+        | _ ->
+            Printf.eprintf "spill bench child (size %d) died\n%!" n;
+            Stdlib.exit 1);
+        finish line
+  end
+
+let run_spill_scale quick =
+  emit
+    (Printf.sprintf
+       "Spill scale: out-of-core inner equi-join, %d MB budget, peak RSS \
+        per forked point"
+       spill_budget_mb)
+    (List.map spill_point (spill_sizes quick))
+
 (* The prob-cache series: counters are snapshotted around the sweep so
    the reported hit rate covers only the lineage-heavy runs, not every
    join the other sweeps happen to execute. *)
@@ -217,12 +370,15 @@ let meta_json () =
 let json_report metrics =
   let point (p : E.point) =
     J.obj
-      [
-        ("series", J.str p.E.series);
-        ("size", J.int p.E.size);
-        ("ms", J.float p.E.ms);
-        ("output", J.int p.E.output);
-      ]
+      ([
+         ("series", J.str p.E.series);
+         ("size", J.int p.E.size);
+         ("ms", J.float p.E.ms);
+         ("output", J.int p.E.output);
+       ]
+      (* machine-dependent like ms, so check_bench ignores it; only
+         measured points carry the field *)
+      @ if p.E.rss_kb > 0 then [ ("rss_kb", J.int p.E.rss_kb) ] else [])
   in
   let sweep (header, points) =
     J.obj
@@ -299,14 +455,24 @@ let () =
   if Option.is_some json_out || Option.is_some openmetrics_out then
     Metrics.install metrics;
   let scale = if has "--quick" then E.Quick else E.Default in
-  if not (has "--no-bechamel") then run_bechamel ();
-  if not (has "--no-sweep") then begin
-    run_sweeps scale;
-    run_prob_cache_sweep metrics scale;
-    run_flat_scale ();
-    if scale <> E.Quick then run_extra_sweeps ()
+  if has "--spill-only" then
+    (* the CI memory-ceiling job: just the out-of-core series, under
+       ulimit -v — everything else here would blow a 2 GB ceiling by
+       design, not by regression *)
+    run_spill_scale (has "--quick")
+  else begin
+    (* the spill series forks; run it before any sweep that spawns pool
+       domains (forking a multi-domain OCaml runtime is undefined) *)
+    if not (has "--no-spill") then run_spill_scale (has "--quick");
+    if not (has "--no-bechamel") then run_bechamel ();
+    if not (has "--no-sweep") then begin
+      run_sweeps scale;
+      run_prob_cache_sweep metrics scale;
+      run_flat_scale ();
+      if scale <> E.Quick then run_extra_sweeps ()
+    end;
+    if has "--paper" then run_paper_scale ()
   end;
-  if has "--paper" then run_paper_scale ();
   Metrics.uninstall ();
   (match json_out with
   | Some path ->

@@ -111,8 +111,9 @@ let load_catalog tables db_dir =
    with exn -> fail_exn exn);
   catalog
 
-let plan_or_fail ?sanitize ?prob_cache catalog jobs sql =
-  match Tpdb.Planner.plan ~parallelism:jobs ?sanitize ?prob_cache catalog
+let plan_or_fail ?sanitize ?prob_cache ?mem_budget catalog jobs sql =
+  match Tpdb.Planner.plan ~parallelism:jobs ?sanitize ?prob_cache ?mem_budget
+          catalog
           (Tpdb.Parser.parse sql)
   with
   | plan -> plan
@@ -181,12 +182,16 @@ let slow_threshold = function
       | Some s -> float_of_string_opt s)
 
 let query tables db_dir explain_only analyze jobs sanitize no_prob_cache
-    trace_out stats_out openmetrics_out qlog_out slow_ms sql =
+    mem_budget_mb trace_out stats_out openmetrics_out qlog_out slow_ms sql =
   let catalog = load_catalog tables db_dir in
   let sanitize_flag = if sanitize then Some true else None in
   let prob_cache = not no_prob_cache in
+  (* --mem-budget wins over TPDB_MEM_BUDGET (which Nj reads itself when
+     the plan carries no budget), mirroring --slow-ms / TPDB_SLOW_MS. *)
+  let mem_budget = Option.map (fun mb -> mb * 1024 * 1024) mem_budget_mb in
   let plan =
-    plan_or_fail ?sanitize:sanitize_flag ~prob_cache catalog jobs sql
+    plan_or_fail ?sanitize:sanitize_flag ~prob_cache ?mem_budget catalog jobs
+      sql
   in
   let sanitize_on = sanitize || Tpdb.Invariant.env_enabled () in
   let slow_ms = slow_threshold slow_ms in
@@ -269,6 +274,8 @@ let query tables db_dir explain_only analyze jobs sanitize no_prob_cache
                 wn = get Tpdb.Metrics.Windows_negating;
                 prob_cache_hits = get Tpdb.Metrics.Prob_cache_hits;
                 prob_cache_misses = get Tpdb.Metrics.Prob_cache_misses;
+                spill_bytes = get Tpdb.Metrics.Spill_bytes;
+                spill_partitions = get Tpdb.Metrics.Spill_partitions;
                 sanitizer_ms =
                   ms_of_ns
                     (Tpdb.Metrics.dist_stats m Tpdb.Metrics.Sanitizer_ns).sum;
@@ -389,6 +396,15 @@ let query_cmd =
                  through the per-domain memoization cache (identical \
                  results; useful for measuring the cache and bounding \
                  memory).")
+  and mem_budget =
+    Arg.(value & opt (some int) None & info [ "mem-budget" ] ~docv:"MB"
+           ~doc:"Working-set budget in megabytes for the out-of-core join \
+                 executor (also read from TPDB_MEM_BUDGET; the flag wins). \
+                 An equi-join whose estimated working set exceeds it \
+                 hash-partitions both inputs to compressed columnar heap \
+                 files and sweeps one partition pair at a time through a \
+                 budget-sized buffer pool — identical output, bounded \
+                 memory. Joins without an equality atom ignore it.")
   and trace_out =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Record a span per operator, sweep phase and parallel \
@@ -426,7 +442,7 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Run a TP-SQL query over CSV files and/or a database directory.")
     Term.(const query $ tables $ db_dir $ explain_only $ analyze $ jobs
-          $ sanitize $ no_prob_cache $ trace_out $ stats_out
+          $ sanitize $ no_prob_cache $ mem_budget $ trace_out $ stats_out
           $ openmetrics_out $ qlog_out $ slow_ms $ sql)
 
 (* --- qlog: summarize a structured query log --- *)

@@ -86,6 +86,7 @@ module Aggregate = Tpdb_setops.Aggregate
 module Codec = Tpdb_storage.Codec
 module Heap_file = Tpdb_storage.Heap_file
 module Buffer_pool = Tpdb_storage.Buffer_pool
+module Spill = Tpdb_storage.Spill
 module Db = Tpdb_storage.Db
 module Rng = Tpdb_workload.Rng
 module Datasets = Tpdb_workload.Datasets

@@ -16,6 +16,13 @@
     the merged parallel stream is {e identical} to the sequential one,
     element for element. *)
 
+val bucket_of : partitions:int -> int -> int
+(** The bucketing function of {!shard2}: [hash] to a partition index in
+    [\[0, partitions)], ignoring the sign bit. Exposed so the
+    out-of-core spill partitioner shards exactly like the in-RAM
+    executor — the determinism argument of the merged output depends on
+    both paths agreeing on it. *)
+
 val shard2 :
   partitions:int ->
   left_key:('r -> int) ->

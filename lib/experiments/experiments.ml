@@ -58,7 +58,13 @@ let pair ?(scale = Default) dataset ~size =
   ( Datasets.subset ~seed:(size + 1) ~k:size r,
     Datasets.subset ~seed:(size + 2) ~k:size s )
 
-type point = { series : string; size : int; ms : float; output : int }
+type point = {
+  series : string;
+  size : int;
+  ms : float;
+  output : int;
+  rss_kb : int;  (* per-point process peak RSS; 0 = not measured *)
+}
 
 (* Every sweep point is also an allocation extent: with a metrics sink
    installed (bench --json) the minor words the measuring domain
@@ -73,7 +79,7 @@ let timed f =
 
 let point series size f =
   let ms, output = timed f in
-  { series; size; ms; output }
+  { series; size; ms; output; rss_kb = 0 }
 
 let sweep ?(scale = Default) dataset runners =
   let theta = theta dataset in
@@ -109,7 +115,7 @@ let fig6 ?(scale = Default) dataset =
       let r, s = pair ~scale dataset ~size in
       let wn_ms, wn_out = nj_wn ~theta r s in
       [
-        { series = "NJ-WN"; size; ms = wn_ms; output = wn_out };
+        { series = "NJ-WN"; size; ms = wn_ms; output = wn_out; rss_kb = 0 };
         point "NJ-WUON" size (fun () -> seq_length (Nj.windows_wuon ~theta r s));
         point "TA" size (fun () ->
             List.length (Ta.windows_wuon ~algorithm:`Hash ~theta r s));
@@ -365,9 +371,17 @@ let replication_report dataset ~size =
 
 let print_points ~header points =
   Printf.printf "\n== %s ==\n" header;
-  Printf.printf "%-10s %10s %12s %12s\n" "series" "size" "runtime[ms]" "output";
+  (* the peak-RSS column appears only on sweeps that measured it, so the
+     existing tables stay byte-identical *)
+  let with_rss = List.exists (fun p -> p.rss_kb > 0) points in
+  Printf.printf "%-10s %10s %12s %12s%s\n" "series" "size" "runtime[ms]"
+    "output"
+    (if with_rss then Printf.sprintf " %12s" "peak-rss[MB]" else "");
   List.iter
     (fun p ->
-      Printf.printf "%-10s %10d %12.1f %12d\n" p.series p.size p.ms p.output)
+      Printf.printf "%-10s %10d %12.1f %12d%s\n" p.series p.size p.ms p.output
+        (if with_rss then
+           Printf.sprintf " %12.1f" (float_of_int p.rss_kb /. 1024.0)
+         else ""))
     points;
   flush stdout

@@ -37,6 +37,11 @@ type point = {
   size : int;  (** tuples per input side *)
   ms : float;
   output : int;  (** result cardinality (windows or tuples) *)
+  rss_kb : int;
+      (** peak resident set (VmHWM) of the process that produced the
+          point, in kB; [0] when not measured — only the out-of-core
+          spill series runs each point in its own process to get a
+          per-point peak *)
 }
 
 val fig5 : ?scale:scale -> dataset -> point list

@@ -12,6 +12,7 @@ module Flat_join = Tpdb_windows.Flat_join
 module Invariant = Tpdb_windows.Invariant
 module Pool = Tpdb_engine.Pool
 module Parallel = Tpdb_engine.Parallel
+module Spill = Tpdb_storage.Spill
 module Metrics = Tpdb_obs.Metrics
 module Trace = Tpdb_obs.Trace
 
@@ -21,16 +22,34 @@ type options = {
   sanitize : bool;
   prob_cache : bool;
   static_safe : bool;
+  mem_budget : int;
+  est_rows : (int * int) option;
 }
 
+(* Like the sanitizer's TPDB_SANITIZE and the CLI's TPDB_SLOW_MS: the
+   environment supplies a default (megabytes), an explicit builder
+   argument wins. *)
+let env_mem_budget () =
+  match Sys.getenv_opt "TPDB_MEM_BUDGET" with
+  | None -> 0
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some mb when mb > 0 -> mb * 1024 * 1024
+      | _ -> 0)
+
 let options ?(algorithm = `Flat) ?(parallelism = 1) ?sanitize
-    ?(prob_cache = true) ?(static_safe = false) () =
+    ?(prob_cache = true) ?(static_safe = false) ?mem_budget ?est_rows () =
   if parallelism < 1 then
     invalid_arg "Nj.options: parallelism must be at least 1";
   let sanitize =
     match sanitize with Some b -> b | None -> Invariant.env_enabled ()
   in
-  { algorithm; parallelism; sanitize; prob_cache; static_safe }
+  let mem_budget =
+    match mem_budget with Some b -> b | None -> env_mem_budget ()
+  in
+  if mem_budget < 0 then invalid_arg "Nj.options: mem_budget must be >= 0";
+  { algorithm; parallelism; sanitize; prob_cache; static_safe; mem_budget;
+    est_rows }
 
 let default_options = options ()
 let algorithm o = o.algorithm
@@ -38,6 +57,8 @@ let parallelism o = o.parallelism
 let sanitize o = o.sanitize
 let prob_cache o = o.prob_cache
 let static_safe o = o.static_safe
+let mem_budget o = o.mem_budget
+let est_rows o = o.est_rows
 
 let effective_parallelism o theta =
   if o.parallelism <= 1 then 1
@@ -102,6 +123,85 @@ let merge ~options parts =
   if Trace.enabled () then Trace.with_span ~cat:"merge" "merge-grouped" run
   else run ()
 
+let merge3 ~options parts =
+  ( merge ~options (Array.map (fun (l, _, _) -> l) parts),
+    merge ~options (Array.map (fun (_, g, _) -> g) parts),
+    merge ~options (Array.map (fun (_, _, u) -> u) parts) )
+
+(* --- out-of-core spilling at the partition boundary -------------------
+
+   When a memory budget is set and the estimated working set exceeds it,
+   both inputs are hash-partitioned on the equi-key to columnar heap
+   files (Spill / Heap_file.Writer), then each partition pair is read
+   back through a budget-sized buffer pool and swept one pair at a
+   time, strictly sequentially — peak memory is one partition pair plus
+   the accumulated window output, the Grace bound. The partitioner
+   composes the same fact-key hash and Parallel.bucket_of as the in-RAM
+   parallel path and the per-partition streams go through the same
+   group-order merge, so spilled output is tuple-for-tuple identical to
+   the in-RAM result (the oracle's spilling config proves it). *)
+
+let key_hash cols tp = Fact.hash (Fact.key cols (Tuple.fact tp))
+
+(* [Some (keys, partitions)] when the join should spill: a budget is
+   set, θ has an equi-key to partition on, and the working-set estimate
+   (planner Stats cardinalities when available, live counting
+   otherwise; sampled encoded tuple widths either way) exceeds the
+   budget. *)
+let spill_plan ~options ~theta r s =
+  if options.mem_budget <= 0 then None
+  else
+    match Theta.equi_keys theta with
+    | None -> None
+    | Some keys ->
+        let lrows, srows =
+          match options.est_rows with
+          | Some (l, sr) -> (Some l, Some sr)
+          | None -> (None, None)
+        in
+        let est =
+          Spill.estimate_bytes ?rows:lrows r + Spill.estimate_bytes ?rows:srows s
+        in
+        if est <= options.mem_budget then None
+        else Some (keys, Spill.partitions_for ~budget:options.mem_budget ~est)
+
+let spill_span name f =
+  if Trace.enabled () then Trace.with_span ~cat:"spill" name f else f ()
+
+(* Partition both input streams to disk, sweep the partition pairs one
+   at a time through the pool, return the per-partition results in
+   partition order. [sweep] is whatever the caller runs per pair (a
+   window-stage pass or a tracking sweep). *)
+let spilled ~partitions ~keys:(left_cols, right_cols) ~budget ~sweep left right
+    =
+  let bucket cols tp = Parallel.bucket_of ~partitions (key_hash cols tp) in
+  let spill =
+    spill_span "spill-partition" (fun () ->
+        Spill.partition_pair ~partitions ~pool_pages:(Spill.pool_pages ~budget)
+          ~left_key:(bucket left_cols) ~right_key:(bucket right_cols) left
+          right)
+  in
+  Fun.protect
+    ~finally:(fun () -> Spill.finish spill)
+    (fun () ->
+      Array.init partitions (fun i ->
+          spill_span
+            (Printf.sprintf "spill-sweep-%d" i)
+            (fun () ->
+              let rp = Spill.read_left spill i in
+              let sp = Spill.read_right spill i in
+              if Metrics.enabled () then begin
+                Metrics.observe Metrics.Partition_size
+                  (Relation.cardinality rp + Relation.cardinality sp);
+                Metrics.incr Metrics.Partition_sweeps
+              end;
+              Metrics.time Metrics.Domain_busy_ns (fun () -> sweep rp sp))))
+
+let spilled_of_relations ~partitions ~keys ~budget ~sweep r s =
+  spilled ~partitions ~keys ~budget ~sweep
+    (Relation.schema r, Relation.to_seq r)
+    (Relation.schema s, Relation.to_seq s)
+
 (* --- the window pipeline --------------------------------------------- *)
 
 (* With a trace sink installed the stage's stream is forced inside the
@@ -152,19 +252,46 @@ let wuon_stage ~options ~theta r s =
         (Lawan.extend ~sanitize:options.sanitize
            (wuo_stage ~options ~theta r s))
 
-(* A left-side window stream, parallel when options and θ allow. *)
-let windows_with ~options ~theta stage r s =
+(* A left-side window stream: spilled to disk when the working set
+   exceeds the memory budget (which overrides parallelism — the
+   spilled sweep is strictly sequential to keep its memory bound),
+   domain-parallel when options and θ allow, sequential otherwise. All
+   three paths produce the identical stream.
+
+   [keep] is the formation filter of the operator consuming the stream
+   (overlapping-only for inner, non-overlapping for anti). The spilled
+   sweep applies it inside each per-partition pass: without it every
+   partition's full window list survives until formation filters the
+   merged stream, making peak memory O(input) for operators whose
+   output is much smaller than their input — exactly the regime that
+   spills. Filtering before the merge is sound because the merge is a
+   stable group-order merge of per-partition sorted lists: dropping
+   elements of each sorted list keeps it sorted and keeps the survivors'
+   relative order, so merging the filtered lists equals filtering the
+   merged list. *)
+let windows_with ?keep ~options ~theta stage r s =
   let p = effective_parallelism options theta in
   let sequential () = stage ~options ~theta r s in
-  if p <= 1 then sequential ()
-  else
-    match
-      partitioned ~partitions:p ~theta
-        ~sweep:(fun rp sp -> List.of_seq (stage ~options ~theta rp sp))
-        r s
-    with
-    | Some parts -> List.to_seq (merge ~options parts)
-    | None -> sequential ()
+  let sweep rp sp = List.of_seq (stage ~options ~theta rp sp) in
+  match spill_plan ~options ~theta r s with
+  | Some (keys, partitions) ->
+      let sweep =
+        match keep with
+        | None -> sweep
+        | Some keep ->
+            fun rp sp ->
+              List.of_seq (Seq.filter keep (stage ~options ~theta rp sp))
+      in
+      List.to_seq
+        (merge ~options
+           (spilled_of_relations ~partitions ~keys ~budget:options.mem_budget
+              ~sweep r s))
+  | None -> (
+      if p <= 1 then sequential ()
+      else
+        match partitioned ~partitions:p ~theta ~sweep r s with
+        | Some parts -> List.to_seq (merge ~options parts)
+        | None -> sequential ())
 
 let windows_wuo ?(options = default_options) ~theta r s =
   windows_with ~options ~theta wuo_stage r s
@@ -289,58 +416,61 @@ let tracked_sweep ~options ~extend_left ~theta r s =
 let tracked_join ~options ~extend_left ~theta r s =
   let p = effective_parallelism options theta in
   let sweep rp sp = tracked_sweep ~options ~extend_left ~theta rp sp in
-  let merged parts =
-    ( merge ~options (Array.map (fun (l, _, _) -> l) parts),
-      merge ~options (Array.map (fun (_, g, _) -> g) parts),
-      merge ~options (Array.map (fun (_, _, u) -> u) parts) )
-  in
-  if p <= 1 then sweep r s
-  else
-    match partitioned ~partitions:p ~theta ~sweep r s with
-    | Some parts -> merged parts
-    | None -> sweep r s
+  match spill_plan ~options ~theta r s with
+  | Some (keys, partitions) ->
+      merge3 ~options
+        (spilled_of_relations ~partitions ~keys ~budget:options.mem_budget
+           ~sweep r s)
+  | None -> (
+      if p <= 1 then sweep r s
+      else
+        match partitioned ~partitions:p ~theta ~sweep r s with
+        | Some parts -> merge3 ~options parts
+        | None -> sweep r s)
 
-(* --- output formation per operator ----------------------------------- *)
+(* --- output formation per operator -----------------------------------
 
-let exec_inner ~options ~prob ~theta r s =
-  let pad = Schema.arity (Relation.schema s) in
+   Formation is split from window production: the [form_*] functions
+   turn a window stream (or tracking triple) into the result relation
+   given only the input schemas, so the materialized path ([exec_*],
+   which runs [windows_with]/[tracked_join] on relations) and the
+   streamed out-of-core path ([join_spilled], which never materializes
+   its inputs) share them verbatim. *)
+
+let form_inner ~prob ~rschema ~sschema windows =
+  let pad = Schema.arity sschema in
   let tuples =
-    windows_with ~options ~theta overlap_stage r s
+    windows
     |> Seq.filter (fun w -> Window.kind w = Window.Overlapping)
     |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Left ~pad)
     |> List.of_seq
   in
-  Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
+  Relation.of_tuples (Schema.join rschema sschema) tuples
 
-let exec_anti ~options ~prob ~theta r s =
+let form_anti ~prob ~rschema ~sschema windows =
   let tuples =
-    windows_with ~options ~theta wuon_stage r s
+    windows
     |> Seq.filter (fun w -> Window.kind w <> Window.Overlapping)
     |> Seq.map (Concat.tuple_of_window_no_fs ~prob)
     |> List.of_seq
   in
   let schema =
-    Schema.rename
-      (Relation.name r ^ "_anti_" ^ Relation.name s)
-      (Relation.schema r)
+    Schema.rename (Schema.name rschema ^ "_anti_" ^ Schema.name sschema) rschema
   in
   Relation.of_tuples schema tuples
 
-let exec_left_outer ~options ~prob ~theta r s =
-  let pad = Schema.arity (Relation.schema s) in
+let form_left_outer ~prob ~rschema ~sschema windows =
+  let pad = Schema.arity sschema in
   let tuples =
-    windows_with ~options ~theta wuon_stage r s
+    windows
     |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Left ~pad)
     |> List.of_seq
   in
-  Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
+  Relation.of_tuples (Schema.join rschema sschema) tuples
 
-let exec_right_outer ~options ~prob ~theta r s =
-  let pad_r = Schema.arity (Relation.schema r) in
-  let pad_s = Schema.arity (Relation.schema s) in
-  let wo, gaps, spanning =
-    tracked_join ~options ~extend_left:false ~theta r s
-  in
+let form_right_outer ~prob ~rschema ~sschema (wo, gaps, spanning) =
+  let pad_r = Schema.arity rschema in
+  let pad_s = Schema.arity sschema in
   let pairs =
     List.to_seq wo
     |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Left ~pad:pad_s)
@@ -350,14 +480,11 @@ let exec_right_outer ~options ~prob ~theta r s =
     |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Right ~pad:pad_r)
   in
   let tuples = List.of_seq (Seq.append pairs right_side) in
-  Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
+  Relation.of_tuples (Schema.join rschema sschema) tuples
 
-let exec_full_outer ~options ~prob ~theta r s =
-  let pad_r = Schema.arity (Relation.schema r) in
-  let pad_s = Schema.arity (Relation.schema s) in
-  let left, gaps, spanning =
-    tracked_join ~options ~extend_left:true ~theta r s
-  in
+let form_full_outer ~prob ~rschema ~sschema (left, gaps, spanning) =
+  let pad_r = Schema.arity rschema in
+  let pad_s = Schema.arity sschema in
   let left_side =
     List.to_seq left
     |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Left ~pad:pad_s)
@@ -367,7 +494,33 @@ let exec_full_outer ~options ~prob ~theta r s =
     |> Seq.map (Concat.tuple_of_window ~prob ~side:Concat.Right ~pad:pad_r)
   in
   let tuples = List.of_seq (Seq.append left_side right_side) in
-  Relation.of_tuples (Schema.join (Relation.schema r) (Relation.schema s)) tuples
+  Relation.of_tuples (Schema.join rschema sschema) tuples
+
+let keep_overlapping w = Window.kind w = Window.Overlapping
+let keep_non_overlapping w = Window.kind w <> Window.Overlapping
+
+let exec_inner ~options ~prob ~theta r s =
+  form_inner ~prob ~rschema:(Relation.schema r) ~sschema:(Relation.schema s)
+    (windows_with ~keep:keep_overlapping ~options ~theta overlap_stage r s)
+
+let exec_anti ~options ~prob ~theta r s =
+  form_anti ~prob ~rschema:(Relation.schema r) ~sschema:(Relation.schema s)
+    (windows_with ~keep:keep_non_overlapping ~options ~theta wuon_stage r s)
+
+let exec_left_outer ~options ~prob ~theta r s =
+  form_left_outer ~prob ~rschema:(Relation.schema r)
+    ~sschema:(Relation.schema s)
+    (windows_with ~options ~theta wuon_stage r s)
+
+let exec_right_outer ~options ~prob ~theta r s =
+  form_right_outer ~prob ~rschema:(Relation.schema r)
+    ~sschema:(Relation.schema s)
+    (tracked_join ~options ~extend_left:false ~theta r s)
+
+let exec_full_outer ~options ~prob ~theta r s =
+  form_full_outer ~prob ~rschema:(Relation.schema r)
+    ~sschema:(Relation.schema s)
+    (tracked_join ~options ~extend_left:true ~theta r s)
 
 (* --- the unified entry point ----------------------------------------- *)
 
@@ -400,6 +553,90 @@ let join ?(options = default_options) ?env ~kind ~theta r s =
   let result =
     if Trace.enabled () then
       Trace.with_span ~cat:"join" ("nj-" ^ kind_name kind) run
+    else run ()
+  in
+  if Metrics.enabled () then
+    Metrics.add Metrics.Tuples_out (Relation.cardinality result);
+  if options.sanitize then
+    Invariant.check_output
+      ~recompute:(fun lineage -> Prob.compute env lineage)
+      (Relation.tuples result);
+  result
+
+(* Out-of-core join over tuple streams: the inputs are never
+   materialized — they stream straight into the spill partitioner — so
+   peak memory is one partition pair plus the output, regardless of
+   input cardinality. This is the entry the spill-scale bench drives at
+   10^6–10^7 tuples. Requires an equi-θ and a positive mem_budget;
+   [env] is explicit because the default environment would need the
+   materialized inputs. *)
+let join_spilled ?(options = default_options) ?partitions ~env ~kind ~theta
+    ~left:(rschema, rseq) ~right:(sschema, sseq) () =
+  let budget = options.mem_budget in
+  if budget <= 0 then
+    invalid_arg "Nj.join_spilled: options must carry a positive mem_budget";
+  let keys =
+    match Theta.equi_keys theta with
+    | Some keys -> keys
+    | None -> invalid_arg "Nj.join_spilled: theta has no equi keys"
+  in
+  let partitions =
+    match partitions with
+    | Some p ->
+        if p < 1 then invalid_arg "Nj.join_spilled: partitions must be >= 1"
+        else min p 256
+    | None -> (
+        (* without materialized inputs the width cannot be sampled:
+           assume ~48 encoded bytes per tuple under the planner's (or
+           caller's) row estimate, falling back to a fixed fan-out *)
+        match options.est_rows with
+        | Some (l, r) ->
+            Spill.partitions_for ~budget ~est:((l + r) * 48 * 8)
+        | None -> 64)
+  in
+  let prob = prob_fn ~options ~env in
+  let run () =
+    match kind with
+    | (Inner | Anti | Left) as kind ->
+        let stage =
+          match kind with Inner -> overlap_stage | _ -> wuon_stage
+        in
+        (* formation's filter, applied inside the per-partition sweep so
+           windows formation would discard never accumulate across the
+           merge (see [windows_with]) *)
+        let keep =
+          match kind with
+          | Inner -> keep_overlapping
+          | Anti -> keep_non_overlapping
+          | _ -> fun _ -> true
+        in
+        let sweep rp sp =
+          List.of_seq (Seq.filter keep (stage ~options ~theta rp sp))
+        in
+        let windows =
+          List.to_seq
+            (merge ~options
+               (spilled ~partitions ~keys ~budget ~sweep (rschema, rseq)
+                  (sschema, sseq)))
+        in
+        (match kind with
+        | Inner -> form_inner ~prob ~rschema ~sschema windows
+        | Anti -> form_anti ~prob ~rschema ~sschema windows
+        | _ -> form_left_outer ~prob ~rschema ~sschema windows)
+    | (Right | Full) as kind ->
+        let extend_left = (match kind with Full -> true | _ -> false) in
+        let sweep rp sp = tracked_sweep ~options ~extend_left ~theta rp sp in
+        let triple =
+          merge3 ~options
+            (spilled ~partitions ~keys ~budget ~sweep (rschema, rseq)
+               (sschema, sseq))
+        in
+        if extend_left then form_full_outer ~prob ~rschema ~sschema triple
+        else form_right_outer ~prob ~rschema ~sschema triple
+  in
+  let result =
+    if Trace.enabled () then
+      Trace.with_span ~cat:"join" ("nj-" ^ kind_name kind ^ "-spilled") run
     else run ()
   in
   if Metrics.enabled () then

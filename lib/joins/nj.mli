@@ -54,6 +54,8 @@ val options :
   ?sanitize:bool ->
   ?prob_cache:bool ->
   ?static_safe:bool ->
+  ?mem_budget:int ->
+  ?est_rows:int * int ->
   unit ->
   options
 (** Builder, with today's defaults spelled out:
@@ -75,7 +77,20 @@ val options :
       hash-consed formula ids, so lineages repeated across windows (and
       across joins sharing one [env] closure) are evaluated once.
       Probabilities are bit-identical either way; turn it off to
-      measure the uncached path or to bound memory. *)
+      measure the uncached path or to bound memory;
+    - [mem_budget] (default: the [TPDB_MEM_BUDGET] environment variable
+      in megabytes, else [0] = unlimited): working-set budget in bytes
+      for the out-of-core executor. When an equi-θ join's estimated
+      working set exceeds it, both inputs are hash-partitioned to
+      columnar heap files ({!Tpdb_storage.Spill}) and swept one
+      partition pair at a time through a budget-sized buffer pool —
+      output stays tuple-for-tuple identical to the in-RAM path. A
+      non-equi θ ignores the budget (like [parallelism]). Raises
+      [Invalid_argument] when negative;
+    - [est_rows] (default [None] = live counting): planner-supplied
+      (left, right) input cardinalities — e.g. from catalog [Stats] —
+      used for the spill decision's working-set estimate instead of
+      counting the materialized inputs. *)
 
 val default_options : options
 (** [options ()]. *)
@@ -84,6 +99,12 @@ val algorithm : options -> Overlap.algorithm
 val parallelism : options -> int
 val sanitize : options -> bool
 val prob_cache : options -> bool
+
+val mem_budget : options -> int
+(** Out-of-core working-set budget in bytes; [0] = never spill. *)
+
+val est_rows : options -> (int * int) option
+(** Planner row estimates for the spill decision, when supplied. *)
 
 val static_safe : options -> bool
 (** Whether the planner proved every output lineage of this join
@@ -120,6 +141,27 @@ val join :
   Relation.t
 (** The unified TP join: every operator of the paper's Table II, selected
     by [kind]. Used by the query planner and the CLI. *)
+
+val join_spilled :
+  ?options:options ->
+  ?partitions:int ->
+  env:Prob.env ->
+  kind:join_kind ->
+  theta:Theta.t ->
+  left:Tpdb_relation.Schema.t * Tpdb_relation.Tuple.t Seq.t ->
+  right:Tpdb_relation.Schema.t * Tpdb_relation.Tuple.t Seq.t ->
+  unit ->
+  Relation.t
+(** Out-of-core join over tuple {e streams}: the inputs go straight into
+    the spill partitioner without ever being materialized, so peak
+    memory is one partition pair plus the output regardless of input
+    cardinality — the entry point of the 10^6–10^7-tuple spill-scale
+    bench. Requires [options] with a positive [mem_budget] and an
+    equi-θ; raises [Invalid_argument] otherwise. [partitions] defaults
+    to an estimate from [est_rows] (or a fixed fan-out of 64) since an
+    unmaterialized stream cannot be sampled; [env] is mandatory for the
+    same reason. Each input sequence is traversed exactly once. Output
+    is identical to {!join} on the materialized inputs. *)
 
 val windows_wuo :
   ?options:options -> theta:Theta.t -> Relation.t -> Relation.t -> Window.t Seq.t

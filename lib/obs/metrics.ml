@@ -25,6 +25,10 @@ type counter =
   | Prob_bdd_fallbacks
   | Major_alloc_words
   | Promoted_words
+  | Spill_bytes
+  | Spill_partitions
+  | Pool_hits
+  | Pool_misses
 
 type dist =
   | Partition_size
@@ -33,6 +37,8 @@ type dist =
   | Prob_cache_lookup_ns
   | Oracle_eval_ns
   | Analysis_ns
+  | Spill_partition_bytes
+  | Pool_hit_rate
 
 let counters =
   [
@@ -62,11 +68,15 @@ let counters =
     Prob_bdd_fallbacks;
     Major_alloc_words;
     Promoted_words;
+    Spill_bytes;
+    Spill_partitions;
+    Pool_hits;
+    Pool_misses;
   ]
 
 let dists =
   [ Partition_size; Domain_busy_ns; Sanitizer_ns; Prob_cache_lookup_ns;
-    Oracle_eval_ns; Analysis_ns ]
+    Oracle_eval_ns; Analysis_ns; Spill_partition_bytes; Pool_hit_rate ]
 
 let counter_index = function
   | Tuples_in -> 0
@@ -95,6 +105,10 @@ let counter_index = function
   | Prob_bdd_fallbacks -> 23
   | Major_alloc_words -> 24
   | Promoted_words -> 25
+  | Spill_bytes -> 26
+  | Spill_partitions -> 27
+  | Pool_hits -> 28
+  | Pool_misses -> 29
 
 let dist_index = function
   | Partition_size -> 0
@@ -103,6 +117,8 @@ let dist_index = function
   | Prob_cache_lookup_ns -> 3
   | Oracle_eval_ns -> 4
   | Analysis_ns -> 5
+  | Spill_partition_bytes -> 6
+  | Pool_hit_rate -> 7
 
 let counter_name = function
   | Tuples_in -> "tuples_in"
@@ -131,6 +147,10 @@ let counter_name = function
   | Prob_bdd_fallbacks -> "prob_bdd_fallbacks"
   | Major_alloc_words -> "major_alloc_words"
   | Promoted_words -> "promoted_words"
+  | Spill_bytes -> "spill_bytes"
+  | Spill_partitions -> "spill_partitions"
+  | Pool_hits -> "pool_hits"
+  | Pool_misses -> "pool_misses"
 
 let dist_name = function
   | Partition_size -> "partition_size"
@@ -139,6 +159,8 @@ let dist_name = function
   | Prob_cache_lookup_ns -> "prob_cache_lookup_ns"
   | Oracle_eval_ns -> "oracle_eval_ns"
   | Analysis_ns -> "analysis_ns"
+  | Spill_partition_bytes -> "spill_partition_bytes"
+  | Pool_hit_rate -> "pool_hit_rate"
 
 type t = {
   c : int Atomic.t array;  (** indexed by [counter_index] *)

@@ -90,6 +90,14 @@ type counter =
       (** minor-heap words that survived a minor collection inside
           {!count_alloc} extents — the share of [Major_alloc_words] that
           is promotion rather than direct major allocation *)
+  | Spill_bytes
+      (** bytes written to spill partition files by the out-of-core
+          executor — 0 unless a join actually spilled, so the CI
+          memory-ceiling gate can assert spilling happened *)
+  | Spill_partitions
+      (** spill partitions created (per side pair, not per file) *)
+  | Pool_hits  (** buffer-pool page reads answered from the cache *)
+  | Pool_misses  (** buffer-pool page reads that went to disk *)
 
 type dist =
   | Partition_size  (** tuples (both sides) per parallel partition *)
@@ -101,6 +109,13 @@ type dist =
       (** wall time of each snapshot-semantics oracle evaluation *)
   | Analysis_ns
       (** wall time of each deep static-analysis pass over a plan *)
+  | Spill_partition_bytes
+      (** encoded on-disk bytes of each spill partition (both sides of
+          one partition index together) *)
+  | Pool_hit_rate
+      (** buffer-pool hit rate over one spilled join, in permille
+          (hits × 1000 / (hits + misses)) — one observation per spilled
+          join *)
 
 type t
 (** A metrics registry. Create one per measured run; reuse reads

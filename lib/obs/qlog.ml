@@ -18,6 +18,8 @@ type record = {
   wn : int;
   prob_cache_hits : int;
   prob_cache_misses : int;
+  spill_bytes : int;
+  spill_partitions : int;
   sanitizer_ms : float;
   stages : (string * float) list;
   gc : gc;
@@ -43,6 +45,8 @@ let to_json r =
            ] );
        ("prob_cache_hits", Json.int r.prob_cache_hits);
        ("prob_cache_misses", Json.int r.prob_cache_misses);
+       ("spill_bytes", Json.int r.spill_bytes);
+       ("spill_partitions", Json.int r.spill_partitions);
        ("sanitizer_ms", Json.float r.sanitizer_ms);
        ( "stages",
          Json.obj (List.map (fun (k, ms) -> (k, Json.float ms)) r.stages) );
@@ -246,6 +250,9 @@ let record_of_json j =
     wn = int_of windows "wn";
     prob_cache_hits = int_of j "prob_cache_hits";
     prob_cache_misses = int_of j "prob_cache_misses";
+    (* absent in logs written before the out-of-core executor: 0 *)
+    spill_bytes = int_of j "spill_bytes";
+    spill_partitions = int_of j "spill_partitions";
     sanitizer_ms = num_of j "sanitizer_ms";
     stages =
       (match field "stages" j with

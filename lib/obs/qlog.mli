@@ -35,6 +35,8 @@ type record = {
   wn : int;  (** negating windows *)
   prob_cache_hits : int;
   prob_cache_misses : int;
+  spill_bytes : int;  (** bytes the out-of-core executor wrote; 0 = in RAM *)
+  spill_partitions : int;  (** spill partition count across the query's joins *)
   sanitizer_ms : float;
   stages : (string * float) list;  (** span name → summed wall ms *)
   gc : gc;

@@ -159,17 +159,19 @@ type config = {
   prob_cache : bool;
   sanitize : bool;
   algorithm : Tpdb_windows.Overlap.algorithm;
+  mem_budget : int;
 }
 
 let config ?(jobs = 1) ?(prob_cache = true) ?(sanitize = false)
-    ?(algorithm = `Flat) () =
-  { jobs; prob_cache; sanitize; algorithm }
+    ?(algorithm = `Flat) ?(mem_budget = 0) () =
+  { jobs; prob_cache; sanitize; algorithm; mem_budget }
 
 let config_name c =
   let parts =
     (if c.jobs <> 1 then [ "jobs" ^ string_of_int c.jobs ] else [])
     @ (if not c.prob_cache then [ "nocache" ] else [])
     @ (if c.sanitize then [ "sanitize" ] else [])
+    @ (if c.mem_budget > 0 then [ "spill" ] else [])
     @
     match c.algorithm with
     | `Flat -> []
@@ -182,7 +184,7 @@ let config_name c =
 
 let options_of c =
   Nj.options ~algorithm:c.algorithm ~parallelism:c.jobs ~sanitize:c.sanitize
-    ~prob_cache:c.prob_cache ()
+    ~prob_cache:c.prob_cache ~mem_budget:c.mem_budget ()
 
 let default_configs =
   List.concat_map
@@ -194,6 +196,11 @@ let default_configs =
       config ~algorithm:`Hash ();
       config ~algorithm:`Merge ();
       config ~algorithm:`Index ();
+      (* a 1-byte budget forces the out-of-core spill path on any
+         non-empty equi-[theta] input: every scenario doubles as a
+         spilled-vs-in-RAM differential *)
+      config ~mem_budget:1 ();
+      config ~mem_budget:1 ~sanitize:true ();
     ]
 
 (* --- diffing ---------------------------------------------------------- *)

@@ -67,14 +67,18 @@ type config = {
   prob_cache : bool;
   sanitize : bool;
   algorithm : Tpdb_windows.Overlap.algorithm;
+  mem_budget : int;
 }
-(** One point of the execution-configuration space of {!Nj.options}. *)
+(** One point of the execution-configuration space of {!Nj.options}.
+    [mem_budget] (bytes, [0] = in-RAM) selects the out-of-core spilling
+    executor. *)
 
 val config :
   ?jobs:int ->
   ?prob_cache:bool ->
   ?sanitize:bool ->
   ?algorithm:Tpdb_windows.Overlap.algorithm ->
+  ?mem_budget:int ->
   unit ->
   config
 (** Defaults mirror {!Nj.options}: [jobs 1], [prob_cache true],
@@ -90,7 +94,9 @@ val default_configs : config list
 (** The shipped sweep: jobs 1/2/4 × prob-cache on/off (the six axes the
     acceptance criteria name), plus one variant each for the sanitizer,
     the [`Merge] and [`Index] overlap algorithms, and the [`Scan] LAWAN
-    schedule. *)
+    schedule — and two tiny-budget ([mem_budget 1]) spilling variants
+    that force every equi-θ scenario through the out-of-core executor,
+    proving spilled output identical to the oracle's ground truth. *)
 
 (** {2 Diffing} *)
 

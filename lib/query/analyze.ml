@@ -73,6 +73,24 @@ let diagnostic_of_exn = function
               "evidence probability %g is below epsilon %g — conditioning \
                would divide by (near) zero"
               p_given epsilon))
+  | Tpdb_storage.Buffer_pool.Pinned_eviction { path; index; capacity; pinned } ->
+      Some
+        (diagnostic ~severity:Error ~code:"pinned-eviction"
+           ~path:(Printf.sprintf "%s page %d" path index)
+           (Printf.sprintf
+              "buffer pool exhausted: all %d of %d cached page(s) are \
+               pinned, none can be evicted — the spill executor pinned \
+               more pages than the pool's capacity; raise --mem-budget \
+               (the pool is sized from it)"
+              pinned capacity))
+  | Tpdb_storage.Heap_file.Corrupt msg ->
+      Some
+        (diagnostic ~severity:Error ~code:"heap-file-corrupt"
+           (Printf.sprintf "heap file unreadable: %s" msg))
+  | Tpdb_storage.Codec.Corrupt msg ->
+      Some
+        (diagnostic ~severity:Error ~code:"heap-file-corrupt"
+           (Printf.sprintf "stored tuple data undecodable: %s" msg))
   | Parser.Parse_error msg ->
       Some (diagnostic ~severity:Error ~code:"parse" msg)
   | Lexer.Lex_error (msg, pos) ->
@@ -501,6 +519,8 @@ let codes : (string * severity * string) list =
     ("vanishing-evidence", Error, "conditioning on (near-)zero-probability evidence");
     ("parse", Error, "TP-SQL parse error");
     ("lex", Error, "TP-SQL lexical error");
+    ("pinned-eviction", Error, "the buffer pool needed to evict but every cached page was pinned");
+    ("heap-file-corrupt", Error, "a stored heap file or its tuple encoding failed to decode");
     ("bad-column", Error, "\xce\xb8 references a column out of range");
     ("type-mismatch", Error, "\xce\xb8 compares columns of incompatible types");
     ("null-comparison", Error, "\xce\xb8 compares against NULL (never matches)");

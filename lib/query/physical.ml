@@ -24,6 +24,8 @@ type t =
       sanitize : bool;
       prob_cache : bool;
       safe_lineage : bool;
+      mem_budget : int;  (* bytes; 0 = Nj's default (TPDB_MEM_BUDGET) *)
+      est_rows : (int * int) option;  (* catalog cardinalities for spill sizing *)
       theta : Theta.t;
       left : t;
       right : t;
@@ -117,13 +119,19 @@ and eval ~env plan =
         sanitize;
         prob_cache;
         safe_lineage;
+        mem_budget;
+        est_rows;
         theta;
         left;
         right;
       } ->
       let options =
+        (* [mem_budget = 0] means "not set here": leave the argument out
+           so Nj's own TPDB_MEM_BUDGET fallback still applies. *)
         Nj.options ~algorithm ~parallelism ~sanitize ~prob_cache
-          ~static_safe:safe_lineage ()
+          ~static_safe:safe_lineage
+          ?mem_budget:(if mem_budget > 0 then Some mem_budget else None)
+          ?est_rows ()
       in
       Nj.join ~options ~env ~kind ~theta (to_relation ~env left)
         (to_relation ~env right)
@@ -184,6 +192,13 @@ let sanitize_string sanitize = if sanitize then "; sanitize" else ""
    existing EXPLAIN expectations stay byte-identical. *)
 let prob_cache_string prob_cache = if prob_cache then "" else "; prob-cache: off"
 
+(* Off by default; shown in MB when it divides evenly, else in bytes. *)
+let mem_budget_string budget =
+  if budget <= 0 then ""
+  else if budget mod (1024 * 1024) = 0 then
+    Printf.sprintf "; mem-budget: %d MB" (budget / (1024 * 1024))
+  else Printf.sprintf "; mem-budget: %d B" budget
+
 (* Shared by explain and analyze: the one-line description of a node. *)
 let describe ~child_schema plan =
   match plan with
@@ -203,19 +218,21 @@ let describe ~child_schema plan =
         parallelism;
         sanitize;
         prob_cache;
+        mem_budget;
         theta;
         left;
         right;
         _;
       } ->
       Printf.sprintf
-        "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s%s)"
+        "%s (NJ pipeline: overlap[%s] -> LAWAU -> LAWAN; \xce\xb8: %s%s%s%s%s)"
         (kind_string kind)
         (algorithm_string algorithm)
         (Theta.to_string ~left:(child_schema left) ~right:(child_schema right) theta)
         (jobs_string parallelism)
         (sanitize_string sanitize)
         (prob_cache_string prob_cache)
+        (mem_budget_string mem_budget)
   | Aggregate { spec; _ } ->
       Printf.sprintf "Sequenced Aggregate (%s; expectation per witness-constant segment)"
         (match spec with
@@ -363,17 +380,25 @@ let analyze ?(estimate = fun _ -> None) ~env plan =
     ( Metrics.get metrics Metrics.Prob_cache_hits,
       Metrics.get metrics Metrics.Prob_cache_misses )
   in
+  let spill_counts () =
+    ( Metrics.get metrics Metrics.Spill_bytes,
+      Metrics.get metrics Metrics.Spill_partitions,
+      Metrics.get metrics Metrics.Pool_hits,
+      Metrics.get metrics Metrics.Pool_misses )
+  in
   let rec run indent plan =
     let child_results = List.map (run (indent + 1)) (children plan) in
     let child_relations = List.map (fun (r, _, _) -> r) child_results in
     let rerooted = with_children plan child_relations in
     let wo0, wu0, wn0 = window_counts () in
     let ch0, cm0 = cache_counts () in
+    let sb0, sp0, ph0, pm0 = spill_counts () in
     let t0 = Unix.gettimeofday () in
     let result = to_relation ~env rerooted in
     let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
     let wo1, wu1, wn1 = window_counts () in
     let ch1, cm1 = cache_counts () in
+    let sb1, sp1, ph1, pm1 = spill_counts () in
     let windows =
       let wo = wo1 - wo0 and wu = wu1 - wu0 and wn = wn1 - wn0 in
       if wo + wu + wn = 0 then ""
@@ -383,6 +408,17 @@ let analyze ?(estimate = fun _ -> None) ~env plan =
       let hits = ch1 - ch0 and misses = cm1 - cm0 in
       if hits + misses = 0 then ""
       else Printf.sprintf " [prob-cache: %d hits, %d misses]" hits misses
+    in
+    let spill =
+      (* only spilled nodes get the column, so in-RAM runs stay byte-identical *)
+      let parts = sp1 - sp0 in
+      if parts = 0 then ""
+      else
+        let hits = ph1 - ph0 and misses = pm1 - pm0 in
+        Printf.sprintf " [spill: %d partitions, %.1f MB, pool %d/%d hits]"
+          parts
+          (float_of_int (sb1 - sb0) /. (1024.0 *. 1024.0))
+          hits (hits + misses)
     in
     let rows = Relation.cardinality result in
     let est_column, est_warning =
@@ -406,10 +442,10 @@ let analyze ?(estimate = fun _ -> None) ~env plan =
           (column, warning)
     in
     let line =
-      Printf.sprintf "%s%s  [rows=%d%s, %s]%s%s"
+      Printf.sprintf "%s%s  [rows=%d%s, %s]%s%s%s"
         (String.make (2 * indent) ' ')
         (describe ~child_schema:schema plan)
-        rows est_column (Clock.pp_ms ms) windows cache
+        rows est_column (Clock.pp_ms ms) windows cache spill
     in
     let block =
       String.concat "\n"
@@ -439,6 +475,8 @@ let analyze ?(estimate = fun _ -> None) ~env plan =
       List.filter_map line
         [
           (Metrics.Partition_size, plain);
+          (Metrics.Spill_partition_bytes, plain);
+          (Metrics.Pool_hit_rate, plain);
           (Metrics.Domain_busy_ns, Clock.pp_ns);
           (Metrics.Sanitizer_ns, Clock.pp_ns);
           (Metrics.Prob_cache_lookup_ns, Clock.pp_ns);

@@ -35,6 +35,14 @@ type t =
               check and no BDD fallback. Set by the planner from the
               safe-plan classification ({!Analyze}); [false] is always
               sound. *)
+      mem_budget : int;
+          (** out-of-core working-set budget in bytes for this join;
+              [0] = not set here, so {!Tpdb_joins.Nj.options}'s
+              [TPDB_MEM_BUDGET] fallback still applies *)
+      est_rows : (int * int) option;
+          (** catalog-statistics cardinalities of (left, right), when both
+              inputs are base relations with stats — sizes the spill
+              decision without counting the materialized inputs *)
       theta : Theta.t;
       left : t;
       right : t;

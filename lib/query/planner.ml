@@ -154,7 +154,24 @@ let join_kind : Ast.join_kind -> Nj.join_kind = function
   | Ast.Full -> Nj.Full
   | Ast.Anti -> Nj.Anti
 
-let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Physical.t =
+(* Catalog cardinalities of both join inputs, for the out-of-core spill
+   decision: only base-relation scans with persisted statistics count —
+   a composite left side would need the cost model's output estimate,
+   and the executor's live counting covers that case anyway. *)
+let join_est_rows catalog left right =
+  let rows = function
+    | Physical.Scan r -> (
+        match Catalog.stats catalog (Relation.name r) with
+        | Some s -> Some s.Stats.cardinality
+        | None -> None)
+    | _ -> None
+  in
+  match (rows left, rows right) with
+  | Some l, Some r -> Some (l, r)
+  | _ -> None
+
+let plan_select ~parallelism ~sanitize ~prob_cache ~mem_budget catalog
+    (s : Ast.select) : Physical.t =
   let lookup name =
     match Catalog.find catalog name with
     | Some r -> r
@@ -196,6 +213,7 @@ let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Ph
               fail "join with %s has more than one temporal predicate" j.rel
         in
         let algorithm : Tpdb_windows.Overlap.algorithm = `Flat in
+        let right = Physical.Scan right in
         ( Physical.Tp_join
             {
               kind = join_kind j.kind;
@@ -204,9 +222,11 @@ let plan_select ~parallelism ~sanitize ~prob_cache catalog (s : Ast.select) : Ph
               sanitize;
               prob_cache;
               safe_lineage = false;
+              mem_budget;
+              est_rows = join_est_rows catalog acc right;
               theta;
               left = acc;
-              right = Physical.Scan right;
+              right;
             },
           j.rel :: left_names,
           pending ))
@@ -413,8 +433,10 @@ let order_joins ~build ~stats (s : Ast.select) source_plan =
     | Some _ | None -> (source_plan, [])
   end
 
-let plan ?(parallelism = 1) ?sanitize ?(prob_cache = true) catalog (query : Ast.t) =
+let plan ?(parallelism = 1) ?sanitize ?(prob_cache = true) ?(mem_budget = 0)
+    catalog (query : Ast.t) =
   if parallelism < 1 then fail "parallelism must be at least 1";
+  if mem_budget < 0 then fail "mem-budget must not be negative";
   let sanitize =
     match sanitize with
     | Some b -> b
@@ -428,7 +450,9 @@ let plan ?(parallelism = 1) ?sanitize ?(prob_cache = true) catalog (query : Ast.
   in
   match query with
   | Ast.Select s ->
-      let build s = plan_select ~parallelism ~sanitize ~prob_cache catalog s in
+      let build s =
+        plan_select ~parallelism ~sanitize ~prob_cache ~mem_budget catalog s
+      in
       let source = build s in
       let chosen, reorder_notes = order_joins ~build ~stats s source in
       finish chosen reorder_notes
@@ -443,8 +467,12 @@ let plan ?(parallelism = 1) ?sanitize ?(prob_cache = true) catalog (query : Ast.
         (Physical.Set_op
            {
              kind;
-             left = plan_select ~parallelism ~sanitize ~prob_cache catalog a;
-             right = plan_select ~parallelism ~sanitize ~prob_cache catalog b;
+             left =
+               plan_select ~parallelism ~sanitize ~prob_cache ~mem_budget
+                 catalog a;
+             right =
+               plan_select ~parallelism ~sanitize ~prob_cache ~mem_budget
+                 catalog b;
            })
         []
 

@@ -28,6 +28,7 @@ val plan :
   ?parallelism:int ->
   ?sanitize:bool ->
   ?prob_cache:bool ->
+  ?mem_budget:int ->
   Catalog.t ->
   Ast.t ->
   t
@@ -40,7 +41,15 @@ val plan :
     window-invariant checks in every TP join node. [prob_cache] (default
     [true], the CLI's [--no-prob-cache] turns it off) selects the
     memoized probability path in every TP join node
-    ({!Tpdb_joins.Nj.options}). *)
+    ({!Tpdb_joins.Nj.options}). [mem_budget] (default [0] = not set, so
+    the executor's [TPDB_MEM_BUDGET] fallback still applies — the CLI's
+    [--mem-budget]) is the out-of-core working-set budget in bytes
+    stored into every TP join node; an equi-join whose estimated working
+    set exceeds it is spilled to partitioned heap files and swept
+    partition by partition ({!Tpdb_storage.Spill}). When both join
+    inputs are base relations with persisted statistics, their catalog
+    cardinalities are stored alongside so the spill decision needs no
+    live counting. Raises {!Plan_error} when negative. *)
 
 val explain : t -> string
 (** The plan tree with the cost model's per-node [[est rows=… cost=…]]

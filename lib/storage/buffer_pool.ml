@@ -1,6 +1,11 @@
+module Metrics = Tpdb_obs.Metrics
+
 type key = string * int
 
-type entry = { bytes : Bytes.t; mutable stamp : int }
+type entry = { bytes : Bytes.t; mutable stamp : int; mutable pins : int }
+
+exception
+  Pinned_eviction of { path : string; index : int; capacity : int; pinned : int }
 
 type t = {
   capacity : int;
@@ -18,18 +23,32 @@ let tick pool =
   pool.clock <- pool.clock + 1;
   pool.clock
 
-let evict_lru pool =
+let pinned_pages pool =
+  Hashtbl.fold (fun _ e acc -> if e.pins > 0 then acc + 1 else acc) pool.table 0
+
+(* Evict the least-recently-used unpinned page to make room for
+   [~for_]. A pinned page is never a victim: if every resident page is
+   pinned the pool cannot honor the read without breaking a pin, which
+   is a caller bug (pool sized below the number of concurrently pinned
+   pages) — surfaced as the typed {!Pinned_eviction}, which
+   [Analyze.diagnostic_of_exn] renders. *)
+let evict_lru pool ~for_:(path, index) =
   let victim =
     Hashtbl.fold
       (fun key entry acc ->
-        match acc with
-        | Some (_, best) when best <= entry.stamp -> acc
-        | _ -> Some (key, entry.stamp))
+        if entry.pins > 0 then acc
+        else
+          match acc with
+          | Some (_, best) when best <= entry.stamp -> acc
+          | _ -> Some (key, entry.stamp))
       pool.table None
   in
   match victim with
   | Some (key, _) -> Hashtbl.remove pool.table key
-  | None -> ()
+  | None ->
+      raise
+        (Pinned_eviction
+           { path; index; capacity = pool.capacity; pinned = pinned_pages pool })
 
 let load path index size =
   let ic = open_in_bin path in
@@ -47,19 +66,40 @@ let load path index size =
       really_input ic bytes 0 available;
       bytes)
 
-let read_page pool ~path ~index ~size =
+let entry_for pool ~path ~index ~size =
   let key = (path, index) in
   match Hashtbl.find_opt pool.table key with
   | Some entry ->
       pool.hits <- pool.hits + 1;
+      Metrics.incr Metrics.Pool_hits;
       entry.stamp <- tick pool;
-      entry.bytes
+      entry
   | None ->
       pool.misses <- pool.misses + 1;
+      Metrics.incr Metrics.Pool_misses;
       let bytes = load path index size in
-      if Hashtbl.length pool.table >= pool.capacity then evict_lru pool;
-      Hashtbl.replace pool.table key { bytes; stamp = tick pool };
-      bytes
+      if Hashtbl.length pool.table >= pool.capacity then
+        evict_lru pool ~for_:key;
+      let entry = { bytes; stamp = tick pool; pins = 0 } in
+      Hashtbl.replace pool.table key entry;
+      entry
+
+let read_page pool ~path ~index ~size =
+  (entry_for pool ~path ~index ~size).bytes
+
+let pin pool ~path ~index ~size =
+  let entry = entry_for pool ~path ~index ~size in
+  entry.pins <- entry.pins + 1;
+  entry.bytes
+
+let unpin pool ~path ~index =
+  match Hashtbl.find_opt pool.table (path, index) with
+  | Some entry when entry.pins > 0 -> entry.pins <- entry.pins - 1
+  | _ -> invalid_arg "Buffer_pool.unpin: page not pinned"
+
+let with_pin pool ~path ~index ~size f =
+  let bytes = pin pool ~path ~index ~size in
+  Fun.protect ~finally:(fun () -> unpin pool ~path ~index) (fun () -> f bytes)
 
 let stats pool = (pool.hits, pool.misses)
 
@@ -68,7 +108,8 @@ let cached_pages pool = Hashtbl.length pool.table
 let invalidate pool ~path =
   let keys =
     Hashtbl.fold
-      (fun ((p, _) as key) _ acc -> if String.equal p path then key :: acc else acc)
+      (fun ((p, _) as key) entry acc ->
+        if String.equal p path && entry.pins = 0 then key :: acc else acc)
       pool.table []
   in
   List.iter (Hashtbl.remove pool.table) keys

@@ -2,6 +2,7 @@ module Value = Tpdb_relation.Value
 module Fact = Tpdb_relation.Fact
 module Tuple = Tpdb_relation.Tuple
 module Formula = Tpdb_lineage.Formula
+module Var = Tpdb_lineage.Var
 module Interval = Tpdb_interval.Interval
 
 exception Corrupt of string
@@ -133,3 +134,217 @@ let tuple_size tp =
   let buf = Buffer.create 64 in
   write_tuple buf tp;
   Buffer.length buf
+
+(* --- varints --- *)
+
+let write_varint buf v =
+  if v < 0 then invalid_arg "Codec.write_varint: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 56 then corrupt "varint too long at offset %d" r.pos;
+    need r 1;
+    let b = Char.code (Bytes.get r.bytes r.pos) in
+    r.pos <- r.pos + 1;
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+(* Zigzag maps the signed 63-bit range onto the unsigned one so small
+   deltas of either sign stay one varint byte. [lsl]/[lxor] wrap, so the
+   pair is a bijection even at the int extremes — which means the
+   zigzag image can occupy the top bit and read back "negative" as an
+   OCaml int, so its varint writer must emit the raw bit pattern
+   instead of rejecting it the way the public {!write_varint} does. *)
+let write_varint_bits buf v =
+  let rec go v =
+    if 0 <= v && v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag v = (v lsr 1) lxor (- (v land 1))
+let write_zigzag buf v = write_varint_bits buf (zigzag v)
+let read_zigzag r = unzigzag (read_varint r)
+
+(* --- columnar tuple blocks --- *)
+
+module Column = struct
+  let write_formula buf dict_index f =
+    let rec go f =
+      match Formula.view f with
+      | Formula.False -> Buffer.add_char buf '\000'
+      | Formula.True -> Buffer.add_char buf '\001'
+      | Formula.Var v ->
+          Buffer.add_char buf '\002';
+          write_varint buf (dict_index (Var.rel v));
+          write_varint buf (Var.idx v)
+      | Formula.Not f ->
+          Buffer.add_char buf '\003';
+          go f
+      | Formula.And fs ->
+          Buffer.add_char buf '\004';
+          write_varint buf (List.length fs);
+          List.iter go fs
+      | Formula.Or fs ->
+          Buffer.add_char buf '\005';
+          write_varint buf (List.length fs);
+          List.iter go fs
+    in
+    go f
+
+  let read_formula r dict =
+    let tag_of i =
+      if i < 0 || i >= Array.length dict then
+        corrupt "lineage dictionary index %d out of range" i
+      else dict.(i)
+    in
+    let rec go () =
+      need r 1;
+      let tag = Bytes.get r.bytes r.pos in
+      r.pos <- r.pos + 1;
+      match tag with
+      | '\000' -> Formula.false_
+      | '\001' -> Formula.true_
+      | '\002' ->
+          let rel = tag_of (read_varint r) in
+          let idx = read_varint r in
+          let v =
+            try Var.make rel idx
+            with Invalid_argument msg -> corrupt "bad lineage var: %s" msg
+          in
+          Formula.var v
+      | ('\004' | '\005') as c ->
+          let n = read_varint r in
+          if n < 2 then corrupt "connective with %d juncts" n;
+          let rec read_n n acc =
+            if n = 0 then List.rev acc else read_n (n - 1) (go () :: acc)
+          in
+          let juncts = read_n n [] in
+          if Char.equal c '\004' then Formula.conj juncts
+          else Formula.disj juncts
+      | '\003' -> Formula.neg (go ())
+      | c -> corrupt "unknown lineage bytecode %C" c
+    in
+    go ()
+
+  let encode buf tuples =
+    let n = Array.length tuples in
+    write_varint buf n;
+    (* interval columns: delta-zigzag starts, varint (duration - 1) *)
+    let prev = ref 0 in
+    Array.iter
+      (fun tp ->
+        let ts = Interval.ts (Tuple.iv tp) in
+        write_zigzag buf (ts - !prev);
+        prev := ts)
+      tuples;
+    Array.iter
+      (fun tp ->
+        let iv = Tuple.iv tp in
+        write_varint buf (Interval.te iv - Interval.ts iv - 1))
+      tuples;
+    (* probability column: raw IEEE f64, little-endian *)
+    Array.iter (fun tp -> write_float buf (Tuple.p tp)) tuples;
+    (* lineage: dictionary of distinct relation tags, then structural
+       bytecode over the formula views with dictionary-coded variables *)
+    let tags = Hashtbl.create 8 in
+    let order = ref [] in
+    Array.iter
+      (fun tp ->
+        List.iter
+          (fun v ->
+            let rel = Var.rel v in
+            if not (Hashtbl.mem tags rel) then begin
+              Hashtbl.add tags rel (Hashtbl.length tags);
+              order := rel :: !order
+            end)
+          (Formula.vars (Tuple.lineage tp)))
+      tuples;
+    let order = List.rev !order in
+    write_varint buf (List.length order);
+    List.iter
+      (fun tag ->
+        write_varint buf (String.length tag);
+        Buffer.add_string buf tag)
+      order;
+    let dict_index rel = Hashtbl.find tags rel in
+    Array.iter
+      (fun tp -> write_formula buf dict_index (Tuple.lineage tp))
+      tuples;
+    (* facts last, through the tagged value codec *)
+    Array.iter
+      (fun tp ->
+        let fact = Tuple.fact tp in
+        write_varint buf (Fact.arity fact);
+        for i = 0 to Fact.arity fact - 1 do
+          write_value buf (Fact.get fact i)
+        done)
+      tuples
+
+  let decode r =
+    let n = read_varint r in
+    (* every tuple contributes at least one start-delta byte *)
+    if n > Bytes.length r.bytes - r.pos then
+      corrupt "block count %d exceeds payload" n;
+    let ts = Array.make (max n 1) 0 in
+    let prev = ref 0 in
+    for i = 0 to n - 1 do
+      let v = !prev + read_zigzag r in
+      ts.(i) <- v;
+      prev := v
+    done;
+    let te = Array.make (max n 1) 0 in
+    for i = 0 to n - 1 do
+      te.(i) <- ts.(i) + 1 + read_varint r
+    done;
+    let p = Array.make (max n 1) 0.0 in
+    for i = 0 to n - 1 do
+      let v = read_float r in
+      if not (v >= 0.0 && v <= 1.0) then
+        corrupt "probability %g out of range" v;
+      p.(i) <- v
+    done;
+    let ntags = read_varint r in
+    if ntags > Bytes.length r.bytes - r.pos then
+      corrupt "lineage dictionary size %d exceeds payload" ntags;
+    let dict = Array.make (max ntags 1) "" in
+    for i = 0 to ntags - 1 do
+      let len = read_varint r in
+      need r len;
+      dict.(i) <- Bytes.sub_string r.bytes r.pos len;
+      r.pos <- r.pos + len
+    done;
+    let dict = Array.sub dict 0 ntags in
+    let lineage = Array.make (max n 1) Formula.true_ in
+    for i = 0 to n - 1 do
+      lineage.(i) <- read_formula r dict
+    done;
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      let arity = read_varint r in
+      if arity > 0xFFFF then corrupt "fact arity %d out of range" arity;
+      let values = List.init arity (fun _ -> read_value r) in
+      let tp =
+        try
+          Tuple.make ~fact:(Fact.of_values values) ~lineage:lineage.(i)
+            ~iv:(Interval.make ts.(i) te.(i)) ~p:p.(i)
+        with Invalid_argument msg -> corrupt "bad tuple in block: %s" msg
+      in
+      out := tp :: !out
+    done;
+    Array.of_list (List.rev !out)
+end

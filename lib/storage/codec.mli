@@ -29,3 +29,34 @@ val read_tuple : reader -> Tpdb_relation.Tuple.t
 
 val tuple_size : Tpdb_relation.Tuple.t -> int
 (** Encoded byte size (by encoding into a scratch buffer). *)
+
+(** {2 Varints}
+
+    Unsigned LEB128 — 7 value bits per byte, high bit continues. Zigzag
+    folds signed values into the unsigned range so small deltas of
+    either sign encode in one byte. *)
+
+val write_varint : Buffer.t -> int -> unit
+(** Raises [Invalid_argument] on negative input. *)
+
+val read_varint : reader -> int
+val write_zigzag : Buffer.t -> int -> unit
+val read_zigzag : reader -> int
+
+(** {2 Columnar tuple blocks}
+
+    The spill-file payload format: a self-delimiting block of tuples
+    encoded column-wise — varint tuple count; interval starts as
+    zigzag-varint deltas; durations as varint [te - ts - 1]; raw
+    little-endian IEEE f64 probabilities; lineages as a per-block
+    dictionary of distinct relation tags followed by structural
+    bytecode over {!Tpdb_lineage.Formula.view} with dictionary-coded
+    variables; facts through the tagged value codec. [decode ∘ encode]
+    is the identity on tuple arrays (lineages are rebuilt through the
+    smart constructors, which is the identity on the invariant-respecting
+    formulas {!Tpdb_lineage.Formula} produces). *)
+
+module Column : sig
+  val encode : Buffer.t -> Tpdb_relation.Tuple.t array -> unit
+  val decode : reader -> Tpdb_relation.Tuple.t array
+end

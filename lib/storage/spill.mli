@@ -1,0 +1,69 @@
+(** Grace-style spill partitioning for the out-of-core join executor.
+
+    [partition_pair] streams both inputs of an equi-θ join into
+    per-partition columnar heap files ({!Heap_file.Writer}, format
+    version 2) under a private temp directory; the executor then reads
+    the partitions back one at a time through a budget-sized
+    {!Buffer_pool} ([read_left]/[read_right]), sweeps each pair, and
+    calls {!finish} to record the pool hit rate and drop the files.
+
+    This module knows nothing about θ or join keys: callers pass
+    [left_key]/[right_key] functions that map a tuple directly to its
+    partition index — the executor composes the same fact-key hash and
+    {!Tpdb_engine.Parallel.bucket_of} as the in-RAM parallel path, which
+    is what makes spilled output identical to in-RAM output.
+
+    Metrics (with a {!Tpdb_obs.Metrics} sink installed): [Spill_bytes]
+    and [Spill_partitions] counters, the [Spill_partition_bytes]
+    distribution on write, and one [Pool_hit_rate] (permille)
+    observation per join in {!finish}. *)
+
+type t
+
+val estimate_bytes : ?rows:int -> Tpdb_relation.Relation.t -> int
+(** Estimated in-memory working-set bytes of a relation: row count
+    ([?rows] — e.g. a planner {!Stats} cardinality — defaulting to live
+    counting via [Relation.cardinality]) × mean encoded tuple size over
+    a ≤ 64-tuple sample × a decoded-representation expansion factor. *)
+
+val partitions_for : budget:int -> est:int -> int
+(** Partition count such that one partition pair fits roughly half the
+    budget, clamped to [\[2, 256\]]. Raises [Invalid_argument] when
+    [budget <= 0]. *)
+
+val pool_pages : budget:int -> int
+(** Buffer-pool capacity (pages) for a spilled sweep: about a quarter of
+    the budget, at least 16 pages. *)
+
+val partition_pair :
+  ?dir:string ->
+  partitions:int ->
+  pool_pages:int ->
+  left_key:(Tpdb_relation.Tuple.t -> int) ->
+  right_key:(Tpdb_relation.Tuple.t -> int) ->
+  Tpdb_relation.Schema.t * Tpdb_relation.Tuple.t Seq.t ->
+  Tpdb_relation.Schema.t * Tpdb_relation.Tuple.t Seq.t ->
+  t
+(** Streams both inputs to [partitions] columnar files per side
+    ([?dir] defaults to a fresh temp directory). [left_key]/[right_key]
+    must return an index in [\[0, partitions)]. Memory use is one
+    encoder block per open file. On exception the temp files are
+    removed and the exception re-raised. *)
+
+val partitions : t -> int
+
+val bytes : t -> int
+(** Total encoded bytes written (the amount added to [Spill_bytes]). *)
+
+val pool : t -> Buffer_pool.t
+
+val read_left : t -> int -> Tpdb_relation.Relation.t
+val read_right : t -> int -> Tpdb_relation.Relation.t
+(** Materialize one partition, pages through the spill's buffer pool. *)
+
+val finish : t -> unit
+(** Observes the pool hit rate ([Pool_hit_rate], permille) and deletes
+    the partition files and directory. *)
+
+val cleanup : t -> unit
+(** Deletes the files without recording anything (error paths). *)

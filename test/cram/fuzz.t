@@ -13,9 +13,10 @@ front so a crash mid-case cannot lose a report).
   fuzz: 1 case(s), 0 divergence(s)
 
 The oracle's own work is visible in the stats: 5 join kinds evaluated,
-each diffed under the 11 shipped configurations.
+each diffed under the 13 shipped configurations (including the
+two tiny-budget spilling variants of the out-of-core executor).
 
   $ grep -o '"oracle_[a-z]*": [0-9]*' stats.json
   "oracle_evals": 5
-  "oracle_comparisons": 55
+  "oracle_comparisons": 65
   "oracle_mismatches": 0

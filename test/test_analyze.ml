@@ -129,6 +129,8 @@ let hand_join theta =
       sanitize = false;
       prob_cache = true;
       safe_lineage = false;
+      mem_budget = 0;
+      est_rows = None;
       theta;
       left = Physical.Scan (Fixtures.relation_a ());
       right = Physical.Scan (Fixtures.relation_b ());

@@ -84,6 +84,8 @@ let hand_join ?(kind = Nj.Inner) ?(theta = Theta.eq 0 0) left right =
       sanitize = false;
       prob_cache = true;
       safe_lineage = false;
+      mem_budget = 0;
+      est_rows = None;
       theta;
       left;
       right;

@@ -395,6 +395,59 @@ let prop_sanitized_equals_unsanitized =
             [ 1; 2; 4 ])
         all_kinds)
 
+let prop_spilled_equals_in_ram =
+  (* The out-of-core contract: with the budget forced to one byte every
+     equi-θ join spills (partitioning, heap files, buffer pool, merge —
+     the whole disk path), and the output must still be the in-RAM
+     output tuple for tuple, for every join kind. Non-equi θs cannot
+     partition and stay in RAM, which the same equality covers as the
+     no-op case. *)
+  Test.make ~name:"spilled join = in-RAM (all kinds, budget 1 byte)"
+    ~count:100 ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      List.for_all
+        (fun kind ->
+          let in_ram = Nj.join ~kind ~theta r s in
+          let spilled =
+            Nj.join ~options:(Nj.options ~mem_budget:1 ()) ~kind ~theta r s
+          in
+          List.equal
+            (fun a b ->
+              Tuple.equal a b && Float.equal (Tuple.p a) (Tuple.p b))
+            (Relation.tuples in_ram) (Relation.tuples spilled))
+        all_kinds)
+
+let prop_join_spilled_streams_equal_join =
+  (* [join_spilled] consumes its inputs as streams and never
+     materializes them; on materialized relations re-wrapped as streams
+     it must return exactly what [join] returns. Only equi-θs apply —
+     the streaming entry refuses θs it cannot partition on. *)
+  Test.make ~name:"join_spilled on streams = join (all kinds)" ~count:80
+    ~print:Tp_gen.print_triple
+    (Tp_gen.scenario_gen ())
+    (fun (theta, r, s) ->
+      match Theta.equi_keys theta with
+      | None -> true
+      | Some _ ->
+          let env = Relation.prob_env [ r; s ] in
+          List.for_all
+            (fun kind ->
+              let in_ram = Nj.join ~env ~kind ~theta r s in
+              let spilled =
+                Nj.join_spilled
+                  ~options:(Nj.options ~mem_budget:1 ())
+                  ~env ~kind ~theta
+                  ~left:(Relation.schema r, Relation.to_seq r)
+                  ~right:(Relation.schema s, Relation.to_seq s)
+                  ()
+              in
+              List.equal
+                (fun a b ->
+                  Tuple.equal a b && Float.equal (Tuple.p a) (Tuple.p b))
+                (Relation.tuples in_ram) (Relation.tuples spilled))
+            all_kinds)
+
 let prop_composed_joins_match_oracle =
   (* Compositionality: the join of a derived relation (an anti-join
      result, with complex lineages) against a base relation must still
@@ -436,5 +489,7 @@ let suite =
     qtest prop_anti_probability_decomposes;
     qtest prop_parallel_equals_sequential;
     qtest prop_cached_equals_uncached;
+    qtest prop_spilled_equals_in_ram;
+    qtest prop_join_spilled_streams_equal_join;
     qtest prop_composed_joins_match_oracle;
   ]

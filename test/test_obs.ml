@@ -548,6 +548,8 @@ let paper_plan ?(kind = Nj.Left) ?(parallelism = 1) ?(sanitize = false) () =
       sanitize;
       prob_cache = true;
       safe_lineage = false;
+      mem_budget = 0;
+      est_rows = None;
       theta = Fixtures.theta_loc;
       left = Physical.Scan (Fixtures.relation_a ());
       right = Physical.Scan (Fixtures.relation_b ());
@@ -591,6 +593,8 @@ let sample_record ?(fingerprint = "00000000deadbeef") ?(total_ms = 12.5)
     wn = 3;
     prob_cache_hits = 4;
     prob_cache_misses = 3;
+    spill_bytes = 0;
+    spill_partitions = 0;
     sanitizer_ms = 0.25;
     stages = [ ("overlap", 1.5); ("lawau", 0.5); ("lawan", 0.75) ];
     gc =
@@ -661,6 +665,8 @@ let test_analyze_window_annotations () =
         sanitize = false;
         prob_cache = true;
         safe_lineage = false;
+        mem_budget = 0;
+        est_rows = None;
         theta = Fixtures.theta_loc;
         left = Physical.Scan r;
         right = Physical.Scan s;

@@ -25,6 +25,8 @@ let join kind =
       sanitize = false;
       prob_cache = true;
       safe_lineage = false;
+      mem_budget = 0;
+      est_rows = None;
       theta = Fixtures.theta_loc;
       left = scan_a ();
       right = scan_b ();

@@ -80,6 +80,70 @@ let test_codec_corruption () =
   | exception Codec.Corrupt _ -> ()
   | _ -> Alcotest.fail "unknown tag accepted"
 
+let test_varint_edges () =
+  let roundtrip n =
+    let buf = Buffer.create 16 in
+    Codec.write_varint buf n;
+    Alcotest.(check int)
+      (Printf.sprintf "varint %d" n)
+      n
+      (Codec.read_varint (Codec.reader (Buffer.to_bytes buf)))
+  in
+  List.iter roundtrip [ 0; 1; 127; 128; 16383; 16384; max_int ];
+  (match Codec.write_varint (Buffer.create 4) (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative varint accepted");
+  let zigzag n =
+    let buf = Buffer.create 16 in
+    Codec.write_zigzag buf n;
+    Alcotest.(check int)
+      (Printf.sprintf "zigzag %d" n)
+      n
+      (Codec.read_zigzag (Codec.reader (Buffer.to_bytes buf)))
+  in
+  List.iter zigzag [ 0; 1; -1; 63; -64; 64; max_int; min_int ];
+  (* one byte for the small signed range the interval deltas live in *)
+  let buf = Buffer.create 4 in
+  Codec.write_zigzag buf (-64);
+  Alcotest.(check int) "zigzag -64 is one byte" 1 (Buffer.length buf)
+
+let column_roundtrip name tuples =
+  let arr = Array.of_list tuples in
+  let buf = Buffer.create 256 in
+  Codec.Column.encode buf arr;
+  let back = Codec.Column.decode (Codec.reader (Buffer.to_bytes buf)) in
+  Alcotest.(check int) (name ^ ": count") (Array.length arr) (Array.length back);
+  Array.iteri
+    (fun i tp ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: tuple %d" name i)
+        true (Tuple.equal tp back.(i)))
+    arr
+
+(* The degenerate corners the delta/varint layout has to survive:
+   instant intervals [t, t+1) (duration encodes as varint 0), equal and
+   descending starts (zigzag deltas of either sign), and certain/
+   impossible probabilities 1.0 and 0.0 (raw IEEE bits, no scaling). *)
+let test_column_block_edges () =
+  let tp ?(lineage = "a1") ~ts ~te p values =
+    Tuple.make
+      ~fact:(Fact.of_values values)
+      ~lineage:(Formula.of_string lineage) ~iv:(iv ts te) ~p
+  in
+  column_roundtrip "instants"
+    [
+      tp ~ts:7 ~te:8 1.0 [ Value.I 7 ];
+      tp ~ts:7 ~te:8 0.0 [ Value.I 8 ];
+      tp ~ts:0 ~te:1 0.5 [ Value.Null ];
+      tp ~ts:6 ~te:7 1.0 [ Value.S "back one" ];
+    ];
+  column_roundtrip "mixed lineage and payload"
+    [
+      tp ~lineage:"a1 & !(b2 | b3)" ~ts:0 ~te:100 0.25 [ Value.F 2.5 ];
+      tp ~lineage:"!x9" ~ts:50 ~te:51 1.0 [ Value.S ""; Value.I (-3) ];
+    ];
+  column_roundtrip "empty block" []
+
 (* --- Heap file --- *)
 
 let big_relation n =
@@ -150,7 +214,136 @@ let test_heap_file_version_check () =
       | exception Heap_file.Corrupt _ -> ()
       | _ -> Alcotest.fail "future format version accepted")
 
+(* A record of exactly the v1 page payload capacity must fill its page
+   without tripping the oversize path, and one byte more must take it —
+   the two sides of the "tuple never spans pages" rule. *)
+let test_heap_file_page_boundary () =
+  let payload_capacity = Heap_file.page_size - 2 in
+  let tuple_of_blob blob =
+    Tuple.make
+      ~fact:(Fact.of_values [ Value.S blob ])
+      ~lineage:(Formula.of_string "a1") ~iv:(iv 0 5) ~p:0.5
+  in
+  (* The blob's length is the record size's only variable, one byte per
+     character in this range: solve for an exact fill. *)
+  let probe = Codec.tuple_size (tuple_of_blob (String.make 1000 'x')) in
+  let exact = String.make (1000 + payload_capacity - probe) 'x' in
+  let exact_tuple = tuple_of_blob exact in
+  Alcotest.(check int)
+    "record fills the payload exactly" payload_capacity
+    (Codec.tuple_size exact_tuple);
+  let roundtrip name tuples pages =
+    with_temp_dir (fun dir ->
+        let path = Filename.concat dir "b.tpr" in
+        let r =
+          Relation.of_tuples (Schema.make ~name:"b" [ "Blob" ]) tuples
+        in
+        Heap_file.write path r;
+        Alcotest.(check int) (name ^ ": data pages") pages
+          (Heap_file.page_count path);
+        Alcotest.(check bool)
+          (name ^ ": roundtrip")
+          true
+          (Relation.equal_as_sets r (Heap_file.read path)))
+  in
+  (* exact fill: one full page, the neighbour opens a second *)
+  roundtrip "exact fill" [ exact_tuple; tuple_of_blob "next" ] 2;
+  (* one byte over: the record no longer fits a page and must chain —
+     u16 sentinel + u64 length + record = just over one page, so two
+     pages for the chain plus one for the neighbour *)
+  roundtrip "one byte over"
+    [ tuple_of_blob (exact ^ "y"); tuple_of_blob "next" ]
+    3
+
+let test_columnar_writer_roundtrip () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "col.tpr" in
+      let r = big_relation 2_000 in
+      Heap_file.write_columnar path r;
+      let back = Heap_file.read path in
+      Alcotest.(check bool) "columnar roundtrip" true
+        (Relation.equal_as_sets r back);
+      Alcotest.(check (list string))
+        "schema" [ "K"; "Payload" ]
+        (Schema.columns (Heap_file.schema_of path));
+      (* the columnar region is denser than the row format *)
+      let row = Filename.concat dir "row.tpr" in
+      Heap_file.write row r;
+      Alcotest.(check bool) "columnar is smaller" true
+        (Heap_file.page_count path < Heap_file.page_count row);
+      (* a pooled sequential scan earns hits on the boundary pages
+         adjacent blocks share *)
+      let pool = Buffer_pool.create ~capacity:64 in
+      let pooled = Heap_file.read ~pool path in
+      Alcotest.(check bool) "pooled read agrees" true
+        (Relation.equal_as_sets r pooled);
+      let hits, misses = Buffer_pool.stats pool in
+      Alcotest.(check bool) "cold columnar scan still hits" true (hits > 0);
+      Alcotest.(check int)
+        "every page missed exactly once"
+        (1 + Heap_file.page_count path)
+        misses)
+
+let test_columnar_writer_streams () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "s.tpr" in
+      let r = big_relation 700 in
+      let w = Heap_file.Writer.create path (Relation.schema r) in
+      Alcotest.(check bool) "invisible until close" false (Sys.file_exists path);
+      List.iter (Heap_file.Writer.add w) (Relation.tuples r);
+      Alcotest.(check int) "tuple count" 700 (Heap_file.Writer.tuple_count w);
+      Alcotest.(check bool) "bytes accounted" true
+        (Heap_file.Writer.bytes_written w > 0);
+      Heap_file.Writer.close w;
+      Heap_file.Writer.close w;
+      (* idempotent *)
+      Alcotest.(check bool) "roundtrip" true
+        (Relation.equal_as_sets r (Heap_file.read path));
+      (* abort drops the temp file and never produces the target *)
+      let dropped = Filename.concat dir "dropped.tpr" in
+      let w = Heap_file.Writer.create dropped (Relation.schema r) in
+      Heap_file.Writer.add w (List.hd (Relation.tuples r));
+      Heap_file.Writer.abort w;
+      Alcotest.(check bool) "aborted file absent" false (Sys.file_exists dropped);
+      Alcotest.(check bool) "temp gone too" false
+        (Sys.file_exists (dropped ^ ".tmp")))
+
 (* --- Buffer pool --- *)
+
+let test_pinned_eviction () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "pin.tpr" in
+      Heap_file.write path (big_relation 500);
+      let pool = Buffer_pool.create ~capacity:2 in
+      let pinned = Buffer_pool.pin pool ~path ~index:0 ~size:Heap_file.page_size in
+      Alcotest.(check bool) "pinned bytes" true (Bytes.length pinned > 0);
+      ignore (Buffer_pool.pin pool ~path ~index:1 ~size:Heap_file.page_size);
+      (* every resident page pinned: the next distinct read cannot evict
+         and must surface the typed error with its diagnosis payload *)
+      (match
+         Buffer_pool.read_page pool ~path ~index:2 ~size:Heap_file.page_size
+       with
+      | exception Buffer_pool.Pinned_eviction { capacity; pinned; index; _ } ->
+          Alcotest.(check int) "capacity" 2 capacity;
+          Alcotest.(check int) "pinned" 2 pinned;
+          Alcotest.(check int) "victimless page" 2 index
+      | _ -> Alcotest.fail "eviction broke a pin");
+      (* releasing one pin unblocks the read *)
+      Buffer_pool.unpin pool ~path ~index:1;
+      ignore (Buffer_pool.read_page pool ~path ~index:2 ~size:Heap_file.page_size);
+      Alcotest.(check bool) "capacity still bounds cache" true
+        (Buffer_pool.cached_pages pool <= 2);
+      (* with_pin releases on exit, even on raise *)
+      (match
+         Buffer_pool.with_pin pool ~path ~index:2 ~size:Heap_file.page_size
+           (fun _ -> failwith "decode failed")
+       with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "with_pin swallowed the exception");
+      ignore (Buffer_pool.read_page pool ~path ~index:3 ~size:Heap_file.page_size);
+      match Buffer_pool.unpin pool ~path ~index:3 with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "unpin of unpinned page accepted")
 
 let test_buffer_pool () =
   with_temp_dir (fun dir ->
@@ -234,6 +427,79 @@ let prop_heap_file_roundtrip =
           Heap_file.write path r;
           Relation.equal_as_sets r (Heap_file.read path)))
 
+(* Random blocks biased toward the delta codec's degenerate corners:
+   instant intervals [t, t+1), negative and descending start points,
+   certain/impossible probabilities, and every lineage constructor —
+   shapes the workload-shaped [Tp_gen] relations rarely reach. *)
+let degenerate_block_gen =
+  let open QCheck2.Gen in
+  let var_f =
+    let* rel = oneofl [ "d"; "e" ] in
+    let* idx = int_range 0 3 in
+    return (Formula.var (Tpdb_lineage.Var.make rel idx))
+  in
+  let lineage_gen =
+    let* v = var_f in
+    let* w = var_f in
+    oneofl
+      [
+        v;
+        Formula.neg v;
+        Formula.conj [ v; w ];
+        Formula.disj [ v; Formula.neg w ];
+        Formula.true_;
+        Formula.false_;
+      ]
+  in
+  let tuple_gen =
+    let* ts = int_range (-30) 30 in
+    let* duration = frequency [ (3, return 1); (1, int_range 2 10) ] in
+    let* p =
+      frequency
+        [ (1, return 0.0); (1, return 1.0); (2, float_bound_inclusive 1.0) ]
+    in
+    let* lineage = lineage_gen in
+    let* value =
+      oneof
+        [
+          return Value.Null;
+          map (fun i -> Value.I i) small_signed_int;
+          map (fun f -> Value.F f) (float_bound_inclusive 8.0);
+          map (fun s -> Value.S s) (string_size (int_range 0 6));
+        ]
+    in
+    return
+      (Tuple.make
+         ~fact:(Fact.of_values [ value ])
+         ~lineage
+         ~iv:(iv ts (ts + duration))
+         ~p)
+  in
+  list_size (int_range 0 40) tuple_gen
+
+let prop_column_block_roundtrip =
+  Test.make ~name:"columnar blocks round-trip degenerate tuples" ~count:200
+    ~print:(fun tuples ->
+      String.concat "\n" (List.map Tuple.to_string tuples))
+    degenerate_block_gen
+    (fun tuples ->
+      let arr = Array.of_list tuples in
+      let buf = Buffer.create 256 in
+      Codec.Column.encode buf arr;
+      let back = Codec.Column.decode (Codec.reader (Buffer.to_bytes buf)) in
+      Array.length back = Array.length arr
+      && Array.for_all2 Tuple.equal arr back)
+
+let prop_columnar_file_roundtrip =
+  Test.make ~name:"columnar heap files round-trip random relations" ~count:60
+    ~print:Tp_gen.print_relation
+    (Tp_gen.relation_gen ~name:"r" ())
+    (fun r ->
+      with_temp_dir (fun dir ->
+          let path = Filename.concat dir "r.tpr" in
+          Heap_file.write_columnar path r;
+          Relation.equal_as_sets r (Heap_file.read path)))
+
 let prop_join_results_survive_storage =
   Test.make ~name:"derived relations survive storage" ~count:40
     ~print:Tp_gen.print_triple
@@ -251,14 +517,22 @@ let suite =
     Alcotest.test_case "codec values" `Quick test_codec_values;
     Alcotest.test_case "codec tuple round-trip" `Quick test_codec_tuple_roundtrip;
     Alcotest.test_case "codec corruption" `Quick test_codec_corruption;
+    Alcotest.test_case "varint and zigzag edges" `Quick test_varint_edges;
+    Alcotest.test_case "columnar block edge cases" `Quick test_column_block_edges;
     Alcotest.test_case "heap file round-trip" `Quick test_heap_file_roundtrip;
+    Alcotest.test_case "heap file page boundary" `Quick test_heap_file_page_boundary;
+    Alcotest.test_case "columnar file round-trip" `Quick test_columnar_writer_roundtrip;
+    Alcotest.test_case "columnar writer streams" `Quick test_columnar_writer_streams;
     Alcotest.test_case "heap file oversize chain" `Quick test_heap_file_oversize;
     Alcotest.test_case "heap file empty" `Quick test_heap_file_empty;
     Alcotest.test_case "heap file corruption" `Quick test_heap_file_corrupt;
     Alcotest.test_case "heap file version check" `Quick test_heap_file_version_check;
     Alcotest.test_case "buffer pool" `Quick test_buffer_pool;
     Alcotest.test_case "buffer pool invalidation" `Quick test_buffer_pool_invalidate;
+    Alcotest.test_case "pinned eviction" `Quick test_pinned_eviction;
     Alcotest.test_case "db directory" `Quick test_db;
     qtest prop_heap_file_roundtrip;
+    qtest prop_column_block_roundtrip;
+    qtest prop_columnar_file_roundtrip;
     qtest prop_join_results_survive_storage;
   ]
