@@ -2,7 +2,7 @@
 """Benchmark regression gate.
 
 Compares a freshly generated bench JSON report (bench/main.exe --json)
-against the committed baseline (BENCH_6.json at the repo root). Timings
+against the committed baseline (BENCH_9.json at the repo root). Timings
 are machine-dependent and ignored; everything the pipeline counts
 deterministically must match the baseline exactly:
 
@@ -32,7 +32,21 @@ invariants of the CURRENT report:
 Usage: check_bench.py BASELINE CURRENT [--hit-rate-floor F]
                       [--sweep-ratio-floor F] [--alloc-tolerance F]
                       [--require-counter NAME]... [--pool-hit-rate-floor F]
+                      [--qps-floor F] [--p99-ceiling-ms F]
 Exits non-zero on the first class of failure, printing every diff.
+
+Server reports (bench/main.exe --server --json) carry a "server" block
+with client-side latency and throughput plus the plan-/result-cache
+counters. Two extra gates apply to the current report's server block:
+
+  - --qps-floor F asserts server.qps >= F — a deliberately loose
+    floor that catches the server serializing everything (e.g. cache
+    lookups accidentally moved behind the admission queue) without
+    being sensitive to CI machine speed;
+  - --p99-ceiling-ms F asserts server.p99_ms <= F, same spirit.
+
+Both also fail on any server-side errors or row mismatches recorded in
+the block, and on a missing block when either flag is set.
 
 Single-file mode: with only one report (check_bench.py CURRENT) every
 baseline comparison is skipped and only the current-report invariants
@@ -122,6 +136,20 @@ def main():
         default=None,
         metavar="F",
         help="fail unless pool_hits / (pool_hits + pool_misses) >= F",
+    )
+    parser.add_argument(
+        "--qps-floor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fail unless the server block reports qps >= F",
+    )
+    parser.add_argument(
+        "--p99-ceiling-ms",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fail unless the server block reports p99_ms <= F",
     )
     args = parser.parse_args()
 
@@ -239,6 +267,32 @@ def main():
                 f"{args.pool_hit_rate_floor}"
             )
 
+    server = current.get("server")
+    if args.qps_floor is not None or args.p99_ceiling_ms is not None:
+        if server is None:
+            failures.append(
+                "server gates set but the report has no server block"
+            )
+        else:
+            if server.get("errors", 0) or server.get("row_mismatches", 0):
+                failures.append(
+                    f"server bench recorded {server.get('errors', 0)} errors "
+                    f"and {server.get('row_mismatches', 0)} row mismatches"
+                )
+            if args.qps_floor is not None and server["qps"] < args.qps_floor:
+                failures.append(
+                    f"server qps {server['qps']:.0f} below floor "
+                    f"{args.qps_floor:.0f}"
+                )
+            if (
+                args.p99_ceiling_ms is not None
+                and server["p99_ms"] > args.p99_ceiling_ms
+            ):
+                failures.append(
+                    f"server p99 {server['p99_ms']:.2f} ms above ceiling "
+                    f"{args.p99_ceiling_ms:.2f} ms"
+                )
+
     if failures:
         print(f"bench regression check FAILED ({len(failures)} diffs):")
         for failure in failures:
@@ -259,6 +313,12 @@ def main():
         summary.append(f"pool hit rate {pool_rate:.3f}")
     if "speedup" in pc_cur:
         summary.append(f"speedup {json.dumps(pc_cur['speedup'])}")
+    if server is not None:
+        summary.append(
+            f"server {server['qps']:.0f} q/s p99 {server['p99_ms']:.2f} ms "
+            f"(plan cache {server.get('plan_cache_hits', 0)} hits, "
+            f"result cache {server.get('result_cache_hits', 0)} hits)"
+        )
     print("bench regression check passed: " + ", ".join(summary))
 
 

@@ -10,6 +10,14 @@
      --no-spill    skip the out-of-core spill-scale series
      --spill-only  run only the spill-scale series (the CI
                    memory-ceiling job runs this under ulimit -v)
+     --server      run only the concurrent-server bench: an in-process
+                   tpdb_server on an ephemeral port, hammered by
+                   --clients N (default 200, 40 with --quick) client
+                   threads issuing --requests N (default 50, 10 with
+                   --quick) queries each from a fixed mix; reports
+                   p50/p99 latency, queries/sec and the plan-/result-
+                   cache hit counters (the committed BENCH_10.json
+                   baseline)
      --json FILE   additionally write every sweep point plus the
                    pipeline's metrics snapshot (windows per class,
                    partition skew, quantile distributions) as a JSON
@@ -367,6 +375,9 @@ let meta_json () =
       ("jobs", J.int (Domain.recommended_domain_count ()));
     ]
 
+(* Filled by the --server bench; lands as the report's "server" block. *)
+let server_report : (string * string) list option ref = ref None
+
 let json_report metrics =
   let point (p : E.point) =
     J.obj
@@ -388,7 +399,7 @@ let json_report metrics =
   let ps = Metrics.dist_stats metrics Metrics.Partition_size in
   let mean = Metrics.mean ps in
   J.obj
-    [
+    ([
       ("meta", meta_json ());
       ("sweeps", J.arr (List.map sweep (List.rev !sweeps)));
       ( "windows",
@@ -437,9 +448,185 @@ let json_report metrics =
                 ( "speedup",
                   J.obj (List.map (fun (k, v) -> (k, J.float v)) speedups) );
               ] );
-      (* the full snapshot, verbatim from the sink *)
-      ("metrics", Metrics.to_json metrics);
     ]
+    @ (match !server_report with
+      | None -> []
+      | Some fields -> [ ("server", J.obj fields) ])
+    (* the full snapshot, verbatim from the sink *)
+    @ [ ("metrics", Metrics.to_json metrics) ])
+
+(* --- the concurrent-server bench (--server) ---------------------------
+
+   One in-process server on an ephemeral TCP port, seeded with the
+   webkit pair, hammered by hundreds of client threads replaying a
+   fixed query mix. Each request's latency is recorded client-side;
+   the report carries p50/p99 and queries/sec plus the plan- and
+   result-cache counters. Row counts per query are deterministic, so
+   the sweep points' outputs compare exactly across runs; the latency
+   and throughput numbers are the machine-dependent headline. *)
+
+let server_query_mix =
+  [
+    ("inner", "SELECT * FROM r TPJOIN s ON r.File = s.File");
+    ("left-outer", "SELECT * FROM r LEFT TPJOIN s ON r.File = s.File");
+    ("full-outer", "SELECT * FROM r FULL TPJOIN s ON r.File = s.File");
+    ("anti", "SELECT * FROM r ANTIJOIN s ON r.File = s.File");
+  ]
+
+let server_bench_failed = ref false
+
+let run_server_bench ~quick ~clients ~requests metrics =
+  let module Server = Tpdb.Server in
+  let module Client = Tpdb.Server_client in
+  let size = if quick then 500 else 2_000 in
+  let r, s = E.pair E.Webkit ~size in
+  let config =
+    {
+      (Server.default_config (`Tcp ("", 0))) with
+      Server.workers = max 2 (Domain.recommended_domain_count () - 2);
+      queue_limit = 4096;
+      plan_cache_capacity = 64;
+      result_cache_capacity = 128;
+    }
+  in
+  let server = Server.start config in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let store = Server.store server in
+  ignore (Tpdb.Server_store.register store r);
+  ignore (Tpdb.Server_store.register store s);
+  let port =
+    match Server.port server with Some p -> p | None -> assert false
+  in
+  let addr = `Tcp ("", port) in
+  (* Warm-up: one pass over the mix plans and executes each query once,
+     so the measured runs exercise the repeated-query (cached) path the
+     server exists for — and record the expected row counts. *)
+  let expected =
+    let c = Client.connect ~client:"bench-warmup" addr in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    List.map
+      (fun (name, sql) -> (name, (Client.query c sql).Client.rows))
+      server_query_mix
+  in
+  let nq = List.length server_query_mix in
+  let latencies = Array.make (clients * requests) 0 in
+  let fail_mutex = Mutex.create () in
+  let overloads = ref 0 and errors = ref 0 and mismatches = ref 0 in
+  let tally cell =
+    Mutex.lock fail_mutex;
+    incr cell;
+    Mutex.unlock fail_mutex
+  in
+  let client_thread tid =
+    let rec connect tries =
+      match Client.connect ~client:(Printf.sprintf "bench-%d" tid) addr with
+      | c -> c
+      | exception
+          Unix.Unix_error
+            ((ECONNREFUSED | ECONNRESET | EAGAIN | ETIMEDOUT), _, _)
+        when tries < 100 ->
+          Thread.delay 0.01;
+          connect (tries + 1)
+    in
+    let c = connect 0 in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    for i = 0 to requests - 1 do
+      let k = (tid + i) mod nq in
+      let name, sql = List.nth server_query_mix k in
+      let t0 = Tpdb.Obs_clock.now_ns () in
+      (match Client.query c sql with
+      | resp ->
+          if resp.Client.rows <> List.assoc name expected then
+            tally mismatches
+      | exception Client.Server_overloaded _ -> tally overloads
+      | exception _ -> tally errors);
+      latencies.((tid * requests) + i) <- Tpdb.Obs_clock.now_ns () - t0
+    done
+  in
+  let t_start = Tpdb.Obs_clock.now_ns () in
+  let threads = List.init clients (fun tid -> Thread.create client_thread tid) in
+  List.iter Thread.join threads;
+  let wall_ns = Tpdb.Obs_clock.now_ns () - t_start in
+  let total = clients * requests in
+  Array.sort compare latencies;
+  let pct p =
+    float_of_int latencies.(min (total - 1) (p * total / 100)) /. 1e6
+  in
+  let mean_ms =
+    float_of_int (Array.fold_left ( + ) 0 latencies)
+    /. float_of_int total /. 1e6
+  in
+  let wall_s = float_of_int wall_ns /. 1e9 in
+  let qps = if wall_s > 0.0 then float_of_int total /. wall_s else 0.0 in
+  (* per-query mean latency + deterministic output cardinality *)
+  let points =
+    List.mapi
+      (fun k (name, _sql) ->
+        let sum = ref 0 and n = ref 0 in
+        for tid = 0 to clients - 1 do
+          for i = 0 to requests - 1 do
+            if (tid + i) mod nq = k then begin
+              sum := !sum + latencies.((tid * requests) + i);
+              incr n
+            end
+          done
+        done;
+        {
+          E.series = name;
+          size = clients;
+          ms =
+            (if !n > 0 then float_of_int !sum /. float_of_int !n /. 1e6
+             else 0.0);
+          output = List.assoc name expected;
+          rss_kb = 0;
+        })
+      server_query_mix
+  in
+  emit
+    (Printf.sprintf
+       "Server: %d concurrent sessions, %d requests each (webkit %d)"
+       clients requests size)
+    points;
+  let counter name c = (name, J.int (Metrics.get metrics c)) in
+  server_report :=
+    Some
+      [
+        ("clients", J.int clients);
+        ("requests_per_client", J.int requests);
+        ("queries", J.int total);
+        ("wall_ms", J.float (wall_s *. 1e3));
+        ("qps", J.float qps);
+        ("mean_ms", J.float mean_ms);
+        ("p50_ms", J.float (pct 50));
+        ("p99_ms", J.float (pct 99));
+        ("overloads", J.int !overloads);
+        ("errors", J.int !errors);
+        ("row_mismatches", J.int !mismatches);
+        counter "server_queries" Metrics.Server_queries;
+        counter "plan_cache_hits" Metrics.Plan_cache_hits;
+        counter "plan_cache_misses" Metrics.Plan_cache_misses;
+        counter "result_cache_hits" Metrics.Result_cache_hits;
+        counter "result_cache_misses" Metrics.Result_cache_misses;
+        counter "sessions_opened" Metrics.Sessions_opened;
+      ];
+  Printf.printf
+    "server bench: %d clients x %d requests — %.0f q/s, p50 %.2f ms, p99 \
+     %.2f ms (mean %.2f ms)\n"
+    clients requests qps (pct 50) (pct 99) mean_ms;
+  Printf.printf
+    "server bench: plan cache %d hits / %d misses, result cache %d hits / \
+     %d misses\n"
+    (Metrics.get metrics Metrics.Plan_cache_hits)
+    (Metrics.get metrics Metrics.Plan_cache_misses)
+    (Metrics.get metrics Metrics.Result_cache_hits)
+    (Metrics.get metrics Metrics.Result_cache_misses);
+  if !errors > 0 || !mismatches > 0 then begin
+    Printf.printf
+      "server bench FAILED: %d errors, %d row mismatches, %d overloads\n"
+      !errors !mismatches !overloads;
+    server_bench_failed := true
+  end;
+  flush stdout
 
 let rec option_value flag = function
   | f :: v :: _ when f = flag -> Some v
@@ -455,7 +642,25 @@ let () =
   if Option.is_some json_out || Option.is_some openmetrics_out then
     Metrics.install metrics;
   let scale = if has "--quick" then E.Quick else E.Default in
-  if has "--spill-only" then
+  if has "--server" then begin
+    (* the concurrent-server bench: counters must land in [metrics]
+       even without --json, and the in-process server must reuse the
+       sink rather than install its own *)
+    (match Metrics.active () with
+    | Some _ -> ()
+    | None -> Metrics.install metrics);
+    let int_flag flag ~default =
+      match option_value flag flags with
+      | Some v -> int_of_string v
+      | None -> default
+    in
+    let quick = has "--quick" in
+    run_server_bench ~quick
+      ~clients:(int_flag "--clients" ~default:(if quick then 40 else 200))
+      ~requests:(int_flag "--requests" ~default:(if quick then 10 else 50))
+      metrics
+  end
+  else if has "--spill-only" then
     (* the CI memory-ceiling job: just the out-of-core series, under
        ulimit -v — everything else here would blow a 2 GB ceiling by
        design, not by regression *)
@@ -487,4 +692,5 @@ let () =
       Metrics.save_openmetrics metrics path;
       Printf.printf "wrote OpenMetrics report to %s\n" path
   | None -> ());
-  Printf.printf "\nbench: done\n"
+  Printf.printf "\nbench: done\n";
+  if !server_bench_failed then exit 1

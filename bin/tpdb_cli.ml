@@ -181,8 +181,9 @@ let slow_threshold = function
       | None -> None
       | Some s -> float_of_string_opt s)
 
-let query tables db_dir explain_only analyze jobs sanitize no_prob_cache
-    mem_budget_mb trace_out stats_out openmetrics_out qlog_out slow_ms sql =
+let query tables db_dir explain_only analyze result_only jobs sanitize
+    no_prob_cache mem_budget_mb trace_out stats_out openmetrics_out qlog_out
+    slow_ms sql =
   let catalog = load_catalog tables db_dir in
   let sanitize_flag = if sanitize then Some true else None in
   let prob_cache = not no_prob_cache in
@@ -313,7 +314,13 @@ let query tables db_dir explain_only analyze jobs sanitize no_prob_cache
         | Some m, Some path -> Tpdb.Metrics.save_openmetrics m path
         | _ -> ())
     @@ fun () ->
-    if analyze then begin
+    if result_only then
+      (* Nothing but the rendered relation: the byte-identity reference
+         for the server's wire results (bench/CI diff them). *)
+      Tpdb.Relation.print
+        (run_logged ~rows:Tpdb.Relation.cardinality (fun () ->
+             Tpdb.Planner.run plan))
+    else if analyze then begin
       let result, report =
         run_logged
           ~rows:(fun (r, _) -> Tpdb.Relation.cardinality r)
@@ -379,6 +386,12 @@ let query_cmd =
   and analyze =
     Arg.(value & flag & info [ "analyze" ]
            ~doc:"Run and annotate the plan with per-node rows and timings.")
+  and result_only =
+    Arg.(value & flag & info [ "result-only" ]
+           ~doc:"Print only the rendered result relation — no header, plan \
+                 or diagnostics. Byte-identical to what $(b,tpdb_cli \
+                 connect --query) prints for the same query against a \
+                 server over the same data.")
   and jobs =
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
            ~doc:"Partition the window sweep of every equi-join across N \
@@ -441,9 +454,9 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Run a TP-SQL query over CSV files and/or a database directory.")
-    Term.(const query $ tables $ db_dir $ explain_only $ analyze $ jobs
-          $ sanitize $ no_prob_cache $ mem_budget $ trace_out $ stats_out
-          $ openmetrics_out $ qlog_out $ slow_ms $ sql)
+    Term.(const query $ tables $ db_dir $ explain_only $ analyze $ result_only
+          $ jobs $ sanitize $ no_prob_cache $ mem_budget $ trace_out
+          $ stats_out $ openmetrics_out $ qlog_out $ slow_ms $ sql)
 
 (* --- qlog: summarize a structured query log --- *)
 
@@ -790,11 +803,176 @@ let store_cmd =
     (Cmd.info "store" ~doc:"Import CSV relations into a database directory.")
     Term.(const store $ db_dir $ csvs)
 
+(* --- connect: client for a running tpdb_server --- *)
+
+let connect_endpoint socket host port =
+  match (socket, port) with
+  | Some path, None -> `Unix path
+  | None, Some p -> `Tcp (host, p)
+  | Some _, Some _ ->
+      prerr_endline "connect: --socket and --port are mutually exclusive";
+      exit 2
+  | None, None ->
+      prerr_endline "connect: one of --socket or --port is required";
+      exit 2
+
+let connect_exec client verbose sql =
+  let r = Tpdb.Server_client.query client sql in
+  (* stdout carries exactly the wire result (CLI-identical bytes);
+     cache provenance goes to stderr so diffs stay clean. *)
+  print_string r.Tpdb.Server_client.text;
+  flush stdout;
+  if verbose then
+    Printf.eprintf "-- rows: %d; plan cache: %s; result cache: %s\n%!"
+      r.Tpdb.Server_client.rows
+      (if r.Tpdb.Server_client.plan_cached then "hit" else "miss")
+      (if r.Tpdb.Server_client.result_cached then "hit" else "miss")
+
+let connect_repl client verbose =
+  let interactive = Unix.isatty Unix.stdin in
+  let prompt () =
+    if interactive then begin
+      print_string "tpdb> ";
+      flush stdout
+    end
+  in
+  let handle_line line =
+    match String.trim line with
+    | "" -> ()
+    | {|\q|} | {|\quit|} -> raise Exit
+    | {|\stats|} -> print_endline (Tpdb.Server_client.stats client)
+    | {|\metrics|} -> print_string (Tpdb.Server_client.openmetrics client)
+    | {|\ping|} ->
+        Tpdb.Server_client.ping client;
+        print_endline "pong"
+    | line when String.length line > 6 && String.sub line 0 6 = {|\load |} -> (
+        match
+          String.split_on_char '='
+            (String.trim (String.sub line 6 (String.length line - 6)))
+        with
+        | [ name; path ] ->
+            let ic = open_in path in
+            let n = in_channel_length ic in
+            let csv = really_input_string ic n in
+            close_in ic;
+            let version, rows =
+              Tpdb.Server_client.load client ~name:(String.trim name) ~csv
+            in
+            Printf.printf "loaded %s: version %d, %d rows\n%!"
+              (String.trim name) version rows
+        | _ -> prerr_endline {|usage: \load NAME=FILE.csv|})
+    | sql -> connect_exec client verbose sql
+  in
+  (try
+     while true do
+       prompt ();
+       match input_line stdin with
+       | exception End_of_file -> raise Exit
+       | line -> (
+           try handle_line line with
+           | Tpdb.Server_client.Server_overloaded m ->
+               Printf.eprintf "overloaded: %s\n%!" m
+           | Tpdb.Server_client.Server_error (code, m) ->
+               Printf.eprintf "error (%s): %s\n%!"
+                 (Tpdb.Server_protocol.error_code_name code)
+                 m
+           | Sys_error m -> Printf.eprintf "error: %s\n%!" m)
+     done
+   with Exit -> ());
+  if interactive then print_newline ()
+
+let connect socket host port sql_opt loads stats openmetrics ping verbose =
+  let endpoint = connect_endpoint socket host port in
+  let client =
+    try Tpdb.Server_client.connect ~client:"tpdb_cli" endpoint
+    with Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "connect: %s\n%!" (Unix.error_message err);
+      exit 1
+  in
+  Fun.protect ~finally:(fun () -> Tpdb.Server_client.close client)
+  @@ fun () ->
+  try
+    List.iter
+      (fun spec ->
+        match String.split_on_char '=' spec with
+        | [ name; path ] ->
+            let ic = open_in path in
+            let n = in_channel_length ic in
+            let csv = really_input_string ic n in
+            close_in ic;
+            let version, rows = Tpdb.Server_client.load client ~name ~csv in
+            Printf.eprintf "loaded %s: version %d, %d rows\n%!" name version
+              rows
+        | _ ->
+            prerr_endline "connect: --load expects NAME=FILE.csv";
+            exit 2)
+      loads;
+    if ping then begin
+      Tpdb.Server_client.ping client;
+      print_endline "pong"
+    end;
+    if stats then print_endline (Tpdb.Server_client.stats client);
+    if openmetrics then print_string (Tpdb.Server_client.openmetrics client);
+    match sql_opt with
+    | Some sql -> connect_exec client verbose sql
+    | None ->
+        if not (ping || stats || openmetrics || loads <> []) then
+          connect_repl client verbose
+  with
+  | Tpdb.Server_client.Server_overloaded m ->
+      Printf.eprintf "overloaded: %s\n%!" m;
+      exit 3
+  | Tpdb.Server_client.Server_error (code, m) ->
+      Printf.eprintf "error (%s): %s\n%!"
+        (Tpdb.Server_protocol.error_code_name code)
+        m;
+      exit 1
+
+let connect_cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket of the server.")
+  and host =
+    Arg.(value & opt string "" & info [ "host" ] ~docv:"HOST"
+           ~doc:"Server IP address (default loopback); used with --port.")
+  and port =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port of the server.")
+  and sql =
+    Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"QUERY"
+           ~doc:"Run one query and print its result — byte-identical to \
+                 $(b,tpdb_cli query --result-only) over the same data.")
+  and loads =
+    Arg.(value & opt_all string [] & info [ "load" ] ~docv:"NAME=CSV"
+           ~doc:"LOAD a CSV file as relation NAME before anything else \
+                 (repeatable).")
+  and stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the server's JSON stats snapshot.")
+  and openmetrics =
+    Arg.(value & flag & info [ "openmetrics" ]
+           ~doc:"Print the server's OpenMetrics exposition.")
+  and ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip a PING.")
+  and verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ]
+           ~doc:"Report rows and cache hits on stderr after each query.")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Connect to a running tpdb_server. With --query (or --stats, \
+             --openmetrics, --ping, --load) runs one command and exits; \
+             with none, reads queries from stdin (backslash commands: \
+             \\\\load NAME=FILE, \\\\stats, \\\\metrics, \\\\ping, \
+             \\\\quit).")
+    Term.(const connect $ socket $ host $ port $ sql $ loads $ stats
+          $ openmetrics $ ping $ verbose)
+
 let () =
   let info =
     Cmd.info "tpdb_cli" ~version:"1.0.0"
       ~doc:"Temporal-probabilistic outer and anti joins (ICDE 2019 reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ generate_cmd; query_cmd; check_cmd; stats_cmd; store_cmd;
-         render_cmd; experiment_cmd; fuzz_cmd; qlog_cmd ]))
+       [ generate_cmd; query_cmd; connect_cmd; check_cmd; stats_cmd;
+         store_cmd; render_cmd; experiment_cmd; fuzz_cmd; qlog_cmd ]))

@@ -1,0 +1,143 @@
+(* tpdb_server — the long-lived concurrent-session TP database daemon.
+
+   Thin cmdliner shell over Tpdb.Server: parse flags into a
+   Server.config, start, print the bound endpoint (CI waits for that
+   line), then park until SIGINT/SIGTERM and stop cleanly. *)
+
+open Cmdliner
+
+let stop_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let request _ = Atomic.set stop_requested true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle request)
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm (Sys.Signal_handle request)
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let preload server specs =
+  let store = Tpdb.Server.store server in
+  List.iter
+    (fun spec ->
+      match String.split_on_char '=' spec with
+      | [ name; path ] ->
+          let relation = Tpdb.Csv.load ~name path in
+          let loaded = Tpdb.Server_store.register store relation in
+          Printf.printf "loaded %s (version %d, %d rows) from %s\n%!" name
+            loaded.Tpdb.Server_store.version loaded.Tpdb.Server_store.rows path
+      | _ ->
+          prerr_endline "tpdb_server: --table expects NAME=FILE.csv";
+          exit 2)
+    specs
+
+let describe = function
+  | Unix.ADDR_UNIX path -> Printf.sprintf "unix:%s" path
+  | Unix.ADDR_INET (inet, port) ->
+      Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr inet) port
+
+let serve socket host port db_dir stats_dir workers queue_limit jobs
+    plan_cache result_cache qlog sanitize mem_budget_mb tables debug_sleep =
+  let listen =
+    match (socket, port) with
+    | Some path, None -> `Unix path
+    | None, Some p -> `Tcp (host, p)
+    | Some _, Some _ ->
+        prerr_endline "tpdb_server: --socket and --port are mutually exclusive";
+        exit 2
+    | None, None ->
+        prerr_endline "tpdb_server: one of --socket or --port is required";
+        exit 2
+  in
+  let config =
+    {
+      (Tpdb.Server.default_config listen) with
+      workers;
+      queue_limit;
+      plan_cache_capacity = plan_cache;
+      result_cache_capacity = result_cache;
+      parallelism = jobs;
+      sanitize = (if sanitize then Some true else None);
+      mem_budget = Option.map (fun mb -> mb * 1024 * 1024) mem_budget_mb;
+      db_dir;
+      stats_dir;
+      qlog;
+      debug_sleep;
+    }
+  in
+  install_signal_handlers ();
+  let server = Tpdb.Server.start config in
+  preload server tables;
+  Printf.printf "tpdb_server: listening on %s (%d workers, queue %d)\n%!"
+    (describe (Tpdb.Server.address server))
+    workers queue_limit;
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.2
+  done;
+  prerr_endline "tpdb_server: shutting down";
+  Tpdb.Server.stop server
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv).")
+  and host =
+    Arg.(value & opt string "" & info [ "host" ] ~docv:"HOST"
+           ~doc:"IP address to bind (default loopback); used with --port.")
+  and port =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Listen on TCP $(docv); 0 picks an ephemeral port \
+                 (printed on the listening line).")
+  and db_dir =
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
+           ~doc:"Persistent catalog directory: relations found there are \
+                 served at start and every LOAD is saved back.")
+  and stats_dir =
+    Arg.(value & opt (some string) None & info [ "stats-dir" ] ~docv:"DIR"
+           ~doc:"Directory of persisted planner statistics.")
+  and workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Execution worker domains.")
+  and queue_limit =
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Admission queue bound; beyond it requests are rejected \
+                 with the typed OVERLOADED error.")
+  and jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Per-query partitioned-sweep parallelism (the domain \
+                 pool is shared across workers).")
+  and plan_cache =
+    Arg.(value & opt int 128 & info [ "plan-cache" ] ~docv:"N"
+           ~doc:"Prepared-plan cache capacity (normalized-AST \
+                 fingerprint keyed).")
+  and result_cache =
+    Arg.(value & opt int 256 & info [ "result-cache" ] ~docv:"N"
+           ~doc:"Lineage-aware result cache capacity (plan fingerprint \
+                 × input versions/digests keyed).")
+  and qlog =
+    Arg.(value & opt (some string) None & info [ "qlog" ] ~docv:"FILE"
+           ~doc:"Append a JSONL query-log record per executed query.")
+  and sanitize =
+    Arg.(value & flag & info [ "sanitize" ]
+           ~doc:"Run every query under the window-invariant sanitizer.")
+  and mem_budget_mb =
+    Arg.(value & opt (some int) None & info [ "mem-budget" ] ~docv:"MB"
+           ~doc:"Out-of-core memory budget per query, in MiB.")
+  and tables =
+    Arg.(value & opt_all string [] & info [ "table" ] ~docv:"NAME=CSV"
+           ~doc:"Register a CSV file as relation NAME at start \
+                 (repeatable).")
+  and debug_sleep =
+    Arg.(value & flag & info [ "debug-sleep" ]
+           ~doc:"Enable the SLEEP debug request (admission-control \
+                 tests only).")
+  in
+  Cmd.v
+    (Cmd.info "tpdb_server" ~version:"1.0.0"
+       ~doc:"Long-lived TP database server speaking the tpdb binary \
+             protocol over Unix or TCP sockets. Connect with \
+             $(b,tpdb_cli connect).")
+    Term.(const serve $ socket $ host $ port $ db_dir $ stats_dir $ workers
+          $ queue_limit $ jobs $ plan_cache $ result_cache $ qlog $ sanitize
+          $ mem_budget_mb $ tables $ debug_sleep)
+
+let () = exit (Cmd.eval serve_cmd)

@@ -46,7 +46,11 @@
       Chrome trace-event exporter and optional per-span GC accounting
       ([--trace]), the structured JSONL query log ([--qlog],
       [tpdb_cli qlog]), and the shared monotonic clock. Metrics and
-      Trace are no-ops until a sink is installed. *)
+      Trace are no-ops until a sink is installed.
+    - {!Server}, {!Server_client}, {!Server_protocol}: the long-lived
+      concurrent-session database server ([tpdb_server]), its blocking
+      client library ([tpdb_cli connect], [bench --server]) and the
+      length-prefixed binary wire protocol. *)
 
 module Interval = Tpdb_interval.Interval
 module Timeline = Tpdb_interval.Timeline
@@ -105,3 +109,10 @@ module Metrics = Tpdb_obs.Metrics
 module Trace = Tpdb_obs.Trace
 module Qlog = Tpdb_obs.Qlog
 module Obs_clock = Tpdb_obs.Clock
+module Server = Tpdb_server_lib.Server
+module Server_client = Tpdb_server_lib.Client
+module Server_protocol = Tpdb_server_lib.Protocol
+module Server_store = Tpdb_server_lib.Store
+module Server_admission = Tpdb_server_lib.Admission
+module Server_plan_cache = Tpdb_server_lib.Plan_cache
+module Server_result_cache = Tpdb_server_lib.Result_cache

@@ -8,6 +8,12 @@ type t = {
 
 let num_domains t = List.length t.workers
 
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mutex;
+  n
+
 let rec worker_loop t =
   Mutex.lock t.mutex;
   let rec next () =

@@ -23,6 +23,11 @@ val create : ?num_domains:int -> unit -> t
 val num_domains : t -> int
 (** Worker domains, excluding the calling domain. *)
 
+val pending : t -> int
+(** Jobs queued but not yet picked up by any domain — an instantaneous
+    load signal (the server's STATS command reports it). Already-running
+    jobs are not counted. *)
+
 val default : unit -> t
 (** The shared global pool, spawned on first use and reused by every
     subsequent parallel operator; shut down automatically at exit. *)

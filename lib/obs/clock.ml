@@ -1,10 +1,29 @@
+external monotonic_ns : unit -> int = "tpdb_clock_monotonic_ns" [@@noalloc]
+
+let source : [ `Monotonic | `Wall ] =
+  if monotonic_ns () >= 0 then `Monotonic else `Wall
+
+(* Wall time captured once at module init: the absolute instant that
+   [now_ns] calls t = 0. Only used to anchor traces/qlog records to
+   calendar time; never fed back into durations. *)
+let wall_epoch = Unix.gettimeofday ()
+
 (* The process-local epoch pins the first read near zero so that int
    nanoseconds never overflow (2^62 ns ≈ 146 years). *)
-let epoch = Unix.gettimeofday ()
+let raw_ns =
+  match source with
+  | `Monotonic ->
+      let epoch = monotonic_ns () in
+      fun () -> monotonic_ns () - epoch
+  | `Wall -> fun () -> int_of_float ((Unix.gettimeofday () -. wall_epoch) *. 1e9)
+
+(* CLOCK_MONOTONIC never steps backwards, but the atomic max also
+   orders reads consistently across domains on the wall fallback and
+   guards against coarse or buggy platform clocks. *)
 let last = Atomic.make 0
 
 let now_ns () =
-  let t = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9) in
+  let t = raw_ns () in
   let rec bump () =
     let prev = Atomic.get last in
     if t <= prev then prev

@@ -1,16 +1,31 @@
-(** The observability clock: wall time forced monotonic.
+(** The observability clock: a monotonic source, wall time only as an
+    anchor.
 
-    Chrome-trace timestamps and busy-time histograms need a clock that
-    never runs backwards across domains. The stdlib has no monotonic
-    clock, so this one reads [Unix.gettimeofday] and clamps it to the
-    largest value any domain has seen (a lock-free atomic max), which
-    makes every pair of reads ordered consistently with program order —
-    good enough for spans whose durations are far above the clock's
-    resolution. *)
+    Chrome-trace timestamps, busy-time histograms and qlog durations
+    need a clock that never runs backwards — an NTP step or manual
+    wall-clock adjustment must not produce negative span durations. So
+    [now_ns] reads the OS monotonic clock ([clock_gettime
+    CLOCK_MONOTONIC] via a C stub) relative to a process-local epoch.
+    On platforms without a monotonic clock it falls back to
+    [Unix.gettimeofday] clamped to the largest value any domain has
+    seen (a lock-free atomic max); the clamp also runs over the
+    monotonic source as a cross-domain ordering guarantee, so every
+    pair of reads is ordered consistently with program order. *)
+
+val source : [ `Monotonic | `Wall ]
+(** Which source backs [now_ns]: [`Monotonic] when the OS clock is
+    available (every supported platform in practice), [`Wall] for the
+    clamped-gettimeofday fallback. *)
 
 val now_ns : unit -> int
 (** Nanoseconds since an arbitrary process-local epoch, monotonically
-    non-decreasing across all domains. *)
+    non-decreasing across all domains, immune to wall-clock steps when
+    [source = `Monotonic]. *)
+
+val wall_epoch : float
+(** The [Unix.gettimeofday] instant corresponding to [now_ns] = 0:
+    use it to anchor relative timestamps to calendar time in traces
+    and logs. Never use it to compute durations. *)
 
 val pp_ms : float -> string
 (** A duration in milliseconds, human-scaled: ["870 µs"], ["12.3 ms"],

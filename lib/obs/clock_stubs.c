@@ -1,0 +1,22 @@
+/* Monotonic time for the observability clock.
+ *
+ * OCaml's Unix library exposes gettimeofday but no clock_gettime, and a
+ * wall clock stepped by NTP makes span durations negative. This stub
+ * returns CLOCK_MONOTONIC in integer nanoseconds (fits an OCaml int on
+ * 64-bit: 2^62 ns ~ 146 years of uptime), or -1 when the platform has
+ * no monotonic clock so the OCaml side can fall back to clamped wall
+ * time. No OCaml allocation happens here, hence [@@noalloc] callers. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value tpdb_clock_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+#endif
+  return Val_long(-1);
+}

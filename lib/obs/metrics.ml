@@ -29,6 +29,14 @@ type counter =
   | Spill_partitions
   | Pool_hits
   | Pool_misses
+  | Server_queries
+  | Server_rejections
+  | Plan_cache_hits
+  | Plan_cache_misses
+  | Result_cache_hits
+  | Result_cache_misses
+  | Sessions_opened
+  | Sessions_closed
 
 type dist =
   | Partition_size
@@ -39,6 +47,8 @@ type dist =
   | Analysis_ns
   | Spill_partition_bytes
   | Pool_hit_rate
+  | Server_query_ns
+  | Server_queue_ns
 
 let counters =
   [
@@ -72,11 +82,20 @@ let counters =
     Spill_partitions;
     Pool_hits;
     Pool_misses;
+    Server_queries;
+    Server_rejections;
+    Plan_cache_hits;
+    Plan_cache_misses;
+    Result_cache_hits;
+    Result_cache_misses;
+    Sessions_opened;
+    Sessions_closed;
   ]
 
 let dists =
   [ Partition_size; Domain_busy_ns; Sanitizer_ns; Prob_cache_lookup_ns;
-    Oracle_eval_ns; Analysis_ns; Spill_partition_bytes; Pool_hit_rate ]
+    Oracle_eval_ns; Analysis_ns; Spill_partition_bytes; Pool_hit_rate;
+    Server_query_ns; Server_queue_ns ]
 
 let counter_index = function
   | Tuples_in -> 0
@@ -109,6 +128,14 @@ let counter_index = function
   | Spill_partitions -> 27
   | Pool_hits -> 28
   | Pool_misses -> 29
+  | Server_queries -> 30
+  | Server_rejections -> 31
+  | Plan_cache_hits -> 32
+  | Plan_cache_misses -> 33
+  | Result_cache_hits -> 34
+  | Result_cache_misses -> 35
+  | Sessions_opened -> 36
+  | Sessions_closed -> 37
 
 let dist_index = function
   | Partition_size -> 0
@@ -119,6 +146,8 @@ let dist_index = function
   | Analysis_ns -> 5
   | Spill_partition_bytes -> 6
   | Pool_hit_rate -> 7
+  | Server_query_ns -> 8
+  | Server_queue_ns -> 9
 
 let counter_name = function
   | Tuples_in -> "tuples_in"
@@ -151,6 +180,14 @@ let counter_name = function
   | Spill_partitions -> "spill_partitions"
   | Pool_hits -> "pool_hits"
   | Pool_misses -> "pool_misses"
+  | Server_queries -> "server_queries"
+  | Server_rejections -> "server_rejections"
+  | Plan_cache_hits -> "plan_cache_hits"
+  | Plan_cache_misses -> "plan_cache_misses"
+  | Result_cache_hits -> "result_cache_hits"
+  | Result_cache_misses -> "result_cache_misses"
+  | Sessions_opened -> "sessions_opened"
+  | Sessions_closed -> "sessions_closed"
 
 let dist_name = function
   | Partition_size -> "partition_size"
@@ -161,6 +198,8 @@ let dist_name = function
   | Analysis_ns -> "analysis_ns"
   | Spill_partition_bytes -> "spill_partition_bytes"
   | Pool_hit_rate -> "pool_hit_rate"
+  | Server_query_ns -> "server_query_ns"
+  | Server_queue_ns -> "server_queue_ns"
 
 type t = {
   c : int Atomic.t array;  (** indexed by [counter_index] *)

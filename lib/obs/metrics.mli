@@ -98,6 +98,24 @@ type counter =
       (** spill partitions created (per side pair, not per file) *)
   | Pool_hits  (** buffer-pool page reads answered from the cache *)
   | Pool_misses  (** buffer-pool page reads that went to disk *)
+  | Server_queries
+      (** queries executed by {!Tpdb_server_lib.Server} (QUERY and
+          EXECUTE commands that reached the engine, cached or not) *)
+  | Server_rejections
+      (** queries refused with [Server_overloaded] by admission control
+          (queue full) — bounded-memory backpressure, not failures *)
+  | Plan_cache_hits
+      (** QUERY/EXECUTE answered by a cached still-valid physical plan
+          (keyed on the normalized-AST fingerprint) *)
+  | Plan_cache_misses
+      (** plan-cache lookups that had to plan (first sight of the
+          fingerprint, or base-relation versions moved) *)
+  | Result_cache_hits
+      (** queries answered entirely from the lineage-aware result cache
+          (plan fingerprint × input digests unchanged) *)
+  | Result_cache_misses  (** result-cache lookups that had to execute *)
+  | Sessions_opened  (** client sessions accepted by the server *)
+  | Sessions_closed  (** client sessions ended (disconnect or error) *)
 
 type dist =
   | Partition_size  (** tuples (both sides) per parallel partition *)
@@ -116,6 +134,12 @@ type dist =
       (** buffer-pool hit rate over one spilled join, in permille
           (hits × 1000 / (hits + misses)) — one observation per spilled
           join *)
+  | Server_query_ns
+      (** wall time from dequeue to response for each server query
+          (execution only; queueing time is {!Server_queue_ns}) *)
+  | Server_queue_ns
+      (** wall time each admitted query spent waiting in the admission
+          queue before a worker picked it up *)
 
 type t
 (** A metrics registry. Create one per measured run; reuse reads

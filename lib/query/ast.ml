@@ -158,3 +158,49 @@ let to_string = function
         (select_string b)
 
 let pp ppf q = Format.pp_print_string ppf (to_string q)
+
+(* Normalization for plan-cache keying: conjunction is commutative, so
+   the order of WHERE and ON conjuncts is semantically irrelevant —
+   sorting them canonically lets [a = 1 AND b = 2] and
+   [b = 2 AND a = 1] share one cache entry. Everything whose order is
+   meaningful (the join chain, projection columns, GROUP BY) is left
+   untouched. *)
+let normalize_select s =
+  let sort_atoms =
+    List.sort (fun a b -> String.compare (atom_string a) (atom_string b))
+  in
+  let sort_temporals =
+    List.sort (fun a b ->
+        String.compare (temporal_atom_string a) (temporal_atom_string b))
+  in
+  {
+    s with
+    joins =
+      List.map
+        (fun j ->
+          { j with on = sort_atoms j.on; on_temporal = sort_temporals j.on_temporal })
+        s.joins;
+    where = sort_atoms s.where;
+    where_temporal = sort_temporals s.where_temporal;
+  }
+
+let normalize = function
+  | Select s -> Select (normalize_select s)
+  | Set (k, a, b) -> Set (k, normalize_select a, normalize_select b)
+
+(* FNV-1a 64-bit over the normalized rendering, the same construction
+   (and constants) as [Physical.fingerprint] over plan shapes. *)
+let fingerprint q =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    (to_string (normalize q));
+  Printf.sprintf "%016Lx" !h
+
+let select_relations s = s.from :: List.map (fun j -> j.rel) s.joins
+
+let relations = function
+  | Select s -> List.sort_uniq String.compare (select_relations s)
+  | Set (_, a, b) ->
+      List.sort_uniq String.compare (select_relations a @ select_relations b)

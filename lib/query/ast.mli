@@ -93,6 +93,21 @@ type t =
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val normalize : t -> t
+(** Canonical form for cache keying: WHERE and ON conjuncts sorted by
+    their rendering (conjunction is commutative, so this preserves
+    semantics). Join order, projection order and GROUP BY order are
+    meaningful and left untouched. Idempotent. *)
+
+val fingerprint : t -> string
+(** 16-hex-digit FNV-1a hash of [to_string (normalize q)] — the
+    prepared-plan cache key. Two queries differing only in conjunct
+    order share a fingerprint. *)
+
+val relations : t -> string list
+(** Every base relation the query reads (FROM and all joins, both
+    sides of a set operation), sorted, deduplicated. *)
+
 val operand_string : operand -> string
 val atom_string : atom -> string
 val temporal_atom_string : temporal_atom -> string

@@ -5,16 +5,42 @@ type t = {
   relations : (string, Relation.t) Hashtbl.t;
   stats : (string, Stats.t) Hashtbl.t;  (* memo, invalidated per name *)
   mutable stats_dir : string option;
+  versions : (string, int) Hashtbl.t;  (* bumped on every register *)
+  mutable generation : int;  (* bumped on any register *)
 }
 
 let create () =
-  { relations = Hashtbl.create 16; stats = Hashtbl.create 16; stats_dir = None }
+  {
+    relations = Hashtbl.create 16;
+    stats = Hashtbl.create 16;
+    stats_dir = None;
+    versions = Hashtbl.create 16;
+    generation = 0;
+  }
 
 let register t r =
   let name = Relation.name r in
   Hashtbl.replace t.relations name r;
   (* the data changed; any memoized statistics are stale *)
-  Hashtbl.remove t.stats name
+  Hashtbl.remove t.stats name;
+  t.generation <- t.generation + 1;
+  Hashtbl.replace t.versions name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.versions name))
+
+let version t name = Option.value ~default:0 (Hashtbl.find_opt t.versions name)
+let generation t = t.generation
+
+(* Relations are immutable values, so a snapshot only needs to copy the
+   tables, not the data: O(names), and the copy shares every relation
+   with the original until either side re-registers a name. *)
+let copy t =
+  {
+    relations = Hashtbl.copy t.relations;
+    stats = Hashtbl.copy t.stats;
+    stats_dir = t.stats_dir;
+    versions = Hashtbl.copy t.versions;
+    generation = t.generation;
+  }
 
 let find t name = Hashtbl.find_opt t.relations name
 

@@ -9,7 +9,21 @@ type t
 val create : unit -> t
 
 val register : t -> Relation.t -> unit
-(** Keyed by {!Relation.name}; re-registering a name replaces it. *)
+(** Keyed by {!Relation.name}; re-registering a name replaces it and
+    bumps both the name's {!version} and the catalog {!generation}. *)
+
+val version : t -> string -> int
+(** How many times this name has been registered (0 = never). A cached
+    plan or result keyed on the versions of the relations it read is
+    valid exactly while every one of those versions is unchanged. *)
+
+val generation : t -> int
+(** Total number of registrations; bumps whenever anything changes. *)
+
+val copy : t -> t
+(** A copy-on-write snapshot: O(number of names), sharing the immutable
+    relation values. Mutations on either side ({!register},
+    {!set_stats_dir}) never show through to the other. *)
 
 val find : t -> string -> Relation.t option
 val find_exn : t -> string -> Relation.t

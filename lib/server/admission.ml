@@ -1,0 +1,114 @@
+module Metrics = Tpdb_obs.Metrics
+module Clock = Tpdb_obs.Clock
+
+exception Overloaded of { queued : int; limit : int }
+
+type job = { run : unit -> unit; enqueued_ns : int }
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  jobs : job Queue.t;
+  queue_limit : int;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Workers drain the queue even after [shutdown] flips [stopped], so a
+   caller already blocked in [run] is always answered; only new
+   submissions are refused. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match Queue.take_opt t.jobs with
+    | Some job ->
+        Mutex.unlock t.mutex;
+        Some job
+    | None ->
+        if t.stopped then begin
+          Mutex.unlock t.mutex;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          next ()
+        end
+  in
+  match next () with
+  | None -> ()
+  | Some job ->
+      Metrics.observe Metrics.Server_queue_ns (Clock.now_ns () - job.enqueued_ns);
+      job.run ();
+      worker_loop t
+
+let create ~workers ~queue_limit =
+  if workers < 1 then invalid_arg "Admission.create: workers < 1";
+  if queue_limit < 1 then invalid_arg "Admission.create: queue_limit < 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      queue_limit;
+      stopped = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let workers t = List.length t.workers
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mutex;
+  n
+
+let submit t run =
+  Mutex.lock t.mutex;
+  let queued = Queue.length t.jobs in
+  if t.stopped || queued >= t.queue_limit then begin
+    Mutex.unlock t.mutex;
+    Metrics.incr Metrics.Server_rejections;
+    raise (Overloaded { queued; limit = t.queue_limit })
+  end;
+  Queue.add { run; enqueued_ns = Clock.now_ns () } t.jobs;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+type 'a outcome = Pending | Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run t f =
+  let mutex = Mutex.create () in
+  let done_ = Condition.create () in
+  let slot = ref Pending in
+  submit t (fun () ->
+      let outcome =
+        match f () with
+        | v -> Value v
+        | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock mutex;
+      slot := outcome;
+      Condition.signal done_;
+      Mutex.unlock mutex);
+  let is_pending () = match !slot with Pending -> true | _ -> false in
+  Mutex.lock mutex;
+  while is_pending () do
+    Condition.wait done_ mutex
+  done;
+  Mutex.unlock mutex;
+  match !slot with
+  | Pending -> assert false
+  | Value v -> v
+  | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers

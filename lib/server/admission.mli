@@ -1,0 +1,40 @@
+(** Admission control: a bounded job queue in front of a fixed set of
+    worker {e domains}.
+
+    Two jobs it exists to do. First, backpressure: the queue refuses
+    work beyond [queue_limit] with the typed {!Overloaded} rejection
+    (counted as [Server_rejections]) instead of growing without bound
+    under a client flood. Second, execution isolation: OCaml systhreads
+    share their domain's {!Tpdb_lineage.Formula} hash-cons table
+    (domain-local state), so two session threads must never run engine
+    code concurrently on the same domain — every query/LOAD therefore
+    executes as a job on one of these worker domains, each of which
+    runs one job at a time, while session threads only do socket IO and
+    parsing. Worker domains may freely call into the shared
+    {!Tpdb_engine.Pool} ([Pool.map] supports concurrent batches).
+
+    [Server_queue_ns] records each admitted job's queue wait. *)
+
+exception Overloaded of { queued : int; limit : int }
+
+type t
+
+val create : workers:int -> queue_limit:int -> t
+(** Spawns [workers] domains immediately. [queue_limit] bounds jobs
+    waiting (not yet picked up). Raises [Invalid_argument] unless both
+    are ≥ 1. *)
+
+val workers : t -> int
+val pending : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue fire-and-forget work. Raises {!Overloaded} when the queue
+    is full or the controller is shut down. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Enqueue and block the calling (session) thread until the job
+    completes on a worker domain; the job's result or exception is
+    relayed. Raises {!Overloaded} like {!submit}. *)
+
+val shutdown : t -> unit
+(** Refuse new jobs, finish the queued ones, join the workers. *)

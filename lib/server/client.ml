@@ -1,0 +1,103 @@
+module P = Protocol
+
+exception Server_overloaded of string
+exception Server_error of P.error_code * string
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+type result = {
+  text : string;
+  rows : int;
+  plan_cached : bool;
+  result_cached : bool;
+}
+
+let protocol_error fmt =
+  Printf.ksprintf (fun m -> raise (P.Frame_error m)) fmt
+
+let fail_error code message =
+  match code with
+  | P.Overloaded -> raise (Server_overloaded message)
+  | _ -> raise (Server_error (code, message))
+
+let roundtrip t req =
+  P.write_request t.oc req;
+  match P.read_response t.ic with
+  | P.Error { code; message } -> fail_error code message
+  | resp -> resp
+
+let connect ?(client = "tpdb_client") addr =
+  let domain, sockaddr =
+    match addr with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+        let inet =
+          if String.equal host "" then Unix.inet_addr_loopback
+          else Unix.inet_addr_of_string host
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  in
+  (match
+     roundtrip t (P.Hello { version = P.version; client })
+   with
+  | P.Welcome { version; _ } when version = P.version -> ()
+  | P.Welcome { version; _ } ->
+      protocol_error "server speaks protocol %d, client %d" version P.version
+  | _ -> protocol_error "expected WELCOME"
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  t
+
+let close t =
+  (try P.write_request t.oc P.Close with Sys_error _ -> ());
+  (try ignore (P.read_response t.ic) with
+  | End_of_file | Sys_error _ | P.Frame_error _ -> ());
+  try close_in t.ic with Sys_error _ -> ()
+
+let ping t =
+  match roundtrip t P.Ping with
+  | P.Pong -> ()
+  | _ -> protocol_error "expected PONG"
+
+let result_of = function
+  | P.Result { text; rows; plan_cached; result_cached } ->
+      { text; rows; plan_cached; result_cached }
+  | _ -> protocol_error "expected RESULT"
+
+let query t sql = result_of (roundtrip t (P.Query sql))
+
+let prepare t sql =
+  match roundtrip t (P.Prepare sql) with
+  | P.Prepared { id; fingerprint } -> (id, fingerprint)
+  | _ -> protocol_error "expected PREPARED"
+
+let execute t id = result_of (roundtrip t (P.Execute id))
+
+let load t ~name ~csv =
+  match roundtrip t (P.Load { name; csv }) with
+  | P.Loaded { version; rows; _ } -> (version, rows)
+  | _ -> protocol_error "expected LOADED"
+
+let stats t =
+  match roundtrip t P.Stats with
+  | P.Stats_reply json -> json
+  | _ -> protocol_error "expected STATS"
+
+let openmetrics t =
+  match roundtrip t P.Openmetrics with
+  | P.Openmetrics_reply text -> text
+  | _ -> protocol_error "expected OPENMETRICS"
+
+let sleep t ms =
+  match roundtrip t (P.Sleep ms) with
+  | P.Pong -> ()
+  | _ -> protocol_error "expected PONG"

@@ -1,0 +1,48 @@
+(** Blocking client for {!Protocol} — the library behind
+    [tpdb_cli connect] and the concurrent bench driver.
+
+    One {!t} is one session: connect, HELLO/WELCOME handshake, then
+    strictly request/response. A [t] is not thread-safe; give each
+    client thread its own connection (that is the point of the server's
+    session model). *)
+
+exception Server_overloaded of string
+(** The server's admission queue refused the request — the typed
+    backpressure signal. Retry later; the session stays usable. *)
+
+exception Server_error of Protocol.error_code * string
+(** Any other server-reported error (parse, plan, CSV, protocol…). The
+    session stays usable after query-level errors. *)
+
+type t
+
+type result = {
+  text : string;  (** rendered relation — CLI-identical bytes *)
+  rows : int;
+  plan_cached : bool;
+  result_cached : bool;
+}
+
+val connect : ?client:string -> [ `Unix of string | `Tcp of string * int ] -> t
+(** Raises [Unix.Unix_error] if the endpoint refuses,
+    {!Protocol.Frame_error} on a version mismatch. *)
+
+val close : t -> unit
+val ping : t -> unit
+
+val query : t -> string -> result
+val prepare : t -> string -> int * string
+(** [(statement id, normalized-AST fingerprint)]. *)
+
+val execute : t -> int -> result
+val load : t -> name:string -> csv:string -> int * int
+(** [(new catalog version, rows)]. *)
+
+val stats : t -> string
+(** Server + metrics snapshot, JSON. *)
+
+val openmetrics : t -> string
+(** OpenMetrics text exposition from the server's metrics sink. *)
+
+val sleep : t -> int -> unit
+(** Debug servers only: occupy one worker for N ms. *)

@@ -1,0 +1,74 @@
+module Metrics = Tpdb_obs.Metrics
+module Ast = Tpdb_query.Ast
+module Planner = Tpdb_query.Planner
+
+type entry = {
+  sql : string;
+  ast : Ast.t;  (* normalized *)
+  plan : Planner.t;
+  plan_fingerprint : string;
+  versions : (string * int) list;  (* base-relation versions at plan time *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  order : string Queue.t;  (* insertion order; evicted oldest-first *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity < 1";
+  {
+    mutex = Mutex.create ();
+    capacity;
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+(* A hit requires every base relation the plan reads to still be at the
+   version it was planned against: the plan embeds the relations (Scan
+   nodes) and the probability environment, so any reload invalidates
+   it. Stale entries are dropped on sight and counted as misses. *)
+let find t ~current_version fingerprint =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table fingerprint with
+      | Some entry
+        when List.for_all
+               (fun (name, v) -> current_version name = v)
+               entry.versions ->
+          Metrics.incr Metrics.Plan_cache_hits;
+          Some entry
+      | Some _ ->
+          Hashtbl.remove t.table fingerprint;
+          Metrics.incr Metrics.Plan_cache_misses;
+          None
+      | None ->
+          Metrics.incr Metrics.Plan_cache_misses;
+          None)
+
+let store t ~fingerprint entry =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table fingerprint) then Queue.add fingerprint t.order;
+      Hashtbl.replace t.table fingerprint entry;
+      (* Evict insertion-oldest live keys; queued keys already removed
+         (staleness) or re-added just pop through. *)
+      while Hashtbl.length t.table > t.capacity do
+        match Queue.take_opt t.order with
+        | None -> Hashtbl.reset t.table (* unreachable: table ⊆ order *)
+        | Some oldest ->
+            if not (String.equal oldest fingerprint) then
+              Hashtbl.remove t.table oldest
+            else Queue.add oldest t.order
+      done)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order)

@@ -1,0 +1,32 @@
+(** The prepared-plan cache: normalized-AST fingerprint → optimized
+    physical plan.
+
+    The key is {!Tpdb_query.Ast.fingerprint} of the normalized query —
+    conjunct order does not split entries, join order does (it is
+    semantically meaningful for outer/anti joins). The value embeds the
+    {!Tpdb_query.Planner.t} built against some catalog snapshot plus
+    the versions of every base relation it read; {!find} revalidates
+    those versions against the caller's snapshot, because a plan hard-
+    references its input relations (Scan nodes) and the probability
+    environment computed from them. Stale entries are evicted on sight.
+
+    Bounded capacity, insertion-order eviction. Every operation is
+    mutex-guarded — callers are concurrent session threads and worker
+    domains. Hits/misses go to the [Plan_cache_hits]/[Plan_cache_misses]
+    counters. *)
+
+type entry = {
+  sql : string;  (** original text, for STATS/debugging *)
+  ast : Tpdb_query.Ast.t;  (** normalized *)
+  plan : Tpdb_query.Planner.t;
+  plan_fingerprint : string;  (** {!Tpdb_query.Planner.fingerprint} *)
+  versions : (string * int) list;
+}
+
+type t
+
+val create : capacity:int -> t
+val find : t -> current_version:(string -> int) -> string -> entry option
+val store : t -> fingerprint:string -> entry -> unit
+val length : t -> int
+val clear : t -> unit

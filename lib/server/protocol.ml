@@ -1,0 +1,271 @@
+exception Frame_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Frame_error m)) fmt
+let version = 1
+
+(* A frame bigger than this is a protocol violation, not a big query:
+   reject before allocating. LOAD payloads (whole CSV documents) are the
+   largest legitimate frames. *)
+let max_frame = 64 * 1024 * 1024
+
+type request =
+  | Hello of { version : int; client : string }
+  | Ping
+  | Query of string
+  | Prepare of string
+  | Execute of int
+  | Load of { name : string; csv : string }
+  | Stats
+  | Openmetrics
+  | Sleep of int  (** debug only: hold a worker for [ms] milliseconds *)
+  | Close
+
+type error_code =
+  | Overloaded
+  | Parse_failed
+  | Plan_failed
+  | Csv_failed
+  | Unknown_prepared
+  | Protocol_violation
+  | Internal
+
+type response =
+  | Welcome of { version : int; server : string }
+  | Pong
+  | Result of {
+      text : string;
+      rows : int;
+      plan_cached : bool;
+      result_cached : bool;
+    }
+  | Prepared of { id : int; fingerprint : string }
+  | Loaded of { name : string; version : int; rows : int }
+  | Stats_reply of string
+  | Openmetrics_reply of string
+  | Error of { code : error_code; message : string }
+  | Bye
+
+let error_code_to_int = function
+  | Overloaded -> 1
+  | Parse_failed -> 2
+  | Plan_failed -> 3
+  | Csv_failed -> 4
+  | Unknown_prepared -> 5
+  | Protocol_violation -> 6
+  | Internal -> 7
+
+let error_code_of_int = function
+  | 1 -> Overloaded
+  | 2 -> Parse_failed
+  | 3 -> Plan_failed
+  | 4 -> Csv_failed
+  | 5 -> Unknown_prepared
+  | 6 -> Protocol_violation
+  | 7 -> Internal
+  | n -> fail "unknown error code %d" n
+
+let error_code_name = function
+  | Overloaded -> "overloaded"
+  | Parse_failed -> "parse"
+  | Plan_failed -> "plan"
+  | Csv_failed -> "csv"
+  | Unknown_prepared -> "unknown-prepared"
+  | Protocol_violation -> "protocol"
+  | Internal -> "internal"
+
+(* --- body encoding: u8 opcode, then fields in declaration order.
+   Ints are 8-byte big-endian (queries and LOADs dwarf any varint
+   saving); strings are u32 length + bytes. --- *)
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let w_bool b v = w_u8 b (if v then 1 else 0)
+let w_int b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let w_str b s =
+  Buffer.add_int32_be b (Int32.of_int (String.length s));
+  Buffer.add_string b s
+
+type cursor = { buf : bytes; mutable pos : int }
+
+let need c n =
+  if c.pos + n > Bytes.length c.buf then
+    fail "truncated frame: need %d bytes at offset %d of %d" n c.pos
+      (Bytes.length c.buf)
+
+let r_u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let r_bool c = r_u8 c <> 0
+
+let r_int c =
+  need c 8;
+  let v = Int64.to_int (Bytes.get_int64_be c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_str c =
+  need c 4;
+  let n = Int32.to_int (Bytes.get_int32_be c.buf c.pos) in
+  c.pos <- c.pos + 4;
+  if n < 0 || n > max_frame then fail "bad string length %d" n;
+  need c n;
+  let s = Bytes.sub_string c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let finished c =
+  if c.pos <> Bytes.length c.buf then
+    fail "trailing garbage: %d unread byte(s)" (Bytes.length c.buf - c.pos)
+
+(* --- framing: u32 big-endian payload length, then the payload --- *)
+
+let write_frame oc payload =
+  let n = Buffer.length payload in
+  if n > max_frame then fail "frame too large: %d bytes" n;
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int n);
+  output_bytes oc hdr;
+  Buffer.output_buffer oc payload;
+  flush oc
+
+let read_frame ic =
+  let hdr = Bytes.create 4 in
+  really_input ic hdr 0 4;
+  let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if n < 0 || n > max_frame then fail "bad frame length %d" n;
+  let payload = Bytes.create n in
+  really_input ic payload 0 n;
+  { buf = payload; pos = 0 }
+
+(* --- requests (opcodes 0x01-0x0a) --- *)
+
+let write_request oc req =
+  let b = Buffer.create 64 in
+  (match req with
+  | Hello { version; client } ->
+      w_u8 b 0x01;
+      w_int b version;
+      w_str b client
+  | Ping -> w_u8 b 0x02
+  | Query sql ->
+      w_u8 b 0x03;
+      w_str b sql
+  | Prepare sql ->
+      w_u8 b 0x04;
+      w_str b sql
+  | Execute id ->
+      w_u8 b 0x05;
+      w_int b id
+  | Load { name; csv } ->
+      w_u8 b 0x06;
+      w_str b name;
+      w_str b csv
+  | Stats -> w_u8 b 0x07
+  | Openmetrics -> w_u8 b 0x08
+  | Sleep ms ->
+      w_u8 b 0x09;
+      w_int b ms
+  | Close -> w_u8 b 0x0a);
+  write_frame oc b
+
+let read_request ic =
+  let c = read_frame ic in
+  let req =
+    match r_u8 c with
+    | 0x01 ->
+        let version = r_int c in
+        let client = r_str c in
+        Hello { version; client }
+    | 0x02 -> Ping
+    | 0x03 -> Query (r_str c)
+    | 0x04 -> Prepare (r_str c)
+    | 0x05 -> Execute (r_int c)
+    | 0x06 ->
+        let name = r_str c in
+        let csv = r_str c in
+        Load { name; csv }
+    | 0x07 -> Stats
+    | 0x08 -> Openmetrics
+    | 0x09 -> Sleep (r_int c)
+    | 0x0a -> Close
+    | op -> fail "unknown request opcode 0x%02x" op
+  in
+  finished c;
+  req
+
+(* --- responses (opcodes 0x81-0x88) --- *)
+
+let write_response oc resp =
+  let b = Buffer.create 256 in
+  (match resp with
+  | Welcome { version; server } ->
+      w_u8 b 0x81;
+      w_int b version;
+      w_str b server
+  | Pong -> w_u8 b 0x82
+  | Result { text; rows; plan_cached; result_cached } ->
+      w_u8 b 0x83;
+      w_str b text;
+      w_int b rows;
+      w_bool b plan_cached;
+      w_bool b result_cached
+  | Prepared { id; fingerprint } ->
+      w_u8 b 0x84;
+      w_int b id;
+      w_str b fingerprint
+  | Loaded { name; version; rows } ->
+      w_u8 b 0x85;
+      w_str b name;
+      w_int b version;
+      w_int b rows
+  | Stats_reply json ->
+      w_u8 b 0x86;
+      w_str b json
+  | Openmetrics_reply text ->
+      w_u8 b 0x87;
+      w_str b text
+  | Error { code; message } ->
+      w_u8 b 0x88;
+      w_int b (error_code_to_int code);
+      w_str b message
+  | Bye -> w_u8 b 0x89);
+  write_frame oc b
+
+let read_response ic =
+  let c = read_frame ic in
+  let resp =
+    match r_u8 c with
+    | 0x81 ->
+        let version = r_int c in
+        let server = r_str c in
+        Welcome { version; server }
+    | 0x82 -> Pong
+    | 0x83 ->
+        let text = r_str c in
+        let rows = r_int c in
+        let plan_cached = r_bool c in
+        let result_cached = r_bool c in
+        Result { text; rows; plan_cached; result_cached }
+    | 0x84 ->
+        let id = r_int c in
+        let fingerprint = r_str c in
+        Prepared { id; fingerprint }
+    | 0x85 ->
+        let name = r_str c in
+        let version = r_int c in
+        let rows = r_int c in
+        Loaded { name; version; rows }
+    | 0x86 -> Stats_reply (r_str c)
+    | 0x87 -> Openmetrics_reply (r_str c)
+    | 0x88 ->
+        let code = error_code_of_int (r_int c) in
+        let message = r_str c in
+        Error { code; message }
+    | 0x89 -> Bye
+    | op -> fail "unknown response opcode 0x%02x" op
+  in
+  finished c;
+  resp

@@ -1,0 +1,85 @@
+(** Wire protocol of [tpdb_server]: length-prefixed binary frames over a
+    Unix or TCP stream.
+
+    Framing: every message is one frame — a 4-byte big-endian payload
+    length (at most {!max_frame}), then the payload. The payload is one
+    opcode byte followed by the message's fields in declaration order;
+    ints are 8-byte big-endian, strings are a u32 byte length plus the
+    bytes, bools one byte. There is no pipelining: a client sends one
+    request and reads exactly one response.
+
+    A session opens with {!request.Hello} (protocol {!version} + a free-
+    form client name) answered by {!response.Welcome}; a version
+    mismatch is answered with a [Protocol_violation] error. Results
+    travel as the rendered relation text ({!response.Result.text}) —
+    exactly the bytes [tpdb_cli query] would print for the same query,
+    which is what makes server output byte-comparable to the one-shot
+    CLI. *)
+
+exception Frame_error of string
+(** Malformed frame or message: bad length, unknown opcode, truncated
+    body, trailing bytes. *)
+
+val version : int
+(** Protocol version, checked in HELLO. *)
+
+val max_frame : int
+(** Maximum payload bytes per frame (64 MiB). *)
+
+type request =
+  | Hello of { version : int; client : string }
+  | Ping
+  | Query of string  (** parse, plan and run one TP-SQL query *)
+  | Prepare of string  (** parse + plan, return a statement id *)
+  | Execute of int  (** run a prepared statement by id *)
+  | Load of { name : string; csv : string }
+      (** (re)register a relation from a CSV document (same format as
+          {!Tpdb_relation.Csv}) and persist it when the server has a
+          database directory *)
+  | Stats  (** server + metrics snapshot as JSON *)
+  | Openmetrics  (** OpenMetrics text exposition of the metrics sink *)
+  | Sleep of int
+      (** debug (servers started with [debug_sleep]): occupy one worker
+          for N ms — deterministic admission-control testing *)
+  | Close
+
+type error_code =
+  | Overloaded  (** admission queue full — retry later *)
+  | Parse_failed
+  | Plan_failed
+  | Csv_failed
+  | Unknown_prepared
+  | Protocol_violation
+  | Internal
+
+type response =
+  | Welcome of { version : int; server : string }
+  | Pong
+  | Result of {
+      text : string;  (** rendered relation, CLI-identical bytes *)
+      rows : int;
+      plan_cached : bool;  (** answered via a cached physical plan *)
+      result_cached : bool;  (** answered from the result cache *)
+    }
+  | Prepared of { id : int; fingerprint : string }
+      (** [fingerprint] is the normalized-AST fingerprint
+          ({!Tpdb_query.Ast.fingerprint}) *)
+  | Loaded of { name : string; version : int; rows : int }
+  | Stats_reply of string
+  | Openmetrics_reply of string
+  | Error of { code : error_code; message : string }
+  | Bye
+
+val error_code_name : error_code -> string
+
+val write_request : out_channel -> request -> unit
+(** Writes one frame and flushes. *)
+
+val write_response : out_channel -> response -> unit
+(** Writes one frame and flushes. *)
+
+val read_request : in_channel -> request
+(** Blocks for one full frame. Raises {!Frame_error} on malformed
+    input, [End_of_file] on a closed peer. *)
+
+val read_response : in_channel -> response

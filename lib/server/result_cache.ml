@@ -1,0 +1,85 @@
+module Metrics = Tpdb_obs.Metrics
+
+type entry = {
+  text : string;
+  rows : int;
+  inputs : string list;  (* base-relation names, for proactive drops *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  order : string Queue.t;
+}
+
+(* plan fingerprint × every input's (name, version, content digest).
+   A reload bumps the version, so the key of any query reading that
+   relation changes — invalidation by unreachability; [drop_name]
+   additionally reclaims the dead entries eagerly. *)
+let key ~plan_fingerprint inputs =
+  let b = Buffer.create 64 in
+  Buffer.add_string b plan_fingerprint;
+  List.iter
+    (fun (name, version, digest) ->
+      Buffer.add_char b '|';
+      Buffer.add_string b name;
+      Buffer.add_char b '@';
+      Buffer.add_string b (string_of_int version);
+      Buffer.add_char b ':';
+      Buffer.add_string b digest)
+    inputs;
+  Buffer.contents b
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Result_cache.create: capacity < 1";
+  {
+    mutex = Mutex.create ();
+    capacity;
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+          Metrics.incr Metrics.Result_cache_hits;
+          Some entry
+      | None ->
+          Metrics.incr Metrics.Result_cache_misses;
+          None)
+
+let store t ~key entry =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table key) then Queue.add key t.order;
+      Hashtbl.replace t.table key entry;
+      while Hashtbl.length t.table > t.capacity do
+        match Queue.take_opt t.order with
+        | None -> Hashtbl.reset t.table (* unreachable: table ⊆ order *)
+        | Some oldest ->
+            if not (String.equal oldest key) then Hashtbl.remove t.table oldest
+            else Queue.add oldest t.order
+      done)
+
+let drop_name t name =
+  locked t (fun () ->
+      let dead =
+        Hashtbl.fold
+          (fun k e acc ->
+            if List.exists (String.equal name) e.inputs then k :: acc else acc)
+          t.table []
+      in
+      List.iter (Hashtbl.remove t.table) dead;
+      List.length dead)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order)

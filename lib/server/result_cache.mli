@@ -1,0 +1,39 @@
+(** The lineage-aware result cache: rendered query results keyed on
+    (plan fingerprint × input identity).
+
+    {!key} combines the optimized plan's fingerprint with every input
+    relation's (name, catalog version, content digest) triple from
+    {!Store.digests}. The digest covers the tuples' values, intervals,
+    probabilities and ASCII lineage formulas, so a base relation whose
+    version {e or} lineage content changes makes every dependent key
+    unreachable — that is the invalidation rule; {!drop_name} eagerly
+    reclaims the dead entries on LOAD. The cached value is the rendered
+    result text (the exact bytes the CLI would print), which is also
+    what travels on the wire — a hit never touches the engine, the
+    planner or any formula.
+
+    Bounded capacity, insertion-order eviction, mutex-guarded. Hits and
+    misses go to [Result_cache_hits]/[Result_cache_misses]. *)
+
+type entry = {
+  text : string;
+  rows : int;
+  inputs : string list;  (** base-relation names this result read *)
+}
+
+type t
+
+val key : plan_fingerprint:string -> (string * int * string) list -> string
+(** [key ~plan_fingerprint digests] with [digests] from {!Store.digests}
+    (order-sensitive: pass them in {!Tpdb_query.Ast.relations} order). *)
+
+val create : capacity:int -> t
+val find : t -> string -> entry option
+val store : t -> key:string -> entry -> unit
+
+val drop_name : t -> string -> int
+(** Remove every entry whose inputs include this name; returns how many
+    were dropped. Called on LOAD. *)
+
+val length : t -> int
+val clear : t -> unit

@@ -1,0 +1,72 @@
+(** The long-lived TP database server.
+
+    One process serves many concurrent client sessions over Unix or TCP
+    sockets speaking {!Protocol}. Architecture:
+
+    - {b Sessions} are systhreads (cheap, blocking socket IO): they
+      read frames, parse SQL and look caches up, but never run engine
+      code — the lineage hash-cons table is domain-local, and session
+      threads share one domain.
+    - {b Execution} happens on the {!Admission} worker domains: every
+      planning/execution/LOAD job runs on a worker, one at a time per
+      worker, and may itself fan out over the shared
+      {!Tpdb_engine.Pool}. The bounded admission queue rejects overflow
+      with the typed [Overloaded] error (backpressure, not failure).
+    - {b Snapshots}: each query anchors on one {!Store.view} — a
+      copy-on-write catalog snapshot plus the matching version/digest
+      triples — so readers never block LOADs and never observe a
+      half-applied one.
+    - {b Caches}: {!Plan_cache} (normalized-AST fingerprint → plan,
+      revalidated by relation version) and {!Result_cache} (plan
+      fingerprint × input versions/digests → rendered text). A result
+      hit is answered on the session thread without touching a worker.
+
+    Metrics ride the process-global {!Tpdb_obs.Metrics} sink — the
+    server installs one at {!start} unless the host (bench driver,
+    tests) already did — and are exported by the STATS (JSON) and
+    OPENMETRICS protocol commands. With [qlog] set, every executed
+    (non-cache-hit) query appends a {!Tpdb_obs.Qlog} record. *)
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+(** [`Tcp (host, port)]: empty host = loopback; port 0 = ephemeral
+    (query the actual one with {!port}). *)
+
+type config = {
+  listen : listen;
+  workers : int;  (** execution worker domains *)
+  queue_limit : int;  (** admission queue bound (≥ 1) *)
+  plan_cache_capacity : int;
+  result_cache_capacity : int;
+  parallelism : int;  (** per-query partitioned-sweep jobs *)
+  sanitize : bool option;  (** [None] = the TPDB_SANITIZE default *)
+  mem_budget : int option;  (** out-of-core budget, bytes *)
+  db_dir : string option;
+      (** persistent catalog: relations are loaded at start and every
+          LOAD is saved back ({!Tpdb_storage.Db}) *)
+  stats_dir : string option;  (** persisted planner statistics *)
+  qlog : string option;  (** JSONL query log path *)
+  debug_sleep : bool;  (** allow the SLEEP request (admission tests) *)
+}
+
+val default_config : listen -> config
+(** 2 workers, queue limit 64, 128 plans / 256 results, parallelism 1,
+    no persistence, no qlog, SLEEP disabled. *)
+
+type t
+
+val start : config -> t
+(** Binds, loads the persistent catalog if any, spawns the worker
+    domains and the accept thread, returns immediately. *)
+
+val stop : t -> unit
+(** Stops accepting, unblocks and joins every session, drains the
+    admission queue, joins the workers. Idempotent. *)
+
+val address : t -> Unix.sockaddr
+(** The bound address ([`Tcp] with port 0 resolves to the real port). *)
+
+val port : t -> int option
+(** The TCP port, [None] for Unix sockets. *)
+
+val store : t -> Store.t
+(** The server's relation store (tests seed it directly). *)

@@ -42,12 +42,33 @@ type t = {
 let partitions t = t.partitions
 let bytes t = t.bytes
 let pool t = t.pool
+let dir t = t.dir
 
+(* Race-free fresh directory, mkdtemp-style: [Sys.mkdir] fails if the
+   path already exists, so creating the directory IS the claim on the
+   name. The previous temp_file/remove/mkdir dance had a window between
+   the remove and the mkdir in which a concurrent process could take
+   the name — two spilling joins would then interleave partition files
+   in one directory. *)
 let temp_dir () =
-  let file = Filename.temp_file "tpdb-spill" "" in
-  Sys.remove file;
-  Sys.mkdir file 0o700;
-  file
+  let base = Filename.get_temp_dir_name () in
+  let rand = lazy (Random.State.make_self_init ()) in
+  let rec claim attempts =
+    if attempts >= 1000 then
+      raise
+        (Sys_error
+           (Printf.sprintf "Spill.temp_dir: no fresh directory under %s" base));
+    let candidate =
+      Filename.concat base
+        (Printf.sprintf "tpdb-spill-%d-%06x" (Unix.getpid ())
+           (Random.State.bits (Lazy.force rand) land 0xffffff))
+    in
+    match Sys.mkdir candidate 0o700 with
+    | () -> candidate
+    | exception Sys_error _ when Sys.file_exists candidate ->
+        claim (attempts + 1)
+  in
+  claim 0
 
 let cleanup t =
   let remove path = try Sys.remove path with Sys_error _ -> () in

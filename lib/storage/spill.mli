@@ -44,13 +44,20 @@ val partition_pair :
   Tpdb_relation.Schema.t * Tpdb_relation.Tuple.t Seq.t ->
   Tpdb_relation.Schema.t * Tpdb_relation.Tuple.t Seq.t ->
   t
-(** Streams both inputs to [partitions] columnar files per side
-    ([?dir] defaults to a fresh temp directory). [left_key]/[right_key]
+(** Streams both inputs to [partitions] columnar files per side.
+    [?dir] defaults to a fresh private directory claimed atomically
+    (mkdir-as-claim, mkdtemp-style), so concurrent spilling joins in
+    the same or different processes never share a directory.
+    [left_key]/[right_key]
     must return an index in [\[0, partitions)]. Memory use is one
     encoder block per open file. On exception the temp files are
     removed and the exception re-raised. *)
 
 val partitions : t -> int
+
+val dir : t -> string
+(** The private directory holding this spill's partition files — unique
+    per live spill (the claim is the directory's creation). *)
 
 val bytes : t -> int
 (** Total encoded bytes written (the amount added to [Spill_bytes]). *)

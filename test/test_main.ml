@@ -21,4 +21,5 @@ let () =
       ("paper_example", Test_paper_example.suite);
       ("hist", Test_hist.suite);
       ("obs", Test_obs.suite);
+      ("server", Test_server.suite);
     ]

@@ -321,6 +321,26 @@ let test_clock_monotonic () =
   in
   go 0 (Clock.now_ns ())
 
+(* Regression: durations used to come from [Unix.gettimeofday], so an
+   NTP step mid-query produced negative (or wildly wrong) spans. The
+   clock must read a monotonic source wherever the OS has one — which
+   is everywhere we build — and keep wall time only as the absolute
+   anchor. *)
+let test_clock_source_and_durations () =
+  Alcotest.(check bool) "monotonic source" true (Clock.source = `Monotonic);
+  Alcotest.(check bool) "wall epoch is a plausible unix time" true
+    (Clock.wall_epoch > 1.0e9);
+  let t0 = Clock.now_ns () in
+  Alcotest.(check bool) "now_ns is non-negative" true (t0 >= 0);
+  let deadline = t0 + 2_000_000 in
+  let rec spin last =
+    let t = Clock.now_ns () in
+    if t - last < 0 then
+      Alcotest.failf "negative duration: %d ns" (t - last);
+    if t < deadline then spin t
+  in
+  spin t0
+
 (* --- the Chrome trace export ------------------------------------------ *)
 
 let test_trace_export () =
@@ -731,6 +751,8 @@ let suite =
       test_with_sink_restores;
     Alcotest.test_case "snapshot and reset" `Quick test_reset_and_snapshot;
     Alcotest.test_case "clock is monotonic" `Quick test_clock_monotonic;
+    Alcotest.test_case "clock source and non-negative durations" `Quick
+      test_clock_source_and_durations;
     Alcotest.test_case "Chrome trace export is valid" `Quick test_trace_export;
     Alcotest.test_case "trace JSON escapes hostile strings" `Quick
       test_trace_escaping;

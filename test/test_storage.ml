@@ -511,6 +511,91 @@ let prop_join_results_survive_storage =
           Heap_file.write path result;
           Relation.equal_as_sets result (Heap_file.read path)))
 
+(* --- Spill temp-dir claiming ----------------------------------------
+
+   Regression for the temp_file → remove → mkdir race: between the
+   remove and the mkdir another spilling join could take the name and
+   the two joins would interleave partition files in one directory.
+   The fix makes directory creation itself the claim, so no two live
+   spills may ever observe the same directory. *)
+
+let spill_input r =
+  (Relation.schema r, List.to_seq (Relation.tuples r))
+
+let small_spill () =
+  Tpdb_storage.Spill.partition_pair ~partitions:2 ~pool_pages:16
+    ~left_key:(fun _ -> 0)
+    ~right_key:(fun _ -> 1)
+    (spill_input (Fixtures.relation_a ()))
+    (spill_input (Fixtures.relation_b ()))
+
+let test_spill_concurrent_joins_roundtrip () =
+  let s1 = small_spill () in
+  let s2 = small_spill () in
+  Alcotest.(check bool)
+    "two live spills never share a directory" true
+    (Tpdb_storage.Spill.dir s1 <> Tpdb_storage.Spill.dir s2);
+  Alcotest.(check int) "s1 left partition 0" 2
+    (Relation.cardinality (Tpdb_storage.Spill.read_left s1 0));
+  Alcotest.(check int) "s1 left partition 1 empty" 0
+    (Relation.cardinality (Tpdb_storage.Spill.read_left s1 1));
+  Alcotest.(check int) "s2 right partition 1" 3
+    (Relation.cardinality (Tpdb_storage.Spill.read_right s2 1));
+  Tpdb_storage.Spill.finish s1;
+  Tpdb_storage.Spill.finish s2;
+  Alcotest.(check bool) "finish removes s1's directory" false
+    (Sys.file_exists (Tpdb_storage.Spill.dir s1));
+  Alcotest.(check bool) "finish removes s2's directory" false
+    (Sys.file_exists (Tpdb_storage.Spill.dir s2))
+
+let test_spill_dirs_never_collide () =
+  let live = Hashtbl.create 16 in
+  let mutex = Mutex.create () in
+  let collisions = ref 0 and claims = ref 0 in
+  let worker () =
+    for _ = 1 to 25 do
+      let spill = small_spill () in
+      let dir = Tpdb_storage.Spill.dir spill in
+      Mutex.lock mutex;
+      incr claims;
+      if Hashtbl.mem live dir then incr collisions
+      else Hashtbl.add live dir ();
+      Mutex.unlock mutex;
+      Thread.yield ();
+      Tpdb_storage.Spill.finish spill;
+      Mutex.lock mutex;
+      Hashtbl.remove live dir;
+      Mutex.unlock mutex
+    done
+  in
+  let threads = List.init 4 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "all claims happened" 100 !claims;
+  Alcotest.(check int) "no two concurrent spills shared a directory" 0
+    !collisions
+
+let test_spill_exception_removes_directory () =
+  let spill_dirs () =
+    Sys.readdir (Filename.get_temp_dir_name ())
+    |> Array.to_list
+    |> List.filter (fun n ->
+           String.length n >= 10 && String.sub n 0 10 = "tpdb-spill")
+    |> List.sort compare
+  in
+  let before = spill_dirs () in
+  (match
+     Tpdb_storage.Spill.partition_pair ~partitions:2 ~pool_pages:16
+       ~left_key:(fun _ -> failwith "left key exploded")
+       ~right_key:(fun _ -> 0)
+       (spill_input (Fixtures.relation_a ()))
+       (spill_input (Fixtures.relation_a ()))
+   with
+  | _ -> Alcotest.fail "expected the left_key exception to propagate"
+  | exception Failure _ -> ());
+  Alcotest.(check (list string))
+    "no partition directory leaks on the exception path" before
+    (spill_dirs ())
+
 let suite =
   [
     Alcotest.test_case "codec scalars" `Quick test_codec_scalars;
@@ -531,6 +616,12 @@ let suite =
     Alcotest.test_case "buffer pool invalidation" `Quick test_buffer_pool_invalidate;
     Alcotest.test_case "pinned eviction" `Quick test_pinned_eviction;
     Alcotest.test_case "db directory" `Quick test_db;
+    Alcotest.test_case "concurrent spills use private directories" `Quick
+      test_spill_concurrent_joins_roundtrip;
+    Alcotest.test_case "spill temp-dir claims never collide" `Quick
+      test_spill_dirs_never_collide;
+    Alcotest.test_case "spill exception removes its directory" `Quick
+      test_spill_exception_removes_directory;
     qtest prop_heap_file_roundtrip;
     qtest prop_column_block_roundtrip;
     qtest prop_columnar_file_roundtrip;
